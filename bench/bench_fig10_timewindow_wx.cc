@@ -1,0 +1,9 @@
+// Fig 10 — time-window query performance on the WX workload.
+
+#include "harness.h"
+
+int main() {
+  vchain::bench::RunTimeWindowFigure("Fig 10",
+                                     vchain::workload::DatasetKind::kWX);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 11 — time-window query performance on the ETH workload.
+
+#include "harness.h"
+
+int main() {
+  vchain::bench::RunTimeWindowFigure("Fig 11",
+                                     vchain::workload::DatasetKind::kETH);
+  return 0;
+}

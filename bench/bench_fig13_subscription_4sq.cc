@@ -1,0 +1,11 @@
+// Fig 13 — subscription performance over the subscription period (4SQ):
+// accumulated SP CPU, user CPU, VO size for realtime-acc1/acc2 and
+// lazy-acc2.
+
+#include "sub_harness.h"
+
+int main() {
+  vchain::bench::RunSubscriptionFigure("Fig 13",
+                                       vchain::workload::DatasetKind::k4SQ);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 14 — subscription performance over the subscription period (WX).
+
+#include "sub_harness.h"
+
+int main() {
+  vchain::bench::RunSubscriptionFigure("Fig 14",
+                                       vchain::workload::DatasetKind::kWX);
+  return 0;
+}

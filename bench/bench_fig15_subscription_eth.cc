@@ -1,0 +1,9 @@
+// Fig 15 — subscription performance over the subscription period (ETH).
+
+#include "sub_harness.h"
+
+int main() {
+  vchain::bench::RunSubscriptionFigure("Fig 15",
+                                       vchain::workload::DatasetKind::kETH);
+  return 0;
+}

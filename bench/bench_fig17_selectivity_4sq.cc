@@ -1,0 +1,9 @@
+// Fig 17 (Appendix D.2) — impact of range selectivity (4SQ).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSelectivityFigure("Fig 17",
+                                      vchain::workload::DatasetKind::k4SQ);
+  return 0;
+}

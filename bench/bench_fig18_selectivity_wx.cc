@@ -1,0 +1,9 @@
+// Fig 18 (Appendix D.2) — impact of range selectivity (WX).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSelectivityFigure("Fig 18",
+                                      vchain::workload::DatasetKind::kWX);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 19 (Appendix D.2) — impact of range selectivity (ETH).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSelectivityFigure("Fig 19",
+                                      vchain::workload::DatasetKind::kETH);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 20 (Appendix D.3) — impact of the skip-list size (4SQ).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSkiplistFigure("Fig 20",
+                                   vchain::workload::DatasetKind::k4SQ);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 21 (Appendix D.3) — impact of the skip-list size (WX).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSkiplistFigure("Fig 21",
+                                   vchain::workload::DatasetKind::kWX);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fig 22 (Appendix D.3) — impact of the skip-list size (ETH).
+
+#include "selectivity_harness.h"
+
+int main() {
+  vchain::bench::RunSkiplistFigure("Fig 22",
+                                   vchain::workload::DatasetKind::kETH);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig 9 — time-window query performance on the 4SQ workload:
+// SP CPU time, user CPU time, and VO size vs window size, for all six
+// schemes.
+
+#include "harness.h"
+
+int main() {
+  vchain::bench::RunTimeWindowFigure("Fig 9",
+                                     vchain::workload::DatasetKind::k4SQ);
+  return 0;
+}

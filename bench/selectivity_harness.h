@@ -1,0 +1,88 @@
+// Shared driver for the selectivity (Figs 17-19) and skip-list-size
+// (Figs 20-22) appendix sweeps.
+
+#ifndef VCHAIN_BENCH_SELECTIVITY_HARNESS_H_
+#define VCHAIN_BENCH_SELECTIVITY_HARNESS_H_
+
+#include "harness.h"
+
+namespace vchain::bench {
+
+/// Figs 17-19: vary numeric-range selectivity at a fixed (largest) window,
+/// both indexes enabled, acc1 vs acc2.
+inline void RunSelectivityFigure(const char* figure, DatasetKind kind) {
+  Scale scale = GetScale();
+  DatasetProfile profile = workload::ProfileFor(kind, scale.objects_per_block);
+  size_t window = scale.window_blocks.back();
+  std::printf("# %s — impact of range selectivity (%s), window=%zu blocks, "
+              "mode=both\n",
+              figure, workload::DatasetName(kind), window);
+  std::printf("%-6s %12s %12s %12s %10s %8s\n", "acc", "selectivity",
+              "sp_cpu_s", "user_cpu_s", "vo_kb", "results");
+  for (bool acc2 : {false, true}) {
+    auto run = [&](auto engine_tag) {
+      using Engine = decltype(engine_tag);
+      ChainConfig config = ConfigFor(profile, IndexMode::kBoth);
+      auto builder = BuildChain<Engine>(profile, config, window, /*seed=*/31,
+                                        ProverMode::kTrustedFast);
+      for (double sel : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+        DatasetGenerator qgen(profile, /*seed=*/31);
+        QueryPoint p = RunTimeWindowPoint(*builder, config, &qgen, window,
+                                          scale.queries_per_point, sel,
+                                          profile.default_clause_size);
+        std::printf("%-6s %11.0f%% %12.4f %12.4f %10.2f %8zu\n",
+                    acc2 ? "acc2" : "acc1", sel * 100, p.sp_seconds,
+                    p.user_seconds, p.vo_kb, p.results);
+        std::fflush(stdout);
+      }
+    };
+    if (acc2) {
+      run(Acc2Engine(SharedOracle()));
+    } else {
+      run(Acc1Engine(SharedOracle()));
+    }
+  }
+}
+
+/// Figs 20-22: vary the skip-list size (0 = intra-only) at a fixed window.
+inline void RunSkiplistFigure(const char* figure, DatasetKind kind) {
+  Scale scale = GetScale();
+  DatasetProfile profile = workload::ProfileFor(kind, scale.objects_per_block);
+  size_t window = scale.window_blocks.back();
+  std::printf("# %s — impact of skip-list size (%s), window=%zu blocks\n",
+              figure, workload::DatasetName(kind), window);
+  std::printf("%-6s %10s %10s %12s %12s %10s\n", "acc", "skiplist",
+              "max_jump", "sp_cpu_s", "user_cpu_s", "vo_kb");
+  for (bool acc2 : {false, true}) {
+    auto run = [&](auto engine_tag) {
+      using Engine = decltype(engine_tag);
+      for (uint32_t size : {0u, 1u, 3u, 5u}) {
+        IndexMode mode = size == 0 ? IndexMode::kIntra : IndexMode::kBoth;
+        ChainConfig config = ConfigFor(profile, mode, size);
+        auto builder = BuildChain<Engine>(profile, config, window,
+                                          /*seed=*/32,
+                                          ProverMode::kTrustedFast);
+        DatasetGenerator qgen(profile, /*seed=*/32);
+        QueryPoint p = RunTimeWindowPoint(*builder, config, &qgen, window,
+                                          scale.queries_per_point,
+                                          profile.default_selectivity,
+                                          profile.default_clause_size);
+        uint64_t max_jump = size == 0 ? 0 : (uint64_t{4} << (size - 1));
+        std::printf("%-6s %10u %10llu %12.4f %12.4f %10.2f\n",
+                    acc2 ? "acc2" : "acc1", size,
+                    static_cast<unsigned long long>(max_jump), p.sp_seconds,
+                    p.user_seconds, p.vo_kb);
+        std::fflush(stdout);
+      }
+    };
+    if (acc2) {
+      run(Acc2Engine(SharedOracle()));
+    } else {
+      run(Acc1Engine(SharedOracle()));
+    }
+  }
+}
+
+}  // namespace vchain::bench
+
+#endif  // VCHAIN_BENCH_SELECTIVITY_HARNESS_H_

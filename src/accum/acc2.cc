@@ -1,0 +1,127 @@
+#include "accum/acc2.h"
+
+namespace vchain::accum {
+
+Multiset Acc2Engine::MapMultiset(const Multiset& w) const {
+  Multiset mapped;
+  for (const Multiset::Entry& e : w.entries()) {
+    mapped.Add(MapElement(e.element), e.count);
+  }
+  return mapped;
+}
+
+Acc2Engine::ObjectDigest Acc2Engine::Digest(const Multiset& w) const {
+  Multiset mapped = MapMultiset(w);
+  if (mapped.Empty()) return ObjectDigest{G1::Infinity().ToAffine()};
+  if (mode_ == ProverMode::kTrustedFast) {
+    Fr a = Fr::Zero();
+    for (const Multiset::Entry& e : mapped.entries()) {
+      a += Fr::FromUint64(e.count) * oracle_->SecretPow(e.element);
+    }
+    return ObjectDigest{oracle_->CommitG1(a).ToAffine()};
+  }
+  std::vector<G1Affine> bases;
+  std::vector<U256> scalars;
+  bases.reserve(mapped.DistinctSize());
+  for (const Multiset::Entry& e : mapped.entries()) {
+    bases.push_back(oracle_->G1PowerOf(e.element));
+    scalars.push_back(U256(e.count));
+  }
+  return ObjectDigest{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+}
+
+Acc2Engine::QueryDigest Acc2Engine::QueryDigestOf(const Multiset& clause) const {
+  Multiset mapped = MapMultiset(clause);
+  if (mapped.Empty()) return QueryDigest{G2::Infinity().ToAffine()};
+  uint64_t q = oracle_->params().UniverseSize();
+  std::vector<G2Affine> bases;
+  std::vector<U256> scalars;
+  for (const Multiset::Entry& e : mapped.entries()) {
+    bases.push_back(oracle_->G2PowerOf(q - e.element));
+    scalars.push_back(U256(e.count));
+  }
+  return QueryDigest{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+}
+
+Result<Acc2Engine::Proof> Acc2Engine::ProveDisjoint(
+    const Multiset& w, const Multiset& clause) const {
+  Multiset mw = MapMultiset(w);
+  Multiset mc = MapMultiset(clause);
+  if (mw.Intersects(mc)) {
+    return Status::InvalidArgument("mapped multisets intersect");
+  }
+  uint64_t q = oracle_->params().UniverseSize();
+  if (mw.Empty() || mc.Empty()) {
+    // A(X)*B(Y) == 0: the proof is the identity element.
+    return Proof{G1::Infinity().ToAffine()};
+  }
+  if (mode_ == ProverMode::kTrustedFast) {
+    Fr a = Fr::Zero();
+    for (const Multiset::Entry& e : mw.entries()) {
+      a += Fr::FromUint64(e.count) * oracle_->SecretPow(e.element);
+    }
+    Fr b = Fr::Zero();
+    for (const Multiset::Entry& e : mc.entries()) {
+      b += Fr::FromUint64(e.count) * oracle_->SecretPow(q - e.element);
+    }
+    return Proof{oracle_->CommitG1(a * b).ToAffine()};
+  }
+  // Honest path: pi = prod over cross terms of g1^{s^{x_i + q - y_j}} with
+  // weight m_i * m_j. Disjointness guarantees x_i + q - y_j != q. Cross-term
+  // powers are served uncached (they rarely recur; see keys.h).
+  std::vector<G1Affine> bases;
+  std::vector<U256> scalars;
+  bases.reserve(mw.DistinctSize() * mc.DistinctSize());
+  for (const Multiset::Entry& ew : mw.entries()) {
+    for (const Multiset::Entry& ec : mc.entries()) {
+      uint64_t idx = ew.element + q - ec.element;
+      bases.push_back(oracle_->G1PowerOfUncached(idx));
+      scalars.push_back(
+          U256(static_cast<uint64_t>(ew.count) * ec.count));
+    }
+  }
+  return Proof{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+}
+
+bool Acc2Engine::VerifyDisjoint(const ObjectDigest& dw, const QueryDigest& dc,
+                                const Proof& proof) const {
+  // e(dA, dB) * e(-pi, g2) == 1.
+  G1Affine neg_pi = G1::FromAffine(proof.pi).Neg().ToAffine();
+  return crypto::PairingProductIsOne(
+      {{dw.point, dc.point}, {neg_pi, crypto::G2Generator()}});
+}
+
+Acc2Engine::ObjectDigest Acc2Engine::SumDigests(
+    const std::vector<ObjectDigest>& digests) const {
+  G1 acc = G1::Infinity();
+  for (const ObjectDigest& d : digests) {
+    acc = acc.AddAffine(d.point);
+  }
+  return ObjectDigest{acc.ToAffine()};
+}
+
+Acc2Engine::Proof Acc2Engine::SumProofs(const std::vector<Proof>& proofs) const {
+  G1 acc = G1::Infinity();
+  for (const Proof& p : proofs) {
+    acc = acc.AddAffine(p.pi);
+  }
+  return Proof{acc.ToAffine()};
+}
+
+void Acc2Engine::SerializeDigest(const ObjectDigest& d, ByteWriter* w) const {
+  crypto::SerializeG1(d.point, w);
+}
+
+Status Acc2Engine::DeserializeDigest(ByteReader* r, ObjectDigest* out) const {
+  return crypto::DeserializeG1(r, &out->point);
+}
+
+void Acc2Engine::SerializeProof(const Proof& p, ByteWriter* w) const {
+  crypto::SerializeG1(p.pi, w);
+}
+
+Status Acc2Engine::DeserializeProof(ByteReader* r, Proof* out) const {
+  return crypto::DeserializeG1(r, &out->pi);
+}
+
+}  // namespace vchain::accum

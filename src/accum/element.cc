@@ -1,0 +1,27 @@
+#include "accum/element.h"
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace vchain::accum {
+
+Element EncodeKeyword(const std::string& keyword) {
+  return crypto::Hash64("k|" + keyword);
+}
+
+Element EncodePrefix(uint32_t dim, uint64_t prefix_bits, uint32_t prefix_len,
+                     uint32_t total_bits) {
+  ByteWriter w;
+  w.PutU8('p');
+  w.PutU32(dim);
+  w.PutU64(prefix_bits);
+  w.PutU32(prefix_len);
+  w.PutU32(total_bits);
+  crypto::Hash32 h = crypto::Sha256Digest(
+      ByteSpan(w.bytes().data(), w.bytes().size()));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(h[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace vchain::accum

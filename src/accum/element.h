@@ -1,0 +1,39 @@
+// Attribute elements.
+//
+// Every queryable attribute value — a set-valued keyword, a transaction
+// address, or one binary-prefix fragment of a numerical attribute (§5.3) —
+// is encoded into a 64-bit `Element` id by hashing a canonical string form.
+// Both the miner (building the ADS), the SP (proving), and the light node
+// (verifying) derive identical ids from the raw values, so ids never travel
+// on the wire.
+//
+// Engines may fold ids into a smaller accumulator universe (acc2's
+// [1, q-1]); the protocol treats two elements as equal when their *mapped*
+// ids collide, which keeps soundness/completeness exact in mapped space (a
+// rare collision can only add a verifiable false-positive result that the
+// client filters locally; see DESIGN.md).
+
+#ifndef VCHAIN_ACCUM_ELEMENT_H_
+#define VCHAIN_ACCUM_ELEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vchain::accum {
+
+using Element = uint64_t;
+
+/// Encode a set-valued attribute keyword (e.g. "Sedan", "send:1FFYc").
+Element EncodeKeyword(const std::string& keyword);
+
+/// Encode one binary-prefix fragment of a numerical attribute:
+/// dimension `dim`, the prefix consisting of the top `prefix_len` bits of
+/// `bits` (values use `total_bits`-bit unsigned representations). E.g. the
+/// paper's "10*" in dimension 1 of an 8-bit space is
+/// EncodePrefix(1, 0b10, 2, 8).
+Element EncodePrefix(uint32_t dim, uint64_t prefix_bits, uint32_t prefix_len,
+                     uint32_t total_bits);
+
+}  // namespace vchain::accum
+
+#endif  // VCHAIN_ACCUM_ELEMENT_H_

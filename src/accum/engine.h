@@ -1,0 +1,68 @@
+// The accumulator-engine concept and engine-generic helpers.
+//
+// Everything above this layer (chain ADS construction, query processing,
+// verification, subscriptions) is templated on an `Engine` satisfying:
+//
+//   types   ObjectDigest, QueryDigest, Proof        (regular, ==, serde)
+//   uint64_t       MapElement(Element) const
+//   ObjectDigest   Digest(const Multiset&) const
+//   QueryDigest    QueryDigestOf(const Multiset&) const
+//   Result<Proof>  ProveDisjoint(const Multiset& w, const Multiset& clause)
+//   bool           VerifyDisjoint(ObjectDigest, QueryDigest, Proof) const
+//   serde: SerializeDigest/DeserializeDigest/SerializeProof/DeserializeProof
+//   static constexpr bool kSupportsAggregation
+//   (if aggregation) SumDigests(vector<ObjectDigest>), SumProofs(vector<Proof>)
+//
+// Concrete models: Acc1Engine, Acc2Engine (BN254), MockAcc1Engine,
+// MockAcc2Engine (transparent test doubles).
+//
+// Matching semantics: the protocol compares elements under the engine's
+// universe mapping (`MapElement`), so a mismatch decision made by the SP is
+// always provable and verifiable (see element.h).
+
+#ifndef VCHAIN_ACCUM_ENGINE_H_
+#define VCHAIN_ACCUM_ENGINE_H_
+
+#include <concepts>
+#include <unordered_set>
+#include <vector>
+
+#include "accum/multiset.h"
+
+namespace vchain::accum {
+
+template <typename E>
+concept AccumulatorEngine = requires(const E e, const Multiset& m,
+                                     typename E::ObjectDigest od,
+                                     typename E::QueryDigest qd,
+                                     typename E::Proof pf, ByteWriter* w,
+                                     ByteReader* r) {
+  { e.MapElement(Element{}) } -> std::convertible_to<uint64_t>;
+  { e.Digest(m) } -> std::same_as<typename E::ObjectDigest>;
+  { e.QueryDigestOf(m) } -> std::same_as<typename E::QueryDigest>;
+  { e.ProveDisjoint(m, m) } -> std::same_as<Result<typename E::Proof>>;
+  { e.VerifyDisjoint(od, qd, pf) } -> std::same_as<bool>;
+  { E::kSupportsAggregation } -> std::convertible_to<bool>;
+  e.SerializeDigest(od, w);
+  e.SerializeProof(pf, w);
+};
+
+/// True iff `w` and `clause` share an element under the engine's mapping.
+/// This — not raw intersection — is the protocol's match relation.
+template <typename Engine>
+bool MappedIntersects(const Engine& engine, const Multiset& w,
+                      const Multiset& clause) {
+  std::unordered_set<uint64_t> mapped;
+  mapped.reserve(clause.DistinctSize());
+  for (const Multiset::Entry& e : clause.entries()) {
+    mapped.insert(engine.MapElement(e.element));
+  }
+  for (const Multiset::Entry& e : w.entries()) {
+    if (mapped.count(engine.MapElement(e.element))) return true;
+  }
+  return false;
+}
+
+}  // namespace vchain::accum
+
+#endif  // VCHAIN_ACCUM_ENGINE_H_

@@ -1,0 +1,117 @@
+#include "accum/mock.h"
+
+namespace vchain::accum {
+
+namespace {
+
+void PutFr(const Fr& v, ByteWriter* w) {
+  uint8_t buf[32];
+  crypto::U256ToBytesBE(v.ToCanonical(), buf);
+  w->PutFixed(ByteSpan(buf, 32));
+}
+
+Status GetFr(ByteReader* r, Fr* out) {
+  Bytes buf;
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  crypto::U256 v = crypto::U256FromBytesBE(buf.data());
+  if (!(v < crypto::kBnR)) return Status::Corruption("Fr value out of range");
+  *out = Fr::FromCanonical(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+Fr MockAcc1Engine::EvalCharPoly(const Multiset& w) const {
+  Fr acc = Fr::One();
+  const Fr& s = oracle_->secret();
+  for (const Multiset::Entry& e : w.entries()) {
+    Fr term = Fr::FromUint64(e.element) + s;
+    for (uint32_t k = 0; k < e.count; ++k) acc *= term;
+  }
+  return acc;
+}
+
+Result<MockAcc1Engine::Proof> MockAcc1Engine::ProveDisjoint(
+    const Multiset& w, const Multiset& clause) const {
+  auto char_poly = [](const Multiset& m) {
+    std::vector<Fr> roots;
+    for (const Multiset::Entry& e : m.entries()) {
+      for (uint32_t k = 0; k < e.count; ++k) {
+        roots.push_back(Fr::FromUint64(e.element));
+      }
+    }
+    return Poly::FromShiftedRoots(roots);
+  };
+  Poly q1, q2;
+  VCHAIN_RETURN_IF_ERROR(
+      PolyBezoutForCoprime(char_poly(w), char_poly(clause), &q1, &q2));
+  const Fr& s = oracle_->secret();
+  return Proof{q1.Eval(s), q2.Eval(s)};
+}
+
+void MockAcc1Engine::SerializeDigest(const ObjectDigest& d,
+                                     ByteWriter* w) const {
+  PutFr(d.value, w);
+}
+Status MockAcc1Engine::DeserializeDigest(ByteReader* r,
+                                         ObjectDigest* out) const {
+  return GetFr(r, &out->value);
+}
+void MockAcc1Engine::SerializeProof(const Proof& p, ByteWriter* w) const {
+  PutFr(p.f1, w);
+  PutFr(p.f2, w);
+}
+Status MockAcc1Engine::DeserializeProof(ByteReader* r, Proof* out) const {
+  VCHAIN_RETURN_IF_ERROR(GetFr(r, &out->f1));
+  return GetFr(r, &out->f2);
+}
+
+Fr MockAcc2Engine::EvalA(const Multiset& w) const {
+  Fr acc = Fr::Zero();
+  for (const Multiset::Entry& e : w.entries()) {
+    acc += Fr::FromUint64(e.count) * oracle_->SecretPow(MapElement(e.element));
+  }
+  return acc;
+}
+
+Fr MockAcc2Engine::EvalB(const Multiset& w) const {
+  uint64_t q = oracle_->params().UniverseSize();
+  Fr acc = Fr::Zero();
+  for (const Multiset::Entry& e : w.entries()) {
+    acc +=
+        Fr::FromUint64(e.count) * oracle_->SecretPow(q - MapElement(e.element));
+  }
+  return acc;
+}
+
+Result<MockAcc2Engine::Proof> MockAcc2Engine::ProveDisjoint(
+    const Multiset& w, const Multiset& clause) const {
+  Multiset mw, mc;
+  for (const Multiset::Entry& e : w.entries()) {
+    mw.Add(MapElement(e.element), e.count);
+  }
+  for (const Multiset::Entry& e : clause.entries()) {
+    mc.Add(MapElement(e.element), e.count);
+  }
+  if (mw.Intersects(mc)) {
+    return Status::InvalidArgument("mapped multisets intersect");
+  }
+  return Proof{EvalA(w) * EvalB(clause)};
+}
+
+void MockAcc2Engine::SerializeDigest(const ObjectDigest& d,
+                                     ByteWriter* w) const {
+  PutFr(d.value, w);
+}
+Status MockAcc2Engine::DeserializeDigest(ByteReader* r,
+                                         ObjectDigest* out) const {
+  return GetFr(r, &out->value);
+}
+void MockAcc2Engine::SerializeProof(const Proof& p, ByteWriter* w) const {
+  PutFr(p.pi, w);
+}
+Status MockAcc2Engine::DeserializeProof(ByteReader* r, Proof* out) const {
+  return GetFr(r, &out->pi);
+}
+
+}  // namespace vchain::accum

@@ -1,0 +1,156 @@
+#include "accum/multiset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vchain::accum {
+
+void Multiset::Add(Element e, uint32_t count) {
+  if (count == 0) return;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e,
+      [](const Entry& entry, Element v) { return entry.element < v; });
+  if (it != entries_.end() && it->element == e) {
+    it->count += count;
+  } else {
+    entries_.insert(it, Entry{e, count});
+  }
+}
+
+bool Multiset::Contains(Element e) const { return CountOf(e) > 0; }
+
+uint32_t Multiset::CountOf(Element e) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e,
+      [](const Entry& entry, Element v) { return entry.element < v; });
+  if (it != entries_.end() && it->element == e) return it->count;
+  return 0;
+}
+
+uint64_t Multiset::TotalSize() const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.count;
+  return total;
+}
+
+Multiset Multiset::UnionWith(const Multiset& o) const {
+  Multiset out;
+  out.entries_.reserve(entries_.size() + o.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < o.entries_.size()) {
+    if (j == o.entries_.size() ||
+        (i < entries_.size() && entries_[i].element < o.entries_[j].element)) {
+      out.entries_.push_back(entries_[i++]);
+    } else if (i == entries_.size() ||
+               o.entries_[j].element < entries_[i].element) {
+      out.entries_.push_back(o.entries_[j++]);
+    } else {
+      out.entries_.push_back(
+          Entry{entries_[i].element,
+                std::max(entries_[i].count, o.entries_[j].count)});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Multiset Multiset::SumWith(const Multiset& o) const {
+  Multiset out;
+  out.entries_.reserve(entries_.size() + o.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < o.entries_.size()) {
+    if (j == o.entries_.size() ||
+        (i < entries_.size() && entries_[i].element < o.entries_[j].element)) {
+      out.entries_.push_back(entries_[i++]);
+    } else if (i == entries_.size() ||
+               o.entries_[j].element < entries_[i].element) {
+      out.entries_.push_back(o.entries_[j++]);
+    } else {
+      out.entries_.push_back(Entry{entries_[i].element,
+                                   entries_[i].count + o.entries_[j].count});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool Multiset::Intersects(const Multiset& o) const {
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < o.entries_.size()) {
+    if (entries_[i].element < o.entries_[j].element) {
+      ++i;
+    } else if (o.entries_[j].element < entries_[i].element) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Multiset::Jaccard(const Multiset& o) const {
+  uint64_t min_sum = 0, max_sum = 0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < o.entries_.size()) {
+    if (j == o.entries_.size() ||
+        (i < entries_.size() && entries_[i].element < o.entries_[j].element)) {
+      max_sum += entries_[i++].count;
+    } else if (i == entries_.size() ||
+               o.entries_[j].element < entries_[i].element) {
+      max_sum += o.entries_[j++].count;
+    } else {
+      min_sum += std::min(entries_[i].count, o.entries_[j].count);
+      max_sum += std::max(entries_[i].count, o.entries_[j].count);
+      ++i;
+      ++j;
+    }
+  }
+  if (max_sum == 0) return 1.0;  // two empty multisets are identical
+  return static_cast<double>(min_sum) / static_cast<double>(max_sum);
+}
+
+void Multiset::Serialize(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w->PutU64(e.element);
+    w->PutU32(e.count);
+  }
+}
+
+Status Multiset::Deserialize(ByteReader* r, Multiset* out) {
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 24) return Status::Corruption("multiset too large");
+  Multiset m;
+  m.entries_.reserve(n);
+  Element prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    Entry e{};
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&e.element));
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&e.count));
+    if (e.count == 0) return Status::Corruption("zero multiset count");
+    if (i > 0 && e.element <= prev) {
+      return Status::Corruption("multiset entries not strictly sorted");
+    }
+    prev = e.element;
+    m.entries_.push_back(e);
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+std::string Multiset::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << ", ";
+    os << entries_[i].element;
+    if (entries_[i].count > 1) os << "x" << entries_[i].count;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace vchain::accum

@@ -1,0 +1,83 @@
+// Multisets of attribute elements — the `W` objects of the paper.
+//
+// Stored as a sorted (element, count) vector. Three combination operators
+// are used by the indexes:
+//   * Union (max of counts)  — intra-block index nodes (Definition 6.1);
+//   * Sum   (count addition) — inter-block skip entries and acc2 `Sum`
+//                              aggregation (§6.2, §6.3);
+//   * Intersection tests     — CNF clause matching.
+
+#ifndef VCHAIN_ACCUM_MULTISET_H_
+#define VCHAIN_ACCUM_MULTISET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "accum/element.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace vchain::accum {
+
+class Multiset {
+ public:
+  struct Entry {
+    Element element;
+    uint32_t count;
+    bool operator==(const Entry&) const = default;
+  };
+
+  Multiset() = default;
+  Multiset(std::initializer_list<Element> elements) {
+    for (Element e : elements) Add(e);
+  }
+
+  static Multiset FromElements(const std::vector<Element>& elements) {
+    Multiset m;
+    for (Element e : elements) m.Add(e);
+    return m;
+  }
+
+  /// Insert `count` copies of `e`.
+  void Add(Element e, uint32_t count = 1);
+
+  bool Contains(Element e) const;
+  uint32_t CountOf(Element e) const;
+
+  /// Number of distinct elements.
+  size_t DistinctSize() const { return entries_.size(); }
+  /// Total cardinality including multiplicity (the accumulated polynomial
+  /// degree for acc1).
+  uint64_t TotalSize() const;
+  bool Empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Multiset union: per-element max of counts.
+  Multiset UnionWith(const Multiset& o) const;
+  /// Multiset sum: per-element addition of counts.
+  Multiset SumWith(const Multiset& o) const;
+
+  /// True iff the supports share any element.
+  bool Intersects(const Multiset& o) const;
+
+  /// Multiset Jaccard similarity: sum(min)/sum(max) over counts.
+  /// Used by the intra-block index clustering heuristic (Algorithm 2).
+  double Jaccard(const Multiset& o) const;
+
+  bool operator==(const Multiset& o) const { return entries_ == o.entries_; }
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, Multiset* out);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by element, counts > 0
+};
+
+}  // namespace vchain::accum
+
+#endif  // VCHAIN_ACCUM_MULTISET_H_

@@ -1,0 +1,110 @@
+#include "accum/ntt.h"
+
+#include <cassert>
+
+namespace vchain::accum {
+
+namespace {
+
+using crypto::U256;
+
+/// g^((r-1)/2^28) for the smallest multiplicative generator g of Fr*.
+/// Verified once by checking the order is exactly 2^28.
+Fr Primitive2AdicRoot() {
+  static const Fr kRoot = [] {
+    // r - 1 = 2^28 * odd.
+    U256 odd = crypto::kBnR;
+    odd.SubInPlace(U256(1));
+    for (uint32_t i = 0; i < kMaxNttLogSize; ++i) odd.Shr1InPlace();
+    // Find a generator candidate: w = g^odd has order 2^28 iff
+    // w^(2^27) != 1. Small g values are tested in turn.
+    for (uint64_t g = 2;; ++g) {
+      Fr w = Fr::FromUint64(g).Pow(odd);
+      Fr probe = w;
+      for (uint32_t i = 0; i < kMaxNttLogSize - 1; ++i) probe = probe.Square();
+      if (!(probe == Fr::One())) {
+        // probe == -1 here; w has full 2-power order.
+        return w;
+      }
+    }
+  }();
+  return kRoot;
+}
+
+void BitReverse(std::vector<Fr>* a) {
+  size_t n = a->size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap((*a)[i], (*a)[j]);
+  }
+}
+
+void Transform(std::vector<Fr>* a, bool inverse) {
+  size_t n = a->size();
+  assert((n & (n - 1)) == 0);
+  BitReverse(a);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    uint32_t log_len = 0;
+    while ((size_t{1} << log_len) < len) ++log_len;
+    Fr wn = NttRootOfUnity(log_len);
+    if (inverse) wn = wn.Inverse();
+    for (size_t i = 0; i < n; i += len) {
+      Fr w = Fr::One();
+      for (size_t k = 0; k < len / 2; ++k) {
+        Fr u = (*a)[i + k];
+        Fr v = (*a)[i + k + len / 2] * w;
+        (*a)[i + k] = u + v;
+        (*a)[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+  if (inverse) {
+    Fr n_inv = Fr::FromUint64(static_cast<uint64_t>(n)).Inverse();
+    for (Fr& x : *a) x *= n_inv;
+  }
+}
+
+}  // namespace
+
+Fr NttRootOfUnity(uint32_t log_size) {
+  assert(log_size <= kMaxNttLogSize);
+  Fr w = Primitive2AdicRoot();
+  for (uint32_t i = log_size; i < kMaxNttLogSize; ++i) w = w.Square();
+  return w;
+}
+
+void NttForward(std::vector<Fr>* a) { Transform(a, /*inverse=*/false); }
+void NttInverse(std::vector<Fr>* a) { Transform(a, /*inverse=*/true); }
+
+std::vector<Fr> NttMultiply(const std::vector<Fr>& a,
+                            const std::vector<Fr>& b) {
+  if (a.empty() || b.empty()) return {};
+  size_t result_size = a.size() + b.size() - 1;
+  if (result_size < 32) {
+    // Schoolbook wins for tiny operands.
+    std::vector<Fr> out(result_size, Fr::Zero());
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        out[i + j] += a[i] * b[j];
+      }
+    }
+    return out;
+  }
+  size_t n = 1;
+  while (n < result_size) n <<= 1;
+  std::vector<Fr> fa(a.begin(), a.end());
+  std::vector<Fr> fb(b.begin(), b.end());
+  fa.resize(n, Fr::Zero());
+  fb.resize(n, Fr::Zero());
+  NttForward(&fa);
+  NttForward(&fb);
+  for (size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  NttInverse(&fa);
+  fa.resize(result_size);
+  return fa;
+}
+
+}  // namespace vchain::accum

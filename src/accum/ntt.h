@@ -1,0 +1,45 @@
+// Number-theoretic transform over the BN254 scalar field.
+//
+// Fr is exceptionally NTT-friendly: r - 1 = 2^28 * odd, so radix-2
+// Cooley-Tukey transforms run for sizes up to 2^28. Construction 1 of the
+// accumulator multiplies characteristic polynomials whose degree equals the
+// multiset cardinality; inter-block skip entries push that into the
+// thousands, where schoolbook O(n^2) dominates ADS construction (the paper's
+// `both-acc1` pain point). `NttMultiply` brings that to O(n log n), and
+// `Poly::FromShiftedRoots` switches to it automatically above a threshold.
+//
+// The primitive 2^28-th root of unity is derived at first use as
+// g^((r-1)/2^28) for the smallest generator g — nothing hand-transcribed.
+
+#ifndef VCHAIN_ACCUM_NTT_H_
+#define VCHAIN_ACCUM_NTT_H_
+
+#include <vector>
+
+#include "crypto/field.h"
+
+namespace vchain::accum {
+
+using crypto::Fr;
+
+/// Maximum supported transform size (2-adicity of r - 1).
+inline constexpr uint32_t kMaxNttLogSize = 28;
+
+/// In-place forward NTT of `a` (size must be a power of two <= 2^28).
+void NttForward(std::vector<Fr>* a);
+/// In-place inverse NTT.
+void NttInverse(std::vector<Fr>* a);
+
+/// Polynomial product via NTT; falls back to schoolbook for tiny inputs.
+/// Inputs are coefficient vectors (no trailing-zero invariant required);
+/// the result is exact (sized deg a + deg b + 1 before trimming).
+std::vector<Fr> NttMultiply(const std::vector<Fr>& a,
+                            const std::vector<Fr>& b);
+
+/// The primitive 2^k-th root of unity used by the transforms (exposed for
+/// tests).
+Fr NttRootOfUnity(uint32_t log_size);
+
+}  // namespace vchain::accum
+
+#endif  // VCHAIN_ACCUM_NTT_H_

@@ -1,0 +1,135 @@
+#include "accum/polynomial.h"
+
+#include <cassert>
+
+#include "accum/ntt.h"
+
+namespace vchain::accum {
+
+Poly Poly::Constant(const Fr& v) {
+  if (v.IsZero()) return Poly();
+  return Poly({v});
+}
+
+Poly Poly::FromShiftedRoots(const std::vector<Fr>& roots) {
+  // Divide and conquer keeps intermediate products balanced.
+  if (roots.empty()) return Constant(Fr::One());
+  struct Builder {
+    const std::vector<Fr>& r;
+    Poly Build(size_t lo, size_t hi) const {  // [lo, hi)
+      if (hi - lo == 1) {
+        return Poly({r[lo], Fr::One()});  // Z + root
+      }
+      size_t mid = lo + (hi - lo) / 2;
+      return Build(lo, mid) * Build(mid, hi);
+    }
+  };
+  return Builder{roots}.Build(0, roots.size());
+}
+
+Fr Poly::Eval(const Fr& x) const {
+  Fr acc = Fr::Zero();
+  for (size_t i = c_.size(); i-- > 0;) {
+    acc = acc * x + c_[i];
+  }
+  return acc;
+}
+
+Poly Poly::operator+(const Poly& o) const {
+  std::vector<Fr> out(std::max(c_.size(), o.c_.size()), Fr::Zero());
+  for (size_t i = 0; i < c_.size(); ++i) out[i] += c_[i];
+  for (size_t i = 0; i < o.c_.size(); ++i) out[i] += o.c_[i];
+  return Poly(std::move(out));
+}
+
+Poly Poly::operator-(const Poly& o) const {
+  std::vector<Fr> out(std::max(c_.size(), o.c_.size()), Fr::Zero());
+  for (size_t i = 0; i < c_.size(); ++i) out[i] += c_[i];
+  for (size_t i = 0; i < o.c_.size(); ++i) out[i] -= o.c_[i];
+  return Poly(std::move(out));
+}
+
+Poly Poly::operator*(const Poly& o) const {
+  if (IsZero() || o.IsZero()) return Poly();
+  // Above the crossover, O(n log n) NTT multiplication takes over; this is
+  // what keeps acc1's skip-entry accumulation (thousands of roots) tractable.
+  constexpr size_t kNttThreshold = 64;
+  if (c_.size() + o.c_.size() >= kNttThreshold) {
+    return Poly(NttMultiply(c_, o.c_));
+  }
+  std::vector<Fr> out(c_.size() + o.c_.size() - 1, Fr::Zero());
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i].IsZero()) continue;
+    for (size_t j = 0; j < o.c_.size(); ++j) {
+      out[i + j] += c_[i] * o.c_[j];
+    }
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::ScaleBy(const Fr& k) const {
+  std::vector<Fr> out = c_;
+  for (Fr& x : out) x *= k;
+  return Poly(std::move(out));
+}
+
+void Poly::DivRem(const Poly& d, Poly* q, Poly* r) const {
+  assert(!d.IsZero());
+  if (Degree() < d.Degree()) {
+    *q = Poly();
+    *r = *this;
+    return;
+  }
+  std::vector<Fr> rem = c_;
+  std::vector<Fr> quot(c_.size() - d.c_.size() + 1, Fr::Zero());
+  Fr lead_inv = d.Leading().Inverse();
+  for (size_t i = rem.size(); i-- >= d.c_.size();) {
+    Fr factor = rem[i] * lead_inv;
+    if (!factor.IsZero()) {
+      quot[i - d.c_.size() + 1] = factor;
+      for (size_t j = 0; j < d.c_.size(); ++j) {
+        rem[i - d.c_.size() + 1 + j] -= factor * d.c_[j];
+      }
+    }
+    if (i == 0) break;  // avoid size_t underflow in the loop condition
+  }
+  rem.resize(d.c_.size() - 1);
+  *q = Poly(std::move(quot));
+  *r = Poly(std::move(rem));
+}
+
+void PolyXgcd(const Poly& a, const Poly& b, Poly* g, Poly* u, Poly* v) {
+  assert(!(a.IsZero() && b.IsZero()));
+  Poly r0 = a, r1 = b;
+  Poly s0 = Poly::Constant(Fr::One()), s1 = Poly::Zero();
+  Poly t0 = Poly::Zero(), t1 = Poly::Constant(Fr::One());
+  while (!r1.IsZero()) {
+    Poly q, r;
+    r0.DivRem(r1, &q, &r);
+    r0 = r1;
+    r1 = r;
+    Poly s2 = s0 - q * s1;
+    s0 = s1;
+    s1 = s2;
+    Poly t2 = t0 - q * t1;
+    t0 = t1;
+    t1 = t2;
+  }
+  // Normalize the gcd to be monic.
+  Fr lead_inv = r0.Leading().Inverse();
+  *g = r0.ScaleBy(lead_inv);
+  *u = s0.ScaleBy(lead_inv);
+  *v = t0.ScaleBy(lead_inv);
+}
+
+Status PolyBezoutForCoprime(const Poly& a, const Poly& b, Poly* u, Poly* v) {
+  Poly g;
+  PolyXgcd(a, b, &g, u, v);
+  if (g.Degree() != 0) {
+    return Status::InvalidArgument(
+        "polynomials share a root (multisets intersect)");
+  }
+  return Status::OK();
+}
+
+}  // namespace vchain::accum

@@ -1,0 +1,72 @@
+// Dense univariate polynomials over the BN254 scalar field Fr.
+//
+// Construction 1 of the multiset accumulator commits to the characteristic
+// polynomial P(Z) = prod_i (Z + x_i); its disjointness proofs are the Bezout
+// cofactors of two such polynomials, obtained with the extended Euclidean
+// algorithm (paper §5.2.1). This module provides exactly the arithmetic
+// needed for that: multiplication, division with remainder, XGCD, and
+// evaluation.
+
+#ifndef VCHAIN_ACCUM_POLYNOMIAL_H_
+#define VCHAIN_ACCUM_POLYNOMIAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/field.h"
+
+namespace vchain::accum {
+
+using crypto::Fr;
+
+/// Coefficient vector, index = power of Z; invariant: no trailing zeros
+/// (the zero polynomial is the empty vector).
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<Fr> coeffs) : c_(std::move(coeffs)) { Trim(); }
+
+  static Poly Zero() { return Poly(); }
+  static Poly Constant(const Fr& v);
+  /// prod (Z + roots[i])  — note the paper accumulates (x_i + s), i.e. the
+  /// polynomial with root -x_i.
+  static Poly FromShiftedRoots(const std::vector<Fr>& roots);
+
+  bool IsZero() const { return c_.empty(); }
+  /// Degree; -1 for the zero polynomial.
+  int Degree() const { return static_cast<int>(c_.size()) - 1; }
+  const std::vector<Fr>& coeffs() const { return c_; }
+  const Fr& Leading() const { return c_.back(); }
+
+  Fr Eval(const Fr& x) const;
+
+  Poly operator+(const Poly& o) const;
+  Poly operator-(const Poly& o) const;
+  Poly operator*(const Poly& o) const;
+  Poly ScaleBy(const Fr& k) const;
+
+  bool operator==(const Poly& o) const { return c_ == o.c_; }
+
+  /// Long division: *this = q * d + r with deg r < deg d. d must be nonzero.
+  void DivRem(const Poly& d, Poly* q, Poly* r) const;
+
+ private:
+  void Trim() {
+    while (!c_.empty() && c_.back().IsZero()) c_.pop_back();
+  }
+
+  std::vector<Fr> c_;
+};
+
+/// Extended Euclid: computes g = gcd(a, b) (monic) and u, v with
+/// a*u + b*v = g. Inputs must not both be zero.
+void PolyXgcd(const Poly& a, const Poly& b, Poly* g, Poly* u, Poly* v);
+
+/// Bezout cofactors scaled so that a*u + b*v = 1; fails (kInvalidArgument)
+/// when gcd(a, b) is non-constant — i.e. when the underlying multisets
+/// intersect. This is the core of Construction 1's ProveDisjoint.
+Status PolyBezoutForCoprime(const Poly& a, const Poly& b, Poly* u, Poly* v);
+
+}  // namespace vchain::accum
+
+#endif  // VCHAIN_ACCUM_POLYNOMIAL_H_

@@ -1,0 +1,36 @@
+#include "chain/header.h"
+
+namespace vchain::chain {
+
+void BlockHeader::Serialize(ByteWriter* w) const {
+  w->PutU64(height);
+  w->PutFixed(crypto::HashSpan(prev_hash));
+  w->PutU64(timestamp);
+  w->PutU64(nonce);
+  w->PutFixed(crypto::HashSpan(object_root));
+  w->PutFixed(crypto::HashSpan(skiplist_root));
+}
+
+Status BlockHeader::Deserialize(ByteReader* r, BlockHeader* out) {
+  BlockHeader h;
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&h.height));
+  Bytes buf;
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  std::copy(buf.begin(), buf.end(), h.prev_hash.begin());
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&h.timestamp));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&h.nonce));
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  std::copy(buf.begin(), buf.end(), h.object_root.begin());
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  std::copy(buf.begin(), buf.end(), h.skiplist_root.begin());
+  *out = h;
+  return Status::OK();
+}
+
+Hash32 BlockHeader::Hash() const {
+  ByteWriter w;
+  Serialize(&w);
+  return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+}  // namespace vchain::chain

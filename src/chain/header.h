@@ -1,0 +1,45 @@
+// Block headers — what a light node stores (Figs 2/4/7).
+//
+//   prev_hash     PreBkHash
+//   timestamp     TS (one timestamp per block, as in the paper)
+//   nonce         ConsProof (proof-of-work witness)
+//   object_root   MerkleRoot / ObjectHash: root of the per-block object tree
+//                 (plain Merkle in `nil` mode, intra-block index otherwise)
+//   skiplist_root SkipListRoot: commitment to the inter-block index
+//                 (all-zero when the chain runs without it)
+
+#ifndef VCHAIN_CHAIN_HEADER_H_
+#define VCHAIN_CHAIN_HEADER_H_
+
+#include <cstdint>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace vchain::chain {
+
+using crypto::Hash32;
+
+struct BlockHeader {
+  uint64_t height = 0;
+  Hash32 prev_hash{};
+  uint64_t timestamp = 0;
+  uint64_t nonce = 0;
+  Hash32 object_root{};
+  Hash32 skiplist_root{};
+
+  bool operator==(const BlockHeader&) const = default;
+
+  /// Canonical serialization (fixed 104 bytes).
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, BlockHeader* out);
+  static constexpr size_t kSerializedSize = 8 + 32 + 8 + 8 + 32 + 32;
+
+  /// Block hash: digest of the canonical serialization (nonce included).
+  Hash32 Hash() const;
+};
+
+}  // namespace vchain::chain
+
+#endif  // VCHAIN_CHAIN_HEADER_H_

@@ -1,0 +1,42 @@
+#include "chain/light_client.h"
+
+#include <algorithm>
+
+namespace vchain::chain {
+
+Status LightClient::SyncHeader(const BlockHeader& header) {
+  if (header.height != headers_.size()) {
+    return Status::InvalidArgument("unexpected header height");
+  }
+  if (!headers_.empty()) {
+    if (header.prev_hash != hashes_.back()) {
+      return Status::VerifyFailed("header does not extend the chain tip");
+    }
+    if (header.timestamp < headers_.back().timestamp) {
+      return Status::VerifyFailed("non-monotonic block timestamp");
+    }
+  }
+  if (!CheckPow(header, pow_)) {
+    return Status::VerifyFailed("consensus proof does not meet difficulty");
+  }
+  headers_.push_back(header);
+  hashes_.push_back(header.Hash());
+  return Status::OK();
+}
+
+std::optional<std::pair<uint64_t, uint64_t>> LightClient::HeightRangeForWindow(
+    uint64_t ts, uint64_t te) const {
+  if (headers_.empty() || ts > te) return std::nullopt;
+  auto lo = std::lower_bound(
+      headers_.begin(), headers_.end(), ts,
+      [](const BlockHeader& h, uint64_t t) { return h.timestamp < t; });
+  if (lo == headers_.end() || lo->timestamp > te) return std::nullopt;
+  auto hi = std::upper_bound(
+      headers_.begin(), headers_.end(), te,
+      [](uint64_t t, const BlockHeader& h) { return t < h.timestamp; });
+  uint64_t first = static_cast<uint64_t>(lo - headers_.begin());
+  uint64_t last = static_cast<uint64_t>(hi - headers_.begin()) - 1;
+  return std::make_pair(first, last);
+}
+
+}  // namespace vchain::chain

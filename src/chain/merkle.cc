@@ -1,0 +1,87 @@
+#include "chain/merkle.h"
+
+namespace vchain::chain {
+
+Hash32 MerkleRootOf(const std::vector<Hash32>& leaves) {
+  if (leaves.empty()) return Hash32{};
+  std::vector<Hash32> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(crypto::HashPair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());  // promote the odd node
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof MerkleProve(const std::vector<Hash32>& leaves, uint32_t index) {
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::vector<Hash32> level = leaves;
+  uint32_t pos = index;
+  while (level.size() > 1) {
+    if (pos % 2 == 0) {
+      if (pos + 1 < level.size()) {
+        proof.siblings.push_back({level[pos + 1], /*sibling_on_left=*/false});
+      }
+      // else: promoted node, no sibling at this level
+    } else {
+      proof.siblings.push_back({level[pos - 1], /*sibling_on_left=*/true});
+    }
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(crypto::HashPair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    // A promoted node keeps its position at the end of the next level.
+    pos = (pos % 2 == 0 && pos + 1 == level.size())
+              ? static_cast<uint32_t>(next.size()) - 1
+              : pos / 2;
+    level = std::move(next);
+  }
+  return proof;
+}
+
+bool MerkleVerify(const Hash32& root, const Hash32& leaf,
+                  const MerkleProof& proof) {
+  Hash32 cur = leaf;
+  for (const MerkleProof::Sibling& s : proof.siblings) {
+    cur = s.sibling_on_left ? crypto::HashPair(s.hash, cur)
+                            : crypto::HashPair(cur, s.hash);
+  }
+  return cur == root;
+}
+
+void MerkleProof::Serialize(ByteWriter* w) const {
+  w->PutU32(leaf_index);
+  w->PutU32(static_cast<uint32_t>(siblings.size()));
+  for (const Sibling& s : siblings) {
+    w->PutFixed(crypto::HashSpan(s.hash));
+    w->PutBool(s.sibling_on_left);
+  }
+}
+
+Status MerkleProof::Deserialize(ByteReader* r, MerkleProof* out) {
+  MerkleProof p;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&p.leaf_index));
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 64) return Status::Corruption("merkle proof too deep");
+  p.siblings.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Bytes buf;
+    VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+    std::copy(buf.begin(), buf.end(), p.siblings[i].hash.begin());
+    VCHAIN_RETURN_IF_ERROR(r->GetBool(&p.siblings[i].sibling_on_left));
+  }
+  *out = std::move(p);
+  return Status::OK();
+}
+
+}  // namespace vchain::chain

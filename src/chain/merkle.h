@@ -1,0 +1,46 @@
+// Binary Merkle hash tree over leaf digests (Fig 2).
+//
+// Used for the `nil`-mode object root and for standalone object-inclusion
+// proofs. Odd nodes are promoted unchanged to the next level (no
+// duplication), so every proof has at most ceil(log2 n) siblings.
+
+#ifndef VCHAIN_CHAIN_MERKLE_H_
+#define VCHAIN_CHAIN_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace vchain::chain {
+
+using crypto::Hash32;
+
+/// Root of the tree; the empty tree hashes to all-zeroes.
+Hash32 MerkleRootOf(const std::vector<Hash32>& leaves);
+
+/// Inclusion proof for one leaf.
+struct MerkleProof {
+  uint32_t leaf_index = 0;
+  struct Sibling {
+    Hash32 hash;
+    bool sibling_on_left = false;
+  };
+  std::vector<Sibling> siblings;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, MerkleProof* out);
+};
+
+/// Build the proof for `index` (must be < leaves.size()).
+MerkleProof MerkleProve(const std::vector<Hash32>& leaves, uint32_t index);
+
+/// Check that `leaf` is included under `root` via `proof`.
+bool MerkleVerify(const Hash32& root, const Hash32& leaf,
+                  const MerkleProof& proof);
+
+}  // namespace vchain::chain
+
+#endif  // VCHAIN_CHAIN_MERKLE_H_

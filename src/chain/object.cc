@@ -1,0 +1,60 @@
+#include "chain/object.h"
+
+#include <sstream>
+
+namespace vchain::chain {
+
+void Object::Serialize(ByteWriter* w) const {
+  w->PutU64(id);
+  w->PutU64(timestamp);
+  w->PutU32(static_cast<uint32_t>(numeric.size()));
+  for (uint64_t v : numeric) w->PutU64(v);
+  w->PutU32(static_cast<uint32_t>(keywords.size()));
+  for (const std::string& k : keywords) w->PutString(k);
+}
+
+Status Object::Deserialize(ByteReader* r, Object* out) {
+  Object o;
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&o.id));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&o.timestamp));
+  uint32_t nd = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&nd));
+  if (nd > 64) return Status::Corruption("too many numeric dimensions");
+  o.numeric.resize(nd);
+  for (uint32_t i = 0; i < nd; ++i) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&o.numeric[i]));
+  }
+  uint32_t nk = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&nk));
+  if (nk > 1u << 16) return Status::Corruption("too many keywords");
+  o.keywords.resize(nk);
+  for (uint32_t i = 0; i < nk; ++i) {
+    VCHAIN_RETURN_IF_ERROR(r->GetString(&o.keywords[i], 1u << 16));
+  }
+  *out = std::move(o);
+  return Status::OK();
+}
+
+Hash32 Object::Hash() const {
+  ByteWriter w;
+  Serialize(&w);
+  return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+std::string Object::ToString() const {
+  std::ostringstream os;
+  os << "o" << id << "@" << timestamp << " V=(";
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    if (i) os << ", ";
+    os << numeric[i];
+  }
+  os << ") W={";
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i) os << ", ";
+    os << keywords[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace vchain::chain

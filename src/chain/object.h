@@ -1,0 +1,41 @@
+// Temporal data objects — the paper's o_i = <t_i, V_i, W_i> (§3).
+//
+// V_i is a vector of unsigned numerical attributes (e.g. longitude/latitude,
+// transfer amount), W_i a set of keywords (e.g. check-in tags, addresses).
+// Objects are the unit of storage, query matching and result return.
+
+#ifndef VCHAIN_CHAIN_OBJECT_H_
+#define VCHAIN_CHAIN_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace vchain::chain {
+
+using crypto::Hash32;
+
+struct Object {
+  uint64_t id = 0;         ///< chain-unique object id
+  uint64_t timestamp = 0;  ///< t_i; equals the enclosing block's timestamp
+  std::vector<uint64_t> numeric;      ///< V_i, one value per dimension
+  std::vector<std::string> keywords;  ///< W_i, set-valued attribute
+
+  bool operator==(const Object&) const = default;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, Object* out);
+
+  /// hash(o_i): digest of the canonical serialization.
+  Hash32 Hash() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace vchain::chain
+
+#endif  // VCHAIN_CHAIN_OBJECT_H_

@@ -1,0 +1,22 @@
+#include "chain/pow.h"
+
+namespace vchain::chain {
+
+uint64_t MineNonce(BlockHeader* header, const PowConfig& config) {
+  uint64_t attempts = 0;
+  header->nonce = 0;
+  for (;;) {
+    ++attempts;
+    if (CheckPow(*header, config)) return attempts;
+    ++header->nonce;
+  }
+}
+
+bool CheckPow(const BlockHeader& header, const PowConfig& config) {
+  if (config.difficulty_bits == 0) return true;
+  Hash32 h = header.Hash();
+  return crypto::LeadingZeroBits(h) >=
+         static_cast<int>(config.difficulty_bits);
+}
+
+}  // namespace vchain::chain

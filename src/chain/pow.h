@@ -1,0 +1,28 @@
+// Proof-of-work consensus simulation (§2).
+//
+// ConsProof is a nonce making the header hash start with `difficulty_bits`
+// zero bits — the same shape as Bitcoin's target check, scaled down so that
+// chains mine in microseconds in tests. Difficulty 0 disables the search
+// (benchmarks measure ADS construction, not mining).
+
+#ifndef VCHAIN_CHAIN_POW_H_
+#define VCHAIN_CHAIN_POW_H_
+
+#include "chain/header.h"
+
+namespace vchain::chain {
+
+struct PowConfig {
+  uint32_t difficulty_bits = 0;
+};
+
+/// Finds and installs a nonce satisfying the difficulty. Returns the number
+/// of attempts (for mining statistics).
+uint64_t MineNonce(BlockHeader* header, const PowConfig& config);
+
+/// Check the consensus proof of a sealed header.
+bool CheckPow(const BlockHeader& header, const PowConfig& config);
+
+}  // namespace vchain::chain
+
+#endif  // VCHAIN_CHAIN_POW_H_

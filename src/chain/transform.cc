@@ -1,0 +1,68 @@
+#include "chain/transform.h"
+
+#include "accum/element.h"
+
+namespace vchain::chain {
+
+std::vector<Element> PrefixSetOf(uint64_t value, uint32_t dim,
+                                 const NumericSchema& schema) {
+  std::vector<Element> out;
+  out.reserve(schema.bits + 1);
+  for (uint32_t len = 0; len <= schema.bits; ++len) {
+    uint64_t prefix = (len == 0) ? 0 : (value >> (schema.bits - len));
+    out.push_back(accum::EncodePrefix(dim, prefix, len, schema.bits));
+  }
+  return out;
+}
+
+std::vector<Element> RangeCoverElements(uint64_t lo, uint64_t hi, uint32_t dim,
+                                        const NumericSchema& schema) {
+  std::vector<Element> out;
+  // Standard canonical cover: walk both endpoints up the trie, emitting a
+  // maximal node whenever an endpoint is the "inner" child of its parent.
+  uint32_t level = 0;  // 0 = leaves; prefix_len = bits - level
+  while (lo <= hi) {
+    uint32_t prefix_len = schema.bits - level;
+    if (lo & 1) {
+      out.push_back(accum::EncodePrefix(dim, lo, prefix_len, schema.bits));
+      ++lo;
+    }
+    if (!(hi & 1)) {
+      out.push_back(accum::EncodePrefix(dim, hi, prefix_len, schema.bits));
+      if (hi == 0) break;  // cannot descend below zero
+      --hi;
+    }
+    lo >>= 1;
+    hi >>= 1;
+    ++level;
+    if (level > schema.bits) break;  // full-domain range: root emitted above
+  }
+  return out;
+}
+
+Multiset TransformObject(const Object& o, const NumericSchema& schema) {
+  Multiset w;
+  for (uint32_t d = 0; d < schema.dims && d < o.numeric.size(); ++d) {
+    for (Element e : PrefixSetOf(o.numeric[d], d, schema)) {
+      w.Add(e);
+    }
+  }
+  for (const std::string& k : o.keywords) {
+    w.Add(accum::EncodeKeyword(k));
+  }
+  return w;
+}
+
+Status ValidateObject(const Object& o, const NumericSchema& schema) {
+  if (o.numeric.size() != schema.dims) {
+    return Status::InvalidArgument("object dimensionality mismatch");
+  }
+  for (uint64_t v : o.numeric) {
+    if (schema.bits < 64 && v > schema.MaxValue()) {
+      return Status::InvalidArgument("numeric value exceeds schema domain");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vchain::chain

@@ -1,0 +1,77 @@
+// The numerical-to-set transformation of §5.3.
+//
+// Each `bits`-wide numerical value v in dimension d becomes the set of its
+// binary prefixes trans(v) = {*, b1*, b1b2*, ..., b1..bk}; a range [lo, hi]
+// becomes the canonical dyadic cover of the interval — the minimal set of
+// binary-trie nodes exactly covering it (Fig 5). A value lies in a range iff
+// the two element sets intersect, which reduces range predicates to the same
+// set-disjointness machinery as Boolean keyword predicates.
+//
+// (Deviation from the paper's example: we include the zero-length "match
+// everything" root prefix in trans(v) so that full-domain ranges — whose
+// canonical cover is the trie root — behave correctly.)
+
+#ifndef VCHAIN_CHAIN_TRANSFORM_H_
+#define VCHAIN_CHAIN_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "accum/multiset.h"
+#include "chain/object.h"
+#include "common/status.h"
+
+namespace vchain::chain {
+
+using accum::Element;
+using accum::Multiset;
+
+/// Shape of the numerical attribute space; fixed per chain.
+struct NumericSchema {
+  uint32_t dims = 2;   ///< number of numerical attributes
+  uint32_t bits = 16;  ///< width of each attribute, domain [0, 2^bits)
+
+  uint64_t DomainSize() const { return uint64_t{1} << bits; }
+  uint64_t MaxValue() const { return DomainSize() - 1; }
+};
+
+/// trans(v) for one dimension: bits+1 prefix elements (root included).
+std::vector<Element> PrefixSetOf(uint64_t value, uint32_t dim,
+                                 const NumericSchema& schema);
+
+/// Canonical dyadic cover of [lo, hi] (inclusive) in dimension `dim`,
+/// as prefix elements. This is one CNF clause of the transformed query.
+/// Requires lo <= hi <= schema.MaxValue().
+std::vector<Element> RangeCoverElements(uint64_t lo, uint64_t hi, uint32_t dim,
+                                        const NumericSchema& schema);
+
+/// A dyadic node of the trie: the top `prefix_len` bits of values are
+/// `prefix_bits`. Used by the IP-Tree's grid cells.
+struct DyadicRange {
+  uint64_t prefix_bits = 0;
+  uint32_t prefix_len = 0;
+
+  bool operator==(const DyadicRange&) const = default;
+
+  uint64_t Lo(const NumericSchema& schema) const {
+    return prefix_bits << (schema.bits - prefix_len);
+  }
+  uint64_t Hi(const NumericSchema& schema) const {
+    uint64_t span = uint64_t{1} << (schema.bits - prefix_len);
+    return Lo(schema) + span - 1;
+  }
+  bool Contains(uint64_t v, const NumericSchema& schema) const {
+    return v >= Lo(schema) && v <= Hi(schema);
+  }
+};
+
+/// The full transformed attribute multiset W' = trans(V) + W (§5.3):
+/// all per-dimension prefix sets plus the encoded keywords.
+Multiset TransformObject(const Object& o, const NumericSchema& schema);
+
+/// Validate an object against a schema (dimension count, value width).
+Status ValidateObject(const Object& o, const NumericSchema& schema);
+
+}  // namespace vchain::chain
+
+#endif  // VCHAIN_CHAIN_TRANSFORM_H_

@@ -1,0 +1,29 @@
+// Byte-buffer aliases and hex helpers shared across the library.
+
+#ifndef VCHAIN_COMMON_BYTES_H_
+#define VCHAIN_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vchain {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+/// Lowercase hex encoding of `data`.
+std::string ToHex(ByteSpan data);
+
+/// Decode lowercase/uppercase hex; fails on odd length or non-hex characters.
+Result<Bytes> FromHex(const std::string& hex);
+
+/// Append `src` to `dst`.
+void AppendBytes(Bytes* dst, ByteSpan src);
+
+}  // namespace vchain
+
+#endif  // VCHAIN_COMMON_BYTES_H_

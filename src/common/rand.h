@@ -1,0 +1,68 @@
+// Deterministic, seedable PRNG (xoshiro256**). Used by workload generators,
+// tests, and trusted-setup sampling so that every experiment is reproducible
+// from a seed. Not a CSPRNG; the trusted-setup secret in a deployment would be
+// sampled from an OS entropy source instead (see accum/keys.h).
+
+#ifndef VCHAIN_COMMON_RAND_H_
+#define VCHAIN_COMMON_RAND_H_
+
+#include <cstdint>
+
+namespace vchain {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seed via splitmix64 expansion, so any 64-bit seed gives a full state.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace vchain
+
+#endif  // VCHAIN_COMMON_RAND_H_

@@ -1,0 +1,126 @@
+// Minimal binary wire format used for headers, blocks and verification
+// objects. Integers are little-endian fixed width; variable-size payloads are
+// length-prefixed with a u32. The reader is bounds-checked and returns
+// Status::Corruption on truncated or oversized input so that a malicious SP
+// can never crash a light node with a malformed VO.
+
+#ifndef VCHAIN_COMMON_SERDE_H_
+#define VCHAIN_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace vchain {
+
+/// Append-only encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix (fixed-size fields, e.g. hashes).
+  void PutFixed(ByteSpan data) { AppendBytes(&buf_, data); }
+
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(ByteSpan data) {
+    PutU32(static_cast<uint32_t>(data.size()));
+    AppendBytes(&buf_, data);
+  }
+
+  void PutString(const std::string& s) {
+    PutBytes(ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutLittleEndian(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a non-owning span.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  Status GetU8(uint8_t* out) { return GetLittleEndian(out, 1); }
+  Status GetU16(uint16_t* out) { return GetLittleEndian(out, 2); }
+  Status GetU32(uint32_t* out) { return GetLittleEndian(out, 4); }
+  Status GetU64(uint64_t* out) { return GetLittleEndian(out, 8); }
+
+  Status GetBool(bool* out) {
+    uint8_t v = 0;
+    VCHAIN_RETURN_IF_ERROR(GetU8(&v));
+    if (v > 1) return Status::Corruption("bool byte out of range");
+    *out = (v == 1);
+    return Status::OK();
+  }
+
+  /// Read exactly `n` raw bytes.
+  Status GetFixed(size_t n, Bytes* out) {
+    if (Remaining() < n) return Status::Corruption("truncated fixed field");
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Read a u32-length-prefixed byte string. `max_len` guards against a
+  /// hostile length that would force a huge allocation.
+  Status GetBytes(Bytes* out, uint32_t max_len = kDefaultMaxLen) {
+    uint32_t len = 0;
+    VCHAIN_RETURN_IF_ERROR(GetU32(&len));
+    if (len > max_len) return Status::Corruption("length prefix too large");
+    return GetFixed(len, out);
+  }
+
+  Status GetString(std::string* out, uint32_t max_len = kDefaultMaxLen) {
+    Bytes tmp;
+    VCHAIN_RETURN_IF_ERROR(GetBytes(&tmp, max_len));
+    out->assign(tmp.begin(), tmp.end());
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return Remaining() == 0; }
+  size_t position() const { return pos_; }
+
+  static constexpr uint32_t kDefaultMaxLen = 1u << 28;  // 256 MiB
+
+ private:
+  template <typename T>
+  Status GetLittleEndian(T* out, int width) {
+    if (Remaining() < static_cast<size_t>(width)) {
+      return Status::Corruption("truncated integer field");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    *out = static_cast<T>(v);
+    return Status::OK();
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vchain
+
+#endif  // VCHAIN_COMMON_SERDE_H_

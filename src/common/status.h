@@ -1,0 +1,122 @@
+// RocksDB-style status / result types used across all vchain public APIs.
+// The library does not throw exceptions across public boundaries; fallible
+// operations return Status (or Result<T> when they also produce a value).
+
+#ifndef VCHAIN_COMMON_STATUS_H_
+#define VCHAIN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vchain {
+
+/// Outcome of a fallible operation.
+///
+/// Verification failures are deliberately a distinct code (`kVerifyFailed`)
+/// from malformed input (`kInvalidArgument`) and wire-format problems
+/// (`kCorruption`): a light node treats the first as "the SP is cheating" and
+/// the latter two as transport/programming errors.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kVerifyFailed,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status VerifyFailed(std::string msg) {
+    return Status(Code::kVerifyFailed, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failure output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case Code::kNotFound: name = "NOT_FOUND"; break;
+      case Code::kCorruption: name = "CORRUPTION"; break;
+      case Code::kVerifyFailed: name = "VERIFY_FAILED"; break;
+      case Code::kNotSupported: name = "NOT_SUPPORTED"; break;
+      case Code::kInternal: name = "INTERNAL"; break;
+    }
+    return message_.empty() ? std::string(name)
+                            : std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-Status. `value()` asserts on success; check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vchain
+
+/// Propagate a non-OK status to the caller (function must return Status).
+#define VCHAIN_RETURN_IF_ERROR(expr)               \
+  do {                                             \
+    ::vchain::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // VCHAIN_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+// Wall-clock stopwatch used by the benchmark harness and the SP/user cost
+// accounting in experiment drivers.
+
+#ifndef VCHAIN_COMMON_TIMER_H_
+#define VCHAIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vchain {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across many disjoint measured sections, e.g. total SP CPU
+/// time over a query window walk.
+class CostAccumulator {
+ public:
+  void Add(double seconds) { total_ += seconds; }
+  void AddTimer(const Timer& t) { total_ += t.ElapsedSeconds(); }
+  double seconds() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  double total_ = 0;
+};
+
+}  // namespace vchain
+
+#endif  // VCHAIN_COMMON_TIMER_H_

@@ -1,0 +1,14 @@
+#include "core/block.h"
+
+namespace vchain::core {
+
+const char* IndexModeName(IndexMode mode) {
+  switch (mode) {
+    case IndexMode::kNil: return "nil";
+    case IndexMode::kIntra: return "intra";
+    case IndexMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+}  // namespace vchain::core

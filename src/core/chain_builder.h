@@ -1,0 +1,171 @@
+// The miner: builds ADS-extended blocks and seals them with consensus
+// proofs (§5.1 "ADS Generation", Algorithm 2, §6.2).
+//
+// Templated on the accumulator engine; the engine's ProverMode decides
+// whether digests are computed honestly from served public-key powers (what
+// Table 1 measures) or via the oracle's trusted fast path (identical bytes;
+// used when a benchmark measures query processing, not mining).
+
+#ifndef VCHAIN_CORE_CHAIN_BUILDER_H_
+#define VCHAIN_CORE_CHAIN_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "chain/light_client.h"
+#include "common/timer.h"
+#include "core/block.h"
+
+namespace vchain::core {
+
+template <typename Engine>
+class ChainBuilder {
+ public:
+  struct BuildStats {
+    double ads_seconds = 0;   ///< time spent building digests/indexes
+    size_t ads_bytes = 0;     ///< ADS size added to the block
+    uint64_t pow_attempts = 0;
+  };
+
+  ChainBuilder(Engine engine, ChainConfig config)
+      : engine_(std::move(engine)), config_(std::move(config)) {}
+
+  /// Mine the next block from `objects` at `timestamp` (must be monotonic).
+  Result<BuildStats> AppendBlock(std::vector<Object> objects,
+                                 uint64_t timestamp) {
+    if (objects.empty()) {
+      return Status::InvalidArgument("empty block");
+    }
+    if (!blocks_.empty() &&
+        timestamp < blocks_.back().header.timestamp) {
+      return Status::InvalidArgument("non-monotonic block timestamp");
+    }
+    for (const Object& o : objects) {
+      VCHAIN_RETURN_IF_ERROR(chain::ValidateObject(o, config_.schema));
+    }
+
+    BuildStats stats;
+    Timer ads_timer;
+
+    Block<Engine> block;
+    block.objects = std::move(objects);
+    block.header.height = blocks_.size();
+    block.header.timestamp = timestamp;
+    block.header.prev_hash =
+        blocks_.empty() ? Hash32{} : blocks_.back().header.Hash();
+
+    // Per-object ADS leaves.
+    for (const Object& o : block.objects) {
+      Multiset w = chain::TransformObject(o, config_.schema);
+      auto digest = engine_.Digest(w);
+      Hash32 inner = o.Hash();
+      block.leaf_hashes.push_back(NodeHash(engine_, inner, digest));
+      if (config_.mode != IndexMode::kNil) {
+        IndexNode<Engine> leaf;
+        leaf.w = w;
+        leaf.digest = digest;
+        leaf.hash = block.leaf_hashes.back();
+        leaf.object_index = static_cast<int32_t>(block.leaf_digests.size());
+        block.nodes.push_back(std::move(leaf));
+      }
+      block.block_w = block.block_w.UnionWith(w);
+      block.object_ws.push_back(std::move(w));
+      block.leaf_digests.push_back(std::move(digest));
+    }
+
+    // Object root: intra-index root (Algorithm 2) or plain Merkle.
+    if (config_.mode != IndexMode::kNil) {
+      block.root_index = BuildIntraIndex(engine_, &block);
+      block.header.object_root = block.nodes[block.root_index].hash;
+      block.block_digest = block.nodes[block.root_index].digest;
+    } else {
+      block.header.object_root = chain::MerkleRootOf(block.leaf_hashes);
+      // kNil stores no aggregate digest; block_digest stays default (it is
+      // only consumed by the skip list, which requires kBoth).
+    }
+
+    // Inter-block skip list.
+    if (config_.mode == IndexMode::kBoth) {
+      BuildSkips(&block);
+      ByteWriter root_w;
+      for (const SkipEntry<Engine>& s : block.skips) {
+        root_w.PutFixed(crypto::HashSpan(s.entry_hash));
+      }
+      block.header.skiplist_root = crypto::Sha256Digest(
+          ByteSpan(root_w.bytes().data(), root_w.bytes().size()));
+    }
+
+    stats.ads_seconds = ads_timer.ElapsedSeconds();
+    stats.ads_bytes = block.AdsBytes(engine_);
+
+    stats.pow_attempts = chain::MineNonce(&block.header, config_.pow);
+    blocks_.push_back(std::move(block));
+    return stats;
+  }
+
+  const std::vector<Block<Engine>>& blocks() const { return blocks_; }
+  const Engine& engine() const { return engine_; }
+  const ChainConfig& config() const { return config_; }
+
+  /// Feed all sealed headers to a light client (Fig 3's header sync).
+  Status SyncLightClient(chain::LightClient* client) const {
+    for (size_t h = client->Height(); h < blocks_.size(); ++h) {
+      VCHAIN_RETURN_IF_ERROR(client->SyncHeader(blocks_[h].header));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void BuildSkips(Block<Engine>* block) {
+    uint64_t height = block->header.height;
+    uint32_t levels = config_.NumSkipLevels(height);
+    for (uint32_t level = 0; level < levels; ++level) {
+      uint64_t d = config_.SkipDistance(level);
+      SkipEntry<Engine> entry;
+      entry.distance = d;
+      ByteWriter hs;
+      for (uint64_t j = height - d; j < height; ++j) {
+        hs.PutFixed(crypto::HashSpan(blocks_[j].header.Hash()));
+      }
+      entry.preskipped_hash = crypto::Sha256Digest(
+          ByteSpan(hs.bytes().data(), hs.bytes().size()));
+      if (level == 0) {
+        for (uint64_t j = height - d; j < height; ++j) {
+          entry.w = entry.w.SumWith(blocks_[j].block_w);
+        }
+      } else {
+        // Each level doubles the previous one's coverage: reuse the last
+        // level's multiset plus the farther half.
+        entry.w = block->skips[level - 1].w;
+        for (uint64_t j = height - d; j < height - d / 2; ++j) {
+          entry.w = entry.w.SumWith(blocks_[j].block_w);
+        }
+      }
+      if constexpr (Engine::kSupportsAggregation) {
+        // acc2 reuses per-block digests: one group op per covered block
+        // (this is why Table 1's both-acc2 build time stays low).
+        std::vector<typename Engine::ObjectDigest> parts;
+        for (uint64_t j = height - d; j < height; ++j) {
+          parts.push_back(blocks_[j].block_digest);
+        }
+        entry.digest = engine_.SumDigests(parts);
+      } else {
+        entry.digest = engine_.Digest(entry.w);
+      }
+      ByteWriter ew;
+      ew.PutFixed(crypto::HashSpan(entry.preskipped_hash));
+      engine_.SerializeDigest(entry.digest, &ew);
+      entry.entry_hash = crypto::Sha256Digest(
+          ByteSpan(ew.bytes().data(), ew.bytes().size()));
+      block->skips.push_back(std::move(entry));
+    }
+  }
+
+  Engine engine_;
+  ChainConfig config_;
+  std::vector<Block<Engine>> blocks_;
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_CHAIN_BUILDER_H_

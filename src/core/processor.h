@@ -1,0 +1,338 @@
+// The service provider's query processor (Fig 3's SP).
+//
+// Implements verifiable time-window queries across the three index modes:
+//   * kNil   — per-object matching with one disjoint proof per mismatching
+//              object (Algorithm 1 applied repeatedly);
+//   * kIntra — top-down traversal of the intra-block index, pruning whole
+//              mismatching subtrees with a single proof (Algorithm 3);
+//   * kBoth  — additionally consumes inter-block skip entries when a whole
+//              run of previous blocks mismatches one clause (Algorithm 4).
+//
+// With an aggregating engine (acc2) the processor performs §6.3's online
+// batch verification: mismatching nodes/skips are grouped by clause, their
+// multisets summed, and a single aggregated proof per clause is emitted
+// instead of per-node proofs.
+
+#ifndef VCHAIN_CORE_PROCESSOR_H_
+#define VCHAIN_CORE_PROCESSOR_H_
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/chain_builder.h"
+#include "core/proof_cache.h"
+#include "core/query.h"
+#include "core/vo.h"
+
+namespace vchain::core {
+
+template <typename Engine>
+class QueryProcessor {
+ public:
+  QueryProcessor(const Engine& engine, const ChainConfig& config,
+                 const std::vector<Block<Engine>>* blocks)
+      : engine_(engine), config_(config), blocks_(blocks) {}
+
+  /// Process q over the chain; returns <R, VO>.
+  Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q) {
+    TransformedQuery tq = TransformQuery(q, config_.schema);
+    MappedQueryView view(engine_, tq);
+
+    QueryResponse<Engine> resp;
+    auto range = FindHeightRange(q.time_start, q.time_end);
+    if (!range) return resp;  // empty window: nothing to prove
+
+    Aggregator agg;
+    uint64_t cursor = range->second;
+    // Walk newest-to-oldest (Algorithm 4's direction).
+    for (;;) {
+      const Block<Engine>& block = (*blocks_)[cursor];
+      resp.vo.steps.push_back(ProcessBlock(block, tq, view, &resp, &agg));
+      if (cursor == range->first) break;
+      // Try the *largest* usable mismatching skip of the current block.
+      bool jumped = false;
+      if (config_.mode == IndexMode::kBoth) {
+        for (size_t li = block.skips.size(); li-- > 0;) {
+          const SkipEntry<Engine>& skip = block.skips[li];
+          if (cursor < skip.distance ||
+              cursor - skip.distance + 1 <= range->first) {
+            continue;  // would overshoot the window start
+          }
+          int clause = view.FindDisjointClause(engine_, skip.w);
+          if (clause < 0) continue;
+          resp.vo.steps.push_back(MakeSkipStep(
+              block, static_cast<uint32_t>(li), static_cast<uint32_t>(clause),
+              tq, &agg));
+          cursor -= skip.distance + 1;
+          jumped = true;
+          break;
+        }
+      }
+      if (!jumped) --cursor;
+      if (cursor + 1 == range->first) break;  // walked past the start
+    }
+    FlushAggregates(&agg, tq, &resp.vo);
+    ResolveDeferredProofs(tq, &resp.vo);
+    return resp;
+  }
+
+  const typename ProofCache<Engine>::Stats& cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  /// Pending per-clause aggregation state (acc2 batching).
+  struct Aggregator {
+    // clause_idx -> summed multiset of all proof-less mismatch nodes.
+    std::map<uint32_t, Multiset> pending;
+  };
+
+  /// A proof postponed for the parallel resolution pass.
+  struct DeferredProof {
+    Multiset w;
+    uint32_t clause_idx;
+  };
+
+  std::optional<std::pair<uint64_t, uint64_t>> FindHeightRange(
+      uint64_t ts, uint64_t te) const {
+    std::optional<std::pair<uint64_t, uint64_t>> out;
+    for (uint64_t h = 0; h < blocks_->size(); ++h) {
+      uint64_t t = (*blocks_)[h].header.timestamp;
+      if (t < ts || t > te) continue;
+      if (!out) {
+        out = {h, h};
+      } else {
+        out->second = h;
+      }
+    }
+    return out;
+  }
+
+  typename WindowVO<Engine>::Step ProcessBlock(const Block<Engine>& block,
+                                               const TransformedQuery& tq,
+                                               const MappedQueryView& view,
+                                               QueryResponse<Engine>* resp,
+                                               Aggregator* agg) {
+    BlockVO<Engine> bvo;
+    bvo.height = block.header.height;
+    if (config_.mode == IndexMode::kNil) {
+      ProcessNilBlock(block, tq, view, resp, agg, &bvo);
+    } else {
+      bvo.root = EmitSubtree(block, block.root_index, tq, view, resp, agg,
+                             &bvo.nodes);
+    }
+    return bvo;
+  }
+
+  void ProcessNilBlock(const Block<Engine>& block, const TransformedQuery& tq,
+                       const MappedQueryView& view,
+                       QueryResponse<Engine>* resp, Aggregator* agg,
+                       BlockVO<Engine>* bvo) {
+    for (size_t i = 0; i < block.objects.size(); ++i) {
+      VoNode<Engine> node;
+      node.digest = block.leaf_digests[i];
+      const Multiset& w = block.object_ws[i];
+      if (view.Matches(engine_, w)) {
+        node.kind = VoKind::kMatch;
+        node.object_ref = static_cast<uint32_t>(resp->objects.size());
+        resp->objects.push_back(block.objects[i]);
+      } else {
+        int clause = view.FindDisjointClause(engine_, w);
+        FillMismatch(block.objects[i].Hash(), node.digest, w,
+                     static_cast<uint32_t>(clause), tq, agg, &node);
+      }
+      bvo->nodes.push_back(std::move(node));
+    }
+  }
+
+  /// Algorithm 3, emitting VO nodes; returns the VO-node index.
+  int32_t EmitSubtree(const Block<Engine>& block, int32_t node_idx,
+                      const TransformedQuery& tq, const MappedQueryView& view,
+                      QueryResponse<Engine>* resp, Aggregator* agg,
+                      std::vector<VoNode<Engine>>* out) {
+    const IndexNode<Engine>& n = block.nodes[node_idx];
+    VoNode<Engine> vn;
+    vn.digest = n.digest;
+    if (view.Matches(engine_, n.w)) {
+      if (n.IsLeaf()) {
+        vn.kind = VoKind::kMatch;
+        vn.object_ref = static_cast<uint32_t>(resp->objects.size());
+        resp->objects.push_back(block.objects[n.object_index]);
+        out->push_back(std::move(vn));
+        return static_cast<int32_t>(out->size()) - 1;
+      }
+      vn.kind = VoKind::kExpand;
+      vn.left = EmitSubtree(block, n.left, tq, view, resp, agg, out);
+      vn.right = EmitSubtree(block, n.right, tq, view, resp, agg, out);
+      out->push_back(std::move(vn));
+      return static_cast<int32_t>(out->size()) - 1;
+    }
+    int clause = view.FindDisjointClause(engine_, n.w);
+    Hash32 inner =
+        n.IsLeaf() ? block.objects[n.object_index].Hash()
+                   : crypto::HashPair(block.nodes[n.left].hash,
+                                      block.nodes[n.right].hash);
+    FillMismatch(inner, n.digest, n.w, static_cast<uint32_t>(clause), tq, agg,
+                 &vn);
+    out->push_back(std::move(vn));
+    return static_cast<int32_t>(out->size()) - 1;
+  }
+
+  void FillMismatch(const Hash32& inner,
+                    const typename Engine::ObjectDigest& digest,
+                    const Multiset& w, uint32_t clause_idx,
+                    const TransformedQuery& tq, Aggregator* agg,
+                    VoNode<Engine>* node) {
+    node->kind = VoKind::kMismatch;
+    node->inner_hash = inner;
+    node->clause_idx = clause_idx;
+    if constexpr (Engine::kSupportsAggregation) {
+      auto [it, inserted] = agg->pending.try_emplace(clause_idx, w);
+      if (!inserted) it->second = it->second.SumWith(w);
+      // proof omitted: covered by the per-clause aggregated proof
+    } else {
+      if (config_.num_prover_threads > 1) {
+        // Defer: the proof is resolved on the worker pool after the walk;
+        // the node is findable because VO nodes are only appended.
+        deferred_.push_back(DeferredProof{w, clause_idx});
+        return;
+      }
+      auto proof =
+          cache_.GetOrProve(engine_, digest, w, tq.clauses[clause_idx]);
+      // A failure here would mean the match decision and the accumulator
+      // disagree, which the mapped-match relation rules out by construction.
+      assert(proof.ok());
+      node->proof = proof.TakeValue();
+    }
+  }
+
+  /// Compute all deferred proofs in parallel (deduplicated), then install
+  /// them into the VO in discovery order. Proofs are deterministic, so the
+  /// resulting bytes are identical to the single-threaded path.
+  void ResolveDeferredProofs(const TransformedQuery& tq, WindowVO<Engine>* vo) {
+    if constexpr (!Engine::kSupportsAggregation) {
+      if (deferred_.empty()) return;
+      // Deduplicate by a digest of the (multiset, clause) content.
+      std::map<crypto::Hash32, size_t> unique;  // -> job index
+      struct Job {
+        const Multiset* w;
+        uint32_t clause_idx;
+        typename Engine::Proof proof;
+      };
+      std::vector<Job> jobs;
+      std::vector<size_t> job_of_deferred(deferred_.size());
+      for (size_t i = 0; i < deferred_.size(); ++i) {
+        ByteWriter key;
+        deferred_[i].w.Serialize(&key);
+        key.PutU32(deferred_[i].clause_idx);
+        crypto::Hash32 digest = crypto::Sha256Digest(
+            ByteSpan(key.bytes().data(), key.bytes().size()));
+        auto [it, inserted] = unique.try_emplace(digest, jobs.size());
+        if (inserted) {
+          jobs.push_back(Job{&deferred_[i].w, deferred_[i].clause_idx, {}});
+        }
+        job_of_deferred[i] = it->second;
+      }
+      size_t n_threads =
+          std::min<size_t>(config_.num_prover_threads, jobs.size());
+      std::vector<std::thread> workers;
+      std::atomic<size_t> next{0};
+      for (size_t t = 0; t < n_threads; ++t) {
+        workers.emplace_back([&] {
+          for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) return;
+            auto proof = engine_.ProveDisjoint(*jobs[i].w,
+                                               tq.clauses[jobs[i].clause_idx]);
+            assert(proof.ok());
+            jobs[i].proof = proof.TakeValue();
+          }
+        });
+      }
+      for (std::thread& th : workers) th.join();
+      // Install proofs back into mismatch nodes in walk order.
+      size_t cursor = 0;
+      for (auto& step : vo->steps) {
+        if (!std::holds_alternative<BlockVO<Engine>>(step)) {
+          auto& svo = std::get<SkipVO<Engine>>(step);
+          if (!svo.proof.has_value()) {
+            svo.proof = jobs[job_of_deferred[cursor++]].proof;
+          }
+          continue;
+        }
+        for (VoNode<Engine>& n : std::get<BlockVO<Engine>>(step).nodes) {
+          if (n.kind == VoKind::kMismatch && !n.proof.has_value()) {
+            n.proof = jobs[job_of_deferred[cursor++]].proof;
+          }
+        }
+      }
+      assert(cursor == deferred_.size());
+      deferred_.clear();
+    } else {
+      (void)tq;
+      (void)vo;
+    }
+  }
+
+  typename WindowVO<Engine>::Step MakeSkipStep(const Block<Engine>& block,
+                                               uint32_t level,
+                                               uint32_t clause_idx,
+                                               const TransformedQuery& tq,
+                                               Aggregator* agg) {
+    const SkipEntry<Engine>& entry = block.skips[level];
+    SkipVO<Engine> svo;
+    svo.from_height = block.header.height;
+    svo.level = level;
+    svo.distance = entry.distance;
+    svo.digest = entry.digest;
+    svo.clause_idx = clause_idx;
+    for (size_t li = 0; li < block.skips.size(); ++li) {
+      if (li != level) {
+        svo.other_entry_hashes.push_back(block.skips[li].entry_hash);
+      }
+    }
+    if constexpr (Engine::kSupportsAggregation) {
+      auto [it, inserted] = agg->pending.try_emplace(clause_idx, entry.w);
+      if (!inserted) it->second = it->second.SumWith(entry.w);
+    } else {
+      auto proof = cache_.GetOrProve(engine_, entry.digest, entry.w,
+                                     tq.clauses[clause_idx]);
+      assert(proof.ok());
+      svo.proof = proof.TakeValue();
+    }
+    return svo;
+  }
+
+  void FlushAggregates(Aggregator* agg, const TransformedQuery& tq,
+                       WindowVO<Engine>* vo) {
+    if constexpr (Engine::kSupportsAggregation) {
+      for (auto& [clause_idx, summed] : agg->pending) {
+        // One proof over the summed multiset equals the ProofSum of the
+        // individual proofs (A is linear), at a single multiexp's cost.
+        auto digest = engine_.Digest(summed);
+        auto proof =
+            cache_.GetOrProve(engine_, digest, summed, tq.clauses[clause_idx]);
+        assert(proof.ok());
+        vo->aggregated.push_back(
+            AggregatedProof<Engine>{clause_idx, proof.TakeValue()});
+      }
+    } else {
+      (void)agg;
+      (void)tq;
+      (void)vo;
+    }
+  }
+
+  const Engine& engine_;
+  const ChainConfig& config_;
+  const std::vector<Block<Engine>>* blocks_;
+  ProofCache<Engine> cache_;
+  std::vector<DeferredProof> deferred_;
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_PROCESSOR_H_

@@ -1,0 +1,77 @@
+// SP-side disjointness-proof cache.
+//
+// The dominant SP cost is ProveDisjoint. The same (node multiset, clause)
+// pair recurs constantly — across blocks of a window walk, and massively
+// across subscription queries that share clauses (§7.1's motivation for the
+// IP-Tree). Proofs are cached under H(digest_bytes | clause_bytes), which is
+// canonical for any engine.
+
+#ifndef VCHAIN_CORE_PROOF_CACHE_H_
+#define VCHAIN_CORE_PROOF_CACHE_H_
+
+#include <cstring>
+#include <unordered_map>
+
+#include "accum/multiset.h"
+#include "crypto/sha256.h"
+
+namespace vchain::core {
+
+template <typename Engine>
+class ProofCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Returns the cached or freshly-computed proof for (w, clause); forwards
+  /// ProveDisjoint errors (i.e. the sets intersect).
+  Result<typename Engine::Proof> GetOrProve(
+      const Engine& engine, const typename Engine::ObjectDigest& digest,
+      const accum::Multiset& w, const accum::Multiset& clause) {
+    Key key = MakeKey(engine, digest, clause);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+    auto proof = engine.ProveDisjoint(w, clause);
+    if (proof.ok()) {
+      map_.emplace(key, proof.value());
+    }
+    return proof;
+  }
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+ private:
+  using Key = crypto::Hash32;
+
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      size_t out;
+      std::memcpy(&out, k.data(), sizeof(out));
+      return out;
+    }
+  };
+
+  static Key MakeKey(const Engine& engine,
+                     const typename Engine::ObjectDigest& digest,
+                     const accum::Multiset& clause) {
+    ByteWriter w;
+    engine.SerializeDigest(digest, &w);
+    clause.Serialize(&w);
+    return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
+  }
+
+  std::unordered_map<Key, typename Engine::Proof, KeyHasher> map_;
+  Stats stats_;
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_PROOF_CACHE_H_

@@ -1,0 +1,73 @@
+#include "core/query.h"
+
+#include <sstream>
+
+#include "accum/element.h"
+
+namespace vchain::core {
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << "q<[" << time_start << "," << time_end << "], ";
+  for (const RangePredicate& r : ranges) {
+    os << "d" << r.dim << ":[" << r.lo << "," << r.hi << "] ";
+  }
+  os << "CNF:";
+  for (size_t i = 0; i < keyword_cnf.size(); ++i) {
+    if (i) os << " AND ";
+    os << "(";
+    for (size_t j = 0; j < keyword_cnf[i].size(); ++j) {
+      if (j) os << " OR ";
+      os << keyword_cnf[i][j];
+    }
+    os << ")";
+  }
+  os << ">";
+  return os.str();
+}
+
+TransformedQuery TransformQuery(const Query& q, const NumericSchema& schema) {
+  TransformedQuery out;
+  for (const RangePredicate& r : q.ranges) {
+    Multiset clause;
+    for (Element e :
+         chain::RangeCoverElements(r.lo, r.hi, r.dim, schema)) {
+      clause.Add(e);
+    }
+    out.clauses.push_back(std::move(clause));
+  }
+  for (const std::vector<std::string>& kw_clause : q.keyword_cnf) {
+    Multiset clause;
+    for (const std::string& kw : kw_clause) {
+      clause.Add(accum::EncodeKeyword(kw));
+    }
+    out.clauses.push_back(std::move(clause));
+  }
+  return out;
+}
+
+bool LocalMatch(const Object& o, const Query& q, const NumericSchema& schema) {
+  (void)schema;
+  if (o.timestamp < q.time_start || o.timestamp > q.time_end) return false;
+  for (const RangePredicate& r : q.ranges) {
+    if (r.dim >= o.numeric.size()) return false;
+    uint64_t v = o.numeric[r.dim];
+    if (v < r.lo || v > r.hi) return false;
+  }
+  for (const std::vector<std::string>& clause : q.keyword_cnf) {
+    bool any = false;
+    for (const std::string& kw : clause) {
+      for (const std::string& have : o.keywords) {
+        if (kw == have) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace vchain::core

@@ -1,0 +1,134 @@
+// Boolean range queries and their set-form transformation (§3, §5.3).
+//
+// A query q = <[ts,te], [alpha,beta], Upsilon> carries a time window, one
+// optional range predicate per numeric dimension, and a monotone Boolean
+// keyword function in CNF. `TransformQuery` rewrites it into a pure CNF over
+// attribute elements: each range predicate contributes one OR-clause (its
+// dyadic cover, §5.3) and each keyword clause maps element-wise. An object
+// matches iff its transformed multiset W' intersects every clause.
+//
+// Matching is always evaluated under an engine's element mapping
+// (MappedQueryView), so SP decisions stay provable (see accum/element.h).
+
+#ifndef VCHAIN_CORE_QUERY_H_
+#define VCHAIN_CORE_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "accum/multiset.h"
+#include "chain/transform.h"
+
+namespace vchain::core {
+
+using accum::Element;
+using accum::Multiset;
+using chain::NumericSchema;
+using chain::Object;
+
+/// Range selection predicate on one numeric dimension (inclusive bounds).
+struct RangePredicate {
+  uint32_t dim = 0;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// A (historical) time-window query; subscription queries reuse the same
+/// shape with the window ignored (§3).
+struct Query {
+  uint64_t time_start = 0;
+  uint64_t time_end = std::numeric_limits<uint64_t>::max();
+  std::vector<RangePredicate> ranges;
+  /// CNF: outer vector = AND, inner vector = OR of keywords.
+  std::vector<std::vector<std::string>> keyword_cnf;
+
+  std::string ToString() const;
+};
+
+/// The query rewritten as CNF over attribute elements.
+struct TransformedQuery {
+  /// One multiset per clause; an object matches iff W' intersects each.
+  std::vector<Multiset> clauses;
+};
+
+TransformedQuery TransformQuery(const Query& q, const NumericSchema& schema);
+
+/// Ground-truth predicate evaluation on raw attribute values (no prefix
+/// sets, no mapping) — the brute-force oracle for tests and local
+/// post-filtering of mapped-collision false positives.
+bool LocalMatch(const Object& o, const Query& q, const NumericSchema& schema);
+
+/// A transformed query with every clause element pushed through an engine's
+/// universe mapping; this is the SP's and the verifier's shared match
+/// relation.
+class MappedQueryView {
+ public:
+  template <typename Engine>
+  MappedQueryView(const Engine& engine, const TransformedQuery& tq) {
+    clauses_.reserve(tq.clauses.size());
+    for (const Multiset& c : tq.clauses) {
+      std::unordered_set<uint64_t> mapped;
+      mapped.reserve(c.DistinctSize());
+      for (const Multiset::Entry& e : c.entries()) {
+        mapped.insert(engine.MapElement(e.element));
+      }
+      clauses_.push_back(std::move(mapped));
+    }
+  }
+
+  size_t NumClauses() const { return clauses_.size(); }
+
+  /// True iff the mapped multiset intersects clause `idx`.
+  template <typename Engine>
+  bool ClauseIntersects(const Engine& engine, const Multiset& w,
+                        size_t idx) const {
+    const auto& clause = clauses_[idx];
+    for (const Multiset::Entry& e : w.entries()) {
+      if (clause.count(engine.MapElement(e.element))) return true;
+    }
+    return false;
+  }
+
+  /// True iff every clause intersects (the match relation).
+  template <typename Engine>
+  bool Matches(const Engine& engine, const Multiset& w) const {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (!ClauseIntersects(engine, w, i)) return false;
+    }
+    return true;
+  }
+
+  /// Index of some clause disjoint from `w`, or -1 when all intersect.
+  template <typename Engine>
+  int FindDisjointClause(const Engine& engine, const Multiset& w) const {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (!ClauseIntersects(engine, w, i)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Like FindDisjointClause, but scans from `start` first (wrapping).
+  /// Subscriptions start at the keyword clauses, which are shared between
+  /// queries far more often than per-query range covers, so the resulting
+  /// proofs hit the cross-query cache (§7.1's BCIF effect).
+  template <typename Engine>
+  int FindDisjointClauseFrom(const Engine& engine, const Multiset& w,
+                             size_t start) const {
+    size_t n = clauses_.size();
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = (start + k) % n;
+      if (!ClauseIntersects(engine, w, i)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::unordered_set<uint64_t>> clauses_;
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_QUERY_H_

@@ -1,0 +1,39 @@
+// Umbrella header: the vChain public API.
+//
+// Typical wiring (see examples/quickstart.cpp):
+//
+//   auto oracle  = accum::KeyOracle::Create(seed);
+//   accum::Acc2Engine engine(oracle);
+//   core::ChainConfig config;                       // mode, schema, skip size
+//   core::ChainBuilder<accum::Acc2Engine> miner(engine, config);
+//   miner.AppendBlock(objects, timestamp);          // miner builds the ADS
+//
+//   chain::LightClient light;                       // user syncs headers
+//   miner.SyncLightClient(&light);
+//
+//   core::QueryProcessor<accum::Acc2Engine> sp(engine, config,
+//                                              &miner.blocks());
+//   auto resp = sp.TimeWindowQuery(q);              // SP: <R, VO>
+//
+//   core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
+//   Status ok = verifier.VerifyTimeWindow(q, resp.value());
+//
+// Subscription queries live in sub/subscription.h.
+
+#ifndef VCHAIN_CORE_VCHAIN_H_
+#define VCHAIN_CORE_VCHAIN_H_
+
+#include "accum/acc1.h"
+#include "accum/acc2.h"
+#include "accum/engine.h"
+#include "accum/keys.h"
+#include "accum/mock.h"
+#include "chain/light_client.h"
+#include "core/block.h"
+#include "core/chain_builder.h"
+#include "core/processor.h"
+#include "core/query.h"
+#include "core/verifier.h"
+#include "core/vo.h"
+
+#endif  // VCHAIN_CORE_VCHAIN_H_

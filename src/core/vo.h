@@ -1,0 +1,311 @@
+// Verification objects (VO) — what the SP returns beside the result set, and
+// what a light node replays against its headers (§3 threat model, §5-§6).
+//
+// A time-window response walks the window's blocks newest-to-oldest as a
+// sequence of steps:
+//   * BlockVO    — the per-block proof tree: matched leaves (objects are in
+//                  the result set), pruned mismatch subtrees (digest +
+//                  disjointness proof against one query clause), and
+//                  expanded internal nodes (digest only; hash recomputed);
+//   * SkipVO     — one inter-block skip entry standing in for `distance`
+//                  whole blocks (§6.2).
+// With an aggregating engine (acc2), individual mismatch proofs may be
+// omitted and replaced by per-clause aggregated proofs over the summed
+// digests (§6.3 online batch verification) — `AggregatedProof`.
+//
+// Everything serializes to a canonical byte format; VO size metrics are
+// measured on these bytes, and the verifier consumes deserialized copies so
+// that corrupt or hostile encodings are exercised end-to-end.
+
+#ifndef VCHAIN_CORE_VO_H_
+#define VCHAIN_CORE_VO_H_
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/block.h"
+
+namespace vchain::core {
+
+/// Node kinds of the per-block proof tree.
+enum class VoKind : uint8_t {
+  kMatch = 0,     ///< leaf; object returned in the result set
+  kMismatch = 1,  ///< pruned subtree with a disjointness proof
+  kExpand = 2,    ///< expanded internal node (both children present)
+};
+
+template <typename Engine>
+struct VoNode {
+  VoKind kind = VoKind::kExpand;
+  typename Engine::ObjectDigest digest;  // all kinds
+
+  // kMatch
+  uint32_t object_ref = 0;  ///< index into the response's object list
+
+  // kMismatch
+  Hash32 inner_hash{};      ///< H(obj) for leaves / H(h_l|h_r) for subtrees
+  uint32_t clause_idx = 0;
+  std::optional<typename Engine::Proof> proof;  ///< absent when aggregated
+
+  // kExpand
+  int32_t left = -1;
+  int32_t right = -1;
+};
+
+template <typename Engine>
+struct BlockVO {
+  uint64_t height = 0;
+  /// kNil mode: `nodes` lists every leaf in object order and `root` is -1
+  /// (the verifier rebuilds the plain Merkle root). Otherwise a tree.
+  std::vector<VoNode<Engine>> nodes;
+  int32_t root = -1;
+};
+
+template <typename Engine>
+struct SkipVO {
+  uint64_t from_height = 0;  ///< block whose skip list this entry belongs to
+  uint32_t level = 0;
+  uint64_t distance = 0;
+  typename Engine::ObjectDigest digest;
+  uint32_t clause_idx = 0;
+  std::optional<typename Engine::Proof> proof;
+  /// entry hashes of the block's other skip levels, in level order with this
+  /// entry's slot skipped; needed to rebuild skiplist_root.
+  std::vector<Hash32> other_entry_hashes;
+};
+
+template <typename Engine>
+struct AggregatedProof {
+  uint32_t clause_idx = 0;
+  typename Engine::Proof proof;
+};
+
+template <typename Engine>
+struct WindowVO {
+  using Step = std::variant<BlockVO<Engine>, SkipVO<Engine>>;
+  std::vector<Step> steps;  ///< descending heights, covering [ts,te] exactly
+  std::vector<AggregatedProof<Engine>> aggregated;
+};
+
+/// The result set R plus the VO.
+template <typename Engine>
+struct QueryResponse {
+  std::vector<Object> objects;
+  WindowVO<Engine> vo;
+};
+
+// --- serialization -----------------------------------------------------------
+
+template <typename Engine>
+void SerializeVoNode(const Engine& e, const VoNode<Engine>& n, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(n.kind));
+  e.SerializeDigest(n.digest, w);
+  switch (n.kind) {
+    case VoKind::kMatch:
+      w->PutU32(n.object_ref);
+      break;
+    case VoKind::kMismatch:
+      w->PutFixed(crypto::HashSpan(n.inner_hash));
+      w->PutU32(n.clause_idx);
+      w->PutBool(n.proof.has_value());
+      if (n.proof) e.SerializeProof(*n.proof, w);
+      break;
+    case VoKind::kExpand:
+      w->PutU32(static_cast<uint32_t>(n.left));
+      w->PutU32(static_cast<uint32_t>(n.right));
+      break;
+  }
+}
+
+template <typename Engine>
+Status DeserializeVoNode(const Engine& e, ByteReader* r, VoNode<Engine>* out) {
+  uint8_t kind = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU8(&kind));
+  if (kind > 2) return Status::Corruption("bad VO node kind");
+  out->kind = static_cast<VoKind>(kind);
+  VCHAIN_RETURN_IF_ERROR(e.DeserializeDigest(r, &out->digest));
+  switch (out->kind) {
+    case VoKind::kMatch:
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->object_ref));
+      break;
+    case VoKind::kMismatch: {
+      Bytes buf;
+      VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+      std::copy(buf.begin(), buf.end(), out->inner_hash.begin());
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->clause_idx));
+      bool has_proof = false;
+      VCHAIN_RETURN_IF_ERROR(r->GetBool(&has_proof));
+      if (has_proof) {
+        typename Engine::Proof p;
+        VCHAIN_RETURN_IF_ERROR(e.DeserializeProof(r, &p));
+        out->proof = std::move(p);
+      }
+      break;
+    }
+    case VoKind::kExpand: {
+      uint32_t l = 0, rr = 0;
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&l));
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&rr));
+      out->left = static_cast<int32_t>(l);
+      out->right = static_cast<int32_t>(rr);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeBlockVO(const Engine& e, const BlockVO<Engine>& b,
+                      ByteWriter* w) {
+  w->PutU64(b.height);
+  w->PutU32(static_cast<uint32_t>(b.nodes.size()));
+  for (const VoNode<Engine>& n : b.nodes) SerializeVoNode(e, n, w);
+  w->PutU32(static_cast<uint32_t>(b.root));
+}
+
+template <typename Engine>
+Status DeserializeBlockVO(const Engine& e, ByteReader* r,
+                          BlockVO<Engine>* out) {
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->height));
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 22) return Status::Corruption("block VO too large");
+  out->nodes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VCHAIN_RETURN_IF_ERROR(DeserializeVoNode(e, r, &out->nodes[i]));
+  }
+  uint32_t root = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&root));
+  out->root = static_cast<int32_t>(root);
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeSkipVO(const Engine& e, const SkipVO<Engine>& s, ByteWriter* w) {
+  w->PutU64(s.from_height);
+  w->PutU32(s.level);
+  w->PutU64(s.distance);
+  e.SerializeDigest(s.digest, w);
+  w->PutU32(s.clause_idx);
+  w->PutBool(s.proof.has_value());
+  if (s.proof) e.SerializeProof(*s.proof, w);
+  w->PutU32(static_cast<uint32_t>(s.other_entry_hashes.size()));
+  for (const Hash32& h : s.other_entry_hashes) {
+    w->PutFixed(crypto::HashSpan(h));
+  }
+}
+
+template <typename Engine>
+Status DeserializeSkipVO(const Engine& e, ByteReader* r, SkipVO<Engine>* out) {
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->from_height));
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->level));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->distance));
+  VCHAIN_RETURN_IF_ERROR(e.DeserializeDigest(r, &out->digest));
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->clause_idx));
+  bool has_proof = false;
+  VCHAIN_RETURN_IF_ERROR(r->GetBool(&has_proof));
+  if (has_proof) {
+    typename Engine::Proof p;
+    VCHAIN_RETURN_IF_ERROR(e.DeserializeProof(r, &p));
+    out->proof = std::move(p);
+  }
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 64) return Status::Corruption("too many skip levels");
+  out->other_entry_hashes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Bytes buf;
+    VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+    std::copy(buf.begin(), buf.end(), out->other_entry_hashes[i].begin());
+  }
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeWindowVO(const Engine& e, const WindowVO<Engine>& vo,
+                       ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(vo.steps.size()));
+  for (const auto& step : vo.steps) {
+    if (std::holds_alternative<BlockVO<Engine>>(step)) {
+      w->PutU8(0);
+      SerializeBlockVO(e, std::get<BlockVO<Engine>>(step), w);
+    } else {
+      w->PutU8(1);
+      SerializeSkipVO(e, std::get<SkipVO<Engine>>(step), w);
+    }
+  }
+  w->PutU32(static_cast<uint32_t>(vo.aggregated.size()));
+  for (const AggregatedProof<Engine>& a : vo.aggregated) {
+    w->PutU32(a.clause_idx);
+    e.SerializeProof(a.proof, w);
+  }
+}
+
+template <typename Engine>
+Status DeserializeWindowVO(const Engine& e, ByteReader* r,
+                           WindowVO<Engine>* out) {
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 22) return Status::Corruption("window VO too large");
+  out->steps.clear();
+  out->steps.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t tag = 0;
+    VCHAIN_RETURN_IF_ERROR(r->GetU8(&tag));
+    if (tag == 0) {
+      BlockVO<Engine> b;
+      VCHAIN_RETURN_IF_ERROR(DeserializeBlockVO(e, r, &b));
+      out->steps.emplace_back(std::move(b));
+    } else if (tag == 1) {
+      SkipVO<Engine> s;
+      VCHAIN_RETURN_IF_ERROR(DeserializeSkipVO(e, r, &s));
+      out->steps.emplace_back(std::move(s));
+    } else {
+      return Status::Corruption("bad VO step tag");
+    }
+  }
+  uint32_t na = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&na));
+  if (na > 1u << 20) return Status::Corruption("too many aggregated proofs");
+  out->aggregated.resize(na);
+  for (uint32_t i = 0; i < na; ++i) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->aggregated[i].clause_idx));
+    VCHAIN_RETURN_IF_ERROR(e.DeserializeProof(r, &out->aggregated[i].proof));
+  }
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeResponse(const Engine& e, const QueryResponse<Engine>& resp,
+                       ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(resp.objects.size()));
+  for (const Object& o : resp.objects) o.Serialize(w);
+  SerializeWindowVO(e, resp.vo, w);
+}
+
+template <typename Engine>
+Status DeserializeResponse(const Engine& e, ByteReader* r,
+                           QueryResponse<Engine>* out) {
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 22) return Status::Corruption("result set too large");
+  out->objects.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VCHAIN_RETURN_IF_ERROR(Object::Deserialize(r, &out->objects[i]));
+  }
+  return DeserializeWindowVO(e, r, &out->vo);
+}
+
+/// Serialized byte size of a VO (the paper's "VO size" metric).
+template <typename Engine>
+size_t VoByteSize(const Engine& e, const WindowVO<Engine>& vo) {
+  ByteWriter w;
+  SerializeWindowVO(e, vo, &w);
+  return w.size();
+}
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_VO_H_

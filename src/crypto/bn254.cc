@@ -1,0 +1,151 @@
+#include "crypto/bn254.h"
+
+namespace vchain::crypto {
+
+const Fp& G1B() {
+  static const Fp kB = Fp::FromUint64(3);
+  return kB;
+}
+
+const Fp2& G2B() {
+  static const Fp2 kB =
+      Fp2::FromFp(Fp::FromUint64(3)) * Fp2::FromUint64(9, 1).Inverse();
+  return kB;
+}
+
+const G1Affine& G1Generator() {
+  static const G1Affine kGen(Fp::FromUint64(1), Fp::FromUint64(2));
+  return kGen;
+}
+
+const G2Affine& G2Generator() {
+  // EIP-197 alt_bn128 G2 generator.
+  static const G2Affine kGen = [] {
+    Fp2 x(Fp::FromCanonical(U256FromHex(
+              "1800deef121f1e76426a00665e5c4479674322d4f75edadd46debd5cd992f6"
+              "ed")),
+          Fp::FromCanonical(U256FromHex(
+              "198e9393920d483a7260bfb731fb5d25f1aa493335a9e71297e485b7aef312"
+              "c2")));
+    Fp2 y(Fp::FromCanonical(U256FromHex(
+              "12c85ea5db8c6deb4aab71808dcb408fe3d1e7690c43d37b4ce6cc0166fa7d"
+              "aa")),
+          Fp::FromCanonical(U256FromHex(
+              "090689d0585ff075ec9e99ad690c3395bc4b313370b38ef355acdadcd12297"
+              "5b")));
+    G2Affine gen(x, y);
+    assert(OnCurve(gen, G2B()));
+    return gen;
+  }();
+  return kGen;
+}
+
+G1 G1Mul(const Fr& k) {
+  return G1::FromAffine(G1Generator()).ScalarMul(ScalarOf(k));
+}
+
+G2 G2Mul(const Fr& k) {
+  return G2::FromAffine(G2Generator()).ScalarMul(ScalarOf(k));
+}
+
+namespace {
+
+// Flag bits stored in the two spare high bits of the big-endian x encoding.
+constexpr uint8_t kFlagInfinity = 0x80;
+constexpr uint8_t kFlagYOdd = 0x40;
+constexpr uint8_t kFlagMask = 0xC0;
+
+bool Fp2IsOdd(const Fp2& v) {
+  // Parity of the canonical pair, tie-broken on the imaginary part.
+  if (!v.a.IsZero()) return v.a.CanonicalIsOdd();
+  return v.b.CanonicalIsOdd();
+}
+
+}  // namespace
+
+void SerializeG1(const G1Affine& p, ByteWriter* w) {
+  uint8_t buf[32] = {0};
+  if (!p.infinity) {
+    U256ToBytesBE(p.x.ToCanonical(), buf);
+    if (p.y.CanonicalIsOdd()) buf[0] |= kFlagYOdd;
+  } else {
+    buf[0] |= kFlagInfinity;
+  }
+  w->PutFixed(ByteSpan(buf, 32));
+}
+
+Status DeserializeG1(ByteReader* r, G1Affine* out) {
+  Bytes buf;
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  uint8_t flags = buf[0] & kFlagMask;
+  buf[0] &= ~kFlagMask;
+  if (flags & kFlagInfinity) {
+    *out = G1Affine();
+    return Status::OK();
+  }
+  U256 x_int = U256FromBytesBE(buf.data());
+  if (!(x_int < Fp::Modulus())) {
+    return Status::Corruption("G1 x coordinate out of range");
+  }
+  Fp x = Fp::FromCanonical(x_int);
+  Fp y;
+  Fp rhs = x.Square() * x + G1B();
+  if (!rhs.Sqrt(&y)) {
+    return Status::Corruption("G1 x coordinate not on curve");
+  }
+  if (y.CanonicalIsOdd() != static_cast<bool>(flags & kFlagYOdd)) y = y.Neg();
+  *out = G1Affine(x, y);
+  return Status::OK();
+}
+
+void SerializeG2(const G2Affine& p, ByteWriter* w) {
+  uint8_t buf[64] = {0};
+  if (!p.infinity) {
+    // x = a + b i; encode b (with flags) then a, both big-endian.
+    U256ToBytesBE(p.x.b.ToCanonical(), buf);
+    U256ToBytesBE(p.x.a.ToCanonical(), buf + 32);
+    if (Fp2IsOdd(p.y)) buf[0] |= kFlagYOdd;
+  } else {
+    buf[0] |= kFlagInfinity;
+  }
+  w->PutFixed(ByteSpan(buf, 64));
+}
+
+Status DeserializeG2(ByteReader* r, G2Affine* out) {
+  Bytes buf;
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(64, &buf));
+  uint8_t flags = buf[0] & kFlagMask;
+  buf[0] &= ~kFlagMask;
+  if (flags & kFlagInfinity) {
+    *out = G2Affine();
+    return Status::OK();
+  }
+  U256 xb = U256FromBytesBE(buf.data());
+  U256 xa = U256FromBytesBE(buf.data() + 32);
+  if (!(xa < Fp::Modulus()) || !(xb < Fp::Modulus())) {
+    return Status::Corruption("G2 x coordinate out of range");
+  }
+  Fp2 x(Fp::FromCanonical(xa), Fp::FromCanonical(xb));
+  Fp2 rhs = x.Square() * x + G2B();
+  Fp2 y;
+  if (!rhs.Sqrt(&y)) {
+    return Status::Corruption("G2 x coordinate not on curve");
+  }
+  if (Fp2IsOdd(y) != static_cast<bool>(flags & kFlagYOdd)) y = y.Neg();
+  *out = G2Affine(x, y);
+  return Status::OK();
+}
+
+Bytes G1ToBytes(const G1Affine& p) {
+  ByteWriter w;
+  SerializeG1(p, &w);
+  return w.TakeBytes();
+}
+
+Bytes G2ToBytes(const G2Affine& p) {
+  ByteWriter w;
+  SerializeG2(p, &w);
+  return w.TakeBytes();
+}
+
+}  // namespace vchain::crypto

@@ -1,0 +1,61 @@
+// BN254 (alt_bn128) pairing groups.
+//
+//   G1: E /Fp  : y^2 = x^3 + 3,          generator (1, 2), prime order r.
+//   G2: E'/Fp2 : y^2 = x^3 + 3/(9 + i),  the sextic D-twist; the standard
+//       generator below is the one fixed by the EIP-197 / alt_bn128
+//       specification (validated on-curve and of order r in the tests).
+//   GT: order-r subgroup of Fp12*.
+//
+// Serialization: G1 compresses to 32 bytes (two spare bits of the 254-bit
+// x-coordinate carry the infinity flag and the y parity); G2 compresses to
+// 64 bytes the same way, using Fp2 square roots for decompression.
+
+#ifndef VCHAIN_CRYPTO_BN254_H_
+#define VCHAIN_CRYPTO_BN254_H_
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "crypto/curve.h"
+#include "crypto/fp12.h"
+
+namespace vchain::crypto {
+
+using G1Affine = AffinePoint<Fp>;
+using G1 = JacobianPoint<Fp>;
+using G2Affine = AffinePoint<Fp2>;
+using G2 = JacobianPoint<Fp2>;
+using GT = Fp12;
+
+/// Curve coefficient b = 3 for G1.
+const Fp& G1B();
+/// Twist coefficient b' = 3 / (9 + i) for G2.
+const Fp2& G2B();
+
+/// Fixed generators.
+const G1Affine& G1Generator();
+const G2Affine& G2Generator();
+
+/// g1 * k / g2 * k convenience (from the generators).
+G1 G1Mul(const Fr& k);
+G2 G2Mul(const Fr& k);
+
+/// Convert an Fr scalar to its canonical integer for scalar multiplication.
+inline U256 ScalarOf(const Fr& k) { return k.ToCanonical(); }
+
+// --- Serialization -----------------------------------------------------------
+
+inline constexpr size_t kG1SerializedSize = 32;
+inline constexpr size_t kG2SerializedSize = 64;
+
+void SerializeG1(const G1Affine& p, ByteWriter* w);
+Status DeserializeG1(ByteReader* r, G1Affine* out);
+void SerializeG2(const G2Affine& p, ByteWriter* w);
+Status DeserializeG2(ByteReader* r, G2Affine* out);
+
+/// Canonical byte form (for hashing group elements into block headers).
+Bytes G1ToBytes(const G1Affine& p);
+Bytes G2ToBytes(const G2Affine& p);
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_BN254_H_

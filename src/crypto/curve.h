@@ -1,0 +1,197 @@
+// Short-Weierstrass curve arithmetic (a = 0) shared by BN254 G1 (over Fp)
+// and G2 (over Fp2, on the sextic twist y^2 = x^3 + 3/xi).
+//
+// Points are held in Jacobian coordinates (X, Y, Z) with the point at
+// infinity encoded as Z = 0; affine views are produced on demand. Formulas
+// are the standard a=0 Jacobian doubling/addition (EFD dbl-2009-l /
+// add-2007-bl), implemented here directly over the templated field.
+
+#ifndef VCHAIN_CRYPTO_CURVE_H_
+#define VCHAIN_CRYPTO_CURVE_H_
+
+#include <cassert>
+#include <vector>
+
+#include "crypto/field.h"
+
+namespace vchain::crypto {
+
+template <typename F>
+struct AffinePoint {
+  F x, y;
+  bool infinity = true;
+
+  AffinePoint() = default;
+  AffinePoint(const F& x_in, const F& y_in) : x(x_in), y(y_in), infinity(false) {}
+
+  bool operator==(const AffinePoint& o) const {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+
+  AffinePoint Neg() const {
+    if (infinity) return *this;
+    return AffinePoint(x, y.Neg());
+  }
+};
+
+template <typename F>
+struct JacobianPoint {
+  F x, y, z;  // affine (x/z^2, y/z^3); infinity iff z == 0
+
+  JacobianPoint() : x(F::Zero()), y(F::One()), z(F::Zero()) {}
+
+  static JacobianPoint Infinity() { return JacobianPoint(); }
+
+  static JacobianPoint FromAffine(const AffinePoint<F>& p) {
+    JacobianPoint out;
+    if (p.infinity) return out;
+    out.x = p.x;
+    out.y = p.y;
+    out.z = F::One();
+    return out;
+  }
+
+  bool IsInfinity() const { return z.IsZero(); }
+
+  AffinePoint<F> ToAffine() const {
+    if (IsInfinity()) return AffinePoint<F>();
+    F zi = z.Inverse();
+    F zi2 = zi.Square();
+    return AffinePoint<F>(x * zi2, y * zi2 * zi);
+  }
+
+  JacobianPoint Neg() const {
+    JacobianPoint out = *this;
+    out.y = out.y.Neg();
+    return out;
+  }
+
+  /// Point doubling (a = 0).
+  JacobianPoint Double() const {
+    if (IsInfinity()) return *this;
+    F a = x.Square();
+    F b = y.Square();
+    F c = b.Square();
+    F d = ((x + b).Square() - a - c).Double();
+    F e = a.Double() + a;
+    F f = e.Square();
+    JacobianPoint out;
+    out.x = f - d.Double();
+    out.y = e * (d - out.x) - c.Double().Double().Double();
+    out.z = (y * z).Double();
+    return out;
+  }
+
+  JacobianPoint Add(const JacobianPoint& o) const {
+    if (IsInfinity()) return o;
+    if (o.IsInfinity()) return *this;
+    F z1z1 = z.Square();
+    F z2z2 = o.z.Square();
+    F u1 = x * z2z2;
+    F u2 = o.x * z1z1;
+    F s1 = y * o.z * z2z2;
+    F s2 = o.y * z * z1z1;
+    if (u1 == u2) {
+      if (s1 == s2) return Double();
+      return Infinity();
+    }
+    F h = u2 - u1;
+    F i = h.Double().Square();
+    F j = h * i;
+    F r = (s2 - s1).Double();
+    F v = u1 * i;
+    JacobianPoint out;
+    out.x = r.Square() - j - v.Double();
+    out.y = r * (v - out.x) - (s1 * j).Double();
+    out.z = ((z + o.z).Square() - z1z1 - z2z2) * h;
+    return out;
+  }
+
+  JacobianPoint AddAffine(const AffinePoint<F>& o) const {
+    return Add(FromAffine(o));  // mixed addition; clarity over micro-speed
+  }
+
+  /// Scalar multiplication, binary double-and-add over the canonical scalar.
+  JacobianPoint ScalarMul(const U256& k) const {
+    JacobianPoint acc = Infinity();
+    for (int i = k.BitLength() - 1; i >= 0; --i) {
+      acc = acc.Double();
+      if (k.Bit(i)) acc = acc.Add(*this);
+    }
+    return acc;
+  }
+
+  bool Equal(const JacobianPoint& o) const {
+    // Compare in the projective sense: x1 z2^2 == x2 z1^2, y1 z2^3 == y2 z1^3.
+    if (IsInfinity() || o.IsInfinity()) return IsInfinity() == o.IsInfinity();
+    F z1z1 = z.Square();
+    F z2z2 = o.z.Square();
+    return x * z2z2 == o.x * z1z1 && y * o.z * z2z2 == o.y * z * z1z1;
+  }
+};
+
+/// True iff y^2 == x^3 + b.
+template <typename F>
+bool OnCurve(const AffinePoint<F>& p, const F& b) {
+  if (p.infinity) return true;
+  return p.y.Square() == p.x.Square() * p.x + b;
+}
+
+/// Multi-scalar multiplication (Pippenger buckets). Computes
+/// sum_i scalars[i] * bases[i]; used heavily by the accumulator layer when
+/// evaluating committed polynomials against the public key.
+template <typename F>
+JacobianPoint<F> MultiScalarMul(const std::vector<AffinePoint<F>>& bases,
+                                const std::vector<U256>& scalars) {
+  assert(bases.size() == scalars.size());
+  using Point = JacobianPoint<F>;
+  size_t n = bases.size();
+  if (n == 0) return Point::Infinity();
+  if (n == 1) return Point::FromAffine(bases[0]).ScalarMul(scalars[0]);
+
+  // Window size heuristic.
+  int c = 3;
+  size_t t = n;
+  while (t >>= 1) ++c;
+  if (c > 16) c = 16;
+
+  int max_bits = 0;
+  for (const U256& s : scalars) {
+    int b = s.BitLength();
+    if (b > max_bits) max_bits = b;
+  }
+  if (max_bits == 0) return Point::Infinity();
+  int num_windows = (max_bits + c - 1) / c;
+
+  Point total = Point::Infinity();
+  for (int w = num_windows - 1; w >= 0; --w) {
+    for (int k = 0; k < c; ++k) total = total.Double();
+    std::vector<Point> buckets(static_cast<size_t>(1) << c,
+                               Point::Infinity());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t digit = 0;
+      for (int k = c - 1; k >= 0; --k) {
+        int bit = w * c + k;
+        digit <<= 1;
+        if (bit < 256 && scalars[i].Bit(bit)) digit |= 1;
+      }
+      if (digit != 0) {
+        buckets[digit] = buckets[digit].AddAffine(bases[i]);
+      }
+    }
+    // Sum j * buckets[j] via running suffix sums.
+    Point running = Point::Infinity();
+    Point window_sum = Point::Infinity();
+    for (size_t j = buckets.size() - 1; j >= 1; --j) {
+      running = running.Add(buckets[j]);
+      window_sum = window_sum.Add(running);
+    }
+    total = total.Add(window_sum);
+  }
+  return total;
+}
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_CURVE_H_

@@ -1,0 +1,278 @@
+// Prime fields in Montgomery form over 4-limb moduli.
+//
+// `PrimeField<Params>` is instantiated twice for BN254: `Fp` (the base field,
+// modulus p) and `Fr` (the scalar field, modulus r). All Montgomery constants
+// (R mod p, R^2 mod p, -p^-1 mod 2^64) are derived at compile time from the
+// modulus, so there are no hand-transcribed magic constants to get wrong.
+
+#ifndef VCHAIN_CRYPTO_FIELD_H_
+#define VCHAIN_CRYPTO_FIELD_H_
+
+#include <cassert>
+#include <string>
+
+#include "crypto/u256.h"
+
+namespace vchain::crypto {
+
+/// Compile-time derived Montgomery parameters for an odd modulus < 2^255.
+struct FieldParams {
+  U256 modulus;
+  uint64_t n0inv;    // -modulus^-1 mod 2^64
+  U256 r_mod;        // R = 2^256 mod modulus (Montgomery form of 1)
+  U256 r2_mod;       // R^2 mod modulus (conversion factor into Montgomery form)
+  U256 modulus_minus_two;        // exponent for Fermat inversion
+  U256 modulus_plus_one_div_4;   // sqrt exponent when modulus % 4 == 3
+};
+
+constexpr FieldParams ComputeFieldParams(const U256& modulus) {
+  FieldParams fp{};
+  fp.modulus = modulus;
+
+  // n0inv by Newton iteration on the low limb: x_{k+1} = x_k (2 - m*x_k).
+  uint64_t m0 = modulus.limb[0];
+  uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) {
+    x = x * (2 - m0 * x);
+  }
+  fp.n0inv = ~x + 1;  // -x mod 2^64
+
+  // R and R^2 by modular doubling from 1.
+  U256 t(1);
+  for (int i = 0; i < 512; ++i) {
+    uint64_t carry = t.Shl1InPlace();
+    if (carry || t >= modulus) t.SubInPlace(modulus);
+    if (i == 255) fp.r_mod = t;
+  }
+  fp.r2_mod = t;
+
+  U256 m2 = modulus;
+  m2.SubInPlace(U256(2));
+  fp.modulus_minus_two = m2;
+
+  U256 p1 = modulus;
+  p1.AddInPlace(U256(1));  // p < 2^255 so no overflow
+  p1.Shr1InPlace();
+  p1.Shr1InPlace();
+  fp.modulus_plus_one_div_4 = p1;
+  return fp;
+}
+
+/// An element of GF(modulus), stored in Montgomery form.
+template <const FieldParams& P>
+class PrimeField {
+ public:
+  constexpr PrimeField() = default;
+
+  /// The additive / multiplicative identities.
+  static constexpr PrimeField Zero() { return PrimeField(); }
+  static constexpr PrimeField One() { return FromMontgomery(P.r_mod); }
+
+  /// Lift a small integer into the field.
+  static PrimeField FromUint64(uint64_t v) {
+    return FromCanonical(U256(v));
+  }
+
+  /// Lift a canonical (plain, < modulus) representative into the field.
+  static PrimeField FromCanonical(const U256& v) {
+    assert(v < P.modulus);
+    PrimeField out;
+    out.mont_ = MontMul(v, P.r2_mod);
+    return out;
+  }
+
+  /// Reduce an arbitrary 256-bit value mod the modulus, then lift.
+  static PrimeField FromU256Reduce(U256 v) {
+    while (v >= P.modulus) v.SubInPlace(P.modulus);
+    return FromCanonical(v);
+  }
+
+  /// Wrap a value already in Montgomery form (internal/test use).
+  static constexpr PrimeField FromMontgomery(const U256& m) {
+    PrimeField out;
+    out.mont_ = m;
+    return out;
+  }
+
+  /// Canonical (plain) representative in [0, modulus).
+  U256 ToCanonical() const { return MontMul(mont_, U256(1)); }
+  const U256& montgomery() const { return mont_; }
+
+  bool IsZero() const { return mont_.IsZero(); }
+  bool operator==(const PrimeField& o) const { return mont_ == o.mont_; }
+  bool operator!=(const PrimeField& o) const { return !(mont_ == o.mont_); }
+
+  PrimeField operator+(const PrimeField& o) const {
+    PrimeField out = *this;
+    uint64_t carry = out.mont_.AddInPlace(o.mont_);
+    if (carry || out.mont_ >= P.modulus) out.mont_.SubInPlace(P.modulus);
+    return out;
+  }
+
+  PrimeField operator-(const PrimeField& o) const {
+    PrimeField out = *this;
+    if (out.mont_.SubInPlace(o.mont_)) out.mont_.AddInPlace(P.modulus);
+    return out;
+  }
+
+  PrimeField operator*(const PrimeField& o) const {
+    return FromMontgomery(MontMul(mont_, o.mont_));
+  }
+
+  PrimeField& operator+=(const PrimeField& o) { return *this = *this + o; }
+  PrimeField& operator-=(const PrimeField& o) { return *this = *this - o; }
+  PrimeField& operator*=(const PrimeField& o) { return *this = *this * o; }
+
+  PrimeField Neg() const {
+    if (IsZero()) return *this;
+    PrimeField out;
+    out.mont_ = P.modulus;
+    out.mont_.SubInPlace(mont_);
+    return out;
+  }
+
+  PrimeField Double() const { return *this + *this; }
+  PrimeField Square() const { return *this * *this; }
+
+  /// this^e by square-and-multiply (left-to-right).
+  PrimeField Pow(const U256& e) const {
+    PrimeField acc = One();
+    int n = e.BitLength();
+    for (int i = n - 1; i >= 0; --i) {
+      acc = acc.Square();
+      if (e.Bit(i)) acc = acc * *this;
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse via the binary extended Euclidean algorithm.
+  /// Returns Zero() for Zero() input (callers guard where it matters).
+  PrimeField Inverse() const {
+    if (IsZero()) return Zero();
+    // Invert the Montgomery representative m = a*R: ext-gcd yields
+    // m^-1 = a^-1 R^-1 (plain); two Montgomery multiplications by R^2
+    // re-scale to a^-1 R, i.e. the Montgomery form of the inverse.
+    U256 inv_plain = InvertCanonical(mont_);
+    U256 t = MontMul(inv_plain, P.r2_mod);  // a^-1 R^-1 * R^2 * R^-1 = a^-1
+    t = MontMul(t, P.r2_mod);               // a^-1 * R^2 * R^-1 = a^-1 R
+    return FromMontgomery(t);
+  }
+
+  /// Square root when modulus % 4 == 3 (true for the BN254 base field).
+  /// Returns false if this is a non-residue.
+  bool Sqrt(PrimeField* out) const {
+    PrimeField cand = Pow(P.modulus_plus_one_div_4);
+    if (cand.Square() == *this) {
+      *out = cand;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the canonical representative is odd (used as the compressed
+  /// point sign bit).
+  bool CanonicalIsOdd() const { return ToCanonical().IsOdd(); }
+
+  std::string ToString() const { return U256ToDecimal(ToCanonical()); }
+
+  static const U256& Modulus() { return P.modulus; }
+
+ private:
+  /// CIOS Montgomery multiplication: a*b*R^-1 mod modulus.
+  static constexpr U256 MontMul(const U256& a, const U256& b) {
+    uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // Multiply-accumulate a * b[i] into t.
+      uint128_t carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        uint128_t cur =
+            static_cast<uint128_t>(a.limb[j]) * b.limb[i] + t[j] + carry;
+        t[j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      uint128_t s = static_cast<uint128_t>(t[4]) + carry;
+      t[4] = static_cast<uint64_t>(s);
+      t[5] = static_cast<uint64_t>(s >> 64);
+
+      // Reduce: add m * modulus so that the low limb becomes zero.
+      uint64_t m = t[0] * P.n0inv;
+      uint128_t cur = static_cast<uint128_t>(m) * P.modulus.limb[0] + t[0];
+      carry = cur >> 64;
+      for (int j = 1; j < 4; ++j) {
+        cur = static_cast<uint128_t>(m) * P.modulus.limb[j] + t[j] + carry;
+        t[j - 1] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      s = static_cast<uint128_t>(t[4]) + carry;
+      t[3] = static_cast<uint64_t>(s);
+      t[4] = t[5] + static_cast<uint64_t>(s >> 64);
+    }
+    U256 out(t[0], t[1], t[2], t[3]);
+    if (t[4] != 0 || out >= P.modulus) out.SubInPlace(P.modulus);
+    return out;
+  }
+
+  /// Binary extended Euclid: v^-1 mod modulus for 0 < v < modulus.
+  static U256 InvertCanonical(const U256& v) {
+    U256 u = v;
+    U256 w = P.modulus;
+    U256 x1(1);
+    U256 x2(0);
+    auto halve_mod = [](U256* x) {
+      if (x->IsOdd()) {
+        uint64_t carry = x->AddInPlace(P.modulus);
+        x->Shr1InPlace();
+        if (carry) x->limb[3] |= 1ULL << 63;
+      } else {
+        x->Shr1InPlace();
+      }
+    };
+    while (!(u == U256(1)) && !(w == U256(1))) {
+      while (!u.IsOdd()) {
+        u.Shr1InPlace();
+        halve_mod(&x1);
+      }
+      while (!w.IsOdd()) {
+        w.Shr1InPlace();
+        halve_mod(&x2);
+      }
+      if (u >= w) {
+        u.SubInPlace(w);
+        if (x1.SubInPlace(x2)) x1.AddInPlace(P.modulus);
+      } else {
+        w.SubInPlace(u);
+        if (x2.SubInPlace(x1)) x2.AddInPlace(P.modulus);
+      }
+    }
+    return (u == U256(1)) ? x1 : x2;
+  }
+
+  U256 mont_{};
+};
+
+// ---------------------------------------------------------------------------
+// BN254 (alt_bn128) parameters. The curve seed is
+//   u = 4965661367192848881,
+// giving p = 36u^4 + 36u^3 + 24u^2 + 6u + 1 and r = 36u^4 + 36u^3 + 18u^2 +
+// 6u + 1 (both verified against the seed polynomial in tests).
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kBnU = 4965661367192848881ULL;
+
+inline constexpr U256 kBnP = U256FromHex(
+    "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47");
+inline constexpr U256 kBnR = U256FromHex(
+    "30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001");
+
+inline constexpr FieldParams kFpParams = ComputeFieldParams(kBnP);
+inline constexpr FieldParams kFrParams = ComputeFieldParams(kBnR);
+
+/// BN254 base field GF(p).
+using Fp = PrimeField<kFpParams>;
+/// BN254 scalar field GF(r) — exponents of group elements; the accumulator's
+/// polynomial arithmetic lives here.
+using Fr = PrimeField<kFrParams>;
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_FIELD_H_

@@ -1,0 +1,137 @@
+// Quadratic extension Fp2 = Fp[i] / (i^2 + 1).
+//
+// BN254 tower: Fp2 as here, Fp6 = Fp2[v]/(v^3 - xi) with xi = 9 + i, and
+// Fp12 = Fp6[w]/(w^2 - v). The non-residue xi is fixed by the curve's twist.
+
+#ifndef VCHAIN_CRYPTO_FP2_H_
+#define VCHAIN_CRYPTO_FP2_H_
+
+#include <string>
+
+#include "crypto/field.h"
+
+namespace vchain::crypto {
+
+/// a + b*i with i^2 = -1.
+struct Fp2 {
+  Fp a;  // real coefficient
+  Fp b;  // imaginary coefficient
+
+  constexpr Fp2() = default;
+  Fp2(const Fp& a_in, const Fp& b_in) : a(a_in), b(b_in) {}
+
+  static Fp2 Zero() { return Fp2(); }
+  static Fp2 One() { return Fp2(Fp::One(), Fp::Zero()); }
+  static Fp2 FromFp(const Fp& x) { return Fp2(x, Fp::Zero()); }
+  static Fp2 FromUint64(uint64_t x, uint64_t y) {
+    return Fp2(Fp::FromUint64(x), Fp::FromUint64(y));
+  }
+
+  bool IsZero() const { return a.IsZero() && b.IsZero(); }
+  bool operator==(const Fp2& o) const { return a == o.a && b == o.b; }
+  bool operator!=(const Fp2& o) const { return !(*this == o); }
+
+  Fp2 operator+(const Fp2& o) const { return Fp2(a + o.a, b + o.b); }
+  Fp2 operator-(const Fp2& o) const { return Fp2(a - o.a, b - o.b); }
+
+  Fp2 operator*(const Fp2& o) const {
+    // Karatsuba: (a + bi)(c + di) = (ac - bd) + ((a+b)(c+d) - ac - bd) i.
+    Fp ac = a * o.a;
+    Fp bd = b * o.b;
+    Fp cross = (a + b) * (o.a + o.b);
+    return Fp2(ac - bd, cross - ac - bd);
+  }
+
+  Fp2& operator+=(const Fp2& o) { return *this = *this + o; }
+  Fp2& operator-=(const Fp2& o) { return *this = *this - o; }
+  Fp2& operator*=(const Fp2& o) { return *this = *this * o; }
+
+  Fp2 Neg() const { return Fp2(a.Neg(), b.Neg()); }
+  Fp2 Double() const { return Fp2(a.Double(), b.Double()); }
+
+  Fp2 Square() const {
+    // (a + bi)^2 = (a+b)(a-b) + 2ab i.
+    Fp t = (a + b) * (a - b);
+    return Fp2(t, (a * b).Double());
+  }
+
+  Fp2 MulFp(const Fp& s) const { return Fp2(a * s, b * s); }
+
+  /// Complex conjugate; also the p-power Frobenius on Fp2.
+  Fp2 Conjugate() const { return Fp2(a, b.Neg()); }
+
+  Fp2 Inverse() const {
+    // 1/(a+bi) = (a-bi)/(a^2+b^2).
+    Fp norm_inv = (a.Square() + b.Square()).Inverse();
+    return Fp2(a * norm_inv, b.Neg() * norm_inv);
+  }
+
+  /// Multiply by the sextic non-residue xi = 9 + i.
+  Fp2 MulByXi() const {
+    // (a + bi)(9 + i) = (9a - b) + (a + 9b) i.
+    Fp a9 = Times9(a);
+    Fp b9 = Times9(b);
+    return Fp2(a9 - b, a + b9);
+  }
+
+  Fp2 Pow(const U256& e) const {
+    Fp2 acc = One();
+    for (int i = e.BitLength() - 1; i >= 0; --i) {
+      acc = acc.Square();
+      if (e.Bit(i)) acc = acc * *this;
+    }
+    return acc;
+  }
+
+  /// Square root in Fp2 for p % 4 == 3 (Adj & Rodriguez-Henriquez).
+  /// Returns false for quadratic non-residues.
+  bool Sqrt(Fp2* out) const {
+    if (IsZero()) {
+      *out = Zero();
+      return true;
+    }
+    // exponent (p-3)/4 = ((p+1)/4) - 1
+    U256 e = kFpParams.modulus_plus_one_div_4;
+    e.SubInPlace(U256(1));
+    Fp2 a1 = Pow(e);
+    Fp2 alpha = a1.Square() * *this;  // = this^((p-1)/2)
+    Fp2 x0 = a1 * *this;              // = this^((p+1)/4)
+    Fp2 minus_one = One().Neg();
+    Fp2 cand;
+    if (alpha == minus_one) {
+      // Multiply by i (a square root of -1 in this tower).
+      cand = Fp2(x0.b.Neg(), x0.a);
+    } else {
+      Fp2 b = (One() + alpha).Pow(ExpPMinus1Div2());
+      cand = b * x0;
+    }
+    if (cand.Square() == *this) {
+      *out = cand;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const {
+    return "(" + a.ToString() + ", " + b.ToString() + ")";
+  }
+
+ private:
+  static Fp Times9(const Fp& x) {
+    Fp x2 = x.Double();
+    Fp x4 = x2.Double();
+    Fp x8 = x4.Double();
+    return x8 + x;
+  }
+
+  static U256 ExpPMinus1Div2() {
+    U256 e = kFpParams.modulus;
+    e.SubInPlace(U256(1));
+    e.Shr1InPlace();
+    return e;
+  }
+};
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_FP2_H_

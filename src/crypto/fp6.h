@@ -1,0 +1,73 @@
+// Cubic extension Fp6 = Fp2[v] / (v^3 - xi), xi = 9 + i.
+
+#ifndef VCHAIN_CRYPTO_FP6_H_
+#define VCHAIN_CRYPTO_FP6_H_
+
+#include "crypto/fp2.h"
+
+namespace vchain::crypto {
+
+/// c0 + c1*v + c2*v^2 with v^3 = xi.
+struct Fp6 {
+  Fp2 c0, c1, c2;
+
+  Fp6() = default;
+  Fp6(const Fp2& x0, const Fp2& x1, const Fp2& x2) : c0(x0), c1(x1), c2(x2) {}
+
+  static Fp6 Zero() { return Fp6(); }
+  static Fp6 One() { return Fp6(Fp2::One(), Fp2::Zero(), Fp2::Zero()); }
+
+  bool IsZero() const { return c0.IsZero() && c1.IsZero() && c2.IsZero(); }
+  bool operator==(const Fp6& o) const {
+    return c0 == o.c0 && c1 == o.c1 && c2 == o.c2;
+  }
+  bool operator!=(const Fp6& o) const { return !(*this == o); }
+
+  Fp6 operator+(const Fp6& o) const {
+    return Fp6(c0 + o.c0, c1 + o.c1, c2 + o.c2);
+  }
+  Fp6 operator-(const Fp6& o) const {
+    return Fp6(c0 - o.c0, c1 - o.c1, c2 - o.c2);
+  }
+
+  Fp6 Neg() const { return Fp6(c0.Neg(), c1.Neg(), c2.Neg()); }
+  Fp6 Double() const { return Fp6(c0.Double(), c1.Double(), c2.Double()); }
+
+  Fp6 operator*(const Fp6& o) const {
+    // Toom-style interpolation (Devegili et al.): 6 Fp2 mults.
+    Fp2 a = c0 * o.c0;
+    Fp2 b = c1 * o.c1;
+    Fp2 c = c2 * o.c2;
+    Fp2 t0 = ((c1 + c2) * (o.c1 + o.c2) - b - c).MulByXi() + a;
+    Fp2 t1 = (c0 + c1) * (o.c0 + o.c1) - a - b + c.MulByXi();
+    Fp2 t2 = (c0 + c2) * (o.c0 + o.c2) - a - c + b;
+    return Fp6(t0, t1, t2);
+  }
+
+  Fp6& operator+=(const Fp6& o) { return *this = *this + o; }
+  Fp6& operator-=(const Fp6& o) { return *this = *this - o; }
+  Fp6& operator*=(const Fp6& o) { return *this = *this * o; }
+
+  Fp6 Square() const { return *this * *this; }
+
+  Fp6 MulFp2(const Fp2& s) const {
+    return Fp6(c0 * s, c1 * s, c2 * s);
+  }
+
+  /// Multiply by v: (c0 + c1 v + c2 v^2) * v = c2*xi + c0 v + c1 v^2.
+  Fp6 MulByV() const { return Fp6(c2.MulByXi(), c0, c1); }
+
+  Fp6 Inverse() const {
+    // Standard cubic-extension inversion via the adjugate.
+    Fp2 a = c0.Square() - (c1 * c2).MulByXi();
+    Fp2 b = c2.Square().MulByXi() - c0 * c1;
+    Fp2 c = c1.Square() - c0 * c2;
+    Fp2 det = c0 * a + (c2 * b + c1 * c).MulByXi();
+    Fp2 det_inv = det.Inverse();
+    return Fp6(a * det_inv, b * det_inv, c * det_inv);
+  }
+};
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_FP6_H_

@@ -1,0 +1,211 @@
+#include "crypto/pairing.h"
+
+#include <array>
+#include <cassert>
+
+namespace vchain::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Loop parameter: NAF digits of 6u + 2 (u = kBnU), least significant first.
+// ---------------------------------------------------------------------------
+
+const std::vector<int>& SixUPlus2Naf() {
+  static const std::vector<int> kNaf = [] {
+    // 6u + 2 fits in 66 bits for the BN254 seed; track it as u128.
+    uint128_t k = static_cast<uint128_t>(kBnU) * 6 + 2;
+    std::vector<int> naf;
+    while (k != 0) {
+      if (k & 1) {
+        int digit = static_cast<int>(k & 3);  // k mod 4 in {1, 3}
+        digit = (digit == 3) ? -1 : 1;
+        naf.push_back(digit);
+        k -= static_cast<uint128_t>(static_cast<int64_t>(digit));
+      } else {
+        naf.push_back(0);
+      }
+      k >>= 1;
+    }
+    return naf;
+  }();
+  return kNaf;
+}
+
+// ---------------------------------------------------------------------------
+// Affine line evaluation. For Q-side points A, B on the twist and P in G1,
+// the line through psi(A), psi(B) on E(Fp12) evaluated at P is
+//   l(P) = yP - (lambda xP) w + (lambda xA - yA) w^3,
+// with lambda the twist-coordinate slope, via the untwist
+// psi(x', y') = (x' w^2, y' w^3). The three w-basis coefficients map onto
+// Fp12 slots (c0.c0, c1.c0, c1.c1) -- see Fp12::MulBySparseLine.
+// ---------------------------------------------------------------------------
+
+struct LineEval {
+  Fp2 l00, l10, l11;
+};
+
+// Tangent line at T, evaluated at P; also doubles T in place.
+LineEval DoubleStep(G2Affine* t, const G1Affine& p) {
+  Fp2 xx = t->x.Square();
+  Fp2 lambda = (xx.Double() + xx) * t->y.Double().Inverse();  // 3x^2 / 2y
+  Fp2 x3 = lambda.Square() - t->x.Double();
+  Fp2 y3 = lambda * (t->x - x3) - t->y;
+  LineEval line;
+  line.l00 = Fp2::FromFp(p.y);
+  line.l10 = lambda.MulFp(p.x).Neg();
+  line.l11 = lambda * t->x - t->y;
+  t->x = x3;
+  t->y = y3;
+  return line;
+}
+
+// Chord line through T and Q, evaluated at P; also sets T = T + Q.
+// Precondition: T != +-Q (holds throughout the optimal ate loop for
+// prime-order inputs; asserted in debug builds).
+LineEval AddStep(G2Affine* t, const G2Affine& q, const G1Affine& p) {
+  assert(!(t->x == q.x));
+  Fp2 lambda = (q.y - t->y) * (q.x - t->x).Inverse();
+  Fp2 x3 = lambda.Square() - t->x - q.x;
+  Fp2 y3 = lambda * (t->x - x3) - t->y;
+  LineEval line;
+  line.l00 = Fp2::FromFp(p.y);
+  line.l10 = lambda.MulFp(p.x).Neg();
+  line.l11 = lambda * t->x - t->y;
+  t->x = x3;
+  t->y = y3;
+  return line;
+}
+
+// Frobenius endomorphism transported to the twist:
+//   pi(x, y) = (conj(x) * xi^{(p-1)/3}, conj(y) * xi^{(p-1)/2}).
+struct TwistFrobeniusConsts {
+  Fp2 gamma_x;  // xi^{(p-1)/3}
+  Fp2 gamma_y;  // xi^{(p-1)/2}
+};
+
+const TwistFrobeniusConsts& TwistFrobenius() {
+  static const TwistFrobeniusConsts kConsts = [] {
+    U256 pm1 = kFpParams.modulus;
+    pm1.SubInPlace(U256(1));
+    U256 e3, e2;
+    uint64_t rem = 0;
+    DivByWord(pm1, 3, &e3, &rem);
+    e2 = pm1;
+    e2.Shr1InPlace();
+    Fp2 xi = Fp2::FromUint64(9, 1);
+    return TwistFrobeniusConsts{xi.Pow(e3), xi.Pow(e2)};
+  }();
+  return kConsts;
+}
+
+G2Affine FrobeniusTwist(const G2Affine& q) {
+  if (q.infinity) return q;
+  const auto& c = TwistFrobenius();
+  return G2Affine(q.x.Conjugate() * c.gamma_x, q.y.Conjugate() * c.gamma_y);
+}
+
+Fp12 PowU(const Fp12& f) {
+  Fp12 acc = Fp12::One();
+  U256 u(kBnU);
+  for (int i = u.BitLength() - 1; i >= 0; --i) {
+    acc = acc.Square();
+    if (u.Bit(i)) acc = acc * f;
+  }
+  return acc;
+}
+
+}  // namespace
+
+GT MillerLoop(const G1Affine& p, const G2Affine& q) {
+  if (p.infinity || q.infinity) return GT::One();
+
+  const std::vector<int>& naf = SixUPlus2Naf();
+  G2Affine t = q;
+  G2Affine minus_q = q.Neg();
+  Fp12 f = Fp12::One();
+
+  for (int i = static_cast<int>(naf.size()) - 2; i >= 0; --i) {
+    f = f.Square();
+    LineEval dl = DoubleStep(&t, p);
+    f = f.MulBySparseLine(dl.l00, dl.l10, dl.l11);
+    if (naf[i] == 1) {
+      LineEval al = AddStep(&t, q, p);
+      f = f.MulBySparseLine(al.l00, al.l10, al.l11);
+    } else if (naf[i] == -1) {
+      LineEval al = AddStep(&t, minus_q, p);
+      f = f.MulBySparseLine(al.l00, al.l10, al.l11);
+    }
+  }
+
+  // Correction additions with pi(Q) and -pi^2(Q).
+  G2Affine q1 = FrobeniusTwist(q);
+  G2Affine q2 = FrobeniusTwist(q1).Neg();
+  LineEval l1 = AddStep(&t, q1, p);
+  f = f.MulBySparseLine(l1.l00, l1.l10, l1.l11);
+  LineEval l2 = AddStep(&t, q2, p);
+  f = f.MulBySparseLine(l2.l00, l2.l10, l2.l11);
+  return f;
+}
+
+GT FinalExponentiation(const GT& f_in) {
+  // Easy part: f^((p^6 - 1)(p^2 + 1)).
+  Fp12 f = f_in;
+  Fp12 t1 = f.Conjugate() * f.Inverse();
+  Fp12 t2 = t1.FrobeniusP2();
+  f = t1 * t2;
+
+  // Hard part (Devegili-Scott-Dominguez schedule for BN curves).
+  Fp12 fp = f.Frobenius();
+  Fp12 fp2 = f.FrobeniusP2();
+  Fp12 fp3 = fp2.Frobenius();
+
+  Fp12 fu = PowU(f);
+  Fp12 fu2 = PowU(fu);
+  Fp12 fu3 = PowU(fu2);
+
+  Fp12 y3 = PowU(f).Frobenius();
+  Fp12 fu2p = fu2.Frobenius();
+  Fp12 fu3p = fu3.Frobenius();
+  Fp12 y2 = fu2.FrobeniusP2();
+
+  Fp12 y0 = fp * fp2 * fp3;
+  Fp12 y1 = f.Conjugate();
+  Fp12 y5 = fu2.Conjugate();
+  y3 = y3.Conjugate();
+  Fp12 y4 = (fu * fu2p).Conjugate();
+  Fp12 y6 = (fu3 * fu3p).Conjugate();
+
+  Fp12 t0 = y6.Square() * y4 * y5;
+  Fp12 tt1 = y3 * y5 * t0;
+  t0 = t0 * y2;
+  tt1 = (tt1.Square() * t0).Square();
+  t0 = tt1 * y1;
+  tt1 = tt1 * y0;
+  t0 = t0.Square() * tt1;
+  return t0;
+}
+
+GT Pairing(const G1Affine& p, const G2Affine& q) {
+  return FinalExponentiation(MillerLoop(p, q));
+}
+
+GT PairingProduct(const std::vector<std::pair<G1Affine, G2Affine>>& pairs) {
+  Fp12 f = Fp12::One();
+  for (const auto& [p, q] : pairs) {
+    f = f * MillerLoop(p, q);
+  }
+  return FinalExponentiation(f);
+}
+
+bool PairingProductIsOne(
+    const std::vector<std::pair<G1Affine, G2Affine>>& pairs) {
+  return PairingProduct(pairs).IsOne();
+}
+
+const GT& PairingOfGenerators() {
+  static const GT kE = Pairing(G1Generator(), G2Generator());
+  return kE;
+}
+
+}  // namespace vchain::crypto

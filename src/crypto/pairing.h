@@ -1,0 +1,44 @@
+// Optimal ate pairing on BN254: e : G1 x G2 -> GT.
+//
+// Miller loop over f_{6u+2,Q}(P) in affine coordinates plus the two
+// Frobenius-twisted correction additions, followed by the standard final
+// exponentiation (easy part, then the Devegili-Scott-Dominguez hard part
+// driven by three u-power exponentiations). The 6u+2 loop runs over a NAF
+// computed from the curve seed at startup; no hardcoded digit table.
+//
+// A multi-pairing entry point shares the final exponentiation across several
+// Miller loops; `PairingProductIsOne` is the primitive behind every
+// VerifyDisjoint in the accumulator layer.
+
+#ifndef VCHAIN_CRYPTO_PAIRING_H_
+#define VCHAIN_CRYPTO_PAIRING_H_
+
+#include <utility>
+#include <vector>
+
+#include "crypto/bn254.h"
+
+namespace vchain::crypto {
+
+/// Full pairing e(P, Q). Returns GT::One() if either input is infinity.
+GT Pairing(const G1Affine& p, const G2Affine& q);
+
+/// Miller loop only (no final exponentiation); multiply several of these and
+/// call FinalExponentiation once for a product of pairings.
+GT MillerLoop(const G1Affine& p, const G2Affine& q);
+
+GT FinalExponentiation(const GT& f);
+
+/// prod_i e(ps[i], qs[i]).
+GT PairingProduct(const std::vector<std::pair<G1Affine, G2Affine>>& pairs);
+
+/// True iff prod_i e(ps[i], qs[i]) == 1. One shared final exponentiation.
+bool PairingProductIsOne(
+    const std::vector<std::pair<G1Affine, G2Affine>>& pairs);
+
+/// Cached e(g1, g2) for verifier equations of the form "... == e(g1, g2)".
+const GT& PairingOfGenerators();
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_PAIRING_H_

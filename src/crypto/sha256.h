@@ -1,0 +1,64 @@
+// SHA-256 (FIPS 180-4). Used as the vChain `hash(.)` primitive for block
+// hashes, Merkle trees, proof-of-work, and attribute-element encoding.
+// (The paper used 160-bit SHA-1 via Crypto++; we substitute SHA-256 — same
+// API role, constant-factor larger digests.)
+
+#ifndef VCHAIN_CRYPTO_SHA256_H_
+#define VCHAIN_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace vchain::crypto {
+
+using Hash32 = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  void Update(const std::string& s) {
+    Update(ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+  Hash32 Finalize();
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot digest.
+Hash32 Sha256Digest(ByteSpan data);
+Hash32 Sha256Digest(const std::string& s);
+
+/// Digest of the concatenation of two hashes (Merkle interior nodes).
+Hash32 HashPair(const Hash32& a, const Hash32& b);
+
+/// First 8 bytes of the digest as a little-endian u64 (attribute encoding).
+uint64_t Hash64(const std::string& s);
+
+std::string HashToHex(const Hash32& h);
+
+inline ByteSpan HashSpan(const Hash32& h) {
+  return ByteSpan(h.data(), h.size());
+}
+
+/// Lexicographic comparison helper for PoW targets.
+bool HashLessThan(const Hash32& a, const Hash32& b);
+
+/// Number of leading zero bits (PoW difficulty check).
+int LeadingZeroBits(const Hash32& h);
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_SHA256_H_

@@ -1,0 +1,91 @@
+#include "crypto/u256.h"
+
+#include <algorithm>
+
+namespace vchain::crypto {
+
+void DivByWord(const U256& value, uint64_t d, U256* quotient, uint64_t* rem) {
+  U256 q;
+  uint128_t r = 0;
+  for (int i = 3; i >= 0; --i) {
+    uint128_t cur = (r << 64) | value.limb[i];
+    q.limb[i] = static_cast<uint64_t>(cur / d);
+    r = cur % d;
+  }
+  *quotient = q;
+  *rem = static_cast<uint64_t>(r);
+}
+
+bool U256FromDecimal(const std::string& dec, U256* out) {
+  if (dec.empty()) return false;
+  U256 acc;
+  for (char c : dec) {
+    if (c < '0' || c > '9') return false;
+    // acc = acc*10 + digit, with overflow check via carry-out.
+    U256 x8 = acc;
+    U256 x2 = acc;
+    uint64_t carry = 0;
+    carry |= x2.Shl1InPlace();
+    carry |= x8.Shl1InPlace();
+    carry |= x8.Shl1InPlace();
+    carry |= x8.Shl1InPlace();
+    carry |= x8.AddInPlace(x2);
+    carry |= x8.AddInPlace(U256(static_cast<uint64_t>(c - '0')));
+    if (carry) return false;
+    acc = x8;
+  }
+  *out = acc;
+  return true;
+}
+
+std::string U256ToDecimal(const U256& v) {
+  if (v.IsZero()) return "0";
+  U256 cur = v;
+  std::string out;
+  while (!cur.IsZero()) {
+    uint64_t digit = 0;
+    DivByWord(cur, 10, &cur, &digit);
+    out.push_back(static_cast<char>('0' + digit));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string U256ToHex(const U256& v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  bool started = false;
+  for (int i = 3; i >= 0; --i) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      uint64_t nib = (v.limb[i] >> shift) & 0xF;
+      if (!started && nib == 0) continue;
+      started = true;
+      out.push_back(kDigits[nib]);
+    }
+  }
+  if (!started) out = "0";
+  return out;
+}
+
+void U256ToBytesBE(const U256& v, uint8_t out[32]) {
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = v.limb[3 - i];
+    for (int j = 0; j < 8; ++j) {
+      out[i * 8 + j] = static_cast<uint8_t>(limb >> (56 - 8 * j));
+    }
+  }
+}
+
+U256 U256FromBytesBE(const uint8_t in[32]) {
+  U256 v;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int j = 0; j < 8; ++j) {
+      limb = (limb << 8) | in[i * 8 + j];
+    }
+    v.limb[3 - i] = limb;
+  }
+  return v;
+}
+
+}  // namespace vchain::crypto

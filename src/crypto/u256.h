@@ -1,0 +1,147 @@
+// Fixed-width 256-bit unsigned integers (4 x 64-bit little-endian limbs).
+//
+// This is the arithmetic substrate for the BN254 prime fields. Everything
+// needed at namespace scope for compile-time field-parameter derivation is
+// constexpr; the heavier runtime-only helpers (division by a word, decimal
+// parsing) live in u256.cc.
+
+#ifndef VCHAIN_CRYPTO_U256_H_
+#define VCHAIN_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace vchain::crypto {
+
+using uint128_t = unsigned __int128;
+
+/// 256-bit unsigned integer; limb[0] is least significant.
+struct U256 {
+  std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(uint64_t l0, uint64_t l1, uint64_t l2, uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  constexpr bool IsZero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+
+  constexpr bool operator==(const U256& o) const { return limb == o.limb; }
+
+  /// -1 / 0 / +1 three-way comparison.
+  constexpr int Cmp(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] < o.limb[i]) return -1;
+      if (limb[i] > o.limb[i]) return 1;
+    }
+    return 0;
+  }
+  constexpr bool operator<(const U256& o) const { return Cmp(o) < 0; }
+  constexpr bool operator>=(const U256& o) const { return Cmp(o) >= 0; }
+
+  /// this += o; returns the carry-out bit.
+  constexpr uint64_t AddInPlace(const U256& o) {
+    uint128_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint128_t s = static_cast<uint128_t>(limb[i]) + o.limb[i] + carry;
+      limb[i] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    return static_cast<uint64_t>(carry);
+  }
+
+  /// this -= o; returns the borrow-out bit.
+  constexpr uint64_t SubInPlace(const U256& o) {
+    uint128_t borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint128_t d = static_cast<uint128_t>(limb[i]) -
+                    static_cast<uint128_t>(o.limb[i]) - borrow;
+      limb[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) & 1;
+    }
+    return static_cast<uint64_t>(borrow);
+  }
+
+  /// Logical left shift by one bit; returns the bit shifted out.
+  constexpr uint64_t Shl1InPlace() {
+    uint64_t out = limb[3] >> 63;
+    limb[3] = (limb[3] << 1) | (limb[2] >> 63);
+    limb[2] = (limb[2] << 1) | (limb[1] >> 63);
+    limb[1] = (limb[1] << 1) | (limb[0] >> 63);
+    limb[0] <<= 1;
+    return out;
+  }
+
+  /// Logical right shift by one bit.
+  constexpr void Shr1InPlace() {
+    limb[0] = (limb[0] >> 1) | (limb[1] << 63);
+    limb[1] = (limb[1] >> 1) | (limb[2] << 63);
+    limb[2] = (limb[2] >> 1) | (limb[3] << 63);
+    limb[3] >>= 1;
+  }
+
+  constexpr bool IsOdd() const { return limb[0] & 1; }
+
+  constexpr bool Bit(int i) const {
+    return (limb[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Index of the highest set bit, or -1 if zero.
+  constexpr int BitLength() const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != 0) {
+        int hi = 63;
+        while (!((limb[i] >> hi) & 1)) --hi;
+        return i * 64 + hi + 1;
+      }
+    }
+    return 0;
+  }
+};
+
+/// Parse a hex literal (no 0x prefix, <= 64 nibbles). Usable in constexpr
+/// initialization of the field moduli; traps (via throw in constexpr context)
+/// on bad characters.
+constexpr U256 U256FromHex(std::string_view hex) {
+  U256 out;
+  for (char c : hex) {
+    uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      throw "invalid hex digit in U256 literal";
+    }
+    // out = out*16 + nibble
+    for (int s = 0; s < 4; ++s) out.Shl1InPlace();
+    out.limb[0] |= nibble;
+  }
+  return out;
+}
+
+/// q, r such that value = q * d + r (d != 0). Runtime helper for deriving
+/// pairing exponents such as (p-1)/6.
+void DivByWord(const U256& value, uint64_t d, U256* quotient, uint64_t* rem);
+
+/// Parse a decimal string (runtime; used in tests to cross-check constants).
+bool U256FromDecimal(const std::string& dec, U256* out);
+std::string U256ToDecimal(const U256& v);
+
+std::string U256ToHex(const U256& v);
+
+/// Big-endian 32-byte encoding (canonical wire form for field elements).
+void U256ToBytesBE(const U256& v, uint8_t out[32]);
+U256 U256FromBytesBE(const uint8_t in[32]);
+
+}  // namespace vchain::crypto
+
+#endif  // VCHAIN_CRYPTO_U256_H_

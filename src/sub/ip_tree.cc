@@ -1,0 +1,204 @@
+#include "sub/ip_tree.h"
+
+#include <algorithm>
+
+namespace vchain::sub {
+
+std::vector<CellBox> CellBox::Split() const {
+  std::vector<CellBox> out;
+  size_t d = dims.size();
+  out.reserve(size_t{1} << d);
+  for (uint64_t combo = 0; combo < (uint64_t{1} << d); ++combo) {
+    CellBox child = *this;
+    for (size_t i = 0; i < d; ++i) {
+      child.dims[i].prefix_len += 1;
+      child.dims[i].prefix_bits =
+          (dims[i].prefix_bits << 1) | ((combo >> i) & 1);
+    }
+    out.push_back(std::move(child));
+  }
+  return out;
+}
+
+CellBox::Cover CellBox::CoverBy(const Query& q,
+                                const NumericSchema& schema) const {
+  bool full = true;
+  for (uint32_t d = 0; d < dims.size(); ++d) {
+    uint64_t cell_lo = dims[d].Lo(schema);
+    uint64_t cell_hi = dims[d].Hi(schema);
+    // Missing range predicate on a dimension = full domain.
+    uint64_t q_lo = 0, q_hi = schema.MaxValue();
+    for (const core::RangePredicate& r : q.ranges) {
+      if (r.dim == d) {
+        q_lo = r.lo;
+        q_hi = r.hi;
+      }
+    }
+    if (q_hi < cell_lo || q_lo > cell_hi) return Cover::kNone;
+    if (q_lo > cell_lo || q_hi < cell_hi) full = false;
+  }
+  return full ? Cover::kFull : Cover::kPartial;
+}
+
+bool CellBox::ContainsPoint(const std::vector<uint64_t>& v,
+                            const NumericSchema& schema) const {
+  for (uint32_t d = 0; d < dims.size(); ++d) {
+    if (d >= v.size() || !dims[d].Contains(v[d], schema)) return false;
+  }
+  return true;
+}
+
+bool CellBox::ContainsCell(const CellBox& other,
+                           const NumericSchema& schema) const {
+  if (other.dims.size() != dims.size()) return false;
+  for (uint32_t d = 0; d < dims.size(); ++d) {
+    if (other.dims[d].Lo(schema) < dims[d].Lo(schema) ||
+        other.dims[d].Hi(schema) > dims[d].Hi(schema)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CellBox::Serialize(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(dims.size()));
+  for (const DyadicRange& r : dims) {
+    w->PutU64(r.prefix_bits);
+    w->PutU32(r.prefix_len);
+  }
+}
+
+Status CellBox::Deserialize(ByteReader* r, CellBox* out) {
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 64) return Status::Corruption("too many cell dimensions");
+  out->dims.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->dims[i].prefix_bits));
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->dims[i].prefix_len));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Does the intersection of `box` and q's range lie inside the cell union?
+bool CoveredRec(const CellBox& box, const Query& q,
+                const std::vector<CellBox>& cells,
+                const NumericSchema& schema, uint32_t depth_limit) {
+  switch (box.CoverBy(q, schema)) {
+    case CellBox::Cover::kNone:
+      return true;  // nothing of q's range in here
+    case CellBox::Cover::kFull:
+    case CellBox::Cover::kPartial:
+      break;
+  }
+  for (const CellBox& c : cells) {
+    if (c.ContainsCell(box, schema)) return true;
+  }
+  if (box.Depth() >= depth_limit) return false;
+  for (const CellBox& child : box.Split()) {
+    if (!CoveredRec(child, q, cells, schema, depth_limit)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CellsCoverQueryRange(const Query& q, const std::vector<CellBox>& cells,
+                          const NumericSchema& schema) {
+  uint32_t deepest = 0;
+  for (const CellBox& c : cells) {
+    deepest = std::max(deepest, c.Depth());
+  }
+  // One level past the deepest cell is enough: below that, every dyadic box
+  // is either inside a cell or disjoint from all of them.
+  uint32_t limit = std::min(deepest + 1, schema.bits);
+  return CoveredRec(CellBox::Root(schema), q, cells, schema, limit);
+}
+
+uint32_t IpTree::Register(const Query& q) {
+  uint32_t id = next_id_++;
+  QueryState state;
+  state.query = q;
+  queries_.emplace(id, std::move(state));
+  Rebuild();
+  return id;
+}
+
+void IpTree::Deregister(uint32_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  it->second.active = false;
+  Rebuild();
+}
+
+std::vector<uint32_t> IpTree::ActiveQueryIds() const {
+  std::vector<uint32_t> out;
+  for (const auto& [id, state] : queries_) {
+    if (state.active) out.push_back(id);
+  }
+  return out;
+}
+
+size_t IpTree::NodeCount() const { return nodes_.size(); }
+
+void IpTree::Rebuild() {
+  nodes_.clear();
+  for (auto& [id, state] : queries_) {
+    state.cells.clear();
+    state.indexable = true;
+  }
+
+  Node root;
+  root.box = CellBox::Root(schema_);
+  for (auto& [id, state] : queries_) {
+    if (!state.active) continue;
+    CellBox::Cover cover = root.box.CoverBy(state.query, schema_);
+    if (cover == CellBox::Cover::kFull) {
+      root.full.push_back(id);
+    } else if (cover == CellBox::Cover::kPartial) {
+      root.partial.push_back(id);
+    }
+    // kNone cannot happen at the root unless the query range is empty — the
+    // root covers the whole space.
+  }
+  nodes_.push_back(std::move(root));
+
+  // Algorithm 6: BFS split while partial queries remain.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (uint32_t qid : nodes_[i].full) {
+      queries_.at(qid).cells.push_back(nodes_[i].box);
+    }
+    if (nodes_[i].partial.empty()) continue;
+    size_t fanout = size_t{1} << schema_.dims;
+    if (nodes_[i].box.Depth() >= options_.max_depth ||
+        nodes_[i].box.Depth() >= schema_.bits ||
+        nodes_.size() + fanout > options_.max_nodes) {
+      for (uint32_t qid : nodes_[i].partial) {
+        queries_.at(qid).indexable = false;
+      }
+      continue;
+    }
+    std::vector<CellBox> child_boxes = nodes_[i].box.Split();
+    std::vector<int32_t> child_ids;
+    for (CellBox& cb : child_boxes) {
+      Node child;
+      child.box = std::move(cb);
+      for (uint32_t qid : nodes_[i].partial) {
+        CellBox::Cover cover = child.box.CoverBy(queries_.at(qid).query,
+                                                 schema_);
+        if (cover == CellBox::Cover::kFull) {
+          child.full.push_back(qid);
+        } else if (cover == CellBox::Cover::kPartial) {
+          child.partial.push_back(qid);
+        }
+      }
+      child_ids.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(std::move(child));
+    }
+    nodes_[i].children = std::move(child_ids);
+  }
+}
+
+}  // namespace vchain::sub

@@ -1,0 +1,155 @@
+// The inverted prefix tree (IP-Tree) over subscription queries (§7.1,
+// Fig 8, Algorithm 6).
+//
+// A 2^d-ary dyadic grid tree over the numeric space. Each node keeps
+//   RCIF — every registered query intersecting the cell, tagged full/partial;
+//   BCIF — for full-cover queries, the inverted file clause -> query ids,
+//          so one set-disjointness decision (and proof) serves all queries
+//          sharing the clause.
+// Nodes split until no partial query remains or the depth cap is reached;
+// queries still partial at a capped leaf are marked non-indexable and fall
+// back to individual processing (the paper's "switch back" rule).
+//
+// The tree itself is engine-agnostic classification machinery; the
+// subscription manager (subscription.h) attaches digests and proofs.
+
+#ifndef VCHAIN_SUB_IP_TREE_H_
+#define VCHAIN_SUB_IP_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+
+namespace vchain::sub {
+
+using accum::Multiset;
+using chain::DyadicRange;
+using chain::NumericSchema;
+using core::Query;
+
+/// A d-dimensional dyadic grid cell.
+struct CellBox {
+  std::vector<DyadicRange> dims;  // one prefix per dimension
+
+  bool operator==(const CellBox&) const = default;
+
+  /// Whole-space root box.
+  static CellBox Root(const NumericSchema& schema) {
+    CellBox b;
+    b.dims.assign(schema.dims, DyadicRange{0, 0});
+    return b;
+  }
+
+  uint32_t Depth() const { return dims.empty() ? 0 : dims[0].prefix_len; }
+
+  /// trans(cell): the per-dimension prefix elements identifying the cell.
+  /// An object lies in the cell iff its prefix set contains all of them; a
+  /// node multiset intersects the cell's candidate set per dimension.
+  Multiset PrefixMultiset(const NumericSchema& schema) const {
+    Multiset m;
+    for (uint32_t d = 0; d < dims.size(); ++d) {
+      m.Add(accum::EncodePrefix(d, dims[d].prefix_bits, dims[d].prefix_len,
+                                schema.bits));
+    }
+    return m;
+  }
+
+  /// The 2^d children (each dimension halved).
+  std::vector<CellBox> Split() const;
+
+  /// Relation to a query's range box ([lo, hi] per dim, missing dims = full).
+  enum class Cover { kNone, kPartial, kFull };
+  Cover CoverBy(const Query& q, const NumericSchema& schema) const;
+
+  /// True iff this cell contains the point `v`.
+  bool ContainsPoint(const std::vector<uint64_t>& v,
+                     const NumericSchema& schema) const;
+
+  /// True iff `other` is fully inside this cell.
+  bool ContainsCell(const CellBox& other, const NumericSchema& schema) const;
+
+  void Serialize(ByteWriter* w) const;
+  static Status Deserialize(ByteReader* r, CellBox* out);
+};
+
+/// Geometric completeness check used by the subscription verifier: does the
+/// union of `cells` cover the whole intersection of query q's range box with
+/// the space? Implemented by recursive dyadic subdivision; `cells` are
+/// dyadic, so recursion bottoms out at their granularity.
+bool CellsCoverQueryRange(const Query& q, const std::vector<CellBox>& cells,
+                          const NumericSchema& schema);
+
+/// The IP-Tree.
+class IpTree {
+ public:
+  struct Options {
+    uint32_t max_depth = 6;  ///< grid levels below the root
+    /// Hard cap on grid nodes. Each split fans out 2^dims children, so
+    /// high-dimensional spaces explode combinatorially; once the budget is
+    /// reached, still-partial queries fall back to individual processing
+    /// (same escape hatch as the depth cap).
+    size_t max_nodes = 4096;
+  };
+
+  explicit IpTree(const NumericSchema& schema)
+      : IpTree(schema, Options()) {}
+  IpTree(const NumericSchema& schema, Options options)
+      : schema_(schema), options_(options) {}
+
+  /// Register a subscription query; returns its id.
+  uint32_t Register(const Query& q);
+  void Deregister(uint32_t query_id);
+
+  const Query& QueryOf(uint32_t id) const { return queries_.at(id).query; }
+  bool IsActive(uint32_t id) const {
+    return queries_.count(id) && queries_.at(id).active;
+  }
+  /// Queries the grid could not fully resolve (partial at a capped leaf).
+  bool IsIndexable(uint32_t id) const { return queries_.at(id).indexable; }
+
+  std::vector<uint32_t> ActiveQueryIds() const;
+
+  /// The terminal cells of query `id`: the grid cells it fully covers, whose
+  /// union equals its range box (when indexable).
+  const std::vector<CellBox>& TerminalCells(uint32_t id) const {
+    return queries_.at(id).cells;
+  }
+
+  /// Grid statistics (for tests/benches).
+  size_t NodeCount() const;
+
+ private:
+  struct QueryState {
+    Query query;
+    bool active = true;
+    bool indexable = true;
+    std::vector<CellBox> cells;
+  };
+
+  struct Node {
+    CellBox box;
+    std::vector<uint32_t> full;     // RCIF entries with full cover
+    std::vector<uint32_t> partial;  // RCIF entries with partial cover
+    std::vector<int32_t> children;  // empty for leaves
+  };
+
+  /// (Re)build the grid from all active queries (Algorithm 6). Registration
+  /// and deregistration are infrequent relative to block arrivals, so a full
+  /// rebuild keeps the structure canonical.
+  void Rebuild();
+
+  NumericSchema schema_;
+  Options options_;
+  std::map<uint32_t, QueryState> queries_;
+  uint32_t next_id_ = 0;
+  std::vector<Node> nodes_;
+
+  friend class IpTreeTestPeer;
+};
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_IP_TREE_H_

@@ -1,0 +1,178 @@
+// Wire format for subscription notifications and lazy batches. The
+// "accumulated VO size" series of Figs 13-15 is measured on these bytes.
+
+#ifndef VCHAIN_SUB_SUB_SERDE_H_
+#define VCHAIN_SUB_SUB_SERDE_H_
+
+#include "sub/subscription.h"
+
+namespace vchain::sub {
+
+template <typename Engine>
+void SerializeSubVoNode(const Engine& e, const SubVoNode<Engine>& n,
+                        ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(n.kind));
+  e.SerializeDigest(n.digest, w);
+  switch (n.kind) {
+    case VoKind::kMatch:
+      w->PutU32(n.object_ref);
+      break;
+    case VoKind::kMismatch:
+      w->PutFixed(crypto::HashSpan(n.inner_hash));
+      w->PutU32(static_cast<uint32_t>(n.exclusions.size()));
+      for (const SubExclusion<Engine>& ex : n.exclusions) {
+        w->PutBool(ex.is_cell);
+        if (ex.is_cell) {
+          ex.cell.Serialize(w);
+        } else {
+          w->PutU32(ex.clause_idx);
+        }
+        e.SerializeProof(ex.proof, w);
+      }
+      break;
+    case VoKind::kExpand:
+      w->PutU32(static_cast<uint32_t>(n.left));
+      w->PutU32(static_cast<uint32_t>(n.right));
+      break;
+  }
+}
+
+template <typename Engine>
+Status DeserializeSubVoNode(const Engine& e, ByteReader* r,
+                            SubVoNode<Engine>* out) {
+  uint8_t kind = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU8(&kind));
+  if (kind > 2) return Status::Corruption("bad sub VO node kind");
+  out->kind = static_cast<VoKind>(kind);
+  VCHAIN_RETURN_IF_ERROR(e.DeserializeDigest(r, &out->digest));
+  switch (out->kind) {
+    case VoKind::kMatch:
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->object_ref));
+      break;
+    case VoKind::kMismatch: {
+      Bytes buf;
+      VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+      std::copy(buf.begin(), buf.end(), out->inner_hash.begin());
+      uint32_t n_ex = 0;
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_ex));
+      if (n_ex > 1u << 16) return Status::Corruption("too many exclusions");
+      out->exclusions.resize(n_ex);
+      for (uint32_t i = 0; i < n_ex; ++i) {
+        SubExclusion<Engine>& ex = out->exclusions[i];
+        VCHAIN_RETURN_IF_ERROR(r->GetBool(&ex.is_cell));
+        if (ex.is_cell) {
+          VCHAIN_RETURN_IF_ERROR(CellBox::Deserialize(r, &ex.cell));
+        } else {
+          VCHAIN_RETURN_IF_ERROR(r->GetU32(&ex.clause_idx));
+        }
+        VCHAIN_RETURN_IF_ERROR(e.DeserializeProof(r, &ex.proof));
+      }
+      break;
+    }
+    case VoKind::kExpand: {
+      uint32_t l = 0, rr = 0;
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&l));
+      VCHAIN_RETURN_IF_ERROR(r->GetU32(&rr));
+      out->left = static_cast<int32_t>(l);
+      out->right = static_cast<int32_t>(rr);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeSubNotification(const Engine& e,
+                              const SubNotification<Engine>& notif,
+                              ByteWriter* w) {
+  w->PutU32(notif.query_id);
+  w->PutU64(notif.height);
+  w->PutU32(static_cast<uint32_t>(notif.objects.size()));
+  for (const Object& o : notif.objects) o.Serialize(w);
+  w->PutU32(static_cast<uint32_t>(notif.nodes.size()));
+  for (const SubVoNode<Engine>& n : notif.nodes) SerializeSubVoNode(e, n, w);
+  w->PutU32(static_cast<uint32_t>(notif.root));
+}
+
+template <typename Engine>
+Status DeserializeSubNotification(const Engine& e, ByteReader* r,
+                                  SubNotification<Engine>* out) {
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->query_id));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->height));
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 22) return Status::Corruption("too many objects");
+  out->objects.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VCHAIN_RETURN_IF_ERROR(Object::Deserialize(r, &out->objects[i]));
+  }
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 22) return Status::Corruption("too many nodes");
+  out->nodes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VCHAIN_RETURN_IF_ERROR(DeserializeSubVoNode(e, r, &out->nodes[i]));
+  }
+  uint32_t root = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&root));
+  out->root = static_cast<int32_t>(root);
+  return Status::OK();
+}
+
+template <typename Engine>
+void SerializeLazyBatch(const Engine& e, const LazyBatch<Engine>& b,
+                        ByteWriter* w) {
+  w->PutU32(b.query_id);
+  w->PutBool(b.has_pending);
+  if (b.has_pending) {
+    w->PutU64(b.from_height);
+    w->PutU64(b.to_height);
+    w->PutU32(b.clause_idx);
+    w->PutU32(static_cast<uint32_t>(b.units.size()));
+    for (const auto& unit : b.units) {
+      if (std::holds_alternative<typename LazyBatch<Engine>::BlockUnit>(
+              unit)) {
+        const auto& bu =
+            std::get<typename LazyBatch<Engine>::BlockUnit>(unit);
+        w->PutU8(0);
+        w->PutU64(bu.height);
+        w->PutFixed(crypto::HashSpan(bu.inner_hash));
+        e.SerializeDigest(bu.digest, w);
+      } else {
+        const auto& su = std::get<typename LazyBatch<Engine>::SkipUnit>(unit);
+        w->PutU8(1);
+        w->PutU64(su.from_height);
+        w->PutU32(su.level);
+        w->PutU64(su.distance);
+        e.SerializeDigest(su.digest, w);
+        w->PutU32(static_cast<uint32_t>(su.other_entry_hashes.size()));
+        for (const chain::Hash32& h : su.other_entry_hashes) {
+          w->PutFixed(crypto::HashSpan(h));
+        }
+      }
+    }
+    w->PutBool(b.agg_proof.has_value());
+    if (b.agg_proof) e.SerializeProof(*b.agg_proof, w);
+  }
+  w->PutBool(b.match.has_value());
+  if (b.match) SerializeSubNotification(e, *b.match, w);
+}
+
+/// Serialized sizes for the benchmark metrics.
+template <typename Engine>
+size_t SubNotificationByteSize(const Engine& e,
+                               const SubNotification<Engine>& n) {
+  ByteWriter w;
+  SerializeSubNotification(e, n, &w);
+  return w.size();
+}
+
+template <typename Engine>
+size_t LazyBatchByteSize(const Engine& e, const LazyBatch<Engine>& b) {
+  ByteWriter w;
+  SerializeLazyBatch(e, b, &w);
+  return w.size();
+}
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_SUB_SERDE_H_

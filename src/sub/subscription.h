@@ -1,0 +1,484 @@
+// Verifiable subscription queries (§7).
+//
+// The SP registers standing queries and, per newly mined block, publishes to
+// every subscriber either matching objects plus a proof tree, or evidence
+// that nothing matched. Two publication disciplines:
+//
+//   * realtime — every block produces a per-query notification carrying a
+//     pruned proof tree (like the time-window BlockVO, but mismatch nodes
+//     may be excluded either by a CNF clause or by grid *cells* — "no object
+//     under this node lies in cell C" — which lets different queries share
+//     one proof);
+//   * lazy (§7.2, Algorithm 5) — consecutive all-mismatch blocks are stacked
+//     and consolidated through the inter-block skip list; one aggregated
+//     disjointness proof (acc2's ProofSum/Sum) covers the entire run when a
+//     match finally flushes it. Lazy requires an aggregating engine.
+//
+// Proof sharing across queries (§7.1's motivation) happens through a
+// content-keyed decision memo + proof cache: one (index node, clause/cell)
+// disjointness decision and proof serves every query that needs it. The
+// IP-Tree provides the grid cells, query classification, and fallback
+// handling for queries the grid cannot resolve.
+
+#ifndef VCHAIN_SUB_SUBSCRIPTION_H_
+#define VCHAIN_SUB_SUBSCRIPTION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/processor.h"
+#include "sub/ip_tree.h"
+
+namespace vchain::sub {
+
+using chain::Object;
+using core::Block;
+using core::ChainConfig;
+using core::IndexMode;
+using core::MappedQueryView;
+using core::ProofCache;
+using core::TransformedQuery;
+using core::VoKind;
+
+/// How a mismatch node excludes a query's results.
+template <typename Engine>
+struct SubExclusion {
+  bool is_cell = false;
+  uint32_t clause_idx = 0;  ///< when !is_cell: index into the query's CNF
+  CellBox cell;             ///< when is_cell: proven-object-free grid cell
+  typename Engine::Proof proof;
+};
+
+template <typename Engine>
+struct SubVoNode {
+  VoKind kind = VoKind::kExpand;
+  typename Engine::ObjectDigest digest;
+  uint32_t object_ref = 0;                       // kMatch
+  chain::Hash32 inner_hash{};                    // kMismatch
+  std::vector<SubExclusion<Engine>> exclusions;  // kMismatch
+  int32_t left = -1, right = -1;                 // kExpand
+};
+
+/// Per-(query, block) realtime notification.
+template <typename Engine>
+struct SubNotification {
+  uint32_t query_id = 0;
+  uint64_t height = 0;
+  std::vector<Object> objects;
+  std::vector<SubVoNode<Engine>> nodes;
+  int32_t root = -1;
+};
+
+/// Lazy-mode batch: proves blocks [from_height, to_height] had no results
+/// (all excluded by one clause), optionally followed by a fully-processed
+/// match block at to_height + 1.
+template <typename Engine>
+struct LazyBatch {
+  struct BlockUnit {
+    uint64_t height = 0;
+    chain::Hash32 inner_hash{};
+    typename Engine::ObjectDigest digest;
+  };
+  struct SkipUnit {
+    uint64_t from_height = 0;  ///< block owning the skip entry
+    uint32_t level = 0;
+    uint64_t distance = 0;
+    typename Engine::ObjectDigest digest;
+    std::vector<chain::Hash32> other_entry_hashes;
+  };
+  using Unit = std::variant<BlockUnit, SkipUnit>;
+
+  uint32_t query_id = 0;
+  bool has_pending = false;
+  uint64_t from_height = 0, to_height = 0;
+  uint32_t clause_idx = 0;  ///< shared exclusion clause for all units
+  std::vector<Unit> units;  ///< ascending heights, covering [from, to]
+  std::optional<typename Engine::Proof> agg_proof;
+
+  std::optional<SubNotification<Engine>> match;  ///< the flushing block
+};
+
+template <typename Engine>
+class SubscriptionManager {
+ public:
+  struct Options {
+    bool use_ip_tree = true;  ///< share decisions/proofs across queries
+    bool lazy = false;        ///< Algorithm 5 (requires aggregation support)
+    /// Prove range mismatches with grid-cell disjointness (sharable across
+    /// queries with different ranges) before falling back to the query's own
+    /// range-cover clause. Both strategies are sound; a range clause always
+    /// exists, so this is purely a proof-sharing policy.
+    bool prefer_cell_exclusions = false;
+    IpTree::Options ip;
+  };
+
+  SubscriptionManager(const Engine& engine, const ChainConfig& config,
+                      Options options)
+      : engine_(engine),
+        config_(config),
+        options_(options),
+        ip_tree_(config.schema, options.ip) {}
+
+  /// Register a subscription; returns the query id.
+  uint32_t Subscribe(const Query& q) {
+    uint32_t id = ip_tree_.Register(q);
+    QueryRuntime rt;
+    rt.tq = core::TransformQuery(q, config_.schema);
+    rt.view = std::make_unique<MappedQueryView>(engine_, rt.tq);
+    rt.first_keyword_clause = q.ranges.size();
+    runtime_.emplace(id, std::move(rt));
+    return id;
+  }
+
+  void Unsubscribe(uint32_t id) {
+    ip_tree_.Deregister(id);
+    runtime_.erase(id);
+  }
+
+  const IpTree& ip_tree() const { return ip_tree_; }
+
+  /// Realtime processing of a newly confirmed block: one notification per
+  /// active query.
+  std::vector<SubNotification<Engine>> ProcessBlock(
+      const Block<Engine>& block) {
+    std::vector<SubNotification<Engine>> out;
+    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
+      out.push_back(BuildNotification(block, id));
+    }
+    return out;
+  }
+
+  /// Lazy processing (acc2 only): returns batches for queries flushed by
+  /// this block (matches); silent queries keep accumulating.
+  std::vector<LazyBatch<Engine>> ProcessBlockLazy(const Block<Engine>& block) {
+    static_assert(Engine::kSupportsAggregation,
+                  "lazy authentication requires an aggregating engine");
+    std::vector<LazyBatch<Engine>> out;
+    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
+      const QueryRuntime& rt = runtime_.at(id);
+      LazyState& state = lazy_state_[id];
+      const Multiset& root_w = RootW(block);
+      int clause = rt.view->FindDisjointClauseFrom(engine_, root_w,
+                                                   rt.first_keyword_clause);
+      if (clause >= 0) {
+        AppendPending(block, id, static_cast<uint32_t>(clause), &state, &out);
+      } else {
+        // Root matches: flush pending evidence + full proof tree now.
+        LazyBatch<Engine> batch = FlushState(id, &state);
+        batch.match = BuildNotification(block, id);
+        out.push_back(std::move(batch));
+      }
+    }
+    return out;
+  }
+
+  /// Flush all pending lazy runs (subscription period end / deregistration).
+  std::vector<LazyBatch<Engine>> FlushAll() {
+    std::vector<LazyBatch<Engine>> out;
+    for (auto& [id, state] : lazy_state_) {
+      if (!state.units.empty()) {
+        out.push_back(FlushState(id, &state));
+      }
+    }
+    return out;
+  }
+
+  const typename ProofCache<Engine>::Stats& cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  struct QueryRuntime {
+    TransformedQuery tq;
+    std::unique_ptr<MappedQueryView> view;
+    /// Index of the first keyword clause (range covers precede keywords in
+    /// TransformQuery's clause order); clause search starts here so shared
+    /// keyword proofs are preferred over per-query range proofs.
+    size_t first_keyword_clause = 0;
+  };
+
+  struct LazyState {
+    uint32_t clause_idx = 0;
+    Multiset w_sum;
+    std::vector<typename LazyBatch<Engine>::Unit> units;
+    // Parallel bookkeeping for skip consolidation: heights of trailing
+    // consecutive block units.
+    std::vector<uint64_t> trailing_blocks;
+  };
+
+  static const Multiset& RootW(const Block<Engine>& block) {
+    return block.block_w;
+  }
+
+  // --- realtime ---------------------------------------------------------
+
+  SubNotification<Engine> BuildNotification(const Block<Engine>& block,
+                                            uint32_t query_id) {
+    SubNotification<Engine> notif;
+    notif.query_id = query_id;
+    notif.height = block.header.height;
+    if (config_.mode == IndexMode::kNil || block.root_index < 0) {
+      // Flat fallback: every leaf individually.
+      for (size_t i = 0; i < block.objects.size(); ++i) {
+        notif.nodes.push_back(LeafNode(block, static_cast<int32_t>(i),
+                                       query_id, &notif));
+      }
+      notif.root = -1;
+    } else {
+      notif.root = EmitSubtree(block, block.root_index, query_id, &notif);
+    }
+    return notif;
+  }
+
+  SubVoNode<Engine> LeafNode(const Block<Engine>& block, int32_t obj_idx,
+                             uint32_t query_id,
+                             SubNotification<Engine>* notif) {
+    const QueryRuntime& rt = runtime_.at(query_id);
+    SubVoNode<Engine> n;
+    n.digest = block.leaf_digests[obj_idx];
+    const Multiset& w = block.object_ws[obj_idx];
+    if (rt.view->Matches(engine_, w)) {
+      n.kind = VoKind::kMatch;
+      n.object_ref = static_cast<uint32_t>(notif->objects.size());
+      notif->objects.push_back(block.objects[obj_idx]);
+    } else {
+      n.kind = VoKind::kMismatch;
+      n.inner_hash = block.objects[obj_idx].Hash();
+      FillExclusions(w, n.digest, query_id, &n);
+    }
+    return n;
+  }
+
+  /// True iff every terminal cell of the query avoids `w` (then cell
+  /// exclusions jointly exclude the query's whole range).
+  bool AllCellsDisjoint(uint32_t query_id, const Multiset& w) {
+    if (!ip_tree_.IsIndexable(query_id)) return false;
+    const auto& cells = ip_tree_.TerminalCells(query_id);
+    if (cells.empty()) return false;
+    for (const CellBox& c : cells) {
+      if (CellIntersects(w, c)) return false;
+    }
+    return true;
+  }
+
+  int32_t EmitSubtree(const Block<Engine>& block, int32_t node_idx,
+                      uint32_t query_id, SubNotification<Engine>* notif) {
+    const QueryRuntime& rt = runtime_.at(query_id);
+    const core::IndexNode<Engine>& u = block.nodes[node_idx];
+    // Prunable?
+    bool cell_prunable =
+        options_.prefer_cell_exclusions && AllCellsDisjoint(query_id, u.w);
+    int clause = cell_prunable
+                     ? -1
+                     : rt.view->FindDisjointClauseFrom(
+                           engine_, u.w, rt.first_keyword_clause);
+    if (clause < 0 && !cell_prunable) {
+      cell_prunable = !options_.prefer_cell_exclusions &&
+                      AllCellsDisjoint(query_id, u.w);
+    }
+    SubVoNode<Engine> n;
+    n.digest = u.digest;
+    if (clause >= 0 || cell_prunable) {
+      n.kind = VoKind::kMismatch;
+      n.inner_hash = u.IsLeaf()
+                         ? block.objects[u.object_index].Hash()
+                         : crypto::HashPair(block.nodes[u.left].hash,
+                                            block.nodes[u.right].hash);
+      if (clause >= 0) {
+        AddClauseExclusion(u.w, n.digest, query_id,
+                           static_cast<uint32_t>(clause), &n);
+      } else {
+        for (const CellBox& c : ip_tree_.TerminalCells(query_id)) {
+          AddCellExclusion(u.w, n.digest, c, &n);
+        }
+      }
+      notif->nodes.push_back(std::move(n));
+      return static_cast<int32_t>(notif->nodes.size()) - 1;
+    }
+    if (u.IsLeaf()) {
+      notif->nodes.push_back(LeafNode(block, u.object_index, query_id, notif));
+      return static_cast<int32_t>(notif->nodes.size()) - 1;
+    }
+    n.kind = VoKind::kExpand;
+    n.left = EmitSubtree(block, u.left, query_id, notif);
+    n.right = EmitSubtree(block, u.right, query_id, notif);
+    notif->nodes.push_back(std::move(n));
+    return static_cast<int32_t>(notif->nodes.size()) - 1;
+  }
+
+  /// Leaf-level exclusions, honoring the cell-vs-clause policy. A range
+  /// mismatch always has a disjoint range-cover clause, so cells are an
+  /// optional sharing strategy, never a necessity.
+  void FillExclusions(const Multiset& w,
+                      const typename Engine::ObjectDigest& digest,
+                      uint32_t query_id, SubVoNode<Engine>* n) {
+    const QueryRuntime& rt = runtime_.at(query_id);
+    if (options_.prefer_cell_exclusions && AllCellsDisjoint(query_id, w)) {
+      for (const CellBox& c : ip_tree_.TerminalCells(query_id)) {
+        AddCellExclusion(w, digest, c, n);
+      }
+      return;
+    }
+    int clause = rt.view->FindDisjointClauseFrom(engine_, w,
+                                                 rt.first_keyword_clause);
+    assert(clause >= 0);
+    AddClauseExclusion(w, digest, query_id, static_cast<uint32_t>(clause), n);
+  }
+
+  void AddClauseExclusion(const Multiset& w,
+                          const typename Engine::ObjectDigest& digest,
+                          uint32_t query_id, uint32_t clause_idx,
+                          SubVoNode<Engine>* n) {
+    const QueryRuntime& rt = runtime_.at(query_id);
+    auto proof = Prove(digest, w, rt.tq.clauses[clause_idx]);
+    SubExclusion<Engine> ex;
+    ex.is_cell = false;
+    ex.clause_idx = clause_idx;
+    ex.proof = std::move(proof);
+    n->exclusions.push_back(std::move(ex));
+  }
+
+  void AddCellExclusion(const Multiset& w,
+                        const typename Engine::ObjectDigest& digest,
+                        const CellBox& cell, SubVoNode<Engine>* n) {
+    Multiset set = cell.PrefixMultiset(config_.schema);
+    auto proof = Prove(digest, w, set);
+    SubExclusion<Engine> ex;
+    ex.is_cell = true;
+    ex.cell = cell;
+    ex.proof = std::move(proof);
+    n->exclusions.push_back(std::move(ex));
+  }
+
+  bool CellIntersects(const Multiset& w, const CellBox& cell) {
+    Multiset set = cell.PrefixMultiset(config_.schema);
+    return accum::MappedIntersects(engine_, w, set);
+  }
+
+  typename Engine::Proof Prove(const typename Engine::ObjectDigest& digest,
+                               const Multiset& w, const Multiset& set) {
+    if (options_.use_ip_tree) {
+      auto proof = cache_.GetOrProve(engine_, digest, w, set);
+      assert(proof.ok());
+      return proof.TakeValue();
+    }
+    // nip: no cross-query sharing — always recompute.
+    auto proof = engine_.ProveDisjoint(w, set);
+    assert(proof.ok());
+    return proof.TakeValue();
+  }
+
+  // --- lazy --------------------------------------------------------------
+
+  void AppendPending(const Block<Engine>& block, uint32_t query_id,
+                     uint32_t clause_idx, LazyState* state,
+                     std::vector<LazyBatch<Engine>>* out) {
+    if (!state->units.empty() && state->clause_idx != clause_idx) {
+      out->push_back(FlushState(query_id, state));
+    }
+    state->clause_idx = clause_idx;
+    // Try consolidating the trailing run through this block's skip list
+    // (largest distance first), then push this block's own unit.
+    if (config_.mode == IndexMode::kBoth) {
+      for (size_t li = block.skips.size(); li-- > 0;) {
+        const core::SkipEntry<Engine>& skip = block.skips[li];
+        if (state->trailing_blocks.size() < skip.distance) continue;
+        // The trailing `distance` block units must be exactly the previous
+        // `distance` heights (contiguity).
+        uint64_t h = block.header.height;
+        bool contiguous = true;
+        size_t nb = state->trailing_blocks.size();
+        for (uint64_t k = 0; k < skip.distance; ++k) {
+          if (state->trailing_blocks[nb - 1 - k] != h - 1 - k) {
+            contiguous = false;
+            break;
+          }
+        }
+        if (!contiguous) continue;
+        // The skip's summed multiset must still avoid the clause.
+        const QueryRuntime& rt = runtime_.at(query_id);
+        if (rt.view->ClauseIntersects(engine_, skip.w, clause_idx)) continue;
+        // Replace the run with one skip unit.
+        for (uint64_t k = 0; k < skip.distance; ++k) {
+          state->units.pop_back();
+          state->trailing_blocks.pop_back();
+        }
+        typename LazyBatch<Engine>::SkipUnit su;
+        su.from_height = block.header.height;
+        su.level = static_cast<uint32_t>(li);
+        su.distance = skip.distance;
+        su.digest = skip.digest;
+        for (size_t other = 0; other < block.skips.size(); ++other) {
+          if (other != li) {
+            su.other_entry_hashes.push_back(block.skips[other].entry_hash);
+          }
+        }
+        state->units.emplace_back(std::move(su));
+        break;
+      }
+    }
+    typename LazyBatch<Engine>::BlockUnit bu;
+    bu.height = block.header.height;
+    const core::IndexNode<Engine>& root = block.nodes[block.root_index];
+    bu.inner_hash = root.IsLeaf()
+                        ? block.objects[root.object_index].Hash()
+                        : crypto::HashPair(block.nodes[root.left].hash,
+                                           block.nodes[root.right].hash);
+    bu.digest = root.digest;
+    state->units.emplace_back(std::move(bu));
+    state->trailing_blocks.push_back(block.header.height);
+    state->w_sum = state->w_sum.SumWith(RootW(block));
+  }
+
+  LazyBatch<Engine> FlushState(uint32_t query_id, LazyState* state) {
+    LazyBatch<Engine> batch;
+    batch.query_id = query_id;
+    if (!state->units.empty()) {
+      batch.has_pending = true;
+      batch.clause_idx = state->clause_idx;
+      batch.units = std::move(state->units);
+      // Heights covered: derive from the unit list.
+      batch.from_height = UnitLow(batch.units.front());
+      batch.to_height = UnitHigh(batch.units.back());
+      const QueryRuntime& rt = runtime_.at(query_id);
+      auto digest = engine_.Digest(state->w_sum);
+      auto proof = cache_.GetOrProve(engine_, digest, state->w_sum,
+                                     rt.tq.clauses[batch.clause_idx]);
+      assert(proof.ok());
+      batch.agg_proof = proof.TakeValue();
+    }
+    *state = LazyState{};
+    return batch;
+  }
+
+  static uint64_t UnitLow(const typename LazyBatch<Engine>::Unit& u) {
+    if (std::holds_alternative<typename LazyBatch<Engine>::BlockUnit>(u)) {
+      return std::get<typename LazyBatch<Engine>::BlockUnit>(u).height;
+    }
+    const auto& s = std::get<typename LazyBatch<Engine>::SkipUnit>(u);
+    return s.from_height - s.distance;
+  }
+  static uint64_t UnitHigh(const typename LazyBatch<Engine>::Unit& u) {
+    if (std::holds_alternative<typename LazyBatch<Engine>::BlockUnit>(u)) {
+      return std::get<typename LazyBatch<Engine>::BlockUnit>(u).height;
+    }
+    const auto& s = std::get<typename LazyBatch<Engine>::SkipUnit>(u);
+    return s.from_height - 1;
+  }
+
+  Engine engine_;
+  ChainConfig config_;
+  Options options_;
+  IpTree ip_tree_;
+  std::map<uint32_t, QueryRuntime> runtime_;
+  std::map<uint32_t, LazyState> lazy_state_;
+  ProofCache<Engine> cache_;
+};
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_SUBSCRIPTION_H_

@@ -1,0 +1,110 @@
+// Synthetic workloads mirroring the paper's three evaluation datasets (§9).
+//
+// The originals (Foursquare check-ins, Kaggle hourly weather, a 14-day
+// Ethereum transaction extract) are not redistributable offline, so each
+// generator reproduces the *statistics that drive query/verification cost*:
+// objects per block, numeric dimensionality and spread, keywords per object,
+// vocabulary size and skew (Zipf), and cross-object similarity. Everything
+// is seeded and deterministic. See DESIGN.md "Substitutions".
+//
+//   4SQ — 2-d (longitude, latitude) points clustered around urban hot
+//         spots; ~2 venue keywords from a skewed vocabulary; ~125 checkins
+//         per 30 s block in the paper, scaled by `objects_per_block`.
+//   WX  — 7 numeric sensors (temperature, humidity, ...) per city, 36
+//         objects per hourly block; ~2 skewed weather-description keywords;
+//         high cross-object similarity (neighboring cities, stable weather).
+//   ETH — 1 numeric amount (heavy-tailed); ~2 address keywords drawn from a
+//         heavy-tailed account popularity distribution; ~12 transactions
+//         per 15 s block; low cross-object similarity.
+
+#ifndef VCHAIN_WORKLOAD_DATASETS_H_
+#define VCHAIN_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/object.h"
+#include "chain/transform.h"
+#include "common/rand.h"
+#include "core/query.h"
+
+namespace vchain::workload {
+
+using chain::NumericSchema;
+using chain::Object;
+using core::Query;
+
+enum class DatasetKind { k4SQ, kWX, kETH };
+
+const char* DatasetName(DatasetKind kind);
+
+/// Per-dataset shape parameters (paper defaults; benches scale them down).
+struct DatasetProfile {
+  DatasetKind kind = DatasetKind::k4SQ;
+  NumericSchema schema;
+  size_t objects_per_block = 16;
+  uint64_t block_interval = 30;  ///< seconds between blocks
+  uint64_t base_time = 1'000'000;
+  size_t keywords_per_object = 2;
+  size_t vocabulary = 512;       ///< distinct keyword universe
+  double zipf_skew = 0.9;
+  /// Default evaluation knobs from §9: numeric-range selectivity and the
+  /// size of the disjunctive Boolean clause.
+  double default_selectivity = 0.10;
+  size_t default_clause_size = 3;
+  size_t range_dims_per_query = 1;
+};
+
+/// Paper-faithful profiles (with a scale knob for block fan-out).
+DatasetProfile Profile4SQ(size_t objects_per_block = 16);
+DatasetProfile ProfileWX(size_t objects_per_block = 16);
+DatasetProfile ProfileETH(size_t objects_per_block = 8);
+DatasetProfile ProfileFor(DatasetKind kind, size_t objects_per_block);
+
+/// Zipf-distributed sampler over [0, n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew);
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Deterministic dataset generator: streams blocks of objects.
+class DatasetGenerator {
+ public:
+  DatasetGenerator(const DatasetProfile& profile, uint64_t seed);
+
+  /// Objects for block at the given height (timestamps filled in).
+  std::vector<Object> NextBlock();
+
+  /// A random query matching the profile's attribute shape: numeric ranges
+  /// with roughly `selectivity` per-dimension coverage and one disjunctive
+  /// keyword clause of `clause_size` vocabulary words (§9 defaults).
+  Query MakeQuery(double selectivity, size_t clause_size,
+                  uint64_t time_start, uint64_t time_end);
+  Query MakeDefaultQuery(uint64_t time_start, uint64_t time_end);
+
+  const DatasetProfile& profile() const { return profile_; }
+  uint64_t TimestampOfBlock(uint64_t height) const {
+    return profile_.base_time + height * profile_.block_interval;
+  }
+
+ private:
+  std::string KeywordOf(size_t index) const;
+  uint64_t SampleNumeric(uint32_t dim);
+
+  DatasetProfile profile_;
+  Rng rng_;
+  Rng query_rng_;
+  ZipfSampler keyword_sampler_;
+  uint64_t next_height_ = 0;
+  uint64_t next_id_ = 0;
+  // Cluster centers (4SQ hot spots / WX city baselines).
+  std::vector<std::vector<uint64_t>> centers_;
+};
+
+}  // namespace vchain::workload
+
+#endif  // VCHAIN_WORKLOAD_DATASETS_H_

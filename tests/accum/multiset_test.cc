@@ -1,0 +1,173 @@
+// Multiset semantics: union (max), sum (add), intersection, Jaccard, serde.
+
+#include "accum/multiset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+
+namespace vchain::accum {
+namespace {
+
+TEST(MultisetTest, AddAndCount) {
+  Multiset m;
+  m.Add(5);
+  m.Add(5, 2);
+  m.Add(3);
+  EXPECT_EQ(m.CountOf(5), 3u);
+  EXPECT_EQ(m.CountOf(3), 1u);
+  EXPECT_EQ(m.CountOf(99), 0u);
+  EXPECT_EQ(m.DistinctSize(), 2u);
+  EXPECT_EQ(m.TotalSize(), 4u);
+  EXPECT_TRUE(m.Contains(3));
+  EXPECT_FALSE(m.Contains(4));
+}
+
+TEST(MultisetTest, EntriesSorted) {
+  Multiset m{9, 1, 5, 1};
+  ASSERT_EQ(m.entries().size(), 3u);
+  EXPECT_EQ(m.entries()[0].element, 1u);
+  EXPECT_EQ(m.entries()[0].count, 2u);
+  EXPECT_EQ(m.entries()[1].element, 5u);
+  EXPECT_EQ(m.entries()[2].element, 9u);
+}
+
+TEST(MultisetTest, UnionTakesMax) {
+  Multiset a;
+  a.Add(1, 3);
+  a.Add(2, 1);
+  Multiset b;
+  b.Add(1, 1);
+  b.Add(3, 5);
+  Multiset u = a.UnionWith(b);
+  EXPECT_EQ(u.CountOf(1), 3u);
+  EXPECT_EQ(u.CountOf(2), 1u);
+  EXPECT_EQ(u.CountOf(3), 5u);
+}
+
+TEST(MultisetTest, SumAddsCounts) {
+  Multiset a;
+  a.Add(1, 3);
+  a.Add(2, 1);
+  Multiset b;
+  b.Add(1, 1);
+  b.Add(3, 5);
+  Multiset s = a.SumWith(b);
+  EXPECT_EQ(s.CountOf(1), 4u);
+  EXPECT_EQ(s.CountOf(2), 1u);
+  EXPECT_EQ(s.CountOf(3), 5u);
+  EXPECT_EQ(s.TotalSize(), a.TotalSize() + b.TotalSize());
+}
+
+TEST(MultisetTest, Intersects) {
+  Multiset a{1, 2, 3};
+  Multiset b{4, 5};
+  Multiset c{3, 4};
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_FALSE(a.Intersects(Multiset{}));
+  EXPECT_FALSE(Multiset{}.Intersects(Multiset{}));
+}
+
+TEST(MultisetTest, JaccardBasics) {
+  Multiset a{1, 2};
+  Multiset b{1, 2};
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0);
+  Multiset c{3, 4};
+  EXPECT_DOUBLE_EQ(a.Jaccard(c), 0.0);
+  Multiset d{1, 3};
+  EXPECT_DOUBLE_EQ(a.Jaccard(d), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Multiset{}.Jaccard(Multiset{}), 1.0);
+}
+
+TEST(MultisetTest, JaccardUsesMultiplicity) {
+  Multiset a;
+  a.Add(1, 4);
+  Multiset b;
+  b.Add(1, 2);
+  // min/max = 2/4.
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.5);
+}
+
+TEST(MultisetTest, UnionSumCommute) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Multiset a, b;
+    for (int k = 0; k < 10; ++k) a.Add(rng.Range(0, 8), rng.Range(1, 3));
+    for (int k = 0; k < 10; ++k) b.Add(rng.Range(0, 8), rng.Range(1, 3));
+    EXPECT_EQ(a.UnionWith(b), b.UnionWith(a));
+    EXPECT_EQ(a.SumWith(b), b.SumWith(a));
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    EXPECT_DOUBLE_EQ(a.Jaccard(b), b.Jaccard(a));
+  }
+}
+
+TEST(MultisetTest, SerdeRoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    Multiset m;
+    int n = static_cast<int>(rng.Range(0, 20));
+    for (int k = 0; k < n; ++k) m.Add(rng.Next(), rng.Range(1, 4));
+    ByteWriter w;
+    m.Serialize(&w);
+    ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+    Multiset back;
+    ASSERT_TRUE(Multiset::Deserialize(&r, &back).ok());
+    EXPECT_EQ(back, m);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(MultisetTest, DeserializeRejectsUnsorted) {
+  ByteWriter w;
+  w.PutU32(2);
+  w.PutU64(9);
+  w.PutU32(1);
+  w.PutU64(3);  // out of order
+  w.PutU32(1);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  Multiset out;
+  EXPECT_FALSE(Multiset::Deserialize(&r, &out).ok());
+}
+
+TEST(MultisetTest, DeserializeRejectsZeroCount) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU64(9);
+  w.PutU32(0);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  Multiset out;
+  EXPECT_FALSE(Multiset::Deserialize(&r, &out).ok());
+}
+
+TEST(MultisetTest, DeserializeRejectsTruncation) {
+  Multiset m{1, 2, 3};
+  ByteWriter w;
+  m.Serialize(&w);
+  Bytes full = w.TakeBytes();
+  Bytes cut(full.begin(), full.end() - 3);
+  ByteReader r(ByteSpan(cut.data(), cut.size()));
+  Multiset out;
+  EXPECT_FALSE(Multiset::Deserialize(&r, &out).ok());
+}
+
+TEST(ElementTest, KeywordEncodingStable) {
+  EXPECT_EQ(EncodeKeyword("Sedan"), EncodeKeyword("Sedan"));
+  EXPECT_NE(EncodeKeyword("Sedan"), EncodeKeyword("Van"));
+  // Prefix namespace must not collide with keywords.
+  EXPECT_NE(EncodeKeyword("p"), EncodePrefix(0, 0, 1, 8));
+}
+
+TEST(ElementTest, PrefixEncodingDistinguishesEverything) {
+  // Same bits, different dim / length / width must differ.
+  Element base = EncodePrefix(0, 0b10, 2, 8);
+  EXPECT_NE(base, EncodePrefix(1, 0b10, 2, 8));
+  EXPECT_NE(base, EncodePrefix(0, 0b10, 3, 8));
+  EXPECT_NE(base, EncodePrefix(0, 0b11, 2, 8));
+  EXPECT_NE(base, EncodePrefix(0, 0b10, 2, 16));
+  EXPECT_EQ(base, EncodePrefix(0, 0b10, 2, 8));
+}
+
+}  // namespace
+}  // namespace vchain::accum

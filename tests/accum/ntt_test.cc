@@ -1,0 +1,105 @@
+// NTT over Fr: root-of-unity structure, transform round trips, and exact
+// agreement between NTT and schoolbook polynomial multiplication.
+
+#include "accum/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "accum/polynomial.h"
+#include "common/rand.h"
+
+namespace vchain::accum {
+namespace {
+
+std::vector<Fr> RandCoeffs(Rng* rng, size_t n) {
+  std::vector<Fr> out(n);
+  for (Fr& x : out) x = Fr::FromUint64(rng->Next());
+  return out;
+}
+
+TEST(NttTest, RootOfUnityOrders) {
+  // w_k has exact order 2^k: w_k^(2^k) == 1 and w_k^(2^(k-1)) == -1.
+  for (uint32_t log_size : {1u, 4u, 10u, 28u}) {
+    Fr w = NttRootOfUnity(log_size);
+    Fr acc = w;
+    for (uint32_t i = 0; i < log_size - 1; ++i) acc = acc.Square();
+    EXPECT_EQ(acc, Fr::One().Neg()) << "log_size=" << log_size;
+    EXPECT_EQ(acc.Square(), Fr::One());
+  }
+  // Consistency across sizes: w_k = w_{k+1}^2.
+  EXPECT_EQ(NttRootOfUnity(10), NttRootOfUnity(11).Square());
+}
+
+TEST(NttTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  for (size_t n : {2u, 8u, 64u, 256u}) {
+    std::vector<Fr> a = RandCoeffs(&rng, n);
+    std::vector<Fr> copy = a;
+    NttForward(&copy);
+    NttInverse(&copy);
+    EXPECT_EQ(copy, a) << "n=" << n;
+  }
+}
+
+TEST(NttTest, TransformOfDeltaIsAllOnes) {
+  std::vector<Fr> delta(16, Fr::Zero());
+  delta[0] = Fr::One();
+  NttForward(&delta);
+  for (const Fr& x : delta) EXPECT_EQ(x, Fr::One());
+}
+
+TEST(NttTest, MultiplyMatchesSchoolbook) {
+  Rng rng(2);
+  for (int round = 0; round < 12; ++round) {
+    size_t na = 1 + rng.Below(120);
+    size_t nb = 1 + rng.Below(120);
+    std::vector<Fr> a = RandCoeffs(&rng, na);
+    std::vector<Fr> b = RandCoeffs(&rng, nb);
+    std::vector<Fr> school(na + nb - 1, Fr::Zero());
+    for (size_t i = 0; i < na; ++i) {
+      for (size_t j = 0; j < nb; ++j) school[i + j] += a[i] * b[j];
+    }
+    EXPECT_EQ(NttMultiply(a, b), school) << "na=" << na << " nb=" << nb;
+  }
+}
+
+TEST(NttTest, MultiplyEdgeCases) {
+  EXPECT_TRUE(NttMultiply({}, {Fr::One()}).empty());
+  // Constant * constant.
+  auto r = NttMultiply({Fr::FromUint64(6)}, {Fr::FromUint64(7)});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], Fr::FromUint64(42));
+}
+
+TEST(NttTest, PolyMultiplicationConsistentAcrossCrossover) {
+  // Products straddling the schoolbook/NTT threshold must agree with
+  // evaluation homomorphism at random points.
+  Rng rng(3);
+  for (size_t n : {20u, 40u, 80u, 300u}) {
+    std::vector<Fr> ra, rb;
+    for (size_t i = 0; i < n; ++i) ra.push_back(Fr::FromUint64(rng.Next()));
+    for (size_t i = 0; i < n / 2; ++i) rb.push_back(Fr::FromUint64(rng.Next()));
+    Poly a = Poly::FromShiftedRoots(ra);
+    Poly b = Poly::FromShiftedRoots(rb);
+    Poly prod = a * b;
+    EXPECT_EQ(prod.Degree(), a.Degree() + b.Degree());
+    Fr x = Fr::FromUint64(rng.Next());
+    EXPECT_EQ(prod.Eval(x), a.Eval(x) * b.Eval(x)) << "n=" << n;
+  }
+}
+
+TEST(NttTest, LargeFromShiftedRootsEvaluates) {
+  // 2^11 roots: exercises deep divide-and-conquer over the NTT path.
+  Rng rng(4);
+  std::vector<Fr> roots;
+  for (int i = 0; i < 2048; ++i) roots.push_back(Fr::FromUint64(rng.Next()));
+  Poly p = Poly::FromShiftedRoots(roots);
+  EXPECT_EQ(p.Degree(), 2048);
+  // P(-root) == 0 for a sampled root; P(fresh) != 0.
+  EXPECT_TRUE(p.Eval(roots[1000].Neg()).IsZero());
+  EXPECT_FALSE(p.Eval(Fr::FromUint64(123456789)).IsZero());
+  EXPECT_EQ(p.Leading(), Fr::One());
+}
+
+}  // namespace
+}  // namespace vchain::accum

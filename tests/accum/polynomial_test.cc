@@ -1,0 +1,136 @@
+// Polynomial arithmetic over Fr: ring laws, division, XGCD / Bezout.
+
+#include "accum/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+
+namespace vchain::accum {
+namespace {
+
+Poly RandPoly(Rng* rng, int degree) {
+  std::vector<Fr> c(degree + 1);
+  for (Fr& x : c) x = Fr::FromUint64(rng->Next() | 1);
+  return Poly(std::move(c));
+}
+
+TEST(PolyTest, ConstantAndZero) {
+  EXPECT_TRUE(Poly::Zero().IsZero());
+  EXPECT_EQ(Poly::Zero().Degree(), -1);
+  Poly one = Poly::Constant(Fr::One());
+  EXPECT_EQ(one.Degree(), 0);
+  EXPECT_EQ(one.Eval(Fr::FromUint64(123)), Fr::One());
+  EXPECT_TRUE(Poly::Constant(Fr::Zero()).IsZero());
+}
+
+TEST(PolyTest, FromShiftedRootsEvaluates) {
+  // P(Z) = (Z+2)(Z+3); P(1) = 12, P(0) = 6.
+  Poly p = Poly::FromShiftedRoots({Fr::FromUint64(2), Fr::FromUint64(3)});
+  EXPECT_EQ(p.Degree(), 2);
+  EXPECT_EQ(p.Eval(Fr::FromUint64(1)), Fr::FromUint64(12));
+  EXPECT_EQ(p.Eval(Fr::Zero()), Fr::FromUint64(6));
+  // Root at -2.
+  EXPECT_TRUE(p.Eval(Fr::FromUint64(2).Neg()).IsZero());
+}
+
+TEST(PolyTest, FromShiftedRootsEmpty) {
+  Poly p = Poly::FromShiftedRoots({});
+  EXPECT_EQ(p.Degree(), 0);
+  EXPECT_EQ(p.Eval(Fr::FromUint64(99)), Fr::One());
+}
+
+TEST(PolyTest, RingLaws) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    Poly a = RandPoly(&rng, static_cast<int>(rng.Range(0, 8)));
+    Poly b = RandPoly(&rng, static_cast<int>(rng.Range(0, 8)));
+    Poly c = RandPoly(&rng, static_cast<int>(rng.Range(0, 8)));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Poly::Zero());
+    // Evaluation is a ring homomorphism.
+    Fr x = Fr::FromUint64(rng.Next());
+    EXPECT_EQ((a * b).Eval(x), a.Eval(x) * b.Eval(x));
+    EXPECT_EQ((a + b).Eval(x), a.Eval(x) + b.Eval(x));
+  }
+}
+
+TEST(PolyTest, DivRemIdentity) {
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    Poly a = RandPoly(&rng, static_cast<int>(rng.Range(0, 12)));
+    Poly d = RandPoly(&rng, static_cast<int>(rng.Range(0, 6)));
+    Poly q, r;
+    a.DivRem(d, &q, &r);
+    EXPECT_EQ(q * d + r, a);
+    EXPECT_LT(r.Degree(), d.Degree() == -1 ? 0 : d.Degree());
+  }
+}
+
+TEST(PolyTest, DivRemSmallerDividend) {
+  Poly a = Poly::Constant(Fr::FromUint64(5));
+  Poly d = Poly::FromShiftedRoots({Fr::FromUint64(1), Fr::FromUint64(2)});
+  Poly q, r;
+  a.DivRem(d, &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r, a);
+}
+
+TEST(PolyTest, XgcdBezoutIdentity) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Poly a = RandPoly(&rng, static_cast<int>(rng.Range(1, 10)));
+    Poly b = RandPoly(&rng, static_cast<int>(rng.Range(1, 10)));
+    Poly g, u, v;
+    PolyXgcd(a, b, &g, &u, &v);
+    EXPECT_EQ(a * u + b * v, g);
+    EXPECT_EQ(g.Leading(), Fr::One());  // monic
+  }
+}
+
+TEST(PolyTest, XgcdFindsCommonRoot) {
+  // a = (Z+5)(Z+7), b = (Z+5)(Z+9): gcd = (Z+5).
+  Poly a = Poly::FromShiftedRoots({Fr::FromUint64(5), Fr::FromUint64(7)});
+  Poly b = Poly::FromShiftedRoots({Fr::FromUint64(5), Fr::FromUint64(9)});
+  Poly g, u, v;
+  PolyXgcd(a, b, &g, &u, &v);
+  EXPECT_EQ(g, Poly::FromShiftedRoots({Fr::FromUint64(5)}));
+}
+
+TEST(PolyTest, BezoutForCoprimeSucceedsOnDisjointRoots) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Fr> ra, rb;
+    for (int k = 0; k < 6; ++k) ra.push_back(Fr::FromUint64(100 + k));
+    for (int k = 0; k < 3; ++k) rb.push_back(Fr::FromUint64(200 + k));
+    Poly a = Poly::FromShiftedRoots(ra);
+    Poly b = Poly::FromShiftedRoots(rb);
+    Poly u, v;
+    ASSERT_TRUE(PolyBezoutForCoprime(a, b, &u, &v).ok());
+    EXPECT_EQ(a * u + b * v, Poly::Constant(Fr::One()));
+  }
+}
+
+TEST(PolyTest, BezoutForCoprimeFailsOnSharedRoot) {
+  Poly a = Poly::FromShiftedRoots({Fr::FromUint64(5), Fr::FromUint64(7)});
+  Poly b = Poly::FromShiftedRoots({Fr::FromUint64(7)});
+  Poly u, v;
+  Status st = PolyBezoutForCoprime(a, b, &u, &v);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(PolyTest, RepeatedRootsStillCoprimeWhenDisjoint) {
+  // Multisets allow multiplicity: (Z+5)^3 vs (Z+7)^2 are still coprime.
+  Poly a = Poly::FromShiftedRoots(
+      {Fr::FromUint64(5), Fr::FromUint64(5), Fr::FromUint64(5)});
+  Poly b = Poly::FromShiftedRoots({Fr::FromUint64(7), Fr::FromUint64(7)});
+  Poly u, v;
+  ASSERT_TRUE(PolyBezoutForCoprime(a, b, &u, &v).ok());
+  EXPECT_EQ(a * u + b * v, Poly::Constant(Fr::One()));
+}
+
+}  // namespace
+}  // namespace vchain::accum

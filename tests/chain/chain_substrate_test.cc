@@ -1,0 +1,180 @@
+// Merkle tree, PoW, headers, light-client sync.
+
+#include <gtest/gtest.h>
+
+#include "chain/light_client.h"
+#include "chain/merkle.h"
+#include "chain/pow.h"
+#include "common/rand.h"
+
+namespace vchain::chain {
+namespace {
+
+Hash32 LeafOf(uint64_t i) {
+  ByteWriter w;
+  w.PutU64(i);
+  return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+TEST(MerkleTest, EmptyAndSingle) {
+  EXPECT_EQ(MerkleRootOf({}), Hash32{});
+  Hash32 leaf = LeafOf(1);
+  EXPECT_EQ(MerkleRootOf({leaf}), leaf);
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<Hash32> leaves;
+  for (uint64_t i = 0; i < 7; ++i) leaves.push_back(LeafOf(i));
+  Hash32 root = MerkleRootOf(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = LeafOf(100 + i);
+    EXPECT_NE(MerkleRootOf(mutated), root) << i;
+  }
+}
+
+TEST(MerkleTest, ProofsVerifyForAllSizesAndIndexes) {
+  for (size_t n = 1; n <= 18; ++n) {
+    std::vector<Hash32> leaves;
+    for (uint64_t i = 0; i < n; ++i) leaves.push_back(LeafOf(i));
+    Hash32 root = MerkleRootOf(leaves);
+    for (uint32_t idx = 0; idx < n; ++idx) {
+      MerkleProof proof = MerkleProve(leaves, idx);
+      EXPECT_TRUE(MerkleVerify(root, leaves[idx], proof))
+          << "n=" << n << " idx=" << idx;
+      // Wrong leaf rejected.
+      EXPECT_FALSE(MerkleVerify(root, LeafOf(999), proof));
+    }
+  }
+}
+
+TEST(MerkleTest, ProofSerdeRoundTrip) {
+  std::vector<Hash32> leaves;
+  for (uint64_t i = 0; i < 11; ++i) leaves.push_back(LeafOf(i));
+  MerkleProof proof = MerkleProve(leaves, 6);
+  ByteWriter w;
+  proof.Serialize(&w);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  MerkleProof back;
+  ASSERT_TRUE(MerkleProof::Deserialize(&r, &back).ok());
+  EXPECT_TRUE(MerkleVerify(MerkleRootOf(leaves), leaves[6], back));
+}
+
+TEST(PowTest, ZeroDifficultyAlwaysPasses) {
+  BlockHeader h;
+  EXPECT_TRUE(CheckPow(h, PowConfig{0}));
+}
+
+TEST(PowTest, MiningSatisfiesDifficulty) {
+  BlockHeader h;
+  h.height = 3;
+  h.timestamp = 99;
+  PowConfig config{8};
+  uint64_t attempts = MineNonce(&h, config);
+  EXPECT_GE(attempts, 1u);
+  EXPECT_TRUE(CheckPow(h, config));
+  EXPECT_GE(crypto::LeadingZeroBits(h.Hash()), 8);
+  // Tampering after sealing breaks the proof (with overwhelming odds).
+  BlockHeader tampered = h;
+  tampered.timestamp ^= 1;
+  // Re-check multiple fields to keep flake odds negligible (~2^-24).
+  BlockHeader t2 = h;
+  t2.height ^= 1;
+  BlockHeader t3 = h;
+  t3.object_root[0] ^= 1;
+  EXPECT_FALSE(CheckPow(tampered, config) && CheckPow(t2, config) &&
+               CheckPow(t3, config));
+}
+
+TEST(HeaderTest, SerdeRoundTrip) {
+  BlockHeader h;
+  h.height = 7;
+  h.prev_hash = LeafOf(1);
+  h.timestamp = 1234;
+  h.nonce = 999;
+  h.object_root = LeafOf(2);
+  h.skiplist_root = LeafOf(3);
+  ByteWriter w;
+  h.Serialize(&w);
+  EXPECT_EQ(w.size(), BlockHeader::kSerializedSize);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  BlockHeader back;
+  ASSERT_TRUE(BlockHeader::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.Hash(), h.Hash());
+}
+
+BlockHeader MakeHeader(uint64_t height, const Hash32& prev, uint64_t ts) {
+  BlockHeader h;
+  h.height = height;
+  h.prev_hash = prev;
+  h.timestamp = ts;
+  h.object_root = LeafOf(height);
+  return h;
+}
+
+TEST(LightClientTest, AcceptsValidChain) {
+  LightClient lc;
+  Hash32 prev{};
+  for (uint64_t i = 0; i < 10; ++i) {
+    BlockHeader h = MakeHeader(i, prev, 100 + i * 10);
+    ASSERT_TRUE(lc.SyncHeader(h).ok()) << i;
+    prev = h.Hash();
+  }
+  EXPECT_EQ(lc.Height(), 10u);
+  EXPECT_EQ(lc.HeaderAt(3).timestamp, 130u);
+}
+
+TEST(LightClientTest, RejectsBrokenLinkage) {
+  LightClient lc;
+  BlockHeader h0 = MakeHeader(0, Hash32{}, 100);
+  ASSERT_TRUE(lc.SyncHeader(h0).ok());
+  BlockHeader bad = MakeHeader(1, LeafOf(99), 110);
+  EXPECT_FALSE(lc.SyncHeader(bad).ok());
+  BlockHeader wrong_height = MakeHeader(5, h0.Hash(), 110);
+  EXPECT_FALSE(lc.SyncHeader(wrong_height).ok());
+  BlockHeader time_warp = MakeHeader(1, h0.Hash(), 50);
+  EXPECT_FALSE(lc.SyncHeader(time_warp).ok());
+}
+
+TEST(LightClientTest, RejectsBadPow) {
+  LightClient lc(PowConfig{16});
+  BlockHeader h = MakeHeader(0, Hash32{}, 100);
+  h.nonce = 0;
+  if (crypto::LeadingZeroBits(h.Hash()) >= 16) h.nonce = 1;  // de-flake
+  EXPECT_FALSE(lc.SyncHeader(h).ok());
+  MineNonce(&h, PowConfig{16});
+  EXPECT_TRUE(lc.SyncHeader(h).ok());
+}
+
+TEST(LightClientTest, HeightRangeForWindow) {
+  LightClient lc;
+  Hash32 prev{};
+  for (uint64_t i = 0; i < 10; ++i) {
+    BlockHeader h = MakeHeader(i, prev, 100 + i * 10);  // ts: 100..190
+    ASSERT_TRUE(lc.SyncHeader(h).ok());
+    prev = h.Hash();
+  }
+  auto r = lc.HeightRangeForWindow(120, 150);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 2u);
+  EXPECT_EQ(r->second, 5u);
+  // Partial overlap.
+  r = lc.HeightRangeForWindow(0, 105);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->second, 0u);
+  // Window between blocks.
+  EXPECT_FALSE(lc.HeightRangeForWindow(101, 109).has_value());
+  // Empty / inverted windows.
+  EXPECT_FALSE(lc.HeightRangeForWindow(500, 600).has_value());
+  EXPECT_FALSE(lc.HeightRangeForWindow(150, 120).has_value());
+  // Full coverage.
+  r = lc.HeightRangeForWindow(0, 1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->second, 9u);
+}
+
+}  // namespace
+}  // namespace vchain::chain

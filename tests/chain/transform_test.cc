@@ -1,0 +1,181 @@
+// trans(.) and range covers (§5.3): value-in-range <=> set intersection.
+
+#include "chain/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rand.h"
+
+namespace vchain::chain {
+namespace {
+
+bool SetsIntersect(const std::vector<accum::Element>& a,
+                   const std::vector<accum::Element>& b) {
+  std::unordered_set<accum::Element> sa(a.begin(), a.end());
+  for (accum::Element e : b) {
+    if (sa.count(e)) return true;
+  }
+  return false;
+}
+
+TEST(TransformTest, PrefixSetSizeAndDeterminism) {
+  NumericSchema schema{1, 8};
+  auto set1 = PrefixSetOf(42, 0, schema);
+  EXPECT_EQ(set1.size(), schema.bits + 1);  // root prefix included
+  EXPECT_EQ(set1, PrefixSetOf(42, 0, schema));
+  EXPECT_NE(set1, PrefixSetOf(43, 0, schema));
+  // Different dimension encodes differently.
+  EXPECT_NE(set1, PrefixSetOf(42, 1, schema));
+}
+
+TEST(TransformTest, PaperExampleRangeZeroToSix) {
+  // Fig 5: [0,6] over a 3-bit space covers {0*, 10*, 110}.
+  NumericSchema schema{1, 3};
+  auto cover = RangeCoverElements(0, 6, 0, schema);
+  std::vector<accum::Element> expected = {
+      accum::EncodePrefix(0, 0b110, 3, 3),
+      accum::EncodePrefix(0, 0b10, 2, 3),
+      accum::EncodePrefix(0, 0b0, 1, 3),
+  };
+  std::sort(cover.begin(), cover.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(cover, expected);
+}
+
+TEST(TransformTest, PaperExampleMembership) {
+  // 4 in [0,6] (shares "10*"); (4,2) not in [(0,3),(6,4)] per §5.3.
+  NumericSchema schema{1, 3};
+  EXPECT_TRUE(SetsIntersect(PrefixSetOf(4, 0, schema),
+                            RangeCoverElements(0, 6, 0, schema)));
+  NumericSchema schema2{2, 3};
+  auto obj = PrefixSetOf(4, 0, schema2);
+  auto dim2 = PrefixSetOf(2, 1, schema2);
+  obj.insert(obj.end(), dim2.begin(), dim2.end());
+  // Dimension 2 clause of the query range: y in [3,4].
+  auto clause2 = RangeCoverElements(3, 4, 1, schema2);
+  EXPECT_FALSE(SetsIntersect(obj, clause2));
+}
+
+TEST(TransformTest, FullDomainRangeMatchesEverything) {
+  NumericSchema schema{1, 6};
+  auto cover = RangeCoverElements(0, schema.MaxValue(), 0, schema);
+  ASSERT_EQ(cover.size(), 1u);  // the trie root
+  for (uint64_t v : {0ULL, 17ULL, 63ULL}) {
+    EXPECT_TRUE(SetsIntersect(PrefixSetOf(v, 0, schema), cover)) << v;
+  }
+}
+
+TEST(TransformTest, SingletonRange) {
+  NumericSchema schema{1, 8};
+  auto cover = RangeCoverElements(77, 77, 0, schema);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(SetsIntersect(PrefixSetOf(77, 0, schema), cover));
+  EXPECT_FALSE(SetsIntersect(PrefixSetOf(78, 0, schema), cover));
+}
+
+TEST(TransformTest, MembershipEquivalenceRandomized) {
+  // Property: v in [lo,hi] <=> trans(v) intersects cover([lo,hi]).
+  Rng rng(42);
+  NumericSchema schema{1, 10};
+  for (int round = 0; round < 300; ++round) {
+    uint64_t a = rng.Below(schema.DomainSize());
+    uint64_t b = rng.Below(schema.DomainSize());
+    uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    uint64_t v = rng.Below(schema.DomainSize());
+    auto cover = RangeCoverElements(lo, hi, 0, schema);
+    bool expect = (v >= lo && v <= hi);
+    EXPECT_EQ(SetsIntersect(PrefixSetOf(v, 0, schema), cover), expect)
+        << "v=" << v << " range=[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(TransformTest, CoverSizeIsLogarithmic) {
+  NumericSchema schema{1, 16};
+  Rng rng(43);
+  for (int round = 0; round < 50; ++round) {
+    uint64_t a = rng.Below(schema.DomainSize());
+    uint64_t b = rng.Below(schema.DomainSize());
+    auto cover =
+        RangeCoverElements(std::min(a, b), std::max(a, b), 0, schema);
+    EXPECT_LE(cover.size(), 2 * schema.bits);
+  }
+}
+
+TEST(TransformTest, DyadicRangeBounds) {
+  NumericSchema schema{1, 8};
+  DyadicRange r{0b10, 2};  // prefix "10": [128, 191]
+  EXPECT_EQ(r.Lo(schema), 128u);
+  EXPECT_EQ(r.Hi(schema), 191u);
+  EXPECT_TRUE(r.Contains(150, schema));
+  EXPECT_FALSE(r.Contains(192, schema));
+  DyadicRange root{0, 0};
+  EXPECT_EQ(root.Lo(schema), 0u);
+  EXPECT_EQ(root.Hi(schema), 255u);
+}
+
+TEST(TransformTest, TransformObjectCombinesDimsAndKeywords) {
+  NumericSchema schema{2, 4};
+  Object o;
+  o.numeric = {3, 9};
+  o.keywords = {"Sedan", "Benz"};
+  Multiset w = TransformObject(o, schema);
+  // 2 dims x 5 prefixes + 2 keywords = 12 distinct elements.
+  EXPECT_EQ(w.DistinctSize(), 12u);
+  EXPECT_TRUE(w.Contains(accum::EncodeKeyword("Sedan")));
+  EXPECT_FALSE(w.Contains(accum::EncodeKeyword("BMW")));
+  EXPECT_TRUE(w.Contains(accum::EncodePrefix(0, 3, 4, 4)));
+  EXPECT_TRUE(w.Contains(accum::EncodePrefix(1, 0b100, 3, 4)));
+}
+
+TEST(TransformTest, ValidateObject) {
+  NumericSchema schema{2, 8};
+  Object ok;
+  ok.numeric = {1, 255};
+  EXPECT_TRUE(ValidateObject(ok, schema).ok());
+  Object wrong_dims;
+  wrong_dims.numeric = {1};
+  EXPECT_FALSE(ValidateObject(wrong_dims, schema).ok());
+  Object too_big;
+  too_big.numeric = {1, 256};
+  EXPECT_FALSE(ValidateObject(too_big, schema).ok());
+}
+
+TEST(ObjectTest, SerdeRoundTrip) {
+  Object o;
+  o.id = 42;
+  o.timestamp = 1234567;
+  o.numeric = {7, 99};
+  o.keywords = {"alpha", "beta gamma"};
+  ByteWriter w;
+  o.Serialize(&w);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  Object back;
+  ASSERT_TRUE(Object::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back, o);
+  EXPECT_EQ(back.Hash(), o.Hash());
+}
+
+TEST(ObjectTest, HashSensitiveToEveryField) {
+  Object o;
+  o.id = 1;
+  o.numeric = {5};
+  o.keywords = {"x"};
+  Object o2 = o;
+  o2.id = 2;
+  EXPECT_NE(o.Hash(), o2.Hash());
+  Object o3 = o;
+  o3.numeric = {6};
+  EXPECT_NE(o.Hash(), o3.Hash());
+  Object o4 = o;
+  o4.keywords = {"y"};
+  EXPECT_NE(o.Hash(), o4.Hash());
+  Object o5 = o;
+  o5.timestamp = 9;
+  EXPECT_NE(o.Hash(), o5.Hash());
+}
+
+}  // namespace
+}  // namespace vchain::chain

@@ -1,0 +1,153 @@
+// Size accounting and lifecycle behaviours: ADS byte counts, VO byte
+// counts vs serialized length, subscription register/deregister flows, and
+// builder input validation.
+
+#include <gtest/gtest.h>
+
+#include "core/vchain.h"
+#include "sub/sub_serde.h"
+#include "sub/sub_verifier.h"
+#include "workload/datasets.h"
+
+namespace vchain {
+namespace {
+
+using accum::AccParams;
+using accum::KeyOracle;
+using core::ChainBuilder;
+using core::ChainConfig;
+using core::IndexMode;
+using core::Query;
+using workload::DatasetGenerator;
+using workload::DatasetProfile;
+
+template <typename Engine>
+Engine MakeEngine() {
+  return Engine(KeyOracle::Create(15, AccParams{16}));
+}
+
+TEST(AccountingTest, AdsBytesMatchesStructure) {
+  auto engine = MakeEngine<accum::MockAcc2Engine>();
+  DatasetProfile profile = workload::Profile4SQ(6);
+  for (IndexMode mode :
+       {IndexMode::kNil, IndexMode::kIntra, IndexMode::kBoth}) {
+    ChainConfig config;
+    config.mode = mode;
+    config.schema = profile.schema;
+    config.skiplist_size = 2;
+    ChainBuilder<accum::MockAcc2Engine> miner(engine, config);
+    DatasetGenerator gen(profile, 4);
+    size_t last_ads = 0;
+    for (int b = 0; b < 6; ++b) {
+      auto objs = gen.NextBlock();
+      auto st = miner.AppendBlock(objs, objs.front().timestamp);
+      ASSERT_TRUE(st.ok());
+      last_ads = st.value().ads_bytes;
+    }
+    const auto& block = miner.blocks().back();
+    size_t digest_size = engine.DigestByteSize();
+    size_t expected = block.leaf_digests.size() * digest_size;
+    if (mode != IndexMode::kNil) {
+      expected += (block.nodes.size() - block.objects.size()) *
+                  (digest_size + 32);
+    }
+    expected += block.skips.size() * (digest_size + 64);
+    EXPECT_EQ(last_ads, expected) << core::IndexModeName(mode);
+    // nil < intra < both in ADS size.
+    if (mode == IndexMode::kNil) {
+      EXPECT_EQ(block.nodes.size(), 0u);
+    }
+    if (mode == IndexMode::kBoth) {
+      EXPECT_GT(block.skips.size(), 0u);
+    }
+  }
+}
+
+TEST(AccountingTest, VoByteSizeEqualsSerializedLength) {
+  auto engine = MakeEngine<accum::MockAcc2Engine>();
+  DatasetProfile profile = workload::ProfileETH(5);
+  ChainConfig config;
+  config.mode = IndexMode::kBoth;
+  config.schema = profile.schema;
+  config.skiplist_size = 2;
+  ChainBuilder<accum::MockAcc2Engine> miner(engine, config);
+  DatasetGenerator gen(profile, 5);
+  for (int b = 0; b < 8; ++b) {
+    auto objs = gen.NextBlock();
+    ASSERT_TRUE(miner.AppendBlock(objs, objs.front().timestamp).ok());
+  }
+  core::QueryProcessor<accum::MockAcc2Engine> sp(engine, config,
+                                                 &miner.blocks());
+  Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
+                                 gen.TimestampOfBlock(7));
+  auto resp = sp.TimeWindowQuery(q);
+  ASSERT_TRUE(resp.ok());
+  ByteWriter w;
+  core::SerializeWindowVO(engine, resp.value().vo, &w);
+  EXPECT_EQ(core::VoByteSize(engine, resp.value().vo), w.size());
+  EXPECT_GT(w.size(), 0u);
+}
+
+TEST(AccountingTest, BuilderRejectsBadInput) {
+  auto engine = MakeEngine<accum::MockAcc1Engine>();
+  ChainConfig config;
+  config.schema = chain::NumericSchema{2, 8};
+  ChainBuilder<accum::MockAcc1Engine> miner(engine, config);
+  // Empty block.
+  EXPECT_FALSE(miner.AppendBlock({}, 100).ok());
+  // Wrong dimensionality.
+  chain::Object bad;
+  bad.numeric = {1};
+  EXPECT_FALSE(miner.AppendBlock({bad}, 100).ok());
+  // Good block, then a time warp.
+  chain::Object ok;
+  ok.numeric = {1, 2};
+  ok.timestamp = 100;
+  ASSERT_TRUE(miner.AppendBlock({ok}, 100).ok());
+  chain::Object late = ok;
+  late.timestamp = 50;
+  EXPECT_FALSE(miner.AppendBlock({late}, 50).ok());
+  EXPECT_EQ(miner.blocks().size(), 1u);
+}
+
+TEST(SubscriptionLifecycleTest, DeregisteredQueryStopsReceiving) {
+  auto engine = MakeEngine<accum::MockAcc2Engine>();
+  DatasetProfile profile = workload::Profile4SQ(4);
+  ChainConfig config;
+  config.mode = IndexMode::kIntra;
+  config.schema = profile.schema;
+  sub::SubscriptionManager<accum::MockAcc2Engine>::Options opts;
+  sub::SubscriptionManager<accum::MockAcc2Engine> mgr(engine, config, opts);
+  Query q;
+  q.keyword_cnf = {{"venue:1", "venue:2"}};
+  uint32_t a = mgr.Subscribe(q);
+  uint32_t b = mgr.Subscribe(q);
+  ChainBuilder<accum::MockAcc2Engine> miner(engine, config);
+  DatasetGenerator gen(profile, 6);
+  auto objs = gen.NextBlock();
+  ASSERT_TRUE(miner.AppendBlock(objs, objs.front().timestamp).ok());
+  EXPECT_EQ(mgr.ProcessBlock(miner.blocks().back()).size(), 2u);
+  mgr.Unsubscribe(a);
+  auto objs2 = gen.NextBlock();
+  ASSERT_TRUE(miner.AppendBlock(objs2, objs2.front().timestamp).ok());
+  auto notifs = mgr.ProcessBlock(miner.blocks().back());
+  ASSERT_EQ(notifs.size(), 1u);
+  EXPECT_EQ(notifs[0].query_id, b);
+}
+
+TEST(SubscriptionLifecycleTest, ResubscribeGetsFreshId) {
+  auto engine = MakeEngine<accum::MockAcc2Engine>();
+  ChainConfig config;
+  config.schema = chain::NumericSchema{1, 8};
+  sub::SubscriptionManager<accum::MockAcc2Engine>::Options opts;
+  sub::SubscriptionManager<accum::MockAcc2Engine> mgr(engine, config, opts);
+  Query q;
+  q.keyword_cnf = {{"x"}};
+  uint32_t a = mgr.Subscribe(q);
+  mgr.Unsubscribe(a);
+  uint32_t b = mgr.Subscribe(q);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace vchain

@@ -1,0 +1,93 @@
+// The multi-threaded proof-resolution pass must produce byte-identical VOs
+// to the single-threaded walk, verify cleanly, and actually run the jobs.
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+#include "core/vchain.h"
+#include "workload/datasets.h"
+
+namespace vchain::core {
+namespace {
+
+using accum::AccParams;
+using accum::KeyOracle;
+using workload::DatasetGenerator;
+using workload::DatasetProfile;
+
+template <typename Engine>
+void RunParallelEquivalence() {
+  auto oracle = KeyOracle::Create(/*seed=*/6, AccParams{16});
+  Engine engine(oracle);
+  DatasetProfile profile = workload::Profile4SQ(6);
+  ChainConfig serial_cfg;
+  serial_cfg.mode = IndexMode::kBoth;
+  serial_cfg.schema = profile.schema;
+  serial_cfg.skiplist_size = 2;
+  ChainConfig parallel_cfg = serial_cfg;
+  parallel_cfg.num_prover_threads = 4;
+
+  ChainBuilder<Engine> miner(engine, serial_cfg);
+  DatasetGenerator gen(profile, /*seed=*/8);
+  for (int b = 0; b < 10; ++b) {
+    auto objs = gen.NextBlock();
+    ASSERT_TRUE(miner.AppendBlock(objs, objs.front().timestamp).ok());
+  }
+  chain::LightClient light;
+  ASSERT_TRUE(miner.SyncLightClient(&light).ok());
+
+  QueryProcessor<Engine> serial_sp(engine, serial_cfg, &miner.blocks());
+  QueryProcessor<Engine> parallel_sp(engine, parallel_cfg, &miner.blocks());
+  Verifier<Engine> verifier(engine, serial_cfg, &light);
+
+  for (int round = 0; round < 4; ++round) {
+    Query q = gen.MakeQuery(0.1 + 0.1 * round, 3, gen.TimestampOfBlock(0),
+                            gen.TimestampOfBlock(9));
+    auto a = serial_sp.TimeWindowQuery(q);
+    auto b = parallel_sp.TimeWindowQuery(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ByteWriter wa, wb;
+    SerializeResponse(engine, a.value(), &wa);
+    SerializeResponse(engine, b.value(), &wb);
+    EXPECT_EQ(wa.bytes(), wb.bytes()) << "round " << round;
+    EXPECT_TRUE(verifier.VerifyTimeWindow(q, b.value()).ok());
+  }
+}
+
+TEST(ParallelProverTest, MockAcc1ByteIdentical) {
+  RunParallelEquivalence<accum::MockAcc1Engine>();
+}
+
+TEST(ParallelProverTest, Bn254Acc1ByteIdentical) {
+  RunParallelEquivalence<accum::Acc1Engine>();
+}
+
+TEST(ParallelProverTest, AggregatingEngineUnaffected) {
+  // acc2 uses the aggregation path; the thread option must be a no-op.
+  auto oracle = KeyOracle::Create(/*seed=*/6, AccParams{16});
+  accum::MockAcc2Engine engine(oracle);
+  DatasetProfile profile = workload::ProfileETH(4);
+  ChainConfig cfg;
+  cfg.mode = IndexMode::kIntra;
+  cfg.schema = profile.schema;
+  cfg.num_prover_threads = 8;
+  ChainBuilder<accum::MockAcc2Engine> miner(engine, cfg);
+  DatasetGenerator gen(profile, 9);
+  for (int b = 0; b < 5; ++b) {
+    auto objs = gen.NextBlock();
+    ASSERT_TRUE(miner.AppendBlock(objs, objs.front().timestamp).ok());
+  }
+  chain::LightClient light;
+  ASSERT_TRUE(miner.SyncLightClient(&light).ok());
+  QueryProcessor<accum::MockAcc2Engine> sp(engine, cfg, &miner.blocks());
+  Verifier<accum::MockAcc2Engine> verifier(engine, cfg, &light);
+  Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
+                                 gen.TimestampOfBlock(4));
+  auto resp = sp.TimeWindowQuery(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(verifier.VerifyTimeWindow(q, resp.value()).ok());
+}
+
+}  // namespace
+}  // namespace vchain::core

@@ -1,0 +1,237 @@
+// Unit tests for U256 arithmetic and the Montgomery prime fields.
+
+#include "crypto/field.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+
+namespace vchain::crypto {
+namespace {
+
+U256 RandU256Below(Rng* rng, const U256& bound) {
+  for (;;) {
+    U256 v(rng->Next(), rng->Next(), rng->Next(), rng->Next());
+    v.limb[3] &= (1ULL << 62) - 1;  // both moduli are 254-bit
+    if (v < bound) return v;
+  }
+}
+
+Fp RandFp(Rng* rng) { return Fp::FromCanonical(RandU256Below(rng, kBnP)); }
+Fr RandFr(Rng* rng) { return Fr::FromCanonical(RandU256Below(rng, kBnR)); }
+
+TEST(U256Test, HexRoundTrip) {
+  U256 v = U256FromHex("30644e72e131a029b85045b68181585d"
+                       "97816a916871ca8d3c208c16d87cfd47");
+  EXPECT_EQ(U256ToHex(v),
+            "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47");
+}
+
+TEST(U256Test, DecimalMatchesKnownModuli) {
+  U256 p;
+  ASSERT_TRUE(U256FromDecimal(
+      "218882428718392752222464057452572750886963111572978236626890378946452262"
+      "08583",
+      &p));
+  EXPECT_EQ(p, kBnP);
+  U256 r;
+  ASSERT_TRUE(U256FromDecimal(
+      "218882428718392752222464057452572750885483644004160343436982041865758084"
+      "95617",
+      &r));
+  EXPECT_EQ(r, kBnR);
+}
+
+TEST(U256Test, ModuliMatchSeedPolynomial) {
+  // p = 36u^4 + 36u^3 + 24u^2 + 6u + 1, r = p - 6u^2 (standard BN identity).
+  // Evaluate in Fr-free integer arithmetic using repeated AddInPlace.
+  auto mul_small = [](const U256& a, uint64_t m) {
+    U256 acc;
+    for (int bit = 63; bit >= 0; --bit) {
+      acc.Shl1InPlace();
+      if ((m >> bit) & 1) acc.AddInPlace(a);
+    }
+    return acc;
+  };
+  U256 u(kBnU);
+  U256 u2 = mul_small(u, kBnU);
+  // u^3 and u^4 overflow 64-bit multipliers, so square/multiply in steps:
+  // u^2 * u  via binary expansion of u over U256 addition.
+  auto mul_u256_by_u = [&](const U256& a) {
+    U256 acc;
+    for (int bit = 63; bit >= 0; --bit) {
+      acc.Shl1InPlace();
+      if ((kBnU >> bit) & 1) acc.AddInPlace(a);
+    }
+    return acc;
+  };
+  U256 u3 = mul_u256_by_u(u2);
+  U256 u4 = mul_u256_by_u(u3);
+  U256 p = mul_small(u4, 36);
+  p.AddInPlace(mul_small(u3, 36));
+  p.AddInPlace(mul_small(u2, 24));
+  p.AddInPlace(mul_small(u, 6));
+  p.AddInPlace(U256(1));
+  EXPECT_EQ(p, kBnP);
+  U256 r = p;
+  r.SubInPlace(mul_small(u2, 6));
+  EXPECT_EQ(r, kBnR);
+}
+
+TEST(U256Test, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    U256 a(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    U256 b(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    U256 c = a;
+    uint64_t carry = c.AddInPlace(b);
+    uint64_t borrow = c.SubInPlace(b);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(carry, borrow);  // overflow round-trips through the borrow
+  }
+}
+
+TEST(U256Test, DivByWord) {
+  U256 v = U256FromHex("123456789abcdef0fedcba9876543210");
+  U256 q;
+  uint64_t rem = 0;
+  DivByWord(v, 7, &q, &rem);
+  // Reconstruct q*7 + rem == v.
+  U256 back;
+  for (int i = 0; i < 3; ++i) back.AddInPlace(q);  // placeholder, replaced below
+  back = U256();
+  for (int bit = 2; bit >= 0; --bit) {
+    back.Shl1InPlace();
+    if ((7 >> bit) & 1) back.AddInPlace(q);
+  }
+  back.AddInPlace(U256(rem));
+  EXPECT_EQ(back, v);
+  EXPECT_LT(rem, 7u);
+}
+
+TEST(U256Test, BytesBERoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    U256 v(rng.Next(), rng.Next(), rng.Next(), rng.Next());
+    uint8_t buf[32];
+    U256ToBytesBE(v, buf);
+    EXPECT_EQ(U256FromBytesBE(buf), v);
+  }
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256(0).BitLength(), 0);
+  EXPECT_EQ(U256(1).BitLength(), 1);
+  EXPECT_EQ(U256(0xFF).BitLength(), 8);
+  U256 top;
+  top.limb[3] = 1ULL << 63;
+  EXPECT_EQ(top.BitLength(), 256);
+}
+
+template <typename F>
+class FieldOpsTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<Fp, Fr>;
+TYPED_TEST_SUITE(FieldOpsTest, FieldTypes);
+
+TYPED_TEST(FieldOpsTest, AdditiveGroupLaws) {
+  using F = TypeParam;
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    F a = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    F b = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    F c = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + F::Zero(), a);
+    EXPECT_EQ(a - a, F::Zero());
+    EXPECT_EQ(a + a.Neg(), F::Zero());
+  }
+}
+
+TYPED_TEST(FieldOpsTest, MultiplicativeLaws) {
+  using F = TypeParam;
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    F a = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    F b = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    F c = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * F::One(), a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.Square(), a * a);
+    EXPECT_EQ(a.Double(), a + a);
+  }
+}
+
+TYPED_TEST(FieldOpsTest, InverseAgainstFermat) {
+  using F = TypeParam;
+  Rng rng(44);
+  for (int i = 0; i < 30; ++i) {
+    F a = F::FromU256Reduce(U256(rng.Next(), rng.Next(), rng.Next(), 0));
+    if (a.IsZero()) continue;
+    F inv = a.Inverse();
+    EXPECT_EQ(a * inv, F::One());
+    // Cross-check against Fermat's little theorem exponentiation.
+    EXPECT_EQ(inv, a.Pow(F::FromCanonical(U256(0)).Modulus() == kBnP
+                             ? kFpParams.modulus_minus_two
+                             : kFrParams.modulus_minus_two));
+  }
+}
+
+TYPED_TEST(FieldOpsTest, CanonicalRoundTrip) {
+  using F = TypeParam;
+  Rng rng(45);
+  for (int i = 0; i < 50; ++i) {
+    U256 v(rng.Next(), rng.Next(), rng.Next(), 0);
+    F a = F::FromU256Reduce(v);
+    EXPECT_EQ(F::FromCanonical(a.ToCanonical()), a);
+  }
+  EXPECT_EQ(F::Zero().ToCanonical(), U256(0));
+  EXPECT_EQ(F::One().ToCanonical(), U256(1));
+}
+
+TYPED_TEST(FieldOpsTest, PowLaws) {
+  using F = TypeParam;
+  Rng rng(46);
+  F a = F::FromU256Reduce(U256(rng.Next(), rng.Next(), 0, 0));
+  EXPECT_EQ(a.Pow(U256(0)), F::One());
+  EXPECT_EQ(a.Pow(U256(1)), a);
+  EXPECT_EQ(a.Pow(U256(5)), a * a * a * a * a);
+  // a^(modulus-1) == 1 (Fermat).
+  U256 pm1 = F::Modulus();
+  pm1.SubInPlace(U256(1));
+  EXPECT_EQ(a.Pow(pm1), F::One());
+}
+
+TEST(FpTest, SqrtRoundTrip) {
+  Rng rng(47);
+  int squares = 0;
+  for (int i = 0; i < 60; ++i) {
+    Fp a = RandFp(&rng);
+    Fp sq = a.Square();
+    Fp root;
+    ASSERT_TRUE(sq.Sqrt(&root));
+    EXPECT_TRUE(root == a || root == a.Neg());
+    Fp maybe;
+    if (a.Sqrt(&maybe)) ++squares;
+  }
+  // Roughly half of field elements are squares.
+  EXPECT_GT(squares, 10);
+  EXPECT_LT(squares, 50);
+}
+
+TEST(FrTest, FromUint64) {
+  EXPECT_EQ(Fr::FromUint64(7) + Fr::FromUint64(8), Fr::FromUint64(15));
+  EXPECT_EQ(Fr::FromUint64(6) * Fr::FromUint64(7), Fr::FromUint64(42));
+}
+
+TEST(FieldParamsTest, MontgomeryConstantsConsistent) {
+  // n0inv * p[0] == -1 mod 2^64.
+  EXPECT_EQ(kFpParams.n0inv * kFpParams.modulus.limb[0], ~0ULL);
+  EXPECT_EQ(kFrParams.n0inv * kFrParams.modulus.limb[0], ~0ULL);
+}
+
+}  // namespace
+}  // namespace vchain::crypto

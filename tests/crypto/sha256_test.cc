@@ -1,0 +1,88 @@
+// SHA-256 against FIPS 180-4 / NIST CAVS known-answer vectors.
+
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace vchain::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashToHex(Sha256Digest(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashToHex(Sha256Digest(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashToHex(Sha256Digest(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(HashToHex(ctx.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "vChain: verifiable Boolean range queries over blockchain databases";
+  Sha256 ctx;
+  for (char c : msg) ctx.Update(std::string(1, c));
+  EXPECT_EQ(ctx.Finalize(), Sha256Digest(msg));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise the padding logic at block boundaries (55/56/63/64/65 bytes).
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.Update(msg);
+    Sha256 b;
+    b.Update(msg.substr(0, len / 2));
+    b.Update(msg.substr(len / 2));
+    EXPECT_EQ(a.Finalize(), b.Finalize()) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, HashPairDiffersFromConcatReversed) {
+  Hash32 a = Sha256Digest(std::string("a"));
+  Hash32 b = Sha256Digest(std::string("b"));
+  EXPECT_NE(HashPair(a, b), HashPair(b, a));
+}
+
+TEST(Sha256Test, Hash64Deterministic) {
+  EXPECT_EQ(Hash64("Sedan"), Hash64("Sedan"));
+  EXPECT_NE(Hash64("Sedan"), Hash64("Van"));
+}
+
+TEST(Sha256Test, LeadingZeroBits) {
+  Hash32 h{};
+  EXPECT_EQ(LeadingZeroBits(h), 256);
+  h[0] = 0x80;
+  EXPECT_EQ(LeadingZeroBits(h), 0);
+  h[0] = 0x01;
+  EXPECT_EQ(LeadingZeroBits(h), 7);
+  h[0] = 0x00;
+  h[1] = 0x40;
+  EXPECT_EQ(LeadingZeroBits(h), 9);
+}
+
+TEST(Sha256Test, HashLessThan) {
+  Hash32 a{};
+  Hash32 b{};
+  b[31] = 1;
+  EXPECT_TRUE(HashLessThan(a, b));
+  EXPECT_FALSE(HashLessThan(b, a));
+  EXPECT_FALSE(HashLessThan(a, a));
+}
+
+}  // namespace
+}  // namespace vchain::crypto

@@ -1,0 +1,162 @@
+// Unit tests for the Fp2 / Fp6 / Fp12 extension tower.
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+#include "crypto/fp12.h"
+
+namespace vchain::crypto {
+namespace {
+
+Fp RandFp(Rng* rng) {
+  return Fp::FromU256Reduce(U256(rng->Next(), rng->Next(), rng->Next(), 0));
+}
+Fp2 RandFp2(Rng* rng) { return Fp2(RandFp(rng), RandFp(rng)); }
+Fp6 RandFp6(Rng* rng) {
+  return Fp6(RandFp2(rng), RandFp2(rng), RandFp2(rng));
+}
+Fp12 RandFp12(Rng* rng) { return Fp12(RandFp6(rng), RandFp6(rng)); }
+
+TEST(Fp2Test, FieldLaws) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Fp2 a = RandFp2(&rng);
+    Fp2 b = RandFp2(&rng);
+    Fp2 c = RandFp2(&rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.Square(), a * a);
+    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp2::One());
+  }
+}
+
+TEST(Fp2Test, ISquaredIsMinusOne) {
+  Fp2 i(Fp::Zero(), Fp::One());
+  EXPECT_EQ(i.Square(), Fp2::One().Neg());
+}
+
+TEST(Fp2Test, ConjugateIsFrobenius) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    Fp2 a = RandFp2(&rng);
+    EXPECT_EQ(a.Pow(kFpParams.modulus), a.Conjugate());
+  }
+}
+
+TEST(Fp2Test, MulByXiMatchesExplicit) {
+  Rng rng(3);
+  Fp2 xi = Fp2::FromUint64(9, 1);
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a = RandFp2(&rng);
+    EXPECT_EQ(a.MulByXi(), a * xi);
+  }
+}
+
+TEST(Fp2Test, SqrtRoundTrip) {
+  Rng rng(4);
+  int squares = 0;
+  for (int i = 0; i < 40; ++i) {
+    Fp2 a = RandFp2(&rng);
+    Fp2 sq = a.Square();
+    Fp2 root;
+    ASSERT_TRUE(sq.Sqrt(&root)) << "square of field element must have a root";
+    EXPECT_TRUE(root == a || root == a.Neg());
+    Fp2 maybe;
+    if (a.Sqrt(&maybe)) {
+      ++squares;
+      EXPECT_EQ(maybe.Square(), a);
+    }
+  }
+  EXPECT_GT(squares, 5);
+  EXPECT_LT(squares, 35);
+}
+
+TEST(Fp6Test, FieldLaws) {
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    Fp6 a = RandFp6(&rng);
+    Fp6 b = RandFp6(&rng);
+    Fp6 c = RandFp6(&rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp6::One());
+  }
+}
+
+TEST(Fp6Test, VCubedIsXi) {
+  Fp6 v(Fp2::Zero(), Fp2::One(), Fp2::Zero());
+  Fp6 v3 = v * v * v;
+  Fp6 xi(Fp2::FromUint64(9, 1), Fp2::Zero(), Fp2::Zero());
+  EXPECT_EQ(v3, xi);
+}
+
+TEST(Fp6Test, MulByVMatchesExplicit) {
+  Rng rng(6);
+  Fp6 v(Fp2::Zero(), Fp2::One(), Fp2::Zero());
+  for (int i = 0; i < 10; ++i) {
+    Fp6 a = RandFp6(&rng);
+    EXPECT_EQ(a.MulByV(), a * v);
+  }
+}
+
+TEST(Fp12Test, FieldLaws) {
+  Rng rng(7);
+  for (int i = 0; i < 15; ++i) {
+    Fp12 a = RandFp12(&rng);
+    Fp12 b = RandFp12(&rng);
+    Fp12 c = RandFp12(&rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a.Square(), a * a);
+    if (!a.IsZero()) EXPECT_EQ(a * a.Inverse(), Fp12::One());
+  }
+}
+
+TEST(Fp12Test, WSquaredIsV) {
+  Fp12 w(Fp6::Zero(), Fp6::One());
+  Fp12 v(Fp6(Fp2::Zero(), Fp2::One(), Fp2::Zero()), Fp6::Zero());
+  EXPECT_EQ(w * w, v);
+}
+
+TEST(Fp12Test, FrobeniusMatchesPow) {
+  Rng rng(8);
+  for (int i = 0; i < 5; ++i) {
+    Fp12 a = RandFp12(&rng);
+    EXPECT_EQ(a.Frobenius(), a.Pow(kFpParams.modulus));
+  }
+}
+
+TEST(Fp12Test, FrobeniusP2Consistency) {
+  Rng rng(9);
+  Fp12 a = RandFp12(&rng);
+  EXPECT_EQ(a.FrobeniusP2(), a.Frobenius().Frobenius());
+  // Twelve applications of Frobenius are the identity.
+  Fp12 b = a;
+  for (int i = 0; i < 12; ++i) b = b.Frobenius();
+  EXPECT_EQ(b, a);
+}
+
+TEST(Fp12Test, SparseLineMulMatchesGeneric) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    Fp12 f = RandFp12(&rng);
+    Fp2 l00 = RandFp2(&rng);
+    Fp2 l10 = RandFp2(&rng);
+    Fp2 l11 = RandFp2(&rng);
+    Fp12 line(Fp6(l00, Fp2::Zero(), Fp2::Zero()),
+              Fp6(l10, l11, Fp2::Zero()));
+    EXPECT_EQ(f.MulBySparseLine(l00, l10, l11), f * line);
+  }
+}
+
+TEST(Fp12Test, PowLaws) {
+  Rng rng(11);
+  Fp12 a = RandFp12(&rng);
+  EXPECT_EQ(a.Pow(U256(0)), Fp12::One());
+  EXPECT_EQ(a.Pow(U256(3)), a * a * a);
+}
+
+}  // namespace
+}  // namespace vchain::crypto

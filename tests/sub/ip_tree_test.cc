@@ -1,0 +1,220 @@
+// IP-Tree construction & classification (Algorithm 6, Fig 8) and the
+// geometric cell-coverage check used by the subscription verifier.
+
+#include "sub/ip_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+
+namespace vchain::sub {
+namespace {
+
+using core::Query;
+using core::RangePredicate;
+
+NumericSchema Schema2D() { return NumericSchema{2, 4}; }  // 16x16 grid space
+
+Query RangeQuery(uint64_t x0, uint64_t x1, uint64_t y0, uint64_t y1) {
+  Query q;
+  q.ranges = {{0, x0, x1}, {1, y0, y1}};
+  return q;
+}
+
+TEST(CellBoxTest, RootCoversEverything) {
+  NumericSchema s = Schema2D();
+  CellBox root = CellBox::Root(s);
+  EXPECT_TRUE(root.ContainsPoint({0, 0}, s));
+  EXPECT_TRUE(root.ContainsPoint({15, 15}, s));
+  EXPECT_EQ(root.Depth(), 0u);
+}
+
+TEST(CellBoxTest, SplitProducesDisjointCover) {
+  NumericSchema s = Schema2D();
+  CellBox root = CellBox::Root(s);
+  auto children = root.Split();
+  ASSERT_EQ(children.size(), 4u);  // 2^2
+  // Every point lies in exactly one child.
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint64_t> p = {rng.Below(16), rng.Below(16)};
+    int count = 0;
+    for (const CellBox& c : children) {
+      if (c.ContainsPoint(p, s)) ++count;
+    }
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(CellBoxTest, CoverByClassification) {
+  NumericSchema s = Schema2D();
+  CellBox root = CellBox::Root(s);
+  auto children = root.Split();
+  // Quadrants: child order interleaves bits; find the lower-left quadrant
+  // ([0,7]x[0,7]) and check classifications against a query.
+  Query q = RangeQuery(0, 7, 0, 7);
+  int full = 0, none = 0, partial = 0;
+  for (const CellBox& c : children) {
+    switch (c.CoverBy(q, s)) {
+      case CellBox::Cover::kFull: ++full; break;
+      case CellBox::Cover::kNone: ++none; break;
+      case CellBox::Cover::kPartial: ++partial; break;
+    }
+  }
+  EXPECT_EQ(full, 1);
+  EXPECT_EQ(none, 3);
+  EXPECT_EQ(partial, 0);
+  // A straddling query partially covers all quadrants.
+  Query straddle = RangeQuery(4, 12, 4, 12);
+  for (const CellBox& c : children) {
+    EXPECT_EQ(c.CoverBy(straddle, s), CellBox::Cover::kPartial);
+  }
+}
+
+TEST(CellBoxTest, MissingDimensionMeansFullDomain) {
+  NumericSchema s = Schema2D();
+  Query q;
+  q.ranges = {{0, 0, 7}};  // no predicate on dim 1
+  CellBox root = CellBox::Root(s);
+  EXPECT_EQ(root.CoverBy(q, s), CellBox::Cover::kPartial);
+  Query all;
+  EXPECT_EQ(root.CoverBy(all, s), CellBox::Cover::kFull);
+}
+
+TEST(CellBoxTest, PrefixMultisetIntersectsObjectsInside) {
+  NumericSchema s = Schema2D();
+  CellBox root = CellBox::Root(s);
+  auto quad = root.Split()[0];  // some quadrant
+  Multiset cell_set = quad.PrefixMultiset(s);
+  // Any object inside the quadrant has those prefixes in its W'.
+  uint64_t x = quad.dims[0].Lo(s), y = quad.dims[1].Lo(s);
+  chain::Object inside;
+  inside.numeric = {x, y};
+  Multiset w = chain::TransformObject(inside, s);
+  EXPECT_TRUE(w.Intersects(cell_set));
+  // Count: an inside object carries *all* cell prefixes.
+  for (const Multiset::Entry& e : cell_set.entries()) {
+    EXPECT_TRUE(w.Contains(e.element));
+  }
+}
+
+TEST(CellBoxTest, SerdeRoundTrip) {
+  CellBox b;
+  b.dims = {DyadicRange{0b101, 3}, DyadicRange{0b0, 1}};
+  ByteWriter w;
+  b.Serialize(&w);
+  ByteReader r(ByteSpan(w.bytes().data(), w.bytes().size()));
+  CellBox back;
+  ASSERT_TRUE(CellBox::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back, b);
+}
+
+TEST(CoverageTest, TerminalCellsCoverQueryRange) {
+  NumericSchema s = Schema2D();
+  IpTree tree(s, IpTree::Options{/*max_depth=*/4});
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t x0 = rng.Below(16), x1 = x0 + rng.Below(16 - x0);
+    uint64_t y0 = rng.Below(16), y1 = y0 + rng.Below(16 - y0);
+    uint32_t id = tree.Register(RangeQuery(x0, x1, y0, y1));
+    ASSERT_TRUE(tree.IsIndexable(id));
+    const auto& cells = tree.TerminalCells(id);
+    EXPECT_TRUE(CellsCoverQueryRange(tree.QueryOf(id), cells, s))
+        << "q=[" << x0 << "," << x1 << "]x[" << y0 << "," << y1 << "]";
+    // Dropping any cell must break coverage (cells are minimal/terminal).
+    if (cells.size() > 1) {
+      std::vector<CellBox> missing(cells.begin() + 1, cells.end());
+      EXPECT_FALSE(CellsCoverQueryRange(tree.QueryOf(id), missing, s));
+    }
+  }
+}
+
+TEST(CoverageTest, UnrelatedCellsDoNotCover) {
+  NumericSchema s = Schema2D();
+  Query q = RangeQuery(8, 15, 8, 15);
+  // Cells covering only the opposite quadrant.
+  CellBox ll;
+  ll.dims = {DyadicRange{0, 1}, DyadicRange{0, 1}};
+  EXPECT_FALSE(CellsCoverQueryRange(q, {ll}, s));
+  // The root cell trivially covers everything.
+  EXPECT_TRUE(CellsCoverQueryRange(q, {CellBox::Root(s)}, s));
+}
+
+TEST(IpTreeTest, FullCoverQueryStopsAtRoot) {
+  NumericSchema s = Schema2D();
+  IpTree tree(s);
+  Query q;  // no range predicates: full cover everywhere
+  uint32_t id = tree.Register(q);
+  ASSERT_EQ(tree.TerminalCells(id).size(), 1u);
+  EXPECT_EQ(tree.TerminalCells(id)[0], CellBox::Root(s));
+  EXPECT_EQ(tree.NodeCount(), 1u);  // no splits needed
+}
+
+TEST(IpTreeTest, AlignedQueryGetsOneCell) {
+  NumericSchema s = Schema2D();
+  IpTree tree(s);
+  // Exactly the lower-left quadrant.
+  uint32_t id = tree.Register(RangeQuery(0, 7, 0, 7));
+  ASSERT_TRUE(tree.IsIndexable(id));
+  ASSERT_EQ(tree.TerminalCells(id).size(), 1u);
+  EXPECT_EQ(tree.TerminalCells(id)[0].Depth(), 1u);
+}
+
+TEST(IpTreeTest, DepthCapMarksNonIndexable) {
+  NumericSchema s = Schema2D();
+  IpTree tree(s, IpTree::Options{/*max_depth=*/1});
+  // A range not resolvable at depth 1.
+  uint32_t id = tree.Register(RangeQuery(3, 5, 3, 5));
+  EXPECT_FALSE(tree.IsIndexable(id));
+}
+
+TEST(IpTreeTest, NodeBudgetCapsHighDimensionalExplosion) {
+  // 7-dim spaces fan out 2^7 = 128 children per split; unconstrained
+  // splitting would allocate hundreds of millions of nodes for a handful of
+  // partial queries. The node budget must stop growth and fall back.
+  NumericSchema wide{7, 12};
+  IpTree::Options opts;
+  opts.max_depth = 6;
+  opts.max_nodes = 2000;
+  IpTree tree(wide, opts);
+  Rng rng(3);
+  for (int i = 0; i < 4; ++i) {
+    Query q;
+    for (uint32_t d = 0; d < 2; ++d) {
+      uint64_t lo = rng.Below(wide.DomainSize() / 2) + 1;
+      q.ranges.push_back(
+          core::RangePredicate{d, lo, lo + wide.DomainSize() / 3});
+    }
+    tree.Register(q);
+  }
+  EXPECT_LE(tree.NodeCount(), 2000u + 128u);
+  // Queries may be non-indexable, but remain active and processable.
+  EXPECT_EQ(tree.ActiveQueryIds().size(), 4u);
+}
+
+TEST(IpTreeTest, DeregisterRemovesQuery) {
+  NumericSchema s = Schema2D();
+  IpTree tree(s);
+  uint32_t a = tree.Register(RangeQuery(0, 7, 0, 7));
+  uint32_t b = tree.Register(RangeQuery(8, 15, 0, 7));
+  EXPECT_EQ(tree.ActiveQueryIds().size(), 2u);
+  tree.Deregister(a);
+  auto active = tree.ActiveQueryIds();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], b);
+}
+
+TEST(IpTreeTest, SharedCellsAcrossQueries) {
+  // Queries over the same quadrant produce the same terminal cell —
+  // the sharing the paper's Fig 8 illustrates.
+  NumericSchema s = Schema2D();
+  IpTree tree(s);
+  uint32_t a = tree.Register(RangeQuery(0, 7, 0, 7));
+  uint32_t b = tree.Register(RangeQuery(0, 7, 0, 7));
+  ASSERT_EQ(tree.TerminalCells(a).size(), 1u);
+  ASSERT_EQ(tree.TerminalCells(b).size(), 1u);
+  EXPECT_EQ(tree.TerminalCells(a)[0], tree.TerminalCells(b)[0]);
+}
+
+}  // namespace
+}  // namespace vchain::sub

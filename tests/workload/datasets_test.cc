@@ -1,0 +1,140 @@
+// Workload generators: determinism, schema conformance, distribution shape,
+// and query selectivity.
+
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vchain::workload {
+namespace {
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(&rng)]++;
+  // Head outweighs tail.
+  int head = counts[0] + counts[1] + counts[2];
+  int tail = 0;
+  for (int i = 50; i < 100; ++i) tail += counts[i];
+  EXPECT_GT(head, tail);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfTest, CoversSupport) {
+  ZipfSampler zipf(8, 0.5);
+  Rng rng(2);
+  std::set<size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.Sample(&rng));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+class DatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::Values(DatasetKind::k4SQ, DatasetKind::kWX,
+                                           DatasetKind::kETH),
+                         [](const auto& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+TEST_P(DatasetTest, Deterministic) {
+  DatasetProfile p = ProfileFor(GetParam(), 8);
+  DatasetGenerator a(p, 42), b(p, 42);
+  for (int blk = 0; blk < 3; ++blk) {
+    EXPECT_EQ(a.NextBlock(), b.NextBlock());
+  }
+  DatasetGenerator c(p, 43);
+  EXPECT_NE(a.NextBlock(), c.NextBlock());
+}
+
+TEST_P(DatasetTest, ObjectsConformToSchema) {
+  DatasetProfile p = ProfileFor(GetParam(), 8);
+  DatasetGenerator gen(p, 7);
+  for (int blk = 0; blk < 5; ++blk) {
+    auto objects = gen.NextBlock();
+    ASSERT_EQ(objects.size(), p.objects_per_block);
+    for (const auto& o : objects) {
+      EXPECT_TRUE(chain::ValidateObject(o, p.schema).ok());
+      EXPECT_EQ(o.keywords.size(), p.keywords_per_object);
+      EXPECT_EQ(o.timestamp, gen.TimestampOfBlock(blk));
+    }
+  }
+}
+
+TEST_P(DatasetTest, IdsUniqueAndMonotonic) {
+  DatasetProfile p = ProfileFor(GetParam(), 8);
+  DatasetGenerator gen(p, 7);
+  uint64_t prev = 0;
+  bool first = true;
+  for (int blk = 0; blk < 4; ++blk) {
+    for (const auto& o : gen.NextBlock()) {
+      if (!first) EXPECT_GT(o.id, prev);
+      prev = o.id;
+      first = false;
+    }
+  }
+}
+
+TEST_P(DatasetTest, QueriesRespectSelectivity) {
+  DatasetProfile p = ProfileFor(GetParam(), 8);
+  DatasetGenerator gen(p, 9);
+  for (double sel : {0.1, 0.5}) {
+    core::Query q = gen.MakeQuery(sel, 3, 0, 100);
+    ASSERT_EQ(q.ranges.size(), p.range_dims_per_query);
+    for (const auto& r : q.ranges) {
+      double width = static_cast<double>(r.hi - r.lo + 1);
+      double frac = width / static_cast<double>(p.schema.DomainSize());
+      EXPECT_NEAR(frac, sel, 0.01);
+      EXPECT_LE(r.hi, p.schema.MaxValue());
+    }
+    ASSERT_EQ(q.keyword_cnf.size(), 1u);
+    EXPECT_EQ(q.keyword_cnf[0].size(), 3u);
+  }
+}
+
+TEST_P(DatasetTest, QueriesEventuallyMatchSomething) {
+  DatasetProfile p = ProfileFor(GetParam(), 16);
+  DatasetGenerator gen(p, 11);
+  std::vector<chain::Object> all;
+  for (int blk = 0; blk < 20; ++blk) {
+    auto objs = gen.NextBlock();
+    all.insert(all.end(), objs.begin(), objs.end());
+  }
+  uint64_t t0 = gen.TimestampOfBlock(0), t1 = gen.TimestampOfBlock(19);
+  size_t total = 0;
+  for (int i = 0; i < 20; ++i) {
+    core::Query q = gen.MakeQuery(0.5, 8, t0, t1);
+    for (const auto& o : all) {
+      if (core::LocalMatch(o, q, p.schema)) ++total;
+    }
+  }
+  EXPECT_GT(total, 0u) << "generated queries never match: workload broken";
+}
+
+TEST(DatasetShapeTest, WxMoreSimilarThanEth) {
+  // Cross-object Jaccard similarity ordering drives the paper's index
+  // effectiveness story: WX (stable sensors) >> ETH (random transfers).
+  auto mean_similarity = [](const DatasetProfile& p, uint64_t seed) {
+    DatasetGenerator gen(p, seed);
+    auto objs = gen.NextBlock();
+    double total = 0;
+    int pairs = 0;
+    for (size_t i = 0; i < objs.size(); ++i) {
+      for (size_t j = i + 1; j < objs.size(); ++j) {
+        total += chain::TransformObject(objs[i], p.schema)
+                     .Jaccard(chain::TransformObject(objs[j], p.schema));
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  double wx = mean_similarity(ProfileWX(12), 3);
+  double eth = mean_similarity(ProfileETH(12), 3);
+  EXPECT_GT(wx, eth);
+}
+
+}  // namespace
+}  // namespace vchain::workload
