@@ -80,6 +80,68 @@ void BM_G2ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_G2ScalarMul);
 
+U256 RandScalar(Rng* rng) {
+  U256 v(rng->Next(), rng->Next(), rng->Next(), rng->Next());
+  v.limb[3] &= (1ULL << 62) - 1;
+  return Fr::FromU256Reduce(v).ToCanonical();
+}
+
+/// Full-width scalars — the acc1 polynomial-commitment workload.
+void BM_MultiScalarMulG1(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<G1Affine> bases;
+  std::vector<U256> scalars;
+  for (size_t i = 0; i < n; ++i) {
+    bases.push_back(G1Mul(Fr::FromUint64(rng.Next() | 1)).ToAffine());
+    scalars.push_back(RandScalar(&rng));
+  }
+  for (auto _ : state) {
+    G1 r = MultiScalarMul(bases, scalars);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MultiScalarMulG1)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Tiny scalars (multiplicity counts) — the acc2 digest workload.
+void BM_MultiScalarMulG1SmallScalars(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(43);
+  std::vector<G1Affine> bases;
+  std::vector<U256> scalars;
+  for (size_t i = 0; i < n; ++i) {
+    bases.push_back(G1Mul(Fr::FromUint64(rng.Next() | 1)).ToAffine());
+    scalars.push_back(U256((rng.Next() % 8) + 1));
+  }
+  for (auto _ : state) {
+    G1 r = MultiScalarMul(bases, scalars);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MultiScalarMulG1SmallScalars)->Arg(64)->Arg(256);
+
+void BM_MultiScalarMulG2(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(44);
+  std::vector<G2Affine> bases;
+  std::vector<U256> scalars;
+  for (size_t i = 0; i < n; ++i) {
+    bases.push_back(G2Mul(Fr::FromUint64(rng.Next() | 1)).ToAffine());
+    scalars.push_back(RandScalar(&rng));
+  }
+  for (auto _ : state) {
+    G2 r = MultiScalarMul(bases, scalars);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MultiScalarMulG2)->Arg(64);
+
 void BM_MillerLoop(benchmark::State& state) {
   G1Affine p = G1Mul(Fr::FromUint64(7)).ToAffine();
   G2Affine q = G2Mul(Fr::FromUint64(9)).ToAffine();

@@ -10,6 +10,7 @@
 #ifndef VCHAIN_BENCH_HARNESS_H_
 #define VCHAIN_BENCH_HARNESS_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -34,6 +35,51 @@ using core::Query;
 using workload::DatasetGenerator;
 using workload::DatasetKind;
 using workload::DatasetProfile;
+
+/// Machine-readable results alongside the human tables: every figure/table
+/// driver appends rows and flushes `BENCH_<name>.json` on destruction, so
+/// the perf trajectory can be diffed across PRs.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& name) {
+    for (char ch : name) {
+      path_ += std::isalnum(static_cast<unsigned char>(ch))
+                   ? static_cast<char>(std::tolower(static_cast<unsigned char>(ch)))
+                   : '_';
+    }
+    path_ = "BENCH_" + path_ + ".json";
+  }
+
+  /// One measurement: `op` (scheme/operation), `n` (x-axis point, e.g.
+  /// window size), median latency in ns, and throughput in ops/s.
+  void Add(const std::string& op, size_t n, double median_ns,
+           double throughput) {
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"op\": \"%s\", \"n\": %zu, \"median_ns\": %.1f, "
+                  "\"throughput\": %.4f}",
+                  op.c_str(), n, median_ns, throughput);
+    rows_.push_back(row);
+  }
+
+  ~BenchJson() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "# wrote %s (%zu rows)\n", path_.c_str(),
+                 rows_.size());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 struct Scale {
   size_t objects_per_block = 8;
@@ -137,7 +183,8 @@ QueryPoint RunTimeWindowPoint(const ChainBuilder<Engine>& builder,
   Status st = builder.SyncLightClient(&light);
   if (!st.ok()) std::abort();
   const Engine& engine = builder.engine();
-  core::QueryProcessor<Engine> sp(engine, config, &builder.blocks());
+  core::QueryProcessor<Engine> sp(engine, config, &builder.blocks(),
+                                  &builder.timestamp_index());
   core::Verifier<Engine> verifier(engine, config, &light);
 
   size_t total = builder.blocks().size();
@@ -183,6 +230,7 @@ inline void RunTimeWindowFigure(const char* figure, DatasetKind kind) {
   std::printf("%-12s %8s %12s %12s %10s %8s\n", "scheme", "window",
               "sp_cpu_s", "user_cpu_s", "vo_kb", "results");
 
+  BenchJson json(figure);
   for (const Scheme& scheme : AllSchemes()) {
     auto run = [&](auto engine_tag) {
       using Engine = decltype(engine_tag);
@@ -199,6 +247,10 @@ inline void RunTimeWindowFigure(const char* figure, DatasetKind kind) {
         std::printf("%-12s %8zu %12.4f %12.4f %10.2f %8zu\n",
                     scheme.Name().c_str(), window, p.sp_seconds,
                     p.user_seconds, p.vo_kb, p.results);
+        json.Add(scheme.Name() + "-sp", window, p.sp_seconds * 1e9,
+                 p.sp_seconds > 0 ? 1.0 / p.sp_seconds : 0);
+        json.Add(scheme.Name() + "-user", window, p.user_seconds * 1e9,
+                 p.user_seconds > 0 ? 1.0 / p.user_seconds : 0);
         std::fflush(stdout);
       }
     };

@@ -69,7 +69,8 @@ int main() {
   q.ranges = {{0, 200, 250}};
   q.keyword_cnf = {{"Sedan"}, {"Benz", "BMW"}};
 
-  core::QueryProcessor<accum::Acc2Engine> sp(engine, config, &miner.blocks());
+  core::QueryProcessor<accum::Acc2Engine> sp(engine, config, &miner.blocks(),
+                                             &miner.timestamp_index());
   auto resp = sp.TimeWindowQuery(q);
   if (!resp.ok()) return 1;
 

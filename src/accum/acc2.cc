@@ -27,7 +27,7 @@ Acc2Engine::ObjectDigest Acc2Engine::Digest(const Multiset& w) const {
     bases.push_back(oracle_->G1PowerOf(e.element));
     scalars.push_back(U256(e.count));
   }
-  return ObjectDigest{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+  return ObjectDigest{crypto::MultiScalarMul(bases, scalars, pool_).ToAffine()};
 }
 
 Acc2Engine::QueryDigest Acc2Engine::QueryDigestOf(const Multiset& clause) const {
@@ -40,7 +40,7 @@ Acc2Engine::QueryDigest Acc2Engine::QueryDigestOf(const Multiset& clause) const 
     bases.push_back(oracle_->G2PowerOf(q - e.element));
     scalars.push_back(U256(e.count));
   }
-  return QueryDigest{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+  return QueryDigest{crypto::MultiScalarMul(bases, scalars, pool_).ToAffine()};
 }
 
 Result<Acc2Engine::Proof> Acc2Engine::ProveDisjoint(
@@ -80,7 +80,7 @@ Result<Acc2Engine::Proof> Acc2Engine::ProveDisjoint(
           U256(static_cast<uint64_t>(ew.count) * ec.count));
     }
   }
-  return Proof{crypto::MultiScalarMul(bases, scalars).ToAffine()};
+  return Proof{crypto::MultiScalarMul(bases, scalars, pool_).ToAffine()};
 }
 
 bool Acc2Engine::VerifyDisjoint(const ObjectDigest& dw, const QueryDigest& dc,

@@ -76,6 +76,83 @@ Multiset Multiset::SumWith(const Multiset& o) const {
   return out;
 }
 
+namespace {
+
+/// Append-merge-coalesce: append `other` behind the existing sorted entries,
+/// restore order with an in-place merge, then fold runs of equal elements
+/// with `combine`. O(n + m), one amortized reallocation.
+template <typename Combine>
+void MergeInPlace(std::vector<Multiset::Entry>* entries,
+                  const std::vector<Multiset::Entry>& other, Combine combine) {
+  if (other.empty()) return;
+  if (entries->empty()) {
+    *entries = other;
+    return;
+  }
+  if (entries->back().element < other.front().element) {
+    entries->insert(entries->end(), other.begin(), other.end());
+    return;
+  }
+  auto mid = static_cast<std::ptrdiff_t>(entries->size());
+  entries->insert(entries->end(), other.begin(), other.end());
+  std::inplace_merge(
+      entries->begin(), entries->begin() + mid, entries->end(),
+      [](const Multiset::Entry& a, const Multiset::Entry& b) {
+        return a.element < b.element;
+      });
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size();) {
+    Multiset::Entry e = (*entries)[i++];
+    while (i < entries->size() && (*entries)[i].element == e.element) {
+      e.count = combine(e.count, (*entries)[i++].count);
+    }
+    (*entries)[out++] = e;
+  }
+  entries->resize(out);
+}
+
+}  // namespace
+
+void Multiset::SumInPlace(const Multiset& o) {
+  if (&o == this) {  // self-sum doubles every count
+    for (Entry& e : entries_) e.count *= 2;
+    return;
+  }
+  MergeInPlace(&entries_, o.entries_,
+               [](uint32_t a, uint32_t b) { return a + b; });
+}
+
+void Multiset::UnionInPlace(const Multiset& o) {
+  if (&o == this) return;  // self-union is the identity
+  MergeInPlace(&entries_, o.entries_,
+               [](uint32_t a, uint32_t b) { return std::max(a, b); });
+}
+
+void Multiset::AddAll(const std::vector<const Multiset*>& parts) {
+  if (parts.empty()) return;
+  // Pairwise tree merge: O(total * log k) instead of the O(k * total) of
+  // folding every part into one ever-growing accumulator.
+  std::vector<Multiset> level;
+  level.reserve((parts.size() + 1) / 2);
+  for (size_t i = 0; i < parts.size(); i += 2) {
+    if (i + 1 < parts.size()) {
+      level.push_back(parts[i]->SumWith(*parts[i + 1]));
+    } else {
+      level.push_back(*parts[i]);
+    }
+  }
+  while (level.size() > 1) {
+    size_t out = 0;
+    for (size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size()) level[i].SumInPlace(level[i + 1]);
+      if (out != i) level[out] = std::move(level[i]);
+      ++out;
+    }
+    level.resize(out);
+  }
+  SumInPlace(level[0]);
+}
+
 bool Multiset::Intersects(const Multiset& o) const {
   size_t i = 0, j = 0;
   while (i < entries_.size() && j < o.entries_.size()) {

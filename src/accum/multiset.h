@@ -60,6 +60,16 @@ class Multiset {
   /// Multiset sum: per-element addition of counts.
   Multiset SumWith(const Multiset& o) const;
 
+  /// In-place variants: `this <- this op o` with no fresh allocation when
+  /// the entries fit in place. The SP's per-clause aggregation and the
+  /// miner's skip-entry construction are built on these — the copying
+  /// `SumWith` form made those walks O(k^2) in total entries.
+  void SumInPlace(const Multiset& o);
+  void UnionInPlace(const Multiset& o);
+
+  /// Sum many multisets into this one (repeated in-place merge).
+  void AddAll(const std::vector<const Multiset*>& parts);
+
   /// True iff the supports share any element.
   bool Intersects(const Multiset& o) const;
 

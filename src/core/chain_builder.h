@@ -15,6 +15,7 @@
 #include "chain/light_client.h"
 #include "common/timer.h"
 #include "core/block.h"
+#include "core/timestamp_index.h"
 
 namespace vchain::core {
 
@@ -68,7 +69,7 @@ class ChainBuilder {
         leaf.object_index = static_cast<int32_t>(block.leaf_digests.size());
         block.nodes.push_back(std::move(leaf));
       }
-      block.block_w = block.block_w.UnionWith(w);
+      block.block_w.UnionInPlace(w);
       block.object_ws.push_back(std::move(w));
       block.leaf_digests.push_back(std::move(digest));
     }
@@ -99,6 +100,7 @@ class ChainBuilder {
     stats.ads_bytes = block.AdsBytes(engine_);
 
     stats.pow_attempts = chain::MineNonce(&block.header, config_.pow);
+    ts_index_.Append(block.header.timestamp);
     blocks_.push_back(std::move(block));
     return stats;
   }
@@ -106,6 +108,9 @@ class ChainBuilder {
   const std::vector<Block<Engine>>& blocks() const { return blocks_; }
   const Engine& engine() const { return engine_; }
   const ChainConfig& config() const { return config_; }
+  /// Sorted timestamp -> height index maintained alongside the chain; feed
+  /// it to QueryProcessor so window lookups are two binary searches.
+  const TimestampIndex& timestamp_index() const { return ts_index_; }
 
   /// Feed all sealed headers to a light client (Fig 3's header sync).
   Status SyncLightClient(chain::LightClient* client) const {
@@ -130,15 +135,18 @@ class ChainBuilder {
       entry.preskipped_hash = crypto::Sha256Digest(
           ByteSpan(hs.bytes().data(), hs.bytes().size()));
       if (level == 0) {
+        std::vector<const Multiset*> parts;
+        parts.reserve(static_cast<size_t>(d));
         for (uint64_t j = height - d; j < height; ++j) {
-          entry.w = entry.w.SumWith(blocks_[j].block_w);
+          parts.push_back(&blocks_[j].block_w);
         }
+        entry.w.AddAll(parts);
       } else {
         // Each level doubles the previous one's coverage: reuse the last
         // level's multiset plus the farther half.
         entry.w = block->skips[level - 1].w;
         for (uint64_t j = height - d; j < height - d / 2; ++j) {
-          entry.w = entry.w.SumWith(blocks_[j].block_w);
+          entry.w.SumInPlace(blocks_[j].block_w);
         }
       }
       if constexpr (Engine::kSupportsAggregation) {
@@ -164,6 +172,7 @@ class ChainBuilder {
   Engine engine_;
   ChainConfig config_;
   std::vector<Block<Engine>> blocks_;
+  TimestampIndex ts_index_;
 };
 
 }  // namespace vchain::core

@@ -10,21 +10,35 @@
 //
 // With an aggregating engine (acc2) the processor performs §6.3's online
 // batch verification: mismatching nodes/skips are grouped by clause, their
-// multisets summed, and a single aggregated proof per clause is emitted
-// instead of per-node proofs.
+// multisets summed in place, and a single aggregated proof per clause is
+// emitted instead of per-node proofs.
+//
+// Hot-path structure (see ROADMAP.md "Performance architecture"):
+//   * window lookup is two binary searches (TimestampIndex when provided,
+//     else directly over the monotonic block timestamps);
+//   * each node multiset is mapped through the engine once and probed
+//     against every clause from that mapping;
+//   * non-aggregating engines with num_prover_threads > 1 defer proofs and
+//     resolve the deduplicated, cache-missing set on the process-wide
+//     ThreadPool::Shared() — no threads are constructed per query;
+//   * disjointness proofs are cached across queries; pass a shared
+//     ProofCache to pool hits across processors serving the same chain
+//     (the cache is unsynchronized — share it only between processors
+//     queried from a single thread).
 
 #ifndef VCHAIN_CORE_PROCESSOR_H_
 #define VCHAIN_CORE_PROCESSOR_H_
 
-#include <atomic>
+#include <algorithm>
 #include <map>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/chain_builder.h"
 #include "core/proof_cache.h"
 #include "core/query.h"
+#include "core/timestamp_index.h"
 #include "core/vo.h"
 
 namespace vchain::core {
@@ -32,9 +46,23 @@ namespace vchain::core {
 template <typename Engine>
 class QueryProcessor {
  public:
+  /// `ts_index` (optional) is the builder-maintained timestamp index;
+  /// `shared_cache` (optional) substitutes an external cross-processor proof
+  /// cache for the internal one.
   QueryProcessor(const Engine& engine, const ChainConfig& config,
-                 const std::vector<Block<Engine>>* blocks)
-      : engine_(engine), config_(config), blocks_(blocks) {}
+                 const std::vector<Block<Engine>>* blocks,
+                 const TimestampIndex* ts_index = nullptr,
+                 ProofCache<Engine>* shared_cache = nullptr)
+      : engine_(engine),
+        config_(config),
+        blocks_(blocks),
+        ts_index_(ts_index),
+        cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
+
+  // cache_ may point at own_cache_, so a memberwise copy/move would leave
+  // the new object aiming into the source's storage.
+  QueryProcessor(const QueryProcessor&) = delete;
+  QueryProcessor& operator=(const QueryProcessor&) = delete;
 
   /// Process q over the chain; returns <R, VO>.
   Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q) {
@@ -61,7 +89,8 @@ class QueryProcessor {
               cursor - skip.distance + 1 <= range->first) {
             continue;  // would overshoot the window start
           }
-          int clause = view.FindDisjointClause(engine_, skip.w);
+          view.MapForMatch(engine_, skip.w, &mapped_w_);
+          int clause = view.FindDisjointClause(mapped_w_);
           if (clause < 0) continue;
           resp.vo.steps.push_back(MakeSkipStep(
               block, static_cast<uint32_t>(li), static_cast<uint32_t>(clause),
@@ -80,7 +109,7 @@ class QueryProcessor {
   }
 
   const typename ProofCache<Engine>::Stats& cache_stats() const {
-    return cache_.stats();
+    return cache_->stats();
   }
 
  private:
@@ -93,22 +122,44 @@ class QueryProcessor {
   /// A proof postponed for the parallel resolution pass.
   struct DeferredProof {
     Multiset w;
+    typename Engine::ObjectDigest digest;
     uint32_t clause_idx;
   };
 
   std::optional<std::pair<uint64_t, uint64_t>> FindHeightRange(
       uint64_t ts, uint64_t te) const {
-    std::optional<std::pair<uint64_t, uint64_t>> out;
-    for (uint64_t h = 0; h < blocks_->size(); ++h) {
-      uint64_t t = (*blocks_)[h].header.timestamp;
-      if (t < ts || t > te) continue;
-      if (!out) {
-        out = {h, h};
-      } else {
-        out->second = h;
+    if (ts_index_ != nullptr) {
+      // The index may momentarily trail the block vector (miner appending
+      // while we serve); fall through to the direct search in that case.
+      if (ts_index_->size() == blocks_->size()) {
+        return ts_index_->HeightRange(ts, te);
       }
     }
-    return out;
+    // Timestamps are monotonic by construction, so binary-search the blocks
+    // directly: first height with t >= ts, last with t <= te.
+    if (ts > te || blocks_->empty()) return std::nullopt;
+    auto ts_of = [this](uint64_t h) { return (*blocks_)[h].header.timestamp; };
+    uint64_t lo = 0, hi = blocks_->size();
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (ts_of(mid) < ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    uint64_t first = lo;
+    hi = blocks_->size();
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (ts_of(mid) <= te) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (first == lo) return std::nullopt;
+    return std::make_pair(first, lo - 1);
   }
 
   typename WindowVO<Engine>::Step ProcessBlock(const Block<Engine>& block,
@@ -135,12 +186,13 @@ class QueryProcessor {
       VoNode<Engine> node;
       node.digest = block.leaf_digests[i];
       const Multiset& w = block.object_ws[i];
-      if (view.Matches(engine_, w)) {
+      view.MapForMatch(engine_, w, &mapped_w_);
+      if (view.Matches(mapped_w_)) {
         node.kind = VoKind::kMatch;
         node.object_ref = static_cast<uint32_t>(resp->objects.size());
         resp->objects.push_back(block.objects[i]);
       } else {
-        int clause = view.FindDisjointClause(engine_, w);
+        int clause = view.FindDisjointClause(mapped_w_);
         FillMismatch(block.objects[i].Hash(), node.digest, w,
                      static_cast<uint32_t>(clause), tq, agg, &node);
       }
@@ -156,7 +208,8 @@ class QueryProcessor {
     const IndexNode<Engine>& n = block.nodes[node_idx];
     VoNode<Engine> vn;
     vn.digest = n.digest;
-    if (view.Matches(engine_, n.w)) {
+    view.MapForMatch(engine_, n.w, &mapped_w_);
+    if (view.Matches(mapped_w_)) {
       if (n.IsLeaf()) {
         vn.kind = VoKind::kMatch;
         vn.object_ref = static_cast<uint32_t>(resp->objects.size());
@@ -170,7 +223,7 @@ class QueryProcessor {
       out->push_back(std::move(vn));
       return static_cast<int32_t>(out->size()) - 1;
     }
-    int clause = view.FindDisjointClause(engine_, n.w);
+    int clause = view.FindDisjointClause(mapped_w_);
     Hash32 inner =
         n.IsLeaf() ? block.objects[n.object_index].Hash()
                    : crypto::HashPair(block.nodes[n.left].hash,
@@ -191,17 +244,17 @@ class QueryProcessor {
     node->clause_idx = clause_idx;
     if constexpr (Engine::kSupportsAggregation) {
       auto [it, inserted] = agg->pending.try_emplace(clause_idx, w);
-      if (!inserted) it->second = it->second.SumWith(w);
+      if (!inserted) it->second.SumInPlace(w);
       // proof omitted: covered by the per-clause aggregated proof
     } else {
       if (config_.num_prover_threads > 1) {
         // Defer: the proof is resolved on the worker pool after the walk;
         // the node is findable because VO nodes are only appended.
-        deferred_.push_back(DeferredProof{w, clause_idx});
+        deferred_.push_back(DeferredProof{w, digest, clause_idx});
         return;
       }
       auto proof =
-          cache_.GetOrProve(engine_, digest, w, tq.clauses[clause_idx]);
+          cache_->GetOrProve(engine_, digest, w, tq.clauses[clause_idx]);
       // A failure here would mean the match decision and the accumulator
       // disagree, which the mapped-match relation rules out by construction.
       assert(proof.ok());
@@ -209,50 +262,55 @@ class QueryProcessor {
     }
   }
 
-  /// Compute all deferred proofs in parallel (deduplicated), then install
-  /// them into the VO in discovery order. Proofs are deterministic, so the
-  /// resulting bytes are identical to the single-threaded path.
+  /// Compute all deferred proofs on the shared worker pool (deduplicated and
+  /// cache-filtered), then install them into the VO in discovery order.
+  /// Proofs are deterministic, so the resulting bytes are identical to the
+  /// single-threaded path.
   void ResolveDeferredProofs(const TransformedQuery& tq, WindowVO<Engine>* vo) {
     if constexpr (!Engine::kSupportsAggregation) {
       if (deferred_.empty()) return;
-      // Deduplicate by a digest of the (multiset, clause) content.
-      std::map<crypto::Hash32, size_t> unique;  // -> job index
+      // Deduplicate under the cache key H(digest | clause) and resolve
+      // cache hits up front; only genuinely new proofs hit the pool.
+      using Key = typename ProofCache<Engine>::Key;
       struct Job {
-        const Multiset* w;
-        uint32_t clause_idx;
+        const DeferredProof* d;
         typename Engine::Proof proof;
+        bool cached = false;
       };
+      std::map<Key, size_t> unique;  // -> job index
       std::vector<Job> jobs;
       std::vector<size_t> job_of_deferred(deferred_.size());
+      std::vector<size_t> to_compute;
       for (size_t i = 0; i < deferred_.size(); ++i) {
-        ByteWriter key;
-        deferred_[i].w.Serialize(&key);
-        key.PutU32(deferred_[i].clause_idx);
-        crypto::Hash32 digest = crypto::Sha256Digest(
-            ByteSpan(key.bytes().data(), key.bytes().size()));
-        auto [it, inserted] = unique.try_emplace(digest, jobs.size());
+        Key key = ProofCache<Engine>::KeyFor(engine_, deferred_[i].digest,
+                                             tq.clauses[deferred_[i].clause_idx]);
+        auto [it, inserted] = unique.try_emplace(key, jobs.size());
         if (inserted) {
-          jobs.push_back(Job{&deferred_[i].w, deferred_[i].clause_idx, {}});
+          Job job;
+          job.d = &deferred_[i];
+          if (const auto* hit = cache_->Lookup(key)) {
+            job.proof = *hit;
+            job.cached = true;
+          } else {
+            to_compute.push_back(jobs.size());
+          }
+          jobs.push_back(std::move(job));
         }
         job_of_deferred[i] = it->second;
       }
-      size_t n_threads =
-          std::min<size_t>(config_.num_prover_threads, jobs.size());
-      std::vector<std::thread> workers;
-      std::atomic<size_t> next{0};
-      for (size_t t = 0; t < n_threads; ++t) {
-        workers.emplace_back([&] {
-          for (;;) {
-            size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) return;
-            auto proof = engine_.ProveDisjoint(*jobs[i].w,
-                                               tq.clauses[jobs[i].clause_idx]);
+      ThreadPool::Shared().ParallelFor(
+          to_compute.size(), config_.num_prover_threads, [&](size_t k) {
+            Job& job = jobs[to_compute[k]];
+            auto proof = engine_.ProveDisjoint(
+                job.d->w, tq.clauses[job.d->clause_idx]);
             assert(proof.ok());
-            jobs[i].proof = proof.TakeValue();
-          }
-        });
+            job.proof = proof.TakeValue();
+          });
+      // Publish fresh proofs to the cross-query cache (single-threaded
+      // again, so no synchronization on the cache itself).
+      for (auto& [key, idx] : unique) {
+        if (!jobs[idx].cached) cache_->Insert(key, jobs[idx].proof);
       }
-      for (std::thread& th : workers) th.join();
       // Install proofs back into mismatch nodes in walk order.
       size_t cursor = 0;
       for (auto& step : vo->steps) {
@@ -296,12 +354,16 @@ class QueryProcessor {
     }
     if constexpr (Engine::kSupportsAggregation) {
       auto [it, inserted] = agg->pending.try_emplace(clause_idx, entry.w);
-      if (!inserted) it->second = it->second.SumWith(entry.w);
+      if (!inserted) it->second.SumInPlace(entry.w);
     } else {
-      auto proof = cache_.GetOrProve(engine_, entry.digest, entry.w,
-                                     tq.clauses[clause_idx]);
-      assert(proof.ok());
-      svo.proof = proof.TakeValue();
+      if (config_.num_prover_threads > 1) {
+        deferred_.push_back(DeferredProof{entry.w, entry.digest, clause_idx});
+      } else {
+        auto proof = cache_->GetOrProve(engine_, entry.digest, entry.w,
+                                        tq.clauses[clause_idx]);
+        assert(proof.ok());
+        svo.proof = proof.TakeValue();
+      }
     }
     return svo;
   }
@@ -314,7 +376,7 @@ class QueryProcessor {
         // individual proofs (A is linear), at a single multiexp's cost.
         auto digest = engine_.Digest(summed);
         auto proof =
-            cache_.GetOrProve(engine_, digest, summed, tq.clauses[clause_idx]);
+            cache_->GetOrProve(engine_, digest, summed, tq.clauses[clause_idx]);
         assert(proof.ok());
         vo->aggregated.push_back(
             AggregatedProof<Engine>{clause_idx, proof.TakeValue()});
@@ -329,8 +391,11 @@ class QueryProcessor {
   const Engine& engine_;
   const ChainConfig& config_;
   const std::vector<Block<Engine>>* blocks_;
-  ProofCache<Engine> cache_;
+  const TimestampIndex* ts_index_;
+  ProofCache<Engine> own_cache_;
+  ProofCache<Engine>* cache_;
   std::vector<DeferredProof> deferred_;
+  std::vector<uint64_t> mapped_w_;  // per-node mapping scratch
 };
 
 }  // namespace vchain::core

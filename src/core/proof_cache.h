@@ -5,6 +5,11 @@
 // across subscription queries that share clauses (§7.1's motivation for the
 // IP-Tree). Proofs are cached under H(digest_bytes | clause_bytes), which is
 // canonical for any engine.
+//
+// NOT thread-safe: the map and stats counters are unsynchronized. A cache
+// may be shared across QueryProcessors only when all of them issue queries
+// from the same thread (the processors' own parallel passes keep cache
+// access on the query thread, so they are fine).
 
 #ifndef VCHAIN_CORE_PROOF_CACHE_H_
 #define VCHAIN_CORE_PROOF_CACHE_H_
@@ -25,12 +30,25 @@ class ProofCache {
     uint64_t misses = 0;
   };
 
+  using Key = crypto::Hash32;
+
+  /// Canonical cache key for a (digest, clause) pair — H(digest | clause).
+  /// Public so batch passes can key their own dedup maps consistently.
+  static Key KeyFor(const Engine& engine,
+                    const typename Engine::ObjectDigest& digest,
+                    const accum::Multiset& clause) {
+    ByteWriter w;
+    engine.SerializeDigest(digest, &w);
+    clause.Serialize(&w);
+    return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
+  }
+
   /// Returns the cached or freshly-computed proof for (w, clause); forwards
   /// ProveDisjoint errors (i.e. the sets intersect).
   Result<typename Engine::Proof> GetOrProve(
       const Engine& engine, const typename Engine::ObjectDigest& digest,
       const accum::Multiset& w, const accum::Multiset& clause) {
-    Key key = MakeKey(engine, digest, clause);
+    Key key = KeyFor(engine, digest, clause);
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
@@ -44,13 +62,28 @@ class ProofCache {
     return proof;
   }
 
+  /// Lookup without computing (used by the deferred-proof batch pass to
+  /// skip already-proven jobs before they are dispatched to the pool).
+  const typename Engine::Proof* Lookup(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+
+  /// Install a proof computed out-of-band (e.g. on the worker pool).
+  void Insert(const Key& key, const typename Engine::Proof& proof) {
+    map_.emplace(key, proof);
+  }
+
   const Stats& stats() const { return stats_; }
   size_t size() const { return map_.size(); }
   void Clear() { map_.clear(); }
 
  private:
-  using Key = crypto::Hash32;
-
   struct KeyHasher {
     size_t operator()(const Key& k) const {
       size_t out;
@@ -58,15 +91,6 @@ class ProofCache {
       return out;
     }
   };
-
-  static Key MakeKey(const Engine& engine,
-                     const typename Engine::ObjectDigest& digest,
-                     const accum::Multiset& clause) {
-    ByteWriter w;
-    engine.SerializeDigest(digest, &w);
-    clause.Serialize(&w);
-    return crypto::Sha256Digest(ByteSpan(w.bytes().data(), w.bytes().size()));
-  }
 
   std::unordered_map<Key, typename Engine::Proof, KeyHasher> map_;
   Stats stats_;

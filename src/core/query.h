@@ -81,6 +81,57 @@ class MappedQueryView {
 
   size_t NumClauses() const { return clauses_.size(); }
 
+  // --- pre-mapped fast path --------------------------------------------------
+  // The SP probes the same node multiset against every clause (Matches, then
+  // FindDisjointClause on a miss). Mapping w's elements through the engine
+  // once and reusing the result across all probes removes the dominant
+  // repeated work; `out` is caller-owned scratch so walks don't allocate.
+
+  template <typename Engine>
+  void MapForMatch(const Engine& engine, const Multiset& w,
+                   std::vector<uint64_t>* out) const {
+    out->clear();
+    out->reserve(w.entries().size());
+    for (const Multiset::Entry& e : w.entries()) {
+      out->push_back(engine.MapElement(e.element));
+    }
+  }
+
+  bool ClauseIntersects(const std::vector<uint64_t>& mapped_w,
+                        size_t idx) const {
+    const auto& clause = clauses_[idx];
+    for (uint64_t v : mapped_w) {
+      if (clause.count(v)) return true;
+    }
+    return false;
+  }
+
+  bool Matches(const std::vector<uint64_t>& mapped_w) const {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (!ClauseIntersects(mapped_w, i)) return false;
+    }
+    return true;
+  }
+
+  int FindDisjointClause(const std::vector<uint64_t>& mapped_w) const {
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+      if (!ClauseIntersects(mapped_w, i)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int FindDisjointClauseFrom(const std::vector<uint64_t>& mapped_w,
+                             size_t start) const {
+    size_t n = clauses_.size();
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = (start + k) % n;
+      if (!ClauseIntersects(mapped_w, i)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // --- engine-mapping-per-probe variants (verifier / subscription side) ------
+
   /// True iff the mapped multiset intersects clause `idx`.
   template <typename Engine>
   bool ClauseIntersects(const Engine& engine, const Multiset& w,

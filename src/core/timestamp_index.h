@@ -1,0 +1,53 @@
+// Sorted timestamp -> height index for time-window queries.
+//
+// Block timestamps are monotonic by construction (AppendBlock rejects
+// regressions), so the index is just the dense timestamp column in height
+// order and a window lookup is two binary searches — O(log n) against the
+// O(n) full-chain scan the query processor used to do per query
+// (TimelineIndex-style; duplicate timestamps are handled by the
+// lower/upper-bound pairing).
+
+#ifndef VCHAIN_CORE_TIMESTAMP_INDEX_H_
+#define VCHAIN_CORE_TIMESTAMP_INDEX_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace vchain::core {
+
+class TimestampIndex {
+ public:
+  /// Record the next block's timestamp; heights are implicit (0, 1, ...).
+  /// Timestamps must be non-decreasing.
+  void Append(uint64_t timestamp) {
+    assert(timestamps_.empty() || timestamp >= timestamps_.back());
+    timestamps_.push_back(timestamp);
+  }
+
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// The inclusive height range [first, last] whose timestamps fall in
+  /// [ts, te], or nullopt when no block does.
+  std::optional<std::pair<uint64_t, uint64_t>> HeightRange(uint64_t ts,
+                                                           uint64_t te) const {
+    if (ts > te) return std::nullopt;
+    auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(), ts);
+    auto hi = std::upper_bound(lo, timestamps_.end(), te);
+    if (lo == hi) return std::nullopt;
+    return std::make_pair(
+        static_cast<uint64_t>(lo - timestamps_.begin()),
+        static_cast<uint64_t>(hi - timestamps_.begin()) - 1);
+  }
+
+ private:
+  std::vector<uint64_t> timestamps_;
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_TIMESTAMP_INDEX_H_

@@ -12,13 +12,23 @@
 //   miner.SyncLightClient(&light);
 //
 //   core::QueryProcessor<accum::Acc2Engine> sp(engine, config,
-//                                              &miner.blocks());
+//                                              &miner.blocks(),
+//                                              &miner.timestamp_index());
 //   auto resp = sp.TimeWindowQuery(q);              // SP: <R, VO>
 //
 //   core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
 //   Status ok = verifier.VerifyTimeWindow(q, resp.value());
 //
 // Subscription queries live in sub/subscription.h.
+//
+// Concurrency knobs. `ChainConfig::num_prover_threads` caps how many workers
+// of the process-wide `ThreadPool::Shared()` one query's deferred
+// disjointness proofs may occupy (non-aggregating engines only; 1 = fully
+// serial, the default). Engines additionally accept
+// `set_thread_pool(&ThreadPool::Shared())` to window-parallelize their
+// multi-scalar multiplications on the same pool. Both parallel paths are
+// bit-identical to their serial counterparts, so they can be flipped on per
+// deployment without affecting any digest, proof, or VO byte.
 
 #ifndef VCHAIN_CORE_VCHAIN_H_
 #define VCHAIN_CORE_VCHAIN_H_

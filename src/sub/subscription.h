@@ -162,8 +162,9 @@ class SubscriptionManager {
       const QueryRuntime& rt = runtime_.at(id);
       LazyState& state = lazy_state_[id];
       const Multiset& root_w = RootW(block);
-      int clause = rt.view->FindDisjointClauseFrom(engine_, root_w,
-                                                   rt.first_keyword_clause);
+      rt.view->MapForMatch(engine_, root_w, &mapped_w_);
+      int clause =
+          rt.view->FindDisjointClauseFrom(mapped_w_, rt.first_keyword_clause);
       if (clause >= 0) {
         AppendPending(block, id, static_cast<uint32_t>(clause), &state, &out);
       } else {
@@ -241,7 +242,8 @@ class SubscriptionManager {
     SubVoNode<Engine> n;
     n.digest = block.leaf_digests[obj_idx];
     const Multiset& w = block.object_ws[obj_idx];
-    if (rt.view->Matches(engine_, w)) {
+    rt.view->MapForMatch(engine_, w, &mapped_w_);
+    if (rt.view->Matches(mapped_w_)) {
       n.kind = VoKind::kMatch;
       n.object_ref = static_cast<uint32_t>(notif->objects.size());
       notif->objects.push_back(block.objects[obj_idx]);
@@ -272,10 +274,11 @@ class SubscriptionManager {
     // Prunable?
     bool cell_prunable =
         options_.prefer_cell_exclusions && AllCellsDisjoint(query_id, u.w);
+    if (!cell_prunable) rt.view->MapForMatch(engine_, u.w, &mapped_w_);
     int clause = cell_prunable
                      ? -1
                      : rt.view->FindDisjointClauseFrom(
-                           engine_, u.w, rt.first_keyword_clause);
+                           mapped_w_, rt.first_keyword_clause);
     if (clause < 0 && !cell_prunable) {
       cell_prunable = !options_.prefer_cell_exclusions &&
                       AllCellsDisjoint(query_id, u.w);
@@ -323,8 +326,9 @@ class SubscriptionManager {
       }
       return;
     }
-    int clause = rt.view->FindDisjointClauseFrom(engine_, w,
-                                                 rt.first_keyword_clause);
+    rt.view->MapForMatch(engine_, w, &mapped_w_);
+    int clause =
+        rt.view->FindDisjointClauseFrom(mapped_w_, rt.first_keyword_clause);
     assert(clause >= 0);
     AddClauseExclusion(w, digest, query_id, static_cast<uint32_t>(clause), n);
   }
@@ -477,6 +481,7 @@ class SubscriptionManager {
   std::map<uint32_t, QueryRuntime> runtime_;
   std::map<uint32_t, LazyState> lazy_state_;
   ProofCache<Engine> cache_;
+  std::vector<uint64_t> mapped_w_;  // per-node mapping scratch
 };
 
 }  // namespace vchain::sub

@@ -169,5 +169,79 @@ TEST(ElementTest, PrefixEncodingDistinguishesEverything) {
   EXPECT_EQ(base, EncodePrefix(0, 0b10, 2, 8));
 }
 
+Multiset RandomMultiset(Rng* rng, size_t max_distinct) {
+  Multiset m;
+  size_t n = rng->Next() % (max_distinct + 1);
+  for (size_t i = 0; i < n; ++i) {
+    m.Add((rng->Next() % 50) + 1, static_cast<uint32_t>(rng->Next() % 4) + 1);
+  }
+  return m;
+}
+
+TEST(MultisetTest, SumInPlaceMatchesSumWith) {
+  Rng rng(31);
+  for (int round = 0; round < 200; ++round) {
+    Multiset a = RandomMultiset(&rng, 12);
+    Multiset b = RandomMultiset(&rng, 12);
+    Multiset expect = a.SumWith(b);
+    Multiset got = a;
+    got.SumInPlace(b);
+    EXPECT_EQ(got, expect) << "round " << round;
+  }
+}
+
+TEST(MultisetTest, UnionInPlaceMatchesUnionWith) {
+  Rng rng(32);
+  for (int round = 0; round < 200; ++round) {
+    Multiset a = RandomMultiset(&rng, 12);
+    Multiset b = RandomMultiset(&rng, 12);
+    Multiset expect = a.UnionWith(b);
+    Multiset got = a;
+    got.UnionInPlace(b);
+    EXPECT_EQ(got, expect) << "round " << round;
+  }
+}
+
+TEST(MultisetTest, InPlaceEdgeCases) {
+  Multiset empty;
+  Multiset m{1, 2, 3};
+
+  Multiset a = m;
+  a.SumInPlace(empty);
+  EXPECT_EQ(a, m);
+  a = empty;
+  a.SumInPlace(m);
+  EXPECT_EQ(a, m);
+
+  // Disjoint tail fast path (all of b beyond a's last element).
+  a = Multiset{1, 2};
+  a.SumInPlace(Multiset{5, 9});
+  EXPECT_EQ(a, (Multiset{1, 2, 5, 9}));
+
+  // Self-aliasing: sum doubles counts, union is the identity.
+  a = Multiset{4, 4, 7};
+  a.SumInPlace(a);
+  EXPECT_EQ(a.CountOf(4), 4u);
+  EXPECT_EQ(a.CountOf(7), 2u);
+  Multiset u{4, 4, 7};
+  u.UnionInPlace(u);
+  EXPECT_EQ(u, (Multiset{4, 4, 7}));
+}
+
+TEST(MultisetTest, AddAllSumsManyParts) {
+  Rng rng(33);
+  std::vector<Multiset> parts;
+  for (int i = 0; i < 9; ++i) parts.push_back(RandomMultiset(&rng, 8));
+  Multiset expect;
+  std::vector<const Multiset*> ptrs;
+  for (const Multiset& p : parts) {
+    expect = expect.SumWith(p);
+    ptrs.push_back(&p);
+  }
+  Multiset got;
+  got.AddAll(ptrs);
+  EXPECT_EQ(got, expect);
+}
+
 }  // namespace
 }  // namespace vchain::accum

@@ -1,0 +1,66 @@
+// The shared worker pool: every ParallelFor index runs exactly once, the
+// caller participates (so a saturated or single-worker pool cannot
+// deadlock), nesting works, and Submit executes detached tasks.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+namespace vchain {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.ParallelFor(hits.size(), 8,
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithOneWorkerAndCapOne) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, 1, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  pool.ParallelFor(0, 4, [&](size_t) { FAIL(); });  // n = 0 is a no-op
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, 4, [&](size_t) {
+    pool.ParallelFor(8, 4, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.NumWorkers(), 1u);
+  std::atomic<int> sum{0};
+  a.ParallelFor(10, 4, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+}  // namespace
+}  // namespace vchain

@@ -1,0 +1,126 @@
+// The timestamp -> height index must agree with a brute-force linear scan on
+// every window shape (inclusive bounds, duplicates, empty windows), and the
+// query processor must produce identical responses whether it binary-searches
+// the builder's index or the block vector directly.
+
+#include "core/timestamp_index.h"
+
+#include <gtest/gtest.h>
+
+#include "accum/mock.h"
+#include "common/rand.h"
+#include "core/vchain.h"
+#include "workload/datasets.h"
+
+namespace vchain::core {
+namespace {
+
+using accum::AccParams;
+using accum::KeyOracle;
+using workload::DatasetGenerator;
+using workload::DatasetProfile;
+
+std::optional<std::pair<uint64_t, uint64_t>> LinearScan(
+    const std::vector<uint64_t>& ts_col, uint64_t ts, uint64_t te) {
+  std::optional<std::pair<uint64_t, uint64_t>> out;
+  for (uint64_t h = 0; h < ts_col.size(); ++h) {
+    uint64_t t = ts_col[h];
+    if (t < ts || t > te) continue;
+    if (!out) {
+      out = {h, h};
+    } else {
+      out->second = h;
+    }
+  }
+  return out;
+}
+
+TEST(TimestampIndexTest, MatchesLinearScanWithDuplicates) {
+  // Runs of duplicate timestamps and gaps between runs.
+  std::vector<uint64_t> ts_col;
+  TimestampIndex index;
+  Rng rng(77);
+  uint64_t t = 100;
+  for (int i = 0; i < 60; ++i) {
+    if (i % 3 == 0) t += rng.Next() % 20;  // duplicates inside each run of 3
+    ts_col.push_back(t);
+    index.Append(t);
+  }
+  ASSERT_EQ(index.size(), ts_col.size());
+
+  for (int round = 0; round < 500; ++round) {
+    uint64_t a = 90 + rng.Next() % 400;
+    uint64_t b = 90 + rng.Next() % 400;
+    EXPECT_EQ(index.HeightRange(a, b), LinearScan(ts_col, a, b))
+        << "ts=" << a << " te=" << b;
+  }
+  // Degenerate shapes.
+  EXPECT_EQ(index.HeightRange(0, 99), LinearScan(ts_col, 0, 99));
+  EXPECT_EQ(index.HeightRange(ts_col.back() + 1, ~uint64_t{0}),
+            LinearScan(ts_col, ts_col.back() + 1, ~uint64_t{0}));
+  EXPECT_EQ(index.HeightRange(ts_col[0], ts_col[0]),
+            LinearScan(ts_col, ts_col[0], ts_col[0]));
+  EXPECT_FALSE(index.HeightRange(50, 40).has_value());  // inverted window
+}
+
+TEST(TimestampIndexTest, EmptyIndex) {
+  TimestampIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_FALSE(index.HeightRange(0, ~uint64_t{0}).has_value());
+}
+
+TEST(TimestampIndexTest, ProcessorEquivalentWithAndWithoutIndex) {
+  auto oracle = KeyOracle::Create(/*seed=*/4, AccParams{16});
+  accum::MockAcc2Engine engine(oracle);
+  DatasetProfile profile = workload::Profile4SQ(5);
+  ChainConfig cfg;
+  cfg.mode = IndexMode::kBoth;
+  cfg.schema = profile.schema;
+  cfg.skiplist_size = 2;
+
+  ChainBuilder<accum::MockAcc2Engine> miner(engine, cfg);
+  DatasetGenerator gen(profile, /*seed=*/11);
+  // Duplicate timestamps in runs of two.
+  for (int b = 0; b < 24; ++b) {
+    auto objs = gen.NextBlock();
+    uint64_t ts = 1000 + static_cast<uint64_t>(b / 2) * 10;
+    ASSERT_TRUE(miner.AppendBlock(std::move(objs), ts).ok());
+  }
+  ASSERT_EQ(miner.timestamp_index().size(), miner.blocks().size());
+
+  QueryProcessor<accum::MockAcc2Engine> sp_indexed(
+      engine, cfg, &miner.blocks(), &miner.timestamp_index());
+  QueryProcessor<accum::MockAcc2Engine> sp_direct(engine, cfg,
+                                                  &miner.blocks());
+
+  chain::LightClient light;
+  ASSERT_TRUE(miner.SyncLightClient(&light).ok());
+  Verifier<accum::MockAcc2Engine> verifier(engine, cfg, &light);
+
+  // Windows hitting duplicate-run boundaries, partial windows, and misses.
+  struct Window {
+    uint64_t ts, te;
+  };
+  std::vector<Window> windows = {
+      {1000, 1110}, {1005, 1052}, {1010, 1010}, {0, 999},
+      {1111, 2000}, {1030, 1070}, {1000, 1000},
+  };
+  for (const Window& w : windows) {
+    Query q = gen.MakeDefaultQuery(w.ts, w.te);
+    auto a = sp_indexed.TimeWindowQuery(q);
+    auto b = sp_direct.TimeWindowQuery(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ByteWriter wa, wb;
+    SerializeResponse(engine, a.value(), &wa);
+    SerializeResponse(engine, b.value(), &wb);
+    EXPECT_EQ(wa.bytes(), wb.bytes()) << "window [" << w.ts << "," << w.te
+                                      << "]";
+    if (!a.value().vo.steps.empty()) {
+      EXPECT_TRUE(verifier.VerifyTimeWindow(q, a.value()).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vchain::core
