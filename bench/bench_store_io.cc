@@ -1,0 +1,159 @@
+// Store I/O microbenchmark — append throughput of the durable block store
+// and cold-vs-warm time-window query latency through StoreBlockSource's LRU
+// cache. Emits BENCH_store_io.json for cross-PR tracking.
+//
+//   append-batched : write-through mining, one fsync at the end
+//   append-fsync   : write-through mining, fsync per block
+//   query-mem      : in-memory chain (the pre-store baseline)
+//   query-cold     : reopened store, empty block cache (all misses)
+//   query-warm     : same source again (window resident, all hits)
+
+#include <filesystem>
+
+#include "harness.h"
+
+using namespace vchain;
+using namespace vchain::bench;
+
+namespace {
+
+std::string FreshDir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("vchain_bench_store_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+struct AppendPoint {
+  double seconds = 0;
+  uint64_t bytes = 0;
+};
+
+AppendPoint MineThrough(const DatasetProfile& profile,
+                        const ChainConfig& config, size_t blocks,
+                        const char* tag, bool sync_every_append) {
+  std::string dir = FreshDir(tag);
+  store::BlockStore::Options options;
+  options.sync_every_append = sync_every_append;
+  auto db = store::BlockStore::Open(dir, options);
+  if (!db.ok()) std::abort();
+
+  Acc2Engine engine(SharedOracle(), ProverMode::kTrustedFast);
+  core::ChainBuilder<Acc2Engine> miner(engine, config);
+  if (!miner.AttachStore(db.value().get()).ok()) std::abort();
+
+  DatasetGenerator gen(profile, /*seed=*/4242);
+  // Pre-generate blocks so the timer sees mining+persistence, not dataset
+  // synthesis.
+  std::vector<std::vector<chain::Object>> data;
+  for (size_t b = 0; b < blocks; ++b) data.push_back(gen.NextBlock());
+
+  Timer t;
+  for (auto& objs : data) {
+    uint64_t ts = objs.front().timestamp;
+    if (!miner.AppendBlock(std::move(objs), ts).ok()) std::abort();
+  }
+  if (!db.value()->Sync().ok()) std::abort();
+  AppendPoint point;
+  point.seconds = t.ElapsedSeconds();
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) point.bytes += entry.file_size();
+  }
+  std::filesystem::remove_all(dir);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  size_t blocks = scale.window_blocks.back();
+  size_t window = scale.window_blocks[scale.window_blocks.size() / 2];
+  DatasetProfile profile =
+      workload::ProfileFor(workload::DatasetKind::k4SQ,
+                           scale.objects_per_block);
+  ChainConfig config = ConfigFor(profile, IndexMode::kBoth);
+
+  std::printf("# store I/O — durable block store append + query latency "
+              "(%zu blocks, %zu objects/block)\n",
+              blocks, profile.objects_per_block);
+  BenchJson json("store_io");
+
+  // --- append throughput -----------------------------------------------------
+  for (bool sync_each : {false, true}) {
+    AppendPoint p = MineThrough(profile, config, blocks,
+                                sync_each ? "fsync" : "batched", sync_each);
+    const char* op = sync_each ? "append-fsync" : "append-batched";
+    double per_block_ns = p.seconds * 1e9 / static_cast<double>(blocks);
+    double blocks_per_s = static_cast<double>(blocks) / p.seconds;
+    std::printf("%-16s %6zu blocks  %10.0f ns/block  %10.1f blocks/s  "
+                "%8.1f KiB on disk\n",
+                op, blocks, per_block_ns, blocks_per_s,
+                static_cast<double>(p.bytes) / 1024);
+    json.Add(op, blocks, per_block_ns, blocks_per_s);
+  }
+
+  // --- cold vs warm window queries -------------------------------------------
+  std::string dir = FreshDir("query");
+  auto db = store::BlockStore::Open(dir);
+  if (!db.ok()) std::abort();
+  Acc2Engine engine(SharedOracle(), ProverMode::kTrustedFast);
+  core::ChainBuilder<Acc2Engine> miner(engine, config);
+  if (!miner.AttachStore(db.value().get()).ok()) std::abort();
+  DatasetGenerator gen(profile, /*seed=*/4242);
+  for (size_t b = 0; b < blocks; ++b) {
+    auto objs = gen.NextBlock();
+    uint64_t ts = objs.front().timestamp;
+    if (!miner.AppendBlock(std::move(objs), ts).ok()) std::abort();
+  }
+  if (!db.value()->Sync().ok()) std::abort();
+
+  uint64_t t_start = miner.blocks()[blocks - window].header.timestamp;
+  uint64_t t_end = miner.blocks()[blocks - 1].header.timestamp;
+  DatasetGenerator qgen(profile, /*seed=*/4242);
+  core::Query q = qgen.MakeQuery(profile.default_selectivity,
+                                 profile.default_clause_size, t_start, t_end);
+
+  auto run_query = [&](auto& sp) {
+    Timer t;
+    auto resp = sp.TimeWindowQuery(q);
+    if (!resp.ok()) std::abort();
+    return t.ElapsedSeconds();
+  };
+
+  // Baseline: fully-resident chain.
+  {
+    core::QueryProcessor<Acc2Engine> sp(engine, config, &miner.blocks(),
+                                        &miner.timestamp_index());
+    double s = run_query(sp);
+    std::printf("%-16s %6zu blocks  %10.0f ns\n", "query-mem", window,
+                s * 1e9);
+    json.Add("query-mem", window, s * 1e9, s > 0 ? 1.0 / s : 0);
+  }
+  // Cold: fresh store handle, empty LRU — every block faults in from disk.
+  {
+    auto db2 = store::BlockStore::Open(dir);
+    if (!db2.ok()) std::abort();
+    core::TimestampIndex ts_index = db2.value()->RebuildTimestampIndex();
+    store::StoreBlockSource<Acc2Engine> source(engine, db2.value().get(),
+                                               config.block_cache_blocks);
+    core::QueryProcessor<Acc2Engine> sp(engine, config, &source, &ts_index);
+    double cold = run_query(sp);
+    std::printf("%-16s %6zu blocks  %10.0f ns  (%llu cache misses)\n",
+                "query-cold", window, cold * 1e9,
+                static_cast<unsigned long long>(source.cache_stats().misses));
+    json.Add("query-cold", window, cold * 1e9, cold > 0 ? 1.0 / cold : 0);
+
+    // Warm: the window is now resident; a fresh processor (no proof cache
+    // carry-over) isolates the block-cache effect.
+    core::QueryProcessor<Acc2Engine> sp2(engine, config, &source, &ts_index);
+    double warm = run_query(sp2);
+    std::printf("%-16s %6zu blocks  %10.0f ns  (%llu cache hits)\n",
+                "query-warm", window, warm * 1e9,
+                static_cast<unsigned long long>(source.cache_stats().hits));
+    json.Add("query-warm", window, warm * 1e9, warm > 0 ? 1.0 / warm : 0);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

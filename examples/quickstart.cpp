@@ -3,10 +3,14 @@
 // One miner builds an ADS-extended chain, an untrusted service provider
 // answers a Boolean range query with a verification object, and a light node
 // that holds nothing but block headers verifies soundness and completeness.
+// The chain is then persisted to a durable block store and the same query is
+// served again from a *reopened* store — byte-identical — the restart path a
+// production SP takes.
 //
 //   $ ./quickstart
 
 #include <cstdio>
+#include <filesystem>
 
 #include "core/vchain.h"
 
@@ -93,5 +97,47 @@ int main() {
     Status bad = verifier.VerifyTimeWindow(q, tampered);
     std::printf("tampered response rejected: %s\n", bad.ToString().c_str());
   }
-  return st.ok() ? 0 : 1;
+
+  // 8. Persist the chain: every block (objects + digests + indexes) lands in
+  // an append-only, checksummed segment log. O(1) per block.
+  auto store_dir =
+      (std::filesystem::temp_directory_path() / "vchain_quickstart").string();
+  std::filesystem::remove_all(store_dir);
+  {
+    auto db = store::BlockStore::Open(store_dir);
+    if (!db.ok()) return 1;
+    if (!miner.AttachStore(db.value().get()).ok()) return 1;
+    if (!db.value()->Sync().ok()) return 1;
+    std::printf("persisted %llu blocks to %s\n",
+                static_cast<unsigned long long>(db.value()->NumBlocks()),
+                store_dir.c_str());
+    // The builder never owns the store; detach before it goes away.
+    if (!miner.DetachStore().ok()) return 1;
+  }  // store closed — "process exit"
+
+  // 9. Cold start: reopen the store, rebuild the timestamp index and light
+  // client from the persisted headers (no re-mining), and serve the same
+  // query through the disk-backed BlockSource.
+  auto db = store::BlockStore::Open(store_dir);
+  if (!db.ok()) return 1;
+  core::TimestampIndex ts_index = db.value()->RebuildTimestampIndex();
+  chain::LightClient cold_light;
+  if (!db.value()->SyncLightClient(&cold_light).ok()) return 1;
+  store::StoreBlockSource<accum::Acc2Engine> source(engine, db.value().get(),
+                                                    config.block_cache_blocks);
+  core::QueryProcessor<accum::Acc2Engine> cold_sp(engine, config, &source,
+                                                  &ts_index);
+  auto cold_resp = cold_sp.TimeWindowQuery(q);
+  if (!cold_resp.ok()) return 1;
+  ByteWriter mem_bytes, disk_bytes;
+  core::SerializeResponse(engine, resp.value(), &mem_bytes);
+  core::SerializeResponse(engine, cold_resp.value(), &disk_bytes);
+  bool identical = mem_bytes.bytes() == disk_bytes.bytes();
+  core::Verifier<accum::Acc2Engine> cold_verifier(engine, config, &cold_light);
+  Status cold_st = cold_verifier.VerifyTimeWindow(q, cold_resp.value());
+  std::printf("reopened store served the query: %s, bytes %s in-memory SP\n",
+              cold_st.ToString().c_str(),
+              identical ? "identical to" : "DIFFER from");
+  std::filesystem::remove_all(store_dir);
+  return (st.ok() && cold_st.ok() && identical) ? 0 : 1;
 }

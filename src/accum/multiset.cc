@@ -200,6 +200,11 @@ Status Multiset::Deserialize(ByteReader* r, Multiset* out) {
   uint32_t n = 0;
   VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
   if (n > 1u << 24) return Status::Corruption("multiset too large");
+  // Each entry costs 12 encoded bytes; a count the buffer cannot possibly
+  // hold must not size an allocation (hostile-length rule, common/serde.h).
+  if (n > r->Remaining() / 12) {
+    return Status::Corruption("multiset count exceeds buffer");
+  }
   Multiset m;
   m.entries_.reserve(n);
   Element prev = 0;

@@ -1,0 +1,32 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace vchain {
+namespace {
+
+// Reflected CRC32C table for polynomial 0x1EDC6F41.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(ByteSpan data, uint32_t init) {
+  static const std::array<uint32_t, 256> kTable = MakeTable();
+  uint32_t crc = init ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vchain

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli polynomial, the RocksDB/LevelDB log-record checksum).
+//
+// Used by the storage layer to detect torn and bit-rotted records
+// independently of the cryptographic hash chain: the CRC answers "did this
+// record make it to disk intact" cheaply at open time, while header hashes
+// answer "is this the chain the light clients agreed on".
+
+#ifndef VCHAIN_COMMON_CRC32C_H_
+#define VCHAIN_COMMON_CRC32C_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vchain {
+
+/// CRC32C of `data`, seeded with `init` (pass a previous return value to
+/// extend a running checksum across buffers).
+uint32_t Crc32c(ByteSpan data, uint32_t init = 0);
+
+}  // namespace vchain
+
+#endif  // VCHAIN_COMMON_CRC32C_H_

@@ -61,6 +61,15 @@ struct ChainConfig {
   /// deduplicated set on a thread pool (the paper's SP used 24 OpenMP
   /// hyperthreads; multi-core scaling is also its §10 future work).
   uint32_t num_prover_threads = 1;
+  /// SP-local tuning (not consensus): max proofs resident in a processor's
+  /// or subscription manager's disjointness-proof cache before LRU eviction
+  /// kicks in; 0 = unbounded. Long-lived subscription SPs prove against an
+  /// ever-growing digest set, so leave this finite in production.
+  size_t proof_cache_capacity = 1u << 16;
+  /// SP-local tuning (not consensus): decoded blocks a disk-backed
+  /// BlockSource keeps resident (store/block_source.h). Size to the hot
+  /// query window; the chain itself may be arbitrarily larger than RAM.
+  size_t block_cache_blocks = 256;
 
   uint64_t SkipDistance(uint32_t level) const { return uint64_t{4} << level; }
   /// Number of levels materialized at `height` (a skip must have all its

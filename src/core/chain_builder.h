@@ -5,10 +5,20 @@
 // whether digests are computed honestly from served public-key powers (what
 // Table 1 measures) or via the oracle's trusted fast path (identical bytes;
 // used when a benchmark measures query processing, not mining).
+//
+// Durability (store/ subsystem): `AttachStore` makes every mined block
+// write through to an append-only BlockStore in O(1); `ResumeFromStore`
+// reopens a persisted chain and continues mining without recomputing a
+// single digest — only the skip-construction tail window is decoded back
+// into memory. With a store attached, `SetRetainWindow` bounds the miner's
+// resident blocks to that tail, so the *chain* can outgrow RAM while the
+// miner keeps a fixed footprint (headers and the timestamp column stay
+// resident; they are bytes per block, not kilobytes).
 
 #ifndef VCHAIN_CORE_CHAIN_BUILDER_H_
 #define VCHAIN_CORE_CHAIN_BUILDER_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -16,6 +26,7 @@
 #include "common/timer.h"
 #include "core/block.h"
 #include "core/timestamp_index.h"
+#include "store/block_serde.h"
 
 namespace vchain::core {
 
@@ -30,6 +41,86 @@ class ChainBuilder {
 
   ChainBuilder(Engine engine, ChainConfig config)
       : engine_(std::move(engine)), config_(std::move(config)) {}
+
+  /// Reopen a persisted chain and continue mining from its tip. Decodes only
+  /// the tail window skip construction needs; headers and the timestamp
+  /// index are rebuilt from the store's resident header column.
+  static Result<ChainBuilder> ResumeFromStore(Engine engine, ChainConfig config,
+                                              store::BlockStore* store) {
+    ChainBuilder builder(std::move(engine), std::move(config));
+    uint64_t n = store->NumBlocks();
+    uint64_t tail = std::min<uint64_t>(n, builder.NeededTailBlocks());
+    builder.base_height_ = n - tail;
+    for (uint64_t h = builder.base_height_; h < n; ++h) {
+      auto block = store::ReadBlockFromStore(builder.engine_, *store, h);
+      if (!block.ok()) return block.status();
+      builder.blocks_.push_back(block.TakeValue());
+    }
+    builder.ts_index_ = store->RebuildTimestampIndex();
+    builder.store_ = store;
+    return builder;
+  }
+
+  /// Persist this chain: flush any blocks the store is missing, then write
+  /// every future AppendBlock through. The store must be a prefix of this
+  /// chain (typically: freshly created, or equal after a restart).
+  Status AttachStore(store::BlockStore* store) {
+    if (store->NumBlocks() > NumBlocks()) {
+      return Status::InvalidArgument(
+          "store is ahead of this chain; use ResumeFromStore");
+    }
+    if (base_height_ > 0) {
+      return Status::InvalidArgument("builder already pruned past genesis");
+    }
+    for (uint64_t h = 0; h < store->NumBlocks(); ++h) {
+      if (!(store->HeaderAt(h) == blocks_[h].header)) {
+        return Status::InvalidArgument("store holds a different chain");
+      }
+    }
+    for (uint64_t h = store->NumBlocks(); h < NumBlocks(); ++h) {
+      VCHAIN_RETURN_IF_ERROR(
+          store::AppendBlockToStore(engine_, blocks_[h], store));
+    }
+    store_ = store;
+    return Status::OK();
+  }
+
+  /// Stop writing through (e.g. before the store object's lifetime ends —
+  /// the builder never owns it). Refused while pruning is active: pruned
+  /// heights are only reachable through the store.
+  Status DetachStore() {
+    if (retain_window_ != 0 || base_height_ != 0) {
+      return Status::InvalidArgument(
+          "cannot detach: pruned heights live only in the store");
+    }
+    store_ = nullptr;
+    return Status::OK();
+  }
+
+  /// Bound the in-memory window to the last `retain` blocks (0 = keep all).
+  /// Requires an attached store (older blocks remain reachable there) and at
+  /// least the skip-construction tail.
+  ///
+  /// IMPORTANT: once pruning is active, `blocks()` is a *window* whose
+  /// index i is height `base_height() + i` — do not hand it to
+  /// QueryProcessor's vector constructor (its height range would silently
+  /// start at the window, not genesis). Serve queries from the attached
+  /// store through a StoreBlockSource instead.
+  Status SetRetainWindow(size_t retain) {
+    if (retain != 0) {
+      if (store_ == nullptr) {
+        return Status::InvalidArgument(
+            "pruning requires an attached block store");
+      }
+      if (retain < NeededTailBlocks()) {
+        return Status::InvalidArgument(
+            "retain window smaller than the skip-construction tail");
+      }
+    }
+    retain_window_ = retain;
+    Prune();
+    return Status::OK();
+  }
 
   /// Mine the next block from `objects` at `timestamp` (must be monotonic).
   Result<BuildStats> AppendBlock(std::vector<Object> objects,
@@ -50,7 +141,7 @@ class ChainBuilder {
 
     Block<Engine> block;
     block.objects = std::move(objects);
-    block.header.height = blocks_.size();
+    block.header.height = NumBlocks();
     block.header.timestamp = timestamp;
     block.header.prev_hash =
         blocks_.empty() ? Hash32{} : blocks_.back().header.Hash();
@@ -100,12 +191,25 @@ class ChainBuilder {
     stats.ads_bytes = block.AdsBytes(engine_);
 
     stats.pow_attempts = chain::MineNonce(&block.header, config_.pow);
+    if (store_ != nullptr) {
+      VCHAIN_RETURN_IF_ERROR(
+          store::AppendBlockToStore(engine_, block, store_));
+    }
     ts_index_.Append(block.header.timestamp);
     blocks_.push_back(std::move(block));
+    Prune();
     return stats;
   }
 
+  /// Chain height (total blocks mined, including pruned ones).
+  uint64_t NumBlocks() const { return base_height_ + blocks_.size(); }
+
+  /// The retained in-memory window: the whole chain unless pruning is
+  /// enabled, in which case `blocks()[i]` is the block at height
+  /// `base_height() + i`.
   const std::vector<Block<Engine>>& blocks() const { return blocks_; }
+  uint64_t base_height() const { return base_height_; }
+  const store::BlockStore* attached_store() const { return store_; }
   const Engine& engine() const { return engine_; }
   const ChainConfig& config() const { return config_; }
   /// Sorted timestamp -> height index maintained alongside the chain; feed
@@ -113,14 +217,40 @@ class ChainBuilder {
   const TimestampIndex& timestamp_index() const { return ts_index_; }
 
   /// Feed all sealed headers to a light client (Fig 3's header sync).
+  /// Pruned heights are served from the attached store's header column.
   Status SyncLightClient(chain::LightClient* client) const {
-    for (size_t h = client->Height(); h < blocks_.size(); ++h) {
-      VCHAIN_RETURN_IF_ERROR(client->SyncHeader(blocks_[h].header));
+    for (uint64_t h = client->Height(); h < NumBlocks(); ++h) {
+      const chain::BlockHeader& header =
+          h < base_height_ ? store_->HeaderAt(h) : At(h).header;
+      VCHAIN_RETURN_IF_ERROR(client->SyncHeader(header));
     }
     return Status::OK();
   }
 
  private:
+  /// The retained block at absolute chain height `h`.
+  const Block<Engine>& At(uint64_t h) const {
+    return blocks_[h - base_height_];
+  }
+
+  /// Blocks the next BuildSkips may reach back over: the largest configured
+  /// skip distance (1 when no skip list is built — the predecessor is still
+  /// needed for prev_hash and the timestamp monotonicity check).
+  uint64_t NeededTailBlocks() const {
+    if (config_.mode != IndexMode::kBoth || config_.skiplist_size == 0) {
+      return 1;
+    }
+    return config_.SkipDistance(config_.skiplist_size - 1);
+  }
+
+  void Prune() {
+    if (retain_window_ == 0 || blocks_.size() <= retain_window_) return;
+    size_t drop = blocks_.size() - retain_window_;
+    blocks_.erase(blocks_.begin(),
+                  blocks_.begin() + static_cast<ptrdiff_t>(drop));
+    base_height_ += drop;
+  }
+
   void BuildSkips(Block<Engine>* block) {
     uint64_t height = block->header.height;
     uint32_t levels = config_.NumSkipLevels(height);
@@ -130,7 +260,7 @@ class ChainBuilder {
       entry.distance = d;
       ByteWriter hs;
       for (uint64_t j = height - d; j < height; ++j) {
-        hs.PutFixed(crypto::HashSpan(blocks_[j].header.Hash()));
+        hs.PutFixed(crypto::HashSpan(At(j).header.Hash()));
       }
       entry.preskipped_hash = crypto::Sha256Digest(
           ByteSpan(hs.bytes().data(), hs.bytes().size()));
@@ -138,7 +268,7 @@ class ChainBuilder {
         std::vector<const Multiset*> parts;
         parts.reserve(static_cast<size_t>(d));
         for (uint64_t j = height - d; j < height; ++j) {
-          parts.push_back(&blocks_[j].block_w);
+          parts.push_back(&At(j).block_w);
         }
         entry.w.AddAll(parts);
       } else {
@@ -146,7 +276,7 @@ class ChainBuilder {
         // level's multiset plus the farther half.
         entry.w = block->skips[level - 1].w;
         for (uint64_t j = height - d; j < height - d / 2; ++j) {
-          entry.w.SumInPlace(blocks_[j].block_w);
+          entry.w.SumInPlace(At(j).block_w);
         }
       }
       if constexpr (Engine::kSupportsAggregation) {
@@ -154,7 +284,7 @@ class ChainBuilder {
         // (this is why Table 1's both-acc2 build time stays low).
         std::vector<typename Engine::ObjectDigest> parts;
         for (uint64_t j = height - d; j < height; ++j) {
-          parts.push_back(blocks_[j].block_digest);
+          parts.push_back(At(j).block_digest);
         }
         entry.digest = engine_.SumDigests(parts);
       } else {
@@ -173,6 +303,9 @@ class ChainBuilder {
   ChainConfig config_;
   std::vector<Block<Engine>> blocks_;
   TimestampIndex ts_index_;
+  store::BlockStore* store_ = nullptr;
+  uint64_t base_height_ = 0;
+  size_t retain_window_ = 0;  // 0 = retain everything
 };
 
 }  // namespace vchain::core

@@ -18,6 +18,7 @@
 
 #include "chain/merkle.h"
 #include "chain/object.h"
+#include "store/block_source.h"
 
 namespace vchain::core {
 
@@ -59,6 +60,22 @@ inline MhtAdsStats BuildMhtBaseline(const std::vector<chain::Object>& objects,
         (2 * leaves.size() - 1) * sizeof(chain::Hash32);
   }
   return stats;
+}
+
+/// Whole-chain baseline over any BlockSource: builds the per-block tree set
+/// block at a time, so it runs against chains larger than RAM exactly like
+/// the accumulator SP it is compared to.
+template <typename Engine>
+MhtAdsStats BuildMhtBaseline(const store::BlockSource<Engine>& source,
+                             uint32_t dims) {
+  MhtAdsStats total;
+  for (uint64_t h = 0; h < source.NumBlocks(); ++h) {
+    MhtAdsStats per = BuildMhtBaseline(source.BlockAt(h).objects, dims);
+    total.num_trees += per.num_trees;
+    total.ads_bytes += per.ads_bytes;
+    total.roots.insert(total.roots.end(), per.roots.begin(), per.roots.end());
+  }
+  return total;
 }
 
 }  // namespace vchain::core

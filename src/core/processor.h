@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -40,23 +41,40 @@
 #include "core/query.h"
 #include "core/timestamp_index.h"
 #include "core/vo.h"
+#include "store/block_source.h"
 
 namespace vchain::core {
 
 template <typename Engine>
 class QueryProcessor {
  public:
-  /// `ts_index` (optional) is the builder-maintained timestamp index;
-  /// `shared_cache` (optional) substitutes an external cross-processor proof
-  /// cache for the internal one.
+  /// Serve from any BlockSource — an in-memory chain or a disk-backed store
+  /// (store/block_source.h). `ts_index` (optional) is the builder- or
+  /// store-maintained timestamp index; `shared_cache` (optional) substitutes
+  /// an external cross-processor proof cache for the internal one.
+  QueryProcessor(const Engine& engine, const ChainConfig& config,
+                 const store::BlockSource<Engine>* source,
+                 const TimestampIndex* ts_index = nullptr,
+                 ProofCache<Engine>* shared_cache = nullptr)
+      : engine_(engine),
+        config_(config),
+        source_(source),
+        ts_index_(ts_index),
+        own_cache_(config.proof_cache_capacity),
+        cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
+
+  /// Convenience: serve an in-memory chain (wraps it in a VectorBlockSource
+  /// owned by the processor).
   QueryProcessor(const Engine& engine, const ChainConfig& config,
                  const std::vector<Block<Engine>>* blocks,
                  const TimestampIndex* ts_index = nullptr,
                  ProofCache<Engine>* shared_cache = nullptr)
       : engine_(engine),
         config_(config),
-        blocks_(blocks),
+        owned_source_(std::make_unique<store::VectorBlockSource<Engine>>(blocks)),
+        source_(owned_source_.get()),
         ts_index_(ts_index),
+        own_cache_(config.proof_cache_capacity),
         cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
 
   // cache_ may point at own_cache_, so a memberwise copy/move would leave
@@ -75,9 +93,11 @@ class QueryProcessor {
 
     Aggregator agg;
     uint64_t cursor = range->second;
-    // Walk newest-to-oldest (Algorithm 4's direction).
+    // Walk newest-to-oldest (Algorithm 4's direction). One block is
+    // materialized at a time (BlockSource's reference contract), so a
+    // disk-backed source never holds more than its cache's worth of blocks.
     for (;;) {
-      const Block<Engine>& block = (*blocks_)[cursor];
+      const Block<Engine>& block = source_->BlockAt(cursor);
       resp.vo.steps.push_back(ProcessBlock(block, tq, view, &resp, &agg));
       if (cursor == range->first) break;
       // Try the *largest* usable mismatching skip of the current block.
@@ -129,17 +149,18 @@ class QueryProcessor {
   std::optional<std::pair<uint64_t, uint64_t>> FindHeightRange(
       uint64_t ts, uint64_t te) const {
     if (ts_index_ != nullptr) {
-      // The index may momentarily trail the block vector (miner appending
+      // The index may momentarily trail the block source (miner appending
       // while we serve); fall through to the direct search in that case.
-      if (ts_index_->size() == blocks_->size()) {
+      if (ts_index_->size() == source_->NumBlocks()) {
         return ts_index_->HeightRange(ts, te);
       }
     }
-    // Timestamps are monotonic by construction, so binary-search the blocks
-    // directly: first height with t >= ts, last with t <= te.
-    if (ts > te || blocks_->empty()) return std::nullopt;
-    auto ts_of = [this](uint64_t h) { return (*blocks_)[h].header.timestamp; };
-    uint64_t lo = 0, hi = blocks_->size();
+    // Timestamps are monotonic by construction, so binary-search the source
+    // directly: first height with t >= ts, last with t <= te. TimestampAt is
+    // a resident-header read in every source — no block is faulted in.
+    if (ts > te || source_->NumBlocks() == 0) return std::nullopt;
+    auto ts_of = [this](uint64_t h) { return source_->TimestampAt(h); };
+    uint64_t lo = 0, hi = source_->NumBlocks();
     while (lo < hi) {
       uint64_t mid = lo + (hi - lo) / 2;
       if (ts_of(mid) < ts) {
@@ -149,7 +170,7 @@ class QueryProcessor {
       }
     }
     uint64_t first = lo;
-    hi = blocks_->size();
+    hi = source_->NumBlocks();
     while (lo < hi) {
       uint64_t mid = lo + (hi - lo) / 2;
       if (ts_of(mid) <= te) {
@@ -390,7 +411,8 @@ class QueryProcessor {
 
   const Engine& engine_;
   const ChainConfig& config_;
-  const std::vector<Block<Engine>>* blocks_;
+  std::unique_ptr<store::VectorBlockSource<Engine>> owned_source_;
+  const store::BlockSource<Engine>* source_;
   const TimestampIndex* ts_index_;
   ProofCache<Engine> own_cache_;
   ProofCache<Engine>* cache_;

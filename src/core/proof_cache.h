@@ -6,6 +6,12 @@
 // IP-Tree). Proofs are cached under H(digest_bytes | clause_bytes), which is
 // canonical for any engine.
 //
+// The cache is LRU-bounded (ChainConfig::proof_cache_capacity): a standing
+// subscription SP proves against an ever-growing set of node digests, so an
+// unbounded map is a slow leak. Hits refresh recency; inserting past
+// capacity evicts the coldest entry and bumps `Stats::evictions`. Capacity 0
+// means unbounded (benchmarks that want the old behavior).
+//
 // NOT thread-safe: the map and stats counters are unsynchronized. A cache
 // may be shared across QueryProcessors only when all of them issue queries
 // from the same thread (the processors' own parallel passes keep cache
@@ -15,9 +21,9 @@
 #define VCHAIN_CORE_PROOF_CACHE_H_
 
 #include <cstring>
-#include <unordered_map>
 
 #include "accum/multiset.h"
+#include "common/lru.h"
 #include "crypto/sha256.h"
 
 namespace vchain::core {
@@ -25,12 +31,11 @@ namespace vchain::core {
 template <typename Engine>
 class ProofCache {
  public:
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-  };
-
+  using Stats = LruStats;
   using Key = crypto::Hash32;
+
+  /// `capacity` = max resident proofs; 0 = unbounded.
+  explicit ProofCache(size_t capacity = 0) : map_(capacity) {}
 
   /// Canonical cache key for a (digest, clause) pair — H(digest | clause).
   /// Public so batch passes can key their own dedup maps consistently.
@@ -49,39 +54,33 @@ class ProofCache {
       const Engine& engine, const typename Engine::ObjectDigest& digest,
       const accum::Multiset& w, const accum::Multiset& clause) {
     Key key = KeyFor(engine, digest, clause);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      ++stats_.hits;
-      return it->second;
+    if (const typename Engine::Proof* hit = map_.Get(key)) {
+      return *hit;
     }
-    ++stats_.misses;
     auto proof = engine.ProveDisjoint(w, clause);
     if (proof.ok()) {
-      map_.emplace(key, proof.value());
+      map_.Put(key, proof.value());
     }
     return proof;
   }
 
   /// Lookup without computing (used by the deferred-proof batch pass to
   /// skip already-proven jobs before they are dispatched to the pool).
+  /// The pointer is valid until the entry is evicted by a later insert.
   const typename Engine::Proof* Lookup(const Key& key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++stats_.misses;
-      return nullptr;
-    }
-    ++stats_.hits;
-    return &it->second;
+    return map_.Get(key);
   }
 
-  /// Install a proof computed out-of-band (e.g. on the worker pool).
+  /// Install a proof computed out-of-band (e.g. on the worker pool),
+  /// evicting the least-recently-used entry when at capacity.
   void Insert(const Key& key, const typename Engine::Proof& proof) {
-    map_.emplace(key, proof);
+    map_.Put(key, proof);
   }
 
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const { return map_.stats(); }
   size_t size() const { return map_.size(); }
-  void Clear() { map_.clear(); }
+  size_t capacity() const { return map_.capacity(); }
+  void Clear() { map_.Clear(); }
 
  private:
   struct KeyHasher {
@@ -92,8 +91,7 @@ class ProofCache {
     }
   };
 
-  std::unordered_map<Key, typename Engine::Proof, KeyHasher> map_;
-  Stats stats_;
+  LruMap<Key, typename Engine::Proof, KeyHasher> map_;
 };
 
 }  // namespace vchain::core

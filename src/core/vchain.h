@@ -19,7 +19,31 @@
 //   core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
 //   Status ok = verifier.VerifyTimeWindow(q, resp.value());
 //
-// Subscription queries live in sub/subscription.h.
+// Persistent SP (store/ subsystem) — the production shape: the chain lives
+// in a crash-safe append-only store, the SP streams blocks through an LRU
+// cache, and a restart resumes without recomputing any digest:
+//
+//   auto db = store::BlockStore::Open("/var/lib/vchain", {}).TakeValue();
+//   miner.AttachStore(db.get());                    // O(1) write-through
+//   miner.SetRetainWindow(64);                      //   + bounded miner RAM
+//   ...mine...
+//   db->Sync();                                     // commit point
+//
+//   // After a restart (or on a separate SP host sharing the directory):
+//   auto db2 = store::BlockStore::Open("/var/lib/vchain", {}).TakeValue();
+//   core::TimestampIndex ts = db2->RebuildTimestampIndex();
+//   chain::LightClient light2;
+//   db2->SyncLightClient(&light2);                  // cold start, no mining
+//   store::StoreBlockSource<accum::Acc2Engine> src(engine, db2.get(),
+//                                                  config.block_cache_blocks);
+//   core::QueryProcessor<accum::Acc2Engine> sp2(engine, config, &src, &ts);
+//   // ...bit-identical results and VO bytes to the in-memory SP, over a
+//   // chain that can be arbitrarily larger than RAM.
+//   // Mining can also continue from the tip:
+//   //   ChainBuilder<...>::ResumeFromStore(engine, config, db2.get())
+//
+// Subscription queries live in sub/subscription.h; a standing SP drains new
+// blocks from any BlockSource via SubscriptionManager::ProcessNewBlocks.
 //
 // Concurrency knobs. `ChainConfig::num_prover_threads` caps how many workers
 // of the process-wide `ThreadPool::Shared()` one query's deferred
@@ -29,6 +53,10 @@
 // multi-scalar multiplications on the same pool. Both parallel paths are
 // bit-identical to their serial counterparts, so they can be flipped on per
 // deployment without affecting any digest, proof, or VO byte.
+//
+// Cache knobs (SP-local, never consensus): `ChainConfig::proof_cache_capacity`
+// LRU-bounds the disjointness-proof cache; `ChainConfig::block_cache_blocks`
+// sizes StoreBlockSource's decoded-block cache.
 
 #ifndef VCHAIN_CORE_VCHAIN_H_
 #define VCHAIN_CORE_VCHAIN_H_
@@ -45,5 +73,9 @@
 #include "core/query.h"
 #include "core/verifier.h"
 #include "core/vo.h"
+#include "store/block_serde.h"
+#include "store/block_source.h"
+#include "store/block_store.h"
+#include "store/segment_log.h"
 
 #endif  // VCHAIN_CORE_VCHAIN_H_

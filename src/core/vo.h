@@ -172,6 +172,12 @@ Status DeserializeBlockVO(const Engine& e, ByteReader* r,
   uint32_t n = 0;
   VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
   if (n > 1u << 22) return Status::Corruption("block VO too large");
+  // A node encodes to at least kind(1) + digest(>=32) + 4 payload bytes;
+  // never size an allocation from a count the remaining buffer cannot hold
+  // (hostile-length rule, common/serde.h).
+  if (n > r->Remaining() / 16) {
+    return Status::Corruption("block VO count exceeds buffer");
+  }
   out->nodes.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
     VCHAIN_RETURN_IF_ERROR(DeserializeVoNode(e, r, &out->nodes[i]));
@@ -249,6 +255,10 @@ Status DeserializeWindowVO(const Engine& e, ByteReader* r,
   uint32_t n = 0;
   VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
   if (n > 1u << 22) return Status::Corruption("window VO too large");
+  // A step encodes to at least tag(1) + height(8) + count(4) + root(4).
+  if (n > r->Remaining() / 16) {
+    return Status::Corruption("window VO count exceeds buffer");
+  }
   out->steps.clear();
   out->steps.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -269,6 +279,10 @@ Status DeserializeWindowVO(const Engine& e, ByteReader* r,
   uint32_t na = 0;
   VCHAIN_RETURN_IF_ERROR(r->GetU32(&na));
   if (na > 1u << 20) return Status::Corruption("too many aggregated proofs");
+  // An aggregated proof encodes to at least clause_idx(4) + proof(>=32).
+  if (na > r->Remaining() / 16) {
+    return Status::Corruption("aggregated proof count exceeds buffer");
+  }
   out->aggregated.resize(na);
   for (uint32_t i = 0; i < na; ++i) {
     VCHAIN_RETURN_IF_ERROR(r->GetU32(&out->aggregated[i].clause_idx));
@@ -291,6 +305,10 @@ Status DeserializeResponse(const Engine& e, ByteReader* r,
   uint32_t n = 0;
   VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
   if (n > 1u << 22) return Status::Corruption("result set too large");
+  // A serialized object is at least 24 bytes (id, timestamp, two counts).
+  if (n > r->Remaining() / 24) {
+    return Status::Corruption("result count exceeds buffer");
+  }
   out->objects.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
     VCHAIN_RETURN_IF_ERROR(Object::Deserialize(r, &out->objects[i]));

@@ -1,0 +1,237 @@
+// Engine-typed block <-> bytes codec for the durable store.
+//
+// A block record's body carries everything the miner materialized beyond the
+// header — objects, transformed multisets, digests, the intra-block index
+// and the skip entries — so that a block read back from disk answers queries
+// with *bit-identical* VOs to the in-memory original: no digest is ever
+// recomputed on load (recomputing acc1/acc2 digests costs multiexps; the
+// bytes are canonical, so storing them is both faster and provably
+// identical).
+//
+// Decoding follows the library-wide hostile-input rule (common/serde.h):
+// every count is capped before the allocation it sizes, every read is
+// bounds-checked, and any inconsistency returns Status::Corruption — never a
+// crash or an OOM-sized allocation — so a corrupt disk cannot take down the
+// SP at startup.
+
+#ifndef VCHAIN_STORE_BLOCK_SERDE_H_
+#define VCHAIN_STORE_BLOCK_SERDE_H_
+
+#include <utility>
+
+#include "core/block.h"
+#include "store/block_store.h"
+
+namespace vchain::store {
+
+/// Caps mirror the VO deserializer's (core/vo.h): far above any real block,
+/// far below an allocation that could hurt.
+inline constexpr uint32_t kMaxObjectsPerBlock = 1u << 22;
+inline constexpr uint32_t kMaxIndexNodes = 1u << 23;  // 2n-1 for n leaves
+inline constexpr uint32_t kMaxSkipLevels = 64;
+
+namespace detail {
+
+inline Status GetHash32(ByteReader* r, chain::Hash32* out) {
+  Bytes buf;
+  VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+  std::copy(buf.begin(), buf.end(), out->begin());
+  return Status::OK();
+}
+
+}  // namespace detail
+
+/// Encode the body (everything but the header) of `block`.
+template <typename Engine>
+void SerializeBlockBody(const Engine& engine, const core::Block<Engine>& block,
+                        ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(block.objects.size()));
+  for (const chain::Object& o : block.objects) o.Serialize(w);
+  for (const accum::Multiset& m : block.object_ws) m.Serialize(w);
+  for (const auto& d : block.leaf_digests) engine.SerializeDigest(d, w);
+  for (const chain::Hash32& h : block.leaf_hashes) {
+    w->PutFixed(crypto::HashSpan(h));
+  }
+
+  w->PutU32(static_cast<uint32_t>(block.nodes.size()));
+  for (const core::IndexNode<Engine>& n : block.nodes) {
+    n.w.Serialize(w);
+    engine.SerializeDigest(n.digest, w);
+    w->PutFixed(crypto::HashSpan(n.hash));
+    w->PutU32(static_cast<uint32_t>(n.left));
+    w->PutU32(static_cast<uint32_t>(n.right));
+    w->PutU32(static_cast<uint32_t>(n.object_index));
+  }
+  w->PutU32(static_cast<uint32_t>(block.root_index));
+
+  block.block_w.Serialize(w);
+  engine.SerializeDigest(block.block_digest, w);
+
+  w->PutU32(static_cast<uint32_t>(block.skips.size()));
+  for (const core::SkipEntry<Engine>& s : block.skips) {
+    w->PutU64(s.distance);
+    w->PutFixed(crypto::HashSpan(s.preskipped_hash));
+    s.w.Serialize(w);
+    engine.SerializeDigest(s.digest, w);
+    w->PutFixed(crypto::HashSpan(s.entry_hash));
+  }
+}
+
+/// Decode a body produced by SerializeBlockBody; `header` (authenticated by
+/// the store's hash-chain scan) becomes the block's header.
+template <typename Engine>
+Status DeserializeBlockBody(const Engine& engine,
+                            const chain::BlockHeader& header, ByteReader* r,
+                            core::Block<Engine>* out) {
+  out->header = header;
+
+  uint32_t num_objects = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&num_objects));
+  if (num_objects == 0) {
+    // AppendBlock rejects empty blocks, so no honest record has zero
+    // objects — and a zero-object, zero-node body would send the indexed
+    // query walk into nodes[-1].
+    return Status::Corruption("block record: empty block");
+  }
+  if (num_objects > kMaxObjectsPerBlock) {
+    return Status::Corruption("block record: object count too large");
+  }
+  // A serialized object is at least 24 bytes; never size an allocation from
+  // a count the buffer cannot hold (hostile-length rule, common/serde.h).
+  if (num_objects > r->Remaining() / 24) {
+    return Status::Corruption("block record: object count exceeds buffer");
+  }
+  out->objects.resize(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    VCHAIN_RETURN_IF_ERROR(chain::Object::Deserialize(r, &out->objects[i]));
+  }
+  out->object_ws.resize(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    VCHAIN_RETURN_IF_ERROR(accum::Multiset::Deserialize(r, &out->object_ws[i]));
+  }
+  out->leaf_digests.resize(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    VCHAIN_RETURN_IF_ERROR(engine.DeserializeDigest(r, &out->leaf_digests[i]));
+  }
+  out->leaf_hashes.resize(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    VCHAIN_RETURN_IF_ERROR(detail::GetHash32(r, &out->leaf_hashes[i]));
+  }
+
+  uint32_t num_nodes = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&num_nodes));
+  if (num_nodes > kMaxIndexNodes) {
+    return Status::Corruption("block record: index node count too large");
+  }
+  if (num_nodes > r->Remaining() / 48) {  // w + digest + hash + 3 indices
+    return Status::Corruption("block record: node count exceeds buffer");
+  }
+  out->nodes.resize(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    core::IndexNode<Engine>& n = out->nodes[i];
+    VCHAIN_RETURN_IF_ERROR(accum::Multiset::Deserialize(r, &n.w));
+    VCHAIN_RETURN_IF_ERROR(engine.DeserializeDigest(r, &n.digest));
+    VCHAIN_RETURN_IF_ERROR(detail::GetHash32(r, &n.hash));
+    uint32_t left = 0, right = 0, object_index = 0;
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&left));
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&right));
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&object_index));
+    n.left = static_cast<int32_t>(left);
+    n.right = static_cast<int32_t>(right);
+    n.object_index = static_cast<int32_t>(object_index);
+    // Shape invariants the query walk (EmitSubtree) relies on, so a
+    // CRC-valid but malformed record can never crash the SP: a leaf has no
+    // children; an internal node's children point strictly *backwards*
+    // (the builder appends parents after children), which rules out
+    // out-of-range indices, self references, and cycles in one check.
+    if (n.object_index != -1) {
+      if (static_cast<uint32_t>(n.object_index) >= num_objects) {
+        return Status::Corruption("block record: leaf object out of range");
+      }
+      if (n.left != -1 || n.right != -1) {
+        return Status::Corruption("block record: leaf node has children");
+      }
+    } else {
+      if (n.left < 0 || static_cast<uint32_t>(n.left) >= i || n.right < 0 ||
+          static_cast<uint32_t>(n.right) >= i) {
+        return Status::Corruption("block record: non-topological index child");
+      }
+    }
+  }
+  uint32_t root = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&root));
+  out->root_index = static_cast<int32_t>(root);
+  // A record either carries no intra index (kNil: zero nodes, root -1) or a
+  // complete one (a binary tree over n leaves has exactly 2n-1 nodes and a
+  // valid root). Anything in between would send the query walk into
+  // nodes[-1] or a partial tree.
+  if (num_nodes == 0) {
+    if (out->root_index != -1) {
+      return Status::Corruption("block record: root without index nodes");
+    }
+  } else {
+    if (num_nodes != 2 * num_objects - 1) {
+      return Status::Corruption("block record: index node count mismatch");
+    }
+    if (out->root_index < 0 ||
+        static_cast<uint32_t>(out->root_index) >= num_nodes) {
+      return Status::Corruption("block record: root index out of range");
+    }
+  }
+
+  VCHAIN_RETURN_IF_ERROR(accum::Multiset::Deserialize(r, &out->block_w));
+  VCHAIN_RETURN_IF_ERROR(engine.DeserializeDigest(r, &out->block_digest));
+
+  uint32_t num_skips = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&num_skips));
+  if (num_skips > kMaxSkipLevels) {
+    return Status::Corruption("block record: too many skip levels");
+  }
+  out->skips.resize(num_skips);
+  for (uint32_t i = 0; i < num_skips; ++i) {
+    core::SkipEntry<Engine>& s = out->skips[i];
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&s.distance));
+    VCHAIN_RETURN_IF_ERROR(detail::GetHash32(r, &s.preskipped_hash));
+    VCHAIN_RETURN_IF_ERROR(accum::Multiset::Deserialize(r, &s.w));
+    VCHAIN_RETURN_IF_ERROR(engine.DeserializeDigest(r, &s.digest));
+    VCHAIN_RETURN_IF_ERROR(detail::GetHash32(r, &s.entry_hash));
+  }
+  if (!r->AtEnd()) {
+    return Status::Corruption("block record: trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Encode `block` and append it to `store` at the next height. This is the
+/// miner's O(1) write-through path (ChainBuilder::AttachStore).
+template <typename Engine>
+Status AppendBlockToStore(const Engine& engine,
+                          const core::Block<Engine>& block,
+                          BlockStore* store) {
+  ByteWriter w;
+  SerializeBlockBody(engine, block, &w);
+  return store->Append(block.header,
+                       ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+/// Read and decode the block at `height`.
+template <typename Engine>
+Result<core::Block<Engine>> ReadBlockFromStore(const Engine& engine,
+                                               const BlockStore& store,
+                                               uint64_t height) {
+  auto record = store.ReadRecord(height);
+  if (!record.ok()) return record.status();
+  // Decode past the record's header prefix in place (no body copy).
+  ByteReader r(ByteSpan(record.value().data() +
+                            chain::BlockHeader::kSerializedSize,
+                        record.value().size() -
+                            chain::BlockHeader::kSerializedSize));
+  core::Block<Engine> block;
+  VCHAIN_RETURN_IF_ERROR(
+      DeserializeBlockBody(engine, store.HeaderAt(height), &r, &block));
+  return block;
+}
+
+}  // namespace vchain::store
+
+#endif  // VCHAIN_STORE_BLOCK_SERDE_H_

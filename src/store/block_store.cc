@@ -1,0 +1,295 @@
+#include "store/block_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+#include "store/posix_io.h"
+
+namespace vchain::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// COMMIT sidecar: magic | segment:u32 | offset:u64 | crc32c(first 16 bytes).
+// Records the last fsync point so Open can tell fsync'd-then-damaged data
+// (bit rot -> Corruption) from unsynced writeback artifacts (-> recovery).
+constexpr uint32_t kCommitMagic = 0x76434D31;  // "vCM1"
+constexpr size_t kCommitBytes = 20;
+
+std::string CommitPath(const std::string& dir) {
+  return (fs::path(dir) / "COMMIT").string();
+}
+
+struct CommitWatermark {
+  uint32_t segment = 0;
+  uint64_t offset = 0;
+};
+
+/// A missing/short/damaged sidecar reads as "no watermark" — the tolerant
+/// direction (recovery instead of refusal).
+std::optional<CommitWatermark> ReadCommitWatermark(const std::string& dir) {
+  std::FILE* f = std::fopen(CommitPath(dir).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  uint8_t buf[kCommitBytes];
+  size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  if (got != sizeof(buf)) return std::nullopt;
+  ByteReader r(ByteSpan(buf, sizeof(buf)));
+  uint32_t magic = 0, crc = 0;
+  CommitWatermark wm;
+  if (!r.GetU32(&magic).ok() || !r.GetU32(&wm.segment).ok() ||
+      !r.GetU64(&wm.offset).ok() || !r.GetU32(&crc).ok()) {
+    return std::nullopt;
+  }
+  if (magic != kCommitMagic || Crc32c(ByteSpan(buf, 16)) != crc) {
+    return std::nullopt;
+  }
+  return wm;
+}
+
+/// fsync a directory so a freshly created file's directory entry is durable
+/// (file-content fsync alone does not persist the entry on all filesystems).
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open dir " + dir + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string BlockStore::SegmentPath(const std::string& dir, uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06u.log", index);
+  return (fs::path(dir) / name).string();
+}
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
+                                                     Options options,
+                                                     RecoveryStats* stats) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("create_directories " + dir + ": " + ec.message());
+  }
+  std::unique_ptr<BlockStore> store(new BlockStore(dir, options));
+  VCHAIN_RETURN_IF_ERROR(store->OpenSegments(stats));
+  return store;
+}
+
+Status BlockStore::OpenSegments(RecoveryStats* stats) {
+  // Segments are dense: seg-000000 .. seg-N (they are never deleted). List
+  // the directory and verify density — stopping at the first missing index
+  // would silently serve a truncated chain when a middle segment is lost,
+  // and later rolls would append into the stale higher-numbered files.
+  uint32_t max_index = 0;
+  size_t seen = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    unsigned index = 0;
+    // Exact-match the segment naming scheme; sscanf alone would also accept
+    // e.g. "seg-000003.log.bak" and fail the density check below.
+    if (std::sscanf(name.c_str(), "seg-%06u.log", &index) == 1 &&
+        name == fs::path(SegmentPath(dir_, index)).filename().string()) {
+      ++seen;
+      if (index > max_index) max_index = index;
+    }
+  }
+  if (ec) {
+    return Status::Internal("list " + dir_ + ": " + ec.message());
+  }
+  if (seen != 0 && seen != static_cast<size_t>(max_index) + 1) {
+    return Status::Corruption("segment files are not dense in " + dir_ +
+                              " (a segment is missing)");
+  }
+  std::vector<std::string> paths;
+  for (uint32_t i = 0; i < seen; ++i) {
+    std::string path = SegmentPath(dir_, i);
+    if (!fs::exists(path)) {
+      return Status::Corruption("missing segment file: " + path);
+    }
+    paths.push_back(std::move(path));
+  }
+  if (stats != nullptr) *stats = RecoveryStats{};
+
+  std::optional<CommitWatermark> watermark = ReadCommitWatermark(dir_);
+  for (size_t si = 0; si < paths.size(); ++si) {
+    bool last = si + 1 == paths.size();
+    SegmentLog::OpenStats seg_stats;
+    // Only the final segment may legitimately carry a torn tail. Headers
+    // are parsed in the same pass that CRC-verifies each record, so open
+    // reads every byte exactly once.
+    uint32_t segment_index = static_cast<uint32_t>(si);
+    auto visit = [this, segment_index](uint64_t offset,
+                                       ByteSpan payload) -> Status {
+      if (payload.size() < chain::BlockHeader::kSerializedSize) {
+        return Status::Corruption("block record shorter than a header");
+      }
+      ByteReader r(payload);
+      chain::BlockHeader header;
+      VCHAIN_RETURN_IF_ERROR(chain::BlockHeader::Deserialize(&r, &header));
+      VCHAIN_RETURN_IF_ERROR(CheckContinuity(header));
+      headers_.push_back(header);
+      index_.push_back(RecordRef{segment_index, offset});
+      return Status::OK();
+    };
+    // Sealed (non-final) segments were fsync'd when rolled, so all their
+    // damage is bit rot. In the final segment, only bytes below the COMMIT
+    // watermark are known durable; damage past it is an unsynced-crash
+    // artifact and recoverable.
+    uint64_t strict_below = SegmentLog::kNoWatermark;
+    if (last) {
+      strict_below =
+          (watermark.has_value() && watermark->segment == segment_index)
+              ? watermark->offset
+              : 0;
+    }
+    auto seg = SegmentLog::Open(paths[si], /*truncate_torn_tail=*/last,
+                                &seg_stats, visit, strict_below);
+    if (!seg.ok()) return seg.status();
+    if (stats != nullptr) stats->truncated_bytes += seg_stats.truncated_bytes;
+    segments_.push_back(seg.TakeValue());
+  }
+  // An empty store starts its first segment lazily on the first Append.
+  if (stats != nullptr) {
+    stats->blocks = headers_.size();
+    stats->segments = segments_.size();
+  }
+  // What survived recovery is on disk (post-crash reads are disk reads, and
+  // any truncation was fsync'd); seal it under a fresh watermark so the
+  // next open applies strict bit-rot detection to it.
+  if (!segments_.empty()) {
+    VCHAIN_RETURN_IF_ERROR(segments_.back()->Sync());
+    VCHAIN_RETURN_IF_ERROR(WriteCommitWatermark());
+  }
+  return Status::OK();
+}
+
+Status BlockStore::WriteCommitWatermark() {
+  ByteWriter w;
+  w.PutU32(kCommitMagic);
+  w.PutU32(static_cast<uint32_t>(segments_.size()) - 1);
+  w.PutU64(segments_.back()->size_bytes());
+  w.PutU32(Crc32c(ByteSpan(w.bytes().data(), w.bytes().size())));
+  std::string path = CommitPath(dir_);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", path);
+  Status st = PWriteFull(fd, 0, w.bytes().data(), w.bytes().size(), path);
+  if (st.ok() && ::fsync(fd) != 0) st = IoError("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+Status BlockStore::CheckContinuity(const chain::BlockHeader& header) const {
+  if (header.height != headers_.size()) {
+    return Status::Corruption("block record height out of sequence");
+  }
+  if (headers_.empty()) {
+    if (header.prev_hash != chain::Hash32{}) {
+      return Status::Corruption("genesis record has a parent hash");
+    }
+    return Status::OK();
+  }
+  const chain::BlockHeader& prev = headers_.back();
+  if (header.prev_hash != prev.Hash()) {
+    return Status::Corruption("broken header hash chain in store");
+  }
+  if (header.timestamp < prev.timestamp) {
+    return Status::Corruption("non-monotonic timestamps in store");
+  }
+  return Status::OK();
+}
+
+Status BlockStore::RollSegment() {
+  if (!segments_.empty()) {
+    // Seal the outgoing segment before any record lands in the next one, so
+    // a later crash can only tear the *last* segment; the watermark records
+    // the seal for the bit-rot-vs-crash distinction at the next open.
+    VCHAIN_RETURN_IF_ERROR(segments_.back()->Sync());
+    VCHAIN_RETURN_IF_ERROR(WriteCommitWatermark());
+  }
+  auto seg = SegmentLog::Open(
+      SegmentPath(dir_, static_cast<uint32_t>(segments_.size())),
+      /*truncate_torn_tail=*/true);
+  if (!seg.ok()) return seg.status();
+  // Persist the new file's directory entry before any record relies on it;
+  // otherwise a crash could drop the whole segment while its blocks'
+  // appends (and fsyncs) reported success.
+  VCHAIN_RETURN_IF_ERROR(SyncDir(dir_));
+  segments_.push_back(seg.TakeValue());
+  return Status::OK();
+}
+
+Status BlockStore::Append(const chain::BlockHeader& header, ByteSpan body) {
+  if (broken_) {
+    return Status::Internal(
+        "block store is in a failed state after an append error; reopen it");
+  }
+  VCHAIN_RETURN_IF_ERROR(CheckContinuity(header));
+  if (segments_.empty() ||
+      segments_.back()->size_bytes() >= options_.segment_target_bytes) {
+    // Safe to retry on failure: nothing was recorded yet.
+    VCHAIN_RETURN_IF_ERROR(RollSegment());
+  }
+  ByteWriter w;
+  header.Serialize(&w);
+  w.PutFixed(body);
+  auto offset =
+      segments_.back()->Append(ByteSpan(w.bytes().data(), w.bytes().size()));
+  if (!offset.ok()) {
+    // The segment log's positional writes make a retry overwrite the torn
+    // frame in place, but the durability state is now ambiguous; refuse
+    // further appends rather than risk a duplicate-height record that would
+    // make the store unopenable.
+    broken_ = true;
+    return offset.status();
+  }
+  if (options_.sync_every_append) {
+    Status st = Sync();
+    if (!st.ok()) {
+      broken_ = true;  // record is framed on disk but not durably indexed
+      return st;
+    }
+  }
+  headers_.push_back(header);
+  index_.push_back(RecordRef{static_cast<uint32_t>(segments_.size()) - 1,
+                             offset.value()});
+  return Status::OK();
+}
+
+Result<Bytes> BlockStore::ReadRecord(uint64_t height) const {
+  if (height >= index_.size()) {
+    return Status::NotFound("height beyond store tip");
+  }
+  const RecordRef& ref = index_[height];
+  auto payload = segments_[ref.segment]->ReadAt(ref.offset);
+  if (!payload.ok()) return payload.status();
+  if (payload.value().size() < chain::BlockHeader::kSerializedSize) {
+    return Status::Corruption("block record shorter than a header");
+  }
+  return payload;
+}
+
+Status BlockStore::Sync() {
+  if (segments_.empty()) return Status::OK();
+  VCHAIN_RETURN_IF_ERROR(segments_.back()->Sync());
+  return WriteCommitWatermark();
+}
+
+}  // namespace vchain::store

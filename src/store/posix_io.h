@@ -1,0 +1,61 @@
+// Internal POSIX I/O helpers shared by the storage layer (segment_log.cc,
+// block_store.cc): EINTR-retrying positional reads/writes and errno ->
+// Status mapping. Positional I/O only — the storage layer never relies on
+// a file descriptor's cursor, so failed or partial operations are always
+// retryable at the same offset.
+
+#ifndef VCHAIN_STORE_POSIX_IO_H_
+#define VCHAIN_STORE_POSIX_IO_H_
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace vchain::store {
+
+inline Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// pread exactly `n` bytes; returns the count actually read (short only at
+/// EOF).
+inline Result<size_t> PReadFull(int fd, uint64_t offset, uint8_t* buf,
+                                size_t n, const std::string& path) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd, buf + got, n - got,
+                        static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("pread", path);
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+/// pwrite exactly `n` bytes at `offset`.
+inline Status PWriteFull(int fd, uint64_t offset, const uint8_t* buf,
+                         size_t n, const std::string& path) {
+  size_t put = 0;
+  while (put < n) {
+    ssize_t r = ::pwrite(fd, buf + put, n - put,
+                         static_cast<off_t>(offset + put));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError("pwrite", path);
+    }
+    put += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace vchain::store
+
+#endif  // VCHAIN_STORE_POSIX_IO_H_

@@ -1,0 +1,210 @@
+#include "store/segment_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+#include "store/posix_io.h"
+
+namespace vchain::store {
+namespace {
+
+uint32_t DecodeU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void EncodeU32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+/// The record checksum covers the length field too, so a bit-rotted length
+/// cannot silently re-frame the file.
+uint32_t RecordCrc(const uint8_t len_bytes[4], ByteSpan payload) {
+  return Crc32c(payload, Crc32c(ByteSpan(len_bytes, 4)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SegmentLog>> SegmentLog::Open(const std::string& path,
+                                                     bool truncate_torn_tail,
+                                                     OpenStats* stats,
+                                                     const RecordVisitor& visitor,
+                                                     uint64_t strict_below) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", path);
+  std::unique_ptr<SegmentLog> log(new SegmentLog(path, fd));
+  if (stats != nullptr) *stats = OpenStats{};
+
+  off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < 0) return IoError("lseek", path);
+  if (file_size > 0 &&
+      static_cast<uint64_t>(file_size) < kFileHeaderBytes) {
+    // A crash during the 8-byte file-header write of a freshly created
+    // segment leaves a prefix of the (deterministic) header bytes — recover
+    // it as an empty segment rather than refusing to open the store.
+    if (!truncate_torn_tail) {
+      return Status::Corruption("torn file header in non-final segment: " +
+                                path);
+    }
+    if (::ftruncate(fd, 0) != 0) return IoError("ftruncate", path);
+    if (stats != nullptr) {
+      stats->truncated_bytes = static_cast<uint64_t>(file_size);
+    }
+    file_size = 0;
+  }
+  if (file_size == 0) {
+    // Fresh segment: write the file header.
+    uint8_t hdr[kFileHeaderBytes];
+    EncodeU32(kMagic, hdr);
+    EncodeU32(kVersion, hdr + 4);
+    VCHAIN_RETURN_IF_ERROR(PWriteFull(fd, 0, hdr, sizeof(hdr), path));
+    log->end_offset_ = kFileHeaderBytes;
+    return log;
+  }
+  VCHAIN_RETURN_IF_ERROR(
+      log->ScanExisting(truncate_torn_tail, stats, visitor, strict_below));
+  return log;
+}
+
+Status SegmentLog::ScanExisting(bool truncate_torn_tail, OpenStats* stats,
+                                const RecordVisitor& visitor,
+                                uint64_t strict_below) {
+  off_t file_size = ::lseek(fd_, 0, SEEK_END);
+  if (file_size < 0) return IoError("lseek", path_);
+  uint64_t size = static_cast<uint64_t>(file_size);
+
+  uint8_t hdr[kFileHeaderBytes];
+  auto got = PReadFull(fd_, 0, hdr, sizeof(hdr), path_);
+  if (!got.ok()) return got.status();
+  if (DecodeU32(hdr) != kMagic) {
+    return Status::Corruption("bad segment magic: " + path_);
+  }
+  if (DecodeU32(hdr + 4) != kVersion) {
+    return Status::Corruption("unsupported segment version: " + path_);
+  }
+
+  uint64_t pos = kFileHeaderBytes;
+  Bytes payload;
+  // Damage classification. With a real watermark (strict_below !=
+  // kNoWatermark, always a record boundary): any scan break at pos <
+  // strict_below means fsync'd data is damaged or missing — bit rot or a
+  // shrunken file, never a torn write — and must be Corruption even when
+  // the damaged record is the last one. At or past the watermark the bytes
+  // were never fsync'd, so damage of any kind (including mid-file CRC
+  // mismatches — unsynced page writeback is not ordered) recovers by
+  // truncation. Without a watermark, fall back to shape-based judgement:
+  // framing damage and a CRC-bad record reaching EOF read as a torn tail;
+  // a CRC-bad record with clean bytes after it reads as bit rot.
+  bool crc_damage_before_eof = false;
+  while (pos < size) {
+    uint8_t rec_hdr[kRecordHeaderBytes];
+    if (size - pos < kRecordHeaderBytes) break;  // torn length field
+    auto hr = PReadFull(fd_, pos, rec_hdr, sizeof(rec_hdr), path_);
+    if (!hr.ok()) return hr.status();
+    uint32_t len = DecodeU32(rec_hdr);
+    uint32_t crc = DecodeU32(rec_hdr + 4);
+    if (len > kMaxPayloadBytes) break;  // garbage length: unframed tail
+    if (size - pos - kRecordHeaderBytes < len) break;  // payload cut short
+    payload.resize(len);
+    auto pr = PReadFull(fd_, pos + kRecordHeaderBytes, payload.data(), len,
+                        path_);
+    if (!pr.ok()) return pr.status();
+    if (RecordCrc(rec_hdr, ByteSpan(payload.data(), payload.size())) != crc) {
+      crc_damage_before_eof = pos + kRecordHeaderBytes + len < size;
+      break;
+    }
+    if (visitor) {
+      VCHAIN_RETURN_IF_ERROR(
+          visitor(pos, ByteSpan(payload.data(), payload.size())));
+    }
+    offsets_.push_back(pos);
+    pos += kRecordHeaderBytes + len;
+  }
+  if (pos < size) {
+    bool durable_damage = strict_below == kNoWatermark
+                              ? crc_damage_before_eof
+                              : pos < strict_below;
+    if (durable_damage) {
+      return Status::Corruption(
+          "damaged record in fsync'd data (bit rot) in " + path_);
+    }
+  }
+
+  uint64_t torn = size - pos;
+  if (torn > 0) {
+    if (!truncate_torn_tail) {
+      return Status::Corruption("torn tail in non-final segment: " + path_);
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      return IoError("ftruncate", path_);
+    }
+    if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  }
+  end_offset_ = pos;
+  if (stats != nullptr) {
+    stats->records = offsets_.size();
+    stats->truncated_bytes = torn;
+  }
+  return Status::OK();
+}
+
+SegmentLog::~SegmentLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> SegmentLog::Append(ByteSpan payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("record payload too large");
+  }
+  Bytes frame(kRecordHeaderBytes + payload.size());
+  EncodeU32(static_cast<uint32_t>(payload.size()), frame.data());
+  EncodeU32(RecordCrc(frame.data(), payload), frame.data() + 4);
+  std::memcpy(frame.data() + kRecordHeaderBytes, payload.data(),
+              payload.size());
+  VCHAIN_RETURN_IF_ERROR(
+      PWriteFull(fd_, end_offset_, frame.data(), frame.size(), path_));
+  uint64_t offset = end_offset_;
+  offsets_.push_back(offset);
+  end_offset_ += frame.size();
+  return offset;
+}
+
+Result<Bytes> SegmentLog::ReadAt(uint64_t offset) const {
+  uint8_t rec_hdr[kRecordHeaderBytes];
+  auto hr = PReadFull(fd_, offset, rec_hdr, sizeof(rec_hdr), path_);
+  if (!hr.ok()) return hr.status();
+  if (hr.value() != kRecordHeaderBytes) {
+    return Status::Corruption("record header past end of segment");
+  }
+  uint32_t len = DecodeU32(rec_hdr);
+  uint32_t crc = DecodeU32(rec_hdr + 4);
+  if (len > kMaxPayloadBytes) {
+    return Status::Corruption("record length field too large");
+  }
+  Bytes payload(len);
+  auto pr = PReadFull(fd_, offset + kRecordHeaderBytes, payload.data(), len,
+                      path_);
+  if (!pr.ok()) return pr.status();
+  if (pr.value() != len) {
+    return Status::Corruption("record payload past end of segment");
+  }
+  if (RecordCrc(rec_hdr, ByteSpan(payload.data(), payload.size())) != crc) {
+    return Status::Corruption("record CRC mismatch");
+  }
+  return payload;
+}
+
+Status SegmentLog::Sync() {
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace vchain::store

@@ -1,0 +1,125 @@
+// Append-only segment file of checksummed records — the durability primitive
+// under BlockStore.
+//
+// On-disk layout (all integers little-endian, matching common/serde.h):
+//
+//   segment  := file_header record*
+//   file_header := magic:u32 version:u32
+//   record   := payload_len:u32 crc:u32 payload_bytes
+//   crc      := crc32c(payload_len_bytes | payload_bytes)
+//
+// The CRC covers the length field (LevelDB-style), so a bit-rotted length
+// that still frames plausibly is detected as corruption rather than
+// re-framing the rest of the file.
+//
+// Appends go through a single file descriptor; `Sync()` fsyncs, and the
+// caller chooses the commit policy (every record, or batched). Reads are
+// positional (`pread`), so a reader never disturbs the append cursor and
+// many readers can share one open segment.
+//
+// Crash safety: a torn write can only damage the *tail* (records are written
+// back-to-back and the kernel persists prefixes of a write stream under
+// fsync ordering). `Open` therefore scans the file, keeps the longest clean
+// prefix of records, and — when `truncate_torn_tail` is set — truncates
+// anything after it: a torn file header of a freshly rolled segment, a short
+// length field, a payload cut mid-way, or a CRC mismatch in the final
+// record. A CRC mismatch *before* the last record is not a crash artifact
+// but bit rot, and is reported as Corruption instead of being silently
+// dropped. Residual ambiguity: damage to a length field that *overruns* the
+// remaining file is indistinguishable from an unsynced torn batch, so the
+// clean prefix wins and `OpenStats::truncated_bytes` reports what was
+// dropped — deployments that cannot tolerate that window run with
+// `BlockStore::Options::sync_every_append` (loss bounded to one record) or
+// replicate segments externally.
+
+#ifndef VCHAIN_STORE_SEGMENT_LOG_H_
+#define VCHAIN_STORE_SEGMENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace vchain::store {
+
+class SegmentLog {
+ public:
+  static constexpr uint32_t kMagic = 0x76434C31;  // "vCL1"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kFileHeaderBytes = 8;
+  static constexpr size_t kRecordHeaderBytes = 8;  // len + crc
+  /// Per-record payload cap; a hostile or garbage length field can never
+  /// force an allocation beyond this.
+  static constexpr uint32_t kMaxPayloadBytes = 1u << 28;  // 256 MiB
+
+  struct OpenStats {
+    size_t records = 0;
+    uint64_t truncated_bytes = 0;  ///< torn tail dropped during recovery
+  };
+
+  /// Called once per clean record during the `Open` scan, in file order —
+  /// lets the owner consume payloads in the same pass that CRC-verifies
+  /// them instead of re-reading the file afterwards. A non-OK return aborts
+  /// the open with that status.
+  using RecordVisitor = std::function<Status(uint64_t offset, ByteSpan payload)>;
+
+  /// Every record below this offset is known fsync'd (see `Open`).
+  static constexpr uint64_t kNoWatermark = ~uint64_t{0};
+
+  /// Open `path`, creating it (with a fresh file header) when absent.
+  /// Scans existing records, verifying framing and CRCs; leaves the log
+  /// positioned for appends after the last clean record.
+  ///
+  /// `strict_below` is the caller's durability watermark: a CRC-damaged
+  /// record *below* it was fsync'd, so the damage is bit rot and the open
+  /// fails with Corruption; at or above it (or reaching EOF), the damage is
+  /// indistinguishable from unsynced-crash writeback — which the kernel may
+  /// reorder across pages — so recovery keeps the clean prefix and
+  /// truncates. Pass kNoWatermark to treat all non-tail damage as bit rot
+  /// (the right call for segments sealed by an fsync), 0 to treat all
+  /// damage as recoverable.
+  static Result<std::unique_ptr<SegmentLog>> Open(
+      const std::string& path, bool truncate_torn_tail,
+      OpenStats* stats = nullptr, const RecordVisitor& visitor = nullptr,
+      uint64_t strict_below = kNoWatermark);
+
+  ~SegmentLog();
+  SegmentLog(const SegmentLog&) = delete;
+  SegmentLog& operator=(const SegmentLog&) = delete;
+
+  /// Append one record; returns the record's file offset (stable id for
+  /// `ReadAt`). Durable only after the next `Sync()`.
+  Result<uint64_t> Append(ByteSpan payload);
+
+  /// Read and CRC-check the record starting at `offset`.
+  Result<Bytes> ReadAt(uint64_t offset) const;
+
+  /// fsync the segment.
+  Status Sync();
+
+  /// File offsets of every live record, in append order.
+  const std::vector<uint64_t>& record_offsets() const { return offsets_; }
+  size_t num_records() const { return offsets_.size(); }
+  /// Next append position == current logical file size.
+  uint64_t size_bytes() const { return end_offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentLog(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Status ScanExisting(bool truncate_torn_tail, OpenStats* stats,
+                      const RecordVisitor& visitor, uint64_t strict_below);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t end_offset_ = kFileHeaderBytes;
+  std::vector<uint64_t> offsets_;
+};
+
+}  // namespace vchain::store
+
+#endif  // VCHAIN_STORE_SEGMENT_LOG_H_

@@ -23,6 +23,7 @@
 #ifndef VCHAIN_SUB_SUBSCRIPTION_H_
 #define VCHAIN_SUB_SUBSCRIPTION_H_
 
+#include <iterator>
 #include <map>
 #include <memory>
 #include <optional>
@@ -121,7 +122,8 @@ class SubscriptionManager {
       : engine_(engine),
         config_(config),
         options_(options),
-        ip_tree_(config.schema, options.ip) {}
+        ip_tree_(config.schema, options.ip),
+        cache_(config.proof_cache_capacity) {}
 
   /// Register a subscription; returns the query id.
   uint32_t Subscribe(const Query& q) {
@@ -148,6 +150,46 @@ class SubscriptionManager {
     std::vector<SubNotification<Engine>> out;
     for (uint32_t id : ip_tree_.ActiveQueryIds()) {
       out.push_back(BuildNotification(block, id));
+    }
+    return out;
+  }
+
+  /// Blocks one drain call processes before returning, so catching up on a
+  /// long backlog never accumulates an unbounded notification vector —
+  /// callers loop (publishing each batch) until `*next_height` reaches the
+  /// source tip.
+  static constexpr uint64_t kDefaultDrainBatch = 256;
+
+  /// Drain blocks the SP has not yet published from a BlockSource
+  /// (in-memory chain or disk-backed store): `*next_height` is the first
+  /// unprocessed height, advanced by up to `max_blocks` per call. This is
+  /// the standing-service loop — a restarted subscription SP re-opens its
+  /// store, seeks to its checkpoint and loops this until caught up, a
+  /// bounded batch at a time, regardless of how far the chain has grown
+  /// past RAM.
+  std::vector<SubNotification<Engine>> ProcessNewBlocks(
+      const store::BlockSource<Engine>& source, uint64_t* next_height,
+      uint64_t max_blocks = kDefaultDrainBatch) {
+    std::vector<SubNotification<Engine>> out;
+    for (uint64_t n = 0; n < max_blocks && *next_height < source.NumBlocks();
+         ++n, ++*next_height) {
+      auto batch = ProcessBlock(source.BlockAt(*next_height));
+      out.insert(out.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+    }
+    return out;
+  }
+
+  /// Lazy-mode drain (acc2 only); see ProcessNewBlocks / ProcessBlockLazy.
+  std::vector<LazyBatch<Engine>> ProcessNewBlocksLazy(
+      const store::BlockSource<Engine>& source, uint64_t* next_height,
+      uint64_t max_blocks = kDefaultDrainBatch) {
+    std::vector<LazyBatch<Engine>> out;
+    for (uint64_t n = 0; n < max_blocks && *next_height < source.NumBlocks();
+         ++n, ++*next_height) {
+      auto batch = ProcessBlockLazy(source.BlockAt(*next_height));
+      out.insert(out.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
     }
     return out;
   }

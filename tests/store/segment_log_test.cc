@@ -1,0 +1,223 @@
+// SegmentLog framing, reopen, and torn-tail recovery semantics.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "store/segment_log.h"
+
+namespace vchain::store {
+namespace {
+
+std::string UniqueDir() {
+  std::string tmpl = ::testing::TempDir() + "vchain_seglog_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* got = mkdtemp(buf.data());
+  EXPECT_NE(got, nullptr);
+  return std::string(got);
+}
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(ByteSpan(zeros.data(), zeros.size())), 0x8A9136AAu);
+  // "123456789" -> 0xE3069283 (the canonical CRC32C check value).
+  Bytes digits = Payload("123456789");
+  EXPECT_EQ(Crc32c(ByteSpan(digits.data(), digits.size())), 0xE3069283u);
+}
+
+TEST(SegmentLogTest, AppendReadReopen) {
+  std::string path = UniqueDir() + "/seg.log";
+  std::vector<uint64_t> offsets;
+  {
+    auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (int i = 0; i < 10; ++i) {
+      auto off = log.value()->Append(Payload("record-" + std::to_string(i)));
+      ASSERT_TRUE(off.ok());
+      offsets.push_back(off.value());
+    }
+    ASSERT_TRUE(log.value()->Sync().ok());
+  }
+  SegmentLog::OpenStats stats;
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true, &stats);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(stats.records, 10u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(log.value()->record_offsets(), offsets);
+  for (int i = 0; i < 10; ++i) {
+    auto payload = log.value()->ReadAt(offsets[i]);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(payload.value(), Payload("record-" + std::to_string(i)));
+  }
+  // Appends continue after the last recovered record.
+  auto off = log.value()->Append(Payload("post-reopen"));
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(log.value()->num_records(), 11u);
+}
+
+TEST(SegmentLogTest, TornTailIsTruncatedAndPrefixSurvives) {
+  std::string path = UniqueDir() + "/seg.log";
+  uint64_t full_size = 0;
+  {
+    auto log = SegmentLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(log.value()->Append(Payload("rec" + std::to_string(i))).ok());
+    }
+    full_size = log.value()->size_bytes();
+  }
+  // Sever the file mid-way through the last record's payload.
+  ASSERT_EQ(truncate(path.c_str(), static_cast<off_t>(full_size - 2)), 0);
+
+  SegmentLog::OpenStats stats;
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true, &stats);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_GT(stats.truncated_bytes, 0u);
+  auto last = log.value()->ReadAt(log.value()->record_offsets().back());
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value(), Payload("rec3"));
+
+  // Without recovery permission the same tear is an error, not a truncation.
+  ASSERT_EQ(truncate(path.c_str(),
+                     static_cast<off_t>(log.value()->size_bytes() - 1)),
+            0);
+  log = SegmentLog::Open(path, /*truncate_torn_tail=*/false);
+  EXPECT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SegmentLogTest, TornFileHeaderRecoversAsEmptySegment) {
+  std::string path = UniqueDir() + "/seg.log";
+  {
+    auto log = SegmentLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(Payload("doomed")).ok());
+  }
+  // Crash during the freshly rolled segment's 8-byte header write: only a
+  // prefix of the header landed.
+  ASSERT_EQ(truncate(path.c_str(), 3), 0);
+
+  // Non-final segments must not self-heal.
+  auto strict = SegmentLog::Open(path, /*truncate_torn_tail=*/false);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kCorruption);
+
+  SegmentLog::OpenStats stats;
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true, &stats);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 3u);
+  // The recovered segment is a working empty log.
+  ASSERT_TRUE(log.value()->Append(Payload("fresh")).ok());
+  auto back = log.value()->ReadAt(log.value()->record_offsets()[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), Payload("fresh"));
+}
+
+TEST(SegmentLogTest, FlippedLengthFieldIsDetectedByCrc) {
+  std::string path = UniqueDir() + "/seg.log";
+  uint64_t second_offset = 0;
+  {
+    auto log = SegmentLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(Payload("aaaaaaaaaaaaaaaa")).ok());
+    auto off = log.value()->Append(Payload("bbbbbbbbbbbbbbbb"));
+    ASSERT_TRUE(off.ok());
+    second_offset = off.value();
+    ASSERT_TRUE(log.value()->Append(Payload("cccccccccccccccc")).ok());
+  }
+  // The stored checksum covers the length prefix (LevelDB-style): the CRC
+  // of the payload alone must NOT match, or a bit-rotted length could
+  // silently re-frame the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(second_offset), SEEK_SET), 0);
+    uint8_t frame[8 + 16];
+    ASSERT_EQ(std::fread(frame, 1, sizeof(frame), f), sizeof(frame));
+    std::fclose(f);
+    uint32_t stored_crc = static_cast<uint32_t>(frame[4]) |
+                          static_cast<uint32_t>(frame[5]) << 8 |
+                          static_cast<uint32_t>(frame[6]) << 16 |
+                          static_cast<uint32_t>(frame[7]) << 24;
+    EXPECT_EQ(Crc32c(ByteSpan(frame + 8, 16), Crc32c(ByteSpan(frame, 4))),
+              stored_crc);
+    EXPECT_NE(Crc32c(ByteSpan(frame + 8, 16)), stored_crc);
+  }
+
+  // Shrink the middle record's length field by one: the re-framed record
+  // still lies inside the file and the CRC catches it as mid-file bit rot.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(second_offset), SEEK_SET), 0);
+  std::fputc(15, f);  // was 16
+  std::fclose(f);
+
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true);
+  EXPECT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SegmentLogTest, MidFileBitRotIsCorruptionNotRecovery) {
+  std::string path = UniqueDir() + "/seg.log";
+  uint64_t second_offset = 0;
+  {
+    auto log = SegmentLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(Payload("first-record")).ok());
+    auto off = log.value()->Append(Payload("second-record"));
+    ASSERT_TRUE(off.ok());
+    second_offset = off.value();
+    ASSERT_TRUE(log.value()->Append(Payload("third-record")).ok());
+  }
+  // Flip one payload byte of the *middle* record.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(second_offset +
+                                            SegmentLog::kRecordHeaderBytes),
+                       SEEK_SET),
+            0);
+  int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true);
+  EXPECT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SegmentLogTest, GarbageLengthFieldCannotForceHugeAllocation) {
+  std::string path = UniqueDir() + "/seg.log";
+  {
+    auto log = SegmentLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(Payload("ok")).ok());
+  }
+  // Append a fake record header claiming a multi-GB payload.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  uint8_t fake[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0};
+  ASSERT_EQ(std::fwrite(fake, 1, sizeof(fake), f), sizeof(fake));
+  std::fclose(f);
+
+  SegmentLog::OpenStats stats;
+  auto log = SegmentLog::Open(path, /*truncate_torn_tail=*/true, &stats);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(stats.records, 1u);  // the garbage tail was dropped
+  EXPECT_EQ(stats.truncated_bytes, sizeof(fake));
+}
+
+}  // namespace
+}  // namespace vchain::store
