@@ -7,6 +7,9 @@
 // and verifies the explorer's answer against block headers only, for all six
 // scheme combinations the paper evaluates ({nil,intra,both} x {acc1,acc2}).
 //
+// Since the vchain::Service redesign the engine is a *runtime* value, so the
+// six schemes are plain data — one options struct each, no templates.
+//
 //   $ ./btc_explorer
 
 #include <cstdio>
@@ -42,53 +45,69 @@ std::vector<std::vector<chain::Object>> MakeLedger(
   return out;
 }
 
-template <typename Engine>
-void RunScheme(const char* name, Engine engine, core::IndexMode mode,
+bool RunScheme(const char* name, EngineKind engine, core::IndexMode mode,
+               const std::shared_ptr<accum::KeyOracle>& oracle,
                const std::vector<std::vector<chain::Object>>& ledger,
                const chain::NumericSchema& schema) {
-  core::ChainConfig config;
-  config.mode = mode;
-  config.schema = schema;
-  config.skiplist_size = 2;
+  ServiceOptions opts;
+  opts.engine = engine;
+  opts.config.mode = mode;
+  opts.config.schema = schema;
+  opts.config.skiplist_size = 2;
+  opts.oracle = oracle;  // one trusted setup shared by all six schemes
+  // Trusted-fast digests keep this demo snappy; proof generation (the SP
+  // cost) stays honest.
+  opts.prover_mode = accum::ProverMode::kTrustedFast;
 
-  core::ChainBuilder<Engine> miner(engine, config);
+  auto opened = Service::Open(opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<Service>& explorer = opened.value();
+
   Timer build;
   for (const auto& txs : ledger) {
-    auto st = miner.AppendBlock(txs, txs.front().timestamp);
+    Status st = explorer->Append(txs, txs.front().timestamp);
     if (!st.ok()) {
-      std::fprintf(stderr, "append failed: %s\n",
-                   st.status().ToString().c_str());
-      return;
+      std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+      return false;
     }
   }
   double build_ms = build.ElapsedMillis();
 
   chain::LightClient light;
-  (void)miner.SyncLightClient(&light);
+  if (!explorer->SyncLightClient(&light).ok()) return false;
 
   // "Amount >= 60% of max, touching acct7, last 8 blocks."
-  core::Query q;
-  q.time_start = ledger[ledger.size() - 8].front().timestamp;
-  q.time_end = ledger.back().front().timestamp;
-  q.ranges = {{0, schema.MaxValue() * 6 / 10, schema.MaxValue()}};
-  q.keyword_cnf = {{"send:acct7", "recv:acct7"}};
+  core::Query q =
+      QueryBuilder()
+          .Window(ledger[ledger.size() - 8].front().timestamp,
+                  ledger.back().front().timestamp)
+          .Range(0, schema.MaxValue() * 6 / 10, schema.MaxValue())
+          .AnyOf({"send:acct7", "recv:acct7"})
+          .Build();
 
-  core::QueryProcessor<Engine> sp(engine, config, &miner.blocks());
   Timer sp_time;
-  auto resp = sp.TimeWindowQuery(q);
+  auto result = explorer->Query(q);
   double sp_ms = sp_time.ElapsedMillis();
-  if (!resp.ok()) return;
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return false;
+  }
 
-  core::Verifier<Engine> verifier(engine, config, &light);
   Timer user_time;
-  Status st = verifier.VerifyTimeWindow(q, resp.value());
+  Status st = explorer->Verify(q, result.value(), light);
   double user_ms = user_time.ElapsedMillis();
 
   std::printf(
       "%-12s results=%2zu  build=%7.1fms  sp=%7.1fms  user=%7.1fms  "
       "vo=%6zuB  %s\n",
-      name, resp.value().objects.size(), build_ms, sp_ms, user_ms,
-      core::VoByteSize(engine, resp.value().vo), st.ToString().c_str());
+      name, result.value().objects.size(), build_ms, sp_ms, user_ms,
+      result.value().vo_bytes, st.ToString().c_str());
+  return st.ok();
 }
 
 }  // namespace
@@ -101,17 +120,18 @@ int main() {
 
   auto oracle = accum::KeyOracle::Create(/*seed=*/5);
   using Mode = core::IndexMode;
-  // The paper's six schemes. Trusted-fast digests keep this demo snappy;
-  // proof generation (the SP cost) stays honest.
+  // The paper's six schemes, as runtime (mode, engine) pairs.
   for (auto [mode, label] : {std::pair{Mode::kNil, "nil"},
                              std::pair{Mode::kIntra, "intra"},
                              std::pair{Mode::kBoth, "both"}}) {
-    RunScheme((std::string(label) + "-acc1").c_str(),
-              accum::Acc1Engine(oracle, accum::ProverMode::kTrustedFast), mode,
-              ledger, schema);
-    RunScheme((std::string(label) + "-acc2").c_str(),
-              accum::Acc2Engine(oracle, accum::ProverMode::kTrustedFast), mode,
-              ledger, schema);
+    if (!RunScheme((std::string(label) + "-acc1").c_str(), EngineKind::kAcc1,
+                   mode, oracle, ledger, schema)) {
+      return 1;
+    }
+    if (!RunScheme((std::string(label) + "-acc2").c_str(), EngineKind::kAcc2,
+                   mode, oracle, ledger, schema)) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -4,9 +4,15 @@
 // Several users register standing queries such as
 //   <- , [200, 250], "Sedan" AND ("Benz" OR "BMW")>
 // and receive, for every newly mined block, either matching offers plus a
-// proof, or verifiable evidence that nothing matched. Shows both realtime
-// notifications and the lazy scheme (Algorithm 5) whose aggregated proofs
-// cover silent runs of blocks with a single pairing check.
+// proof, or verifiable evidence that nothing matched.
+//
+// The realtime scheme runs through the vchain::Service front door
+// (Subscribe / TakeSubscriptionEvents / VerifyNotification — queries are
+// validated, events buffered per block). The lazy scheme (§7.2, Algorithm 5)
+// stays on the typed layer (SubscriptionManager + SubVerifier): a second SP
+// mines the identical chain (same oracle, same offers) and aggregates silent
+// runs of blocks into single proofs — showing the facade and the typed core
+// working side by side.
 //
 //   $ ./car_rental_subscriptions
 
@@ -22,30 +28,38 @@ using namespace vchain;
 
 int main() {
   auto oracle = accum::KeyOracle::Create(/*seed=*/21);
-  accum::Acc2Engine engine(oracle, accum::ProverMode::kTrustedFast);
 
   core::ChainConfig config;
   config.mode = core::IndexMode::kBoth;
   config.schema = chain::NumericSchema{1, 10};  // daily price
   config.skiplist_size = 2;
 
-  // Standing queries of three subscribers.
-  core::Query q_sedan;
-  q_sedan.ranges = {{0, 200, 250}};
-  q_sedan.keyword_cnf = {{"Sedan"}, {"Benz", "BMW"}};
-  core::Query q_van;
-  q_van.ranges = {{0, 0, 150}};
-  q_van.keyword_cnf = {{"Van"}};
-  core::Query q_lux;
-  q_lux.ranges = {{0, 700, 1023}};
-  q_lux.keyword_cnf = {};
+  // Realtime SP: one Service owns miner, subscriptions, and event buffer.
+  ServiceOptions opts;
+  opts.engine = EngineKind::kAcc2;
+  opts.config = config;
+  opts.oracle = oracle;
+  opts.prover_mode = accum::ProverMode::kTrustedFast;
+  auto opened = Service::Open(opts);
+  if (!opened.ok()) return 1;
+  std::unique_ptr<Service>& market = opened.value();
 
-  sub::SubscriptionManager<accum::Acc2Engine>::Options rt_opts;
-  sub::SubscriptionManager<accum::Acc2Engine> realtime(engine, config,
-                                                       rt_opts);
+  // Standing queries of three subscribers (validated at Subscribe — a
+  // malformed one would come back InvalidArgument, not match nothing).
+  core::Query q_sedan = QueryBuilder()
+                            .Range(0, 200, 250)
+                            .AllOf({"Sedan"})
+                            .AnyOf({"Benz", "BMW"})
+                            .Build();
+  core::Query q_van = QueryBuilder().Range(0, 0, 150).AllOf({"Van"}).Build();
+  core::Query q_lux = QueryBuilder().Range(0, 700, 1023).Build();
+
+  // Lazy SP: typed layer, identical chain mined alongside.
+  accum::Acc2Engine engine(oracle, accum::ProverMode::kTrustedFast);
   sub::SubscriptionManager<accum::Acc2Engine>::Options lazy_opts;
   lazy_opts.lazy = true;
   sub::SubscriptionManager<accum::Acc2Engine> lazy(engine, config, lazy_opts);
+  core::ChainBuilder<accum::Acc2Engine> lazy_miner(engine, config);
 
   struct Sub {
     const char* who;
@@ -57,14 +71,20 @@ int main() {
                            {"bob(van)", q_van, 0, 0},
                            {"carol(lux)", q_lux, 0, 0}};
   for (Sub& s : subs) {
-    s.rt_id = realtime.Subscribe(s.q);
-    s.lazy_id = lazy.Subscribe(s.q);
+    auto id = market->Subscribe(s.q);
+    if (!id.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    s.rt_id = id.value();
+    auto lazy_id = lazy.TrySubscribe(s.q);
+    if (!lazy_id.ok()) return 1;
+    s.lazy_id = lazy_id.value();
   }
 
-  // The rental market mines a block per day.
-  core::ChainBuilder<accum::Acc2Engine> miner(engine, config);
   chain::LightClient light;
-  sub::SubVerifier<accum::Acc2Engine> verifier(engine, config, &light);
+  sub::SubVerifier<accum::Acc2Engine> lazy_verifier(engine, config, &light);
 
   static const char* kTypes[] = {"Sedan", "Van", "SUV"};
   static const char* kMakes[] = {"Benz", "BMW", "Audi", "Toyota"};
@@ -82,23 +102,27 @@ int main() {
       o.keywords = {kTypes[rng.Below(3)], kMakes[rng.Below(4)]};
       offers.push_back(std::move(o));
     }
-    auto st = miner.AppendBlock(std::move(offers), ts);
+    // The same offers feed both SPs: the Service mines + notifies in one
+    // Append; the lazy SP mines on the typed layer.
+    if (!market->Append(offers, ts).ok()) return 1;
+    auto st = lazy_miner.AppendBlock(std::move(offers), ts);
     if (!st.ok()) return 1;
-    (void)miner.SyncLightClient(&light);
-    const auto& block = miner.blocks().back();
+    (void)market->SyncLightClient(&light);
+    const auto& block = lazy_miner.blocks().back();
     ts += 86400;
 
-    // Realtime delivery: every subscriber gets a verifiable notification.
-    for (const auto& notif : realtime.ProcessBlock(block)) {
+    // Realtime delivery: drain this block's buffered events and verify each
+    // against headers only.
+    for (const SubscriptionEvent& ev : market->TakeSubscriptionEvents()) {
       Sub& s = *std::find_if(subs.begin(), subs.end(), [&](const Sub& x) {
-        return x.rt_id == notif.query_id;
+        return x.rt_id == ev.query_id;
       });
-      Status ok = verifier.VerifyNotification(s.q, notif);
-      rt_bytes += sub::SubNotificationByteSize(engine, notif);
-      if (!notif.objects.empty()) {
+      Status ok = market->VerifyNotification(s.q, ev, light);
+      rt_bytes += ev.notification_bytes.size();
+      if (!ev.objects.empty()) {
         std::printf("day %2d  %-13s %zu new offer(s) [%s]\n", day, s.who,
-                    notif.objects.size(), ok.ToString().c_str());
-        for (const auto& o : notif.objects) {
+                    ev.objects.size(), ok.ToString().c_str());
+        for (const auto& o : ev.objects) {
           std::printf("         -> %s\n", o.ToString().c_str());
         }
       }
@@ -111,7 +135,7 @@ int main() {
         return x.lazy_id == batch.query_id;
       });
       uint64_t next = 0;
-      Status ok = verifier.VerifyLazyBatch(s.q, batch, s.owed, &next);
+      Status ok = lazy_verifier.VerifyLazyBatch(s.q, batch, s.owed, &next);
       lazy_bytes += sub::LazyBatchByteSize(engine, batch);
       if (!ok.ok()) {
         std::printf("lazy batch rejected for %s: %s\n", s.who,
@@ -136,19 +160,19 @@ int main() {
       return x.lazy_id == batch.query_id;
     });
     uint64_t next = 0;
-    Status ok = verifier.VerifyLazyBatch(s.q, batch, s.owed, &next);
+    Status ok = lazy_verifier.VerifyLazyBatch(s.q, batch, s.owed, &next);
     lazy_bytes += sub::LazyBatchByteSize(engine, batch);
     if (!ok.ok()) return 1;
     s.owed = next;
   }
   for (const Sub& s : subs) {
-    if (s.owed != miner.blocks().size()) {
+    if (s.owed != market->NumBlocks()) {
       std::printf("%s: missing evidence for some blocks!\n", s.who);
       return 1;
     }
   }
-  std::printf("\nall %zu blocks accounted for by every subscriber\n",
-              miner.blocks().size());
+  std::printf("\nall %llu blocks accounted for by every subscriber\n",
+              static_cast<unsigned long long>(market->NumBlocks()));
   std::printf("bandwidth: realtime=%zuB lazy=%zuB (lazy aggregates silent "
               "runs)\n",
               rt_bytes, lazy_bytes);

@@ -4,7 +4,8 @@
 //
 // Pure set-valued matching: no numeric predicates at all, which exercises
 // the CNF machinery and shows VOs staying compact when whole subtrees of a
-// block mismatch one clause.
+// block mismatch one clause. Queries are phrased with the fluent
+// QueryBuilder and served through one vchain::Service.
 //
 //   $ ./patent_search
 
@@ -16,10 +17,6 @@
 using namespace vchain;
 
 namespace {
-
-struct Filing {
-  std::vector<std::string> tags;
-};
 
 std::vector<std::vector<chain::Object>> MakeRegistry(size_t blocks,
                                                      size_t per_block) {
@@ -50,61 +47,64 @@ std::vector<std::vector<chain::Object>> MakeRegistry(size_t blocks,
 }  // namespace
 
 int main() {
-  auto oracle = accum::KeyOracle::Create(/*seed=*/13);
-  accum::Acc2Engine engine(oracle, accum::ProverMode::kTrustedFast);
+  ServiceOptions opts;
+  opts.engine = EngineKind::kAcc2;
+  opts.config.mode = core::IndexMode::kBoth;
+  opts.config.schema = chain::NumericSchema{/*dims=*/0, /*bits=*/8};
+  opts.config.skiplist_size = 2;
+  opts.oracle_seed = 13;
+  opts.prover_mode = accum::ProverMode::kTrustedFast;
+  auto opened = Service::Open(opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Service>& registry = opened.value();
 
-  core::ChainConfig config;
-  config.mode = core::IndexMode::kBoth;
-  config.schema = chain::NumericSchema{/*dims=*/0, /*bits=*/8};
-  config.skiplist_size = 2;
-
-  core::ChainBuilder<accum::Acc2Engine> registry(engine, config);
   auto filings = MakeRegistry(/*blocks=*/20, /*per_block=*/5);
   for (const auto& day : filings) {
-    auto st = registry.AppendBlock(day, day.front().timestamp);
+    Status st = registry->Append(day, day.front().timestamp);
     if (!st.ok()) {
-      std::fprintf(stderr, "append failed: %s\n",
-                   st.status().ToString().c_str());
+      std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
       return 1;
     }
   }
   chain::LightClient light;
-  if (!registry.SyncLightClient(&light).ok()) return 1;
-  std::printf("patent registry: %zu blocks, %zu filings\n",
-              registry.blocks().size(),
-              registry.blocks().size() * filings[0].size());
+  if (!registry->SyncLightClient(&light).ok()) return 1;
+  std::printf("patent registry: %llu blocks, %zu filings\n",
+              static_cast<unsigned long long>(registry->NumBlocks()),
+              registry->NumBlocks() * filings[0].size());
 
-  core::QueryProcessor<accum::Acc2Engine> sp(engine, config,
-                                             &registry.blocks());
-  core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
-
-  // The paper's example query plus two variations.
+  // The paper's example query plus two variations, via the fluent builder.
   struct Search {
     const char* description;
-    std::vector<std::vector<std::string>> cnf;
+    core::Query q;
   };
   std::vector<Search> searches = {
       {"Blockchain AND (Query OR Search)",
-       {{"Blockchain"}, {"Query", "Search"}}},
-      {"Database AND Index", {{"Database"}, {"Index"}}},
+       QueryBuilder().AllOf({"Blockchain"}).AnyOf({"Query", "Search"}).Build()},
+      {"Database AND Index", QueryBuilder().AllOf({"Database", "Index"}).Build()},
       {"(Blockchain OR Database) AND Consensus",
-       {{"Blockchain", "Database"}, {"Consensus"}}},
+       QueryBuilder()
+           .AnyOf({"Blockchain", "Database"})
+           .AllOf({"Consensus"})
+           .Build()},
   };
 
   for (const Search& s : searches) {
-    core::Query q;
-    q.time_start = 0;
-    q.time_end = ~uint64_t{0};
-    q.keyword_cnf = s.cnf;
-    auto resp = sp.TimeWindowQuery(q);
-    if (!resp.ok()) return 1;
-    Status st = verifier.VerifyTimeWindow(q, resp.value());
+    auto result = registry->Query(s.q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    Status st = registry->Verify(s.q, result.value(), light);
     std::printf("\n\"%s\": %zu filing(s), VO %zu bytes, verification %s\n",
-                s.description, resp.value().objects.size(),
-                core::VoByteSize(engine, resp.value().vo),
-                st.ToString().c_str());
-    for (size_t i = 0; i < resp.value().objects.size() && i < 3; ++i) {
-      std::printf("   %s\n", resp.value().objects[i].ToString().c_str());
+                s.description, result.value().objects.size(),
+                result.value().vo_bytes, st.ToString().c_str());
+    for (size_t i = 0; i < result.value().objects.size() && i < 3; ++i) {
+      std::printf("   %s\n", result.value().objects[i].ToString().c_str());
     }
     if (!st.ok()) return 1;
   }

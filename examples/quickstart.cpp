@@ -1,11 +1,12 @@
-// Quickstart: the smallest complete vChain deployment.
+// Quickstart: the smallest complete vChain deployment, through the
+// vchain::Service front door.
 //
-// One miner builds an ADS-extended chain, an untrusted service provider
-// answers a Boolean range query with a verification object, and a light node
-// that holds nothing but block headers verifies soundness and completeness.
-// The chain is then persisted to a durable block store and the same query is
-// served again from a *reopened* store — byte-identical — the restart path a
-// production SP takes.
+// One Service owns the whole SP stack — miner write-through, durable block
+// store, timestamp index, proof cache, subscriptions — behind a runtime
+// engine choice. A light node that holds nothing but block headers verifies
+// soundness and completeness of every answer. The service is then torn down
+// and reopened from its store directory and the same query is served again,
+// byte-identical — the restart path a production SP takes.
 //
 //   $ ./quickstart
 
@@ -17,18 +18,28 @@
 using namespace vchain;
 
 int main() {
-  // 1. Trusted setup: the accumulator key oracle (a TTP/SGX role; §5.2.2).
-  auto oracle = accum::KeyOracle::Create(/*seed=*/7);
-  accum::Acc2Engine engine(oracle);  // Construction 2: supports aggregation
+  // 1. One options struct fixes the deployment: engine (a runtime value —
+  // no templates at this layer), chain schema, store directory.
+  auto store_dir =
+      (std::filesystem::temp_directory_path() / "vchain_quickstart").string();
+  std::filesystem::remove_all(store_dir);
 
-  // 2. Chain configuration shared by miner, SP and users.
-  core::ChainConfig config;
-  config.mode = core::IndexMode::kBoth;  // intra-block tree + skip list
-  config.schema = chain::NumericSchema{/*dims=*/1, /*bits=*/10};  // price
-  config.skiplist_size = 2;
+  ServiceOptions opts;
+  opts.engine = EngineKind::kAcc2;  // Construction 2: supports aggregation
+  opts.config.mode = core::IndexMode::kBoth;  // intra-block tree + skip list
+  opts.config.schema = chain::NumericSchema{/*dims=*/1, /*bits=*/10};
+  opts.config.skiplist_size = 2;
+  opts.oracle_seed = 7;  // trusted setup (a TTP/SGX role; §5.2.2)
+  opts.store_dir = store_dir;  // "" would keep the chain in memory
 
-  // 3. The miner packs rental offers into blocks (Example 3.2 of the paper).
-  core::ChainBuilder<accum::Acc2Engine> miner(engine, config);
+  auto opened = Service::Open(opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Service> svc = opened.TakeValue();
+
+  // 2. The miner packs rental offers into blocks (Example 3.2 of the paper).
   struct Offer {
     uint64_t price;
     std::vector<std::string> tags;
@@ -50,94 +61,77 @@ int main() {
       o.keywords = offer.tags;
       objects.push_back(std::move(o));
     }
-    auto stats = miner.AppendBlock(std::move(objects), ts);
-    if (!stats.ok()) {
-      std::fprintf(stderr, "mining failed: %s\n",
-                   stats.status().ToString().c_str());
+    Status st = svc->Append(std::move(objects), ts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n", st.ToString().c_str());
       return 1;
     }
     ts += 86400;
   }
-  std::printf("mined %zu blocks\n", miner.blocks().size());
+  if (!svc->Sync().ok()) return 1;  // durable commit point
+  std::printf("mined %llu blocks (engine %s, store %s)\n",
+              static_cast<unsigned long long>(svc->NumBlocks()),
+              EngineKindName(svc->engine_kind()), store_dir.c_str());
 
-  // 4. A light node syncs headers only (~%zu bytes per block).
+  // 3. A light node syncs headers only.
   chain::LightClient light;
-  if (!miner.SyncLightClient(&light).ok()) return 1;
+  if (!svc->SyncLightClient(&light).ok()) return 1;
   std::printf("light node synced %zu headers (%zu bytes each)\n",
               light.Height(), chain::LightClient::HeaderBytes());
 
-  // 5. Query: sedans from Benz or BMW priced 200..250 over the whole window.
-  core::Query q;
-  q.time_start = 1700000000;
-  q.time_end = ts;
-  q.ranges = {{0, 200, 250}};
-  q.keyword_cnf = {{"Sedan"}, {"Benz", "BMW"}};
-
-  core::QueryProcessor<accum::Acc2Engine> sp(engine, config, &miner.blocks(),
-                                             &miner.timestamp_index());
-  auto resp = sp.TimeWindowQuery(q);
-  if (!resp.ok()) return 1;
-
+  // 4. Query: sedans from Benz or BMW priced 200..250 over the whole window.
+  // Malformed queries (inverted ranges, empty OR-clauses, unknown
+  // dimensions) come back as InvalidArgument instead of silent garbage.
+  core::Query q = QueryBuilder()
+                      .Window(1700000000, ts)
+                      .Range(/*dim=*/0, 200, 250)
+                      .AllOf({"Sedan"})
+                      .AnyOf({"Benz", "BMW"})
+                      .Build();
+  auto result = svc->Query(q);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
   std::printf("SP returned %zu result(s), VO = %zu bytes\n",
-              resp.value().objects.size(),
-              core::VoByteSize(engine, resp.value().vo));
-  for (const chain::Object& o : resp.value().objects) {
+              result.value().objects.size(), result.value().vo_bytes);
+  for (const chain::Object& o : result.value().objects) {
     std::printf("  %s\n", o.ToString().c_str());
   }
 
-  // 6. The light node verifies soundness + completeness from headers alone.
-  core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
-  Status st = verifier.VerifyTimeWindow(q, resp.value());
+  // 5. The light node verifies soundness + completeness from headers alone.
+  Status st = svc->Verify(q, result.value(), light);
   std::printf("verification: %s\n", st.ToString().c_str());
 
-  // 7. A cheating SP is caught: drop one result.
-  auto tampered = resp.value();
-  if (!tampered.objects.empty()) {
-    tampered.objects.pop_back();
-    Status bad = verifier.VerifyTimeWindow(q, tampered);
+  // 6. A cheating (or corrupted) SP is caught: flip one byte of the wire
+  // response and re-verify — the user either can't decode it (Corruption)
+  // or catches the lie against the headers (VerifyFailed).
+  QueryResult tampered = result.value();
+  if (!tampered.response_bytes.empty()) {
+    tampered.response_bytes[tampered.response_bytes.size() / 2] ^= 0x01;
+    Status bad = svc->Verify(q, tampered, light);
     std::printf("tampered response rejected: %s\n", bad.ToString().c_str());
+    if (bad.ok()) return 1;
   }
 
-  // 8. Persist the chain: every block (objects + digests + indexes) lands in
-  // an append-only, checksummed segment log. O(1) per block.
-  auto store_dir =
-      (std::filesystem::temp_directory_path() / "vchain_quickstart").string();
-  std::filesystem::remove_all(store_dir);
-  {
-    auto db = store::BlockStore::Open(store_dir);
-    if (!db.ok()) return 1;
-    if (!miner.AttachStore(db.value().get()).ok()) return 1;
-    if (!db.value()->Sync().ok()) return 1;
-    std::printf("persisted %llu blocks to %s\n",
-                static_cast<unsigned long long>(db.value()->NumBlocks()),
-                store_dir.c_str());
-    // The builder never owns the store; detach before it goes away.
-    if (!miner.DetachStore().ok()) return 1;
-  }  // store closed — "process exit"
-
-  // 9. Cold start: reopen the store, rebuild the timestamp index and light
-  // client from the persisted headers (no re-mining), and serve the same
-  // query through the disk-backed BlockSource.
-  auto db = store::BlockStore::Open(store_dir);
-  if (!db.ok()) return 1;
-  core::TimestampIndex ts_index = db.value()->RebuildTimestampIndex();
+  // 7. Restart: drop the service, reopen the same directory, serve the same
+  // query. No digest is recomputed; the response is byte-identical.
+  Bytes first_bytes = result.value().response_bytes;
+  svc.reset();
+  auto reopened = Service::Open(opts);
+  if (!reopened.ok()) return 1;
+  svc = reopened.TakeValue();
   chain::LightClient cold_light;
-  if (!db.value()->SyncLightClient(&cold_light).ok()) return 1;
-  store::StoreBlockSource<accum::Acc2Engine> source(engine, db.value().get(),
-                                                    config.block_cache_blocks);
-  core::QueryProcessor<accum::Acc2Engine> cold_sp(engine, config, &source,
-                                                  &ts_index);
-  auto cold_resp = cold_sp.TimeWindowQuery(q);
-  if (!cold_resp.ok()) return 1;
-  ByteWriter mem_bytes, disk_bytes;
-  core::SerializeResponse(engine, resp.value(), &mem_bytes);
-  core::SerializeResponse(engine, cold_resp.value(), &disk_bytes);
-  bool identical = mem_bytes.bytes() == disk_bytes.bytes();
-  core::Verifier<accum::Acc2Engine> cold_verifier(engine, config, &cold_light);
-  Status cold_st = cold_verifier.VerifyTimeWindow(q, cold_resp.value());
-  std::printf("reopened store served the query: %s, bytes %s in-memory SP\n",
+  if (!svc->SyncLightClient(&cold_light).ok()) return 1;
+  auto cold = svc->Query(q);
+  if (!cold.ok()) return 1;
+  bool identical = cold.value().response_bytes == first_bytes;
+  Status cold_st = svc->Verify(q, cold.value(), cold_light);
+  std::printf("reopened service served the query: %s, bytes %s first run\n",
               cold_st.ToString().c_str(),
               identical ? "identical to" : "DIFFER from");
+
   std::filesystem::remove_all(store_dir);
   return (st.ok() && cold_st.ok() && identical) ? 0 : 1;
 }

@@ -1,0 +1,54 @@
+// The engine-erasure seam under api::Service.
+//
+// Service is the public, engine-agnostic shell; IServiceBackend is the
+// virtual interface it forwards to; ServiceBackend<Engine>
+// (api/backend_impl.h) is the one implementation, instantiated for each
+// EngineKind by Service::Open. Virtual-dispatch cost is irrelevant here —
+// one call per query against milliseconds of proving — and in exchange the
+// engine choice (and with it every template parameter in the stack) becomes
+// a runtime value.
+//
+// Thread-safety contract: Query / Stats / NumBlocks / SyncLightClient /
+// Verify* are safe from any thread, concurrently; Append / Subscribe /
+// Unsubscribe / TakeSubscriptionEvents / Sync are safe from any thread but
+// serialize against queries (implementations hold a shared_mutex — queries
+// shared, mutations exclusive).
+
+#ifndef VCHAIN_API_BACKEND_H_
+#define VCHAIN_API_BACKEND_H_
+
+#include <vector>
+
+#include "api/service.h"
+
+namespace vchain::api {
+
+class IServiceBackend {
+ public:
+  virtual ~IServiceBackend() = default;
+
+  virtual Status Append(std::vector<chain::Object> objects,
+                        uint64_t timestamp) = 0;
+  virtual Status Sync() = 0;
+
+  virtual Result<QueryResult> Query(const core::Query& q) = 0;
+
+  virtual Status SyncLightClient(chain::LightClient* client) const = 0;
+  virtual Status Verify(const core::Query& q, const QueryResult& result,
+                        const chain::LightClient& client) const = 0;
+  virtual Status VerifyNotification(const core::Query& q,
+                                    const SubscriptionEvent& ev,
+                                    const chain::LightClient& client) const = 0;
+
+  virtual Result<uint32_t> Subscribe(const core::Query& q) = 0;
+  virtual Status Unsubscribe(uint32_t id) = 0;
+  virtual std::vector<SubscriptionEvent> TakeSubscriptionEvents() = 0;
+
+  virtual ServiceStats Stats() const = 0;
+  virtual uint64_t NumBlocks() const = 0;
+  virtual const ServiceOptions& options() const = 0;
+};
+
+}  // namespace vchain::api
+
+#endif  // VCHAIN_API_BACKEND_H_

@@ -1,0 +1,295 @@
+// ServiceBackend<Engine>: the typed SP stack behind api::Service.
+//
+// Owns, per service: the engine, the chain builder (miner write-through +
+// timestamp index), the optional durable store with its shared decoded-block
+// cache, the shared mutex-striped proof cache, and the subscription manager.
+//
+// Locking model (state_mu_, a shared_mutex):
+//   * Query takes a *shared* lock: any number run concurrently. Each query
+//     builds a throwaway single-threaded QueryProcessor (two pointers and a
+//     scratch vector) over its own block-source view; the expensive state —
+//     proof cache, decoded-block cache — is shared and internally
+//     synchronized. The block-source view is frozen at the admission-time
+//     tip, so a later append can never shift a window mid-walk.
+//   * Append / Subscribe / Unsubscribe / TakeSubscriptionEvents / Sync take
+//     the *exclusive* lock: they mutate the chain vectors, the timestamp
+//     index, the store, or the event buffer that queries and stats read.
+//
+// Determinism: everything a query emits is a pure function of (chain,
+// query, engine); caches only decide what gets recomputed. Concurrent runs
+// are therefore byte-identical to serial runs — enforced by
+// tests/api/service_test.cc's multi-threaded stress against a serial
+// QueryProcessor baseline, for all four engines.
+
+#ifndef VCHAIN_API_BACKEND_IMPL_H_
+#define VCHAIN_API_BACKEND_IMPL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "api/backend.h"
+#include "core/chain_builder.h"
+#include "core/processor.h"
+#include "core/proof_cache.h"
+#include "core/verifier.h"
+#include "store/block_source.h"
+#include "store/concurrent_block_source.h"
+#include "sub/sub_serde.h"
+#include "sub/sub_verifier.h"
+#include "sub/subscription.h"
+
+namespace vchain::api {
+
+template <typename Engine>
+class ServiceBackend final : public IServiceBackend {
+ public:
+  static Result<std::unique_ptr<IServiceBackend>> Create(ServiceOptions options,
+                                                         Engine engine) {
+    std::unique_ptr<ServiceBackend> b(
+        new ServiceBackend(std::move(options), std::move(engine)));
+    const ServiceOptions& opts = b->options_;
+
+    if (opts.store_dir.empty()) {
+      if (opts.retain_window != 0) {
+        return Status::InvalidArgument(
+            "retain_window requires a store_dir (pruned blocks must stay "
+            "reachable on disk)");
+      }
+      b->builder_ = std::make_unique<core::ChainBuilder<Engine>>(b->engine_,
+                                                                 opts.config);
+    } else {
+      auto store = store::BlockStore::Open(opts.store_dir, opts.store_options);
+      if (!store.ok()) return store.status();
+      b->store_ = store.TakeValue();
+      if (b->store_->NumBlocks() > 0) {
+        // Resume the persisted chain: headers + timestamp index from the
+        // store, only the skip-construction tail decoded back into RAM.
+        auto resumed = core::ChainBuilder<Engine>::ResumeFromStore(
+            b->engine_, opts.config, b->store_.get());
+        if (!resumed.ok()) return resumed.status();
+        b->builder_ =
+            std::make_unique<core::ChainBuilder<Engine>>(resumed.TakeValue());
+      } else {
+        b->builder_ = std::make_unique<core::ChainBuilder<Engine>>(
+            b->engine_, opts.config);
+        VCHAIN_RETURN_IF_ERROR(b->builder_->AttachStore(b->store_.get()));
+      }
+      if (opts.retain_window != 0) {
+        VCHAIN_RETURN_IF_ERROR(b->builder_->SetRetainWindow(opts.retain_window));
+      }
+      b->disk_source_ =
+          std::make_unique<store::ConcurrentStoreBlockSource<Engine>>(
+              b->engine_, b->store_.get(), opts.config.block_cache_blocks);
+    }
+    b->sub_next_height_ = b->builder_->NumBlocks();
+    return std::unique_ptr<IServiceBackend>(std::move(b));
+  }
+
+  // --- miner side ----------------------------------------------------------
+
+  Status Append(std::vector<chain::Object> objects,
+                uint64_t timestamp) override {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    auto stats = builder_->AppendBlock(std::move(objects), timestamp);
+    if (!stats.ok()) return stats.status();
+    DrainSubscriptionsLocked();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (store_ == nullptr) return Status::OK();
+    return store_->Sync();
+  }
+
+  // --- query side ----------------------------------------------------------
+
+  Result<QueryResult> Query(const core::Query& q) override {
+    VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(q, options_.config.schema));
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    if (disk_source_ != nullptr) {
+      auto handle = disk_source_->MakeHandle(store_->NumBlocks());
+      core::QueryProcessor<Engine> sp(engine_, options_.config, &handle,
+                                      &builder_->timestamp_index(),
+                                      &proof_cache_);
+      return Finish(sp.TimeWindowQuery(q));
+    }
+    store::VectorBlockSource<Engine> source(&builder_->blocks());
+    core::QueryProcessor<Engine> sp(engine_, options_.config, &source,
+                                    &builder_->timestamp_index(),
+                                    &proof_cache_);
+    return Finish(sp.TimeWindowQuery(q));
+  }
+
+  // --- user-side helpers ---------------------------------------------------
+
+  Status SyncLightClient(chain::LightClient* client) const override {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return builder_->SyncLightClient(client);
+  }
+
+  Status Verify(const core::Query& q, const QueryResult& result,
+                const chain::LightClient& client) const override {
+    ByteReader r(ByteSpan(result.response_bytes.data(),
+                          result.response_bytes.size()));
+    core::QueryResponse<Engine> resp;
+    VCHAIN_RETURN_IF_ERROR(core::DeserializeResponse(engine_, &r, &resp));
+    if (r.Remaining() != 0) {
+      return Status::Corruption("trailing bytes after query response");
+    }
+    core::Verifier<Engine> verifier(engine_, options_.config, &client);
+    return verifier.VerifyTimeWindow(q, resp);
+  }
+
+  Status VerifyNotification(const core::Query& q, const SubscriptionEvent& ev,
+                            const chain::LightClient& client) const override {
+    ByteReader r(ByteSpan(ev.notification_bytes.data(),
+                          ev.notification_bytes.size()));
+    sub::SubNotification<Engine> notif;
+    VCHAIN_RETURN_IF_ERROR(
+        sub::DeserializeSubNotification(engine_, &r, &notif));
+    if (r.Remaining() != 0) {
+      return Status::Corruption("trailing bytes after notification");
+    }
+    sub::SubVerifier<Engine> verifier(engine_, options_.config, &client);
+    return verifier.VerifyNotification(q, notif);
+  }
+
+  // --- subscriptions -------------------------------------------------------
+
+  Result<uint32_t> Subscribe(const core::Query& q) override {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    auto id = subs_.TrySubscribe(q);
+    if (!id.ok()) return id.status();
+    active_subscriptions_.insert(id.value());
+    // Events cover blocks appended from here on; with no prior subscribers
+    // the drain cursor may lag (drains are skipped while nobody listens).
+    sub_next_height_ = builder_->NumBlocks();
+    return id;
+  }
+
+  Status Unsubscribe(uint32_t id) override {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (active_subscriptions_.erase(id) == 0) {
+      return Status::NotFound("unknown subscription id");
+    }
+    subs_.Unsubscribe(id);
+    return Status::OK();
+  }
+
+  std::vector<SubscriptionEvent> TakeSubscriptionEvents() override {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    std::vector<SubscriptionEvent> out;
+    out.swap(pending_events_);
+    return out;
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  ServiceStats Stats() const override {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    ServiceStats s;
+    s.engine = options_.engine;
+    s.durable = store_ != nullptr;
+    s.num_blocks = builder_->NumBlocks();
+    s.queries_served = queries_served_.load(std::memory_order_relaxed);
+    s.subscriptions_active = active_subscriptions_.size();
+    s.subscription_events_pending = pending_events_.size();
+    s.proof_cache = proof_cache_.stats();
+    if (disk_source_ != nullptr) s.block_cache = disk_source_->cache_stats();
+    return s;
+  }
+
+  uint64_t NumBlocks() const override {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return builder_->NumBlocks();
+  }
+
+  const ServiceOptions& options() const override { return options_; }
+
+ private:
+  ServiceBackend(ServiceOptions options, Engine engine)
+      : options_(std::move(options)),
+        engine_(std::move(engine)),
+        proof_cache_(options_.config.proof_cache_capacity,
+                     options_.proof_cache_shards),
+        subs_(engine_, options_.config, SubOptions()) {}
+
+  typename sub::SubscriptionManager<Engine>::Options SubOptions() const {
+    typename sub::SubscriptionManager<Engine>::Options o;
+    o.use_ip_tree = options_.subscriptions_share_proofs;
+    return o;
+  }
+
+  /// Serialize a successful response into the erased QueryResult
+  /// (serialize first, then move the result objects out — no copies).
+  Result<QueryResult> Finish(Result<core::QueryResponse<Engine>> resp) {
+    if (!resp.ok()) return resp.status();
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    QueryResult out;
+    ByteWriter w;
+    core::SerializeResponse(engine_, resp.value(), &w);
+    out.response_bytes = std::move(w.bytes());
+    out.vo_bytes = core::VoByteSize(engine_, resp.value().vo);
+    out.objects = std::move(resp.value().objects);
+    return out;
+  }
+
+  /// Run every block since the last drain past the standing queries,
+  /// buffering one event per (query, block). Caller holds the exclusive
+  /// lock. Skips entirely (cursor fast-forwarded at Subscribe) while no
+  /// subscription is active.
+  void DrainSubscriptionsLocked() {
+    uint64_t tip = builder_->NumBlocks();
+    if (active_subscriptions_.empty()) {
+      sub_next_height_ = tip;
+      return;
+    }
+    auto drain = [&](const store::BlockSource<Engine>& source) {
+      while (sub_next_height_ < tip) {
+        for (auto& notif : subs_.ProcessNewBlocks(source, &sub_next_height_)) {
+          SubscriptionEvent ev;
+          ev.query_id = notif.query_id;
+          ev.height = notif.height;
+          ev.objects = notif.objects;
+          ByteWriter w;
+          sub::SerializeSubNotification(engine_, notif, &w);
+          ev.notification_bytes = std::move(w.bytes());
+          pending_events_.push_back(std::move(ev));
+        }
+      }
+    };
+    if (disk_source_ != nullptr) {
+      auto handle = disk_source_->MakeHandle(tip);
+      drain(handle);
+    } else {
+      store::VectorBlockSource<Engine> source(&builder_->blocks());
+      drain(source);
+    }
+  }
+
+  ServiceOptions options_;
+  Engine engine_;
+
+  std::unique_ptr<store::BlockStore> store_;  // null in in-memory mode
+  std::unique_ptr<core::ChainBuilder<Engine>> builder_;
+  std::unique_ptr<store::ConcurrentStoreBlockSource<Engine>> disk_source_;
+
+  core::ProofCache<Engine> proof_cache_;
+  sub::SubscriptionManager<Engine> subs_;
+  std::set<uint32_t> active_subscriptions_;
+  uint64_t sub_next_height_ = 0;
+  std::vector<SubscriptionEvent> pending_events_;
+
+  mutable std::shared_mutex state_mu_;
+  std::atomic<uint64_t> queries_served_{0};
+};
+
+}  // namespace vchain::api
+
+#endif  // VCHAIN_API_BACKEND_IMPL_H_

@@ -1,0 +1,85 @@
+// Fluent construction of Boolean range queries.
+//
+// A raw core::Query is four loosely-coupled fields whose invariants (range
+// bounds ordered and in-domain, dimensions inside the schema, no empty
+// OR-clause) are easy to violate silently. The builder gives call sites a
+// shape that reads like the paper's query notation —
+//
+//   core::Query q = api::QueryBuilder()
+//                       .Window(ts, te)
+//                       .Range(/*dim=*/0, 200, 250)
+//                       .AllOf({"Sedan"})
+//                       .AnyOf({"Benz", "BMW"})
+//                       .Build();
+//
+// — i.e. <[ts,te], price in [200,250], "Sedan" AND ("Benz" OR "BMW")>.
+//
+// `Build()` returns the assembled query; `Build(schema)` additionally runs
+// core::ValidateQuery and returns Status::InvalidArgument instead of a
+// malformed query. api::Service validates every query it receives anyway,
+// so the unvalidated form is always safe to hand to the service.
+
+#ifndef VCHAIN_API_QUERY_BUILDER_H_
+#define VCHAIN_API_QUERY_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+
+namespace vchain::api {
+
+class QueryBuilder {
+ public:
+  /// Restrict to blocks with timestamp in [time_start, time_end]
+  /// (inclusive). Without a window the query spans the whole chain.
+  QueryBuilder& Window(uint64_t time_start, uint64_t time_end) {
+    q_.time_start = time_start;
+    q_.time_end = time_end;
+    return *this;
+  }
+
+  /// Require numeric dimension `dim` in [lo, hi] (inclusive). One range per
+  /// dimension; multiple ranges AND together.
+  QueryBuilder& Range(uint32_t dim, uint64_t lo, uint64_t hi) {
+    q_.ranges.push_back(core::RangePredicate{dim, lo, hi});
+    return *this;
+  }
+
+  /// Require at least one of `keywords` (one OR-clause of the CNF).
+  QueryBuilder& AnyOf(std::vector<std::string> keywords) {
+    q_.keyword_cnf.push_back(std::move(keywords));
+    return *this;
+  }
+
+  /// Require every one of `keywords` (one single-keyword clause each).
+  QueryBuilder& AllOf(const std::vector<std::string>& keywords) {
+    for (const std::string& kw : keywords) {
+      q_.keyword_cnf.push_back({kw});
+    }
+    return *this;
+  }
+
+  /// The assembled query, unvalidated (every consuming entry point
+  /// validates against its chain's schema anyway).
+  core::Query Build() const { return q_; }
+
+  /// The assembled query, validated against `schema`;
+  /// Status::InvalidArgument describes the first violated invariant.
+  Result<core::Query> Build(const chain::NumericSchema& schema) const {
+    VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(q_, schema));
+    return q_;
+  }
+
+ private:
+  core::Query q_;
+};
+
+}  // namespace vchain::api
+
+namespace vchain {
+using api::QueryBuilder;
+}  // namespace vchain
+
+#endif  // VCHAIN_API_QUERY_BUILDER_H_

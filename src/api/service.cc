@@ -1,0 +1,127 @@
+// api::Service — engine dispatch and the erased forwarding shell.
+//
+// The only engine-kind switch in the library lives here: Open instantiates
+// ServiceBackend<Engine> for the requested EngineKind, and everything after
+// that is virtual calls through IServiceBackend. QueryBatch is implemented
+// at this layer (it is pure orchestration — fan the per-query calls out on
+// the process-wide ThreadPool and keep input order) so backends stay a
+// single-query interface.
+
+#include "api/service.h"
+
+#include <utility>
+
+#include "accum/acc2.h"
+#include "accum/mock.h"
+#include "api/backend_impl.h"
+#include "common/thread_pool.h"
+
+namespace vchain::api {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMockAcc1: return "mock-acc1";
+    case EngineKind::kMockAcc2: return "mock-acc2";
+    case EngineKind::kAcc1: return "acc1";
+    case EngineKind::kAcc2: return "acc2";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Service>> Service::Open(ServiceOptions options) {
+  if (options.proof_cache_shards == 0) options.proof_cache_shards = 1;
+  std::shared_ptr<accum::KeyOracle> oracle =
+      options.oracle != nullptr
+          ? options.oracle
+          : accum::KeyOracle::Create(options.oracle_seed, options.acc_params);
+  options.oracle = oracle;
+  // Read out of `options` before the moves below — argument evaluation
+  // order within each Create call is unspecified.
+  const accum::ProverMode prover_mode = options.prover_mode;
+
+  Result<std::unique_ptr<IServiceBackend>> backend =
+      Status::InvalidArgument("unknown engine kind");
+  switch (options.engine) {
+    case EngineKind::kMockAcc1:
+      backend = ServiceBackend<accum::MockAcc1Engine>::Create(
+          std::move(options), accum::MockAcc1Engine(oracle));
+      break;
+    case EngineKind::kMockAcc2:
+      backend = ServiceBackend<accum::MockAcc2Engine>::Create(
+          std::move(options), accum::MockAcc2Engine(oracle));
+      break;
+    case EngineKind::kAcc1:
+      backend = ServiceBackend<accum::Acc1Engine>::Create(
+          std::move(options), accum::Acc1Engine(oracle, prover_mode));
+      break;
+    case EngineKind::kAcc2:
+      backend = ServiceBackend<accum::Acc2Engine>::Create(
+          std::move(options), accum::Acc2Engine(oracle, prover_mode));
+      break;
+  }
+  if (!backend.ok()) return backend.status();
+  return std::unique_ptr<Service>(new Service(backend.TakeValue()));
+}
+
+Service::Service(std::unique_ptr<IServiceBackend> backend)
+    : backend_(std::move(backend)) {}
+
+Service::~Service() = default;
+
+Status Service::Append(std::vector<chain::Object> objects,
+                       uint64_t timestamp) {
+  return backend_->Append(std::move(objects), timestamp);
+}
+
+Status Service::Sync() { return backend_->Sync(); }
+
+Result<QueryResult> Service::Query(const core::Query& q) {
+  return backend_->Query(q);
+}
+
+std::vector<Result<QueryResult>> Service::QueryBatch(
+    const std::vector<core::Query>& queries) {
+  std::vector<Result<QueryResult>> out(
+      queries.size(), Result<QueryResult>(Status::Internal("not executed")));
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.ParallelFor(queries.size(), pool.NumWorkers() + 1,
+                   [&](size_t i) { out[i] = backend_->Query(queries[i]); });
+  return out;
+}
+
+Status Service::SyncLightClient(chain::LightClient* client) const {
+  return backend_->SyncLightClient(client);
+}
+
+Status Service::Verify(const core::Query& q, const QueryResult& result,
+                       const chain::LightClient& client) const {
+  return backend_->Verify(q, result, client);
+}
+
+Status Service::VerifyNotification(const core::Query& q,
+                                   const SubscriptionEvent& ev,
+                                   const chain::LightClient& client) const {
+  return backend_->VerifyNotification(q, ev, client);
+}
+
+Result<uint32_t> Service::Subscribe(const core::Query& q) {
+  return backend_->Subscribe(q);
+}
+
+Status Service::Unsubscribe(uint32_t id) { return backend_->Unsubscribe(id); }
+
+std::vector<SubscriptionEvent> Service::TakeSubscriptionEvents() {
+  return backend_->TakeSubscriptionEvents();
+}
+
+ServiceStats Service::Stats() const { return backend_->Stats(); }
+
+uint64_t Service::NumBlocks() const { return backend_->NumBlocks(); }
+
+EngineKind Service::engine_kind() const { return backend_->options().engine; }
+
+const core::ChainConfig& Service::config() const {
+  return backend_->options().config;
+}
+
+}  // namespace vchain::api

@@ -1,0 +1,231 @@
+// vchain::Service — the SP's front door (Fig 3's service provider as one
+// object).
+//
+// The cryptographic core is engine-templated (accum/engine.h), which is the
+// right shape for the protocol layers but the wrong shape for a deployment
+// boundary: callers had to pick an accumulator at *compile time* and wire
+// five templates together by hand. Service erases the engine behind a
+// runtime `EngineKind` and owns the whole SP stack — block store (or
+// in-memory chain), miner write-through, timestamp index, shared
+// disjointness-proof cache, decoded-block cache, subscription manager — so
+// a deployment is:
+//
+//   api::ServiceOptions opts;
+//   opts.engine = api::EngineKind::kAcc2;          // runtime choice
+//   opts.config.schema = {/*dims=*/1, /*bits=*/10};
+//   opts.store_dir = "/var/lib/vchain";            // "" = in-memory
+//   auto svc = api::Service::Open(std::move(opts)).TakeValue();
+//
+//   svc->Append(objects, timestamp);               // miner side
+//   auto result = svc->Query(api::QueryBuilder()   // user-facing side
+//                                .Window(ts, te)
+//                                .Range(0, 200, 250)
+//                                .AnyOf({"Benz", "BMW"})
+//                                .Build());
+//
+// Thread safety. Queries are the hot path and run concurrently: any number
+// of threads may call Query/QueryBatch/Stats/Verify simultaneously; every
+// query gets its own single-threaded QueryProcessor over a shared
+// mutex-striped proof cache and a shared decoded-block cache (per-query
+// handles, store/concurrent_block_source.h). Append/Subscribe/Unsubscribe
+// take the write side of one shared_mutex — an append waits for in-flight
+// queries and vice versa, which matches the workload (one block per mining
+// interval, queries continuous). Concurrent execution is bit-identical to
+// serial: proofs are deterministic, so thread interleaving can never change
+// a digest, proof, or VO byte.
+//
+// Every entry point validates its query (core::ValidateQuery) and returns
+// the library-wide Status taxonomy: InvalidArgument for malformed queries
+// or options, NotFound for unknown subscription ids, Corruption for
+// undecodable response bytes, VerifyFailed from the user-side checks.
+//
+// The typed, templated layer stays public underneath (core/vchain.h) for
+// callers that need compile-time engines, custom block sources, or the
+// lazy subscription scheme; Service is a facade, not a replacement.
+
+#ifndef VCHAIN_API_SERVICE_H_
+#define VCHAIN_API_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accum/acc1.h"  // ProverMode
+#include "accum/keys.h"
+#include "chain/light_client.h"
+#include "common/lru.h"
+#include "core/block.h"
+#include "core/query.h"
+#include "store/block_store.h"
+
+namespace vchain::api {
+
+/// Accumulator engine, chosen at runtime. The mock engines are transparent
+/// test doubles (fast, zero security — see accum/mock.h); acc1/acc2 are the
+/// paper's two bilinear constructions (acc2 adds digest/proof aggregation).
+enum class EngineKind : uint8_t {
+  kMockAcc1 = 0,
+  kMockAcc2 = 1,
+  kAcc1 = 2,
+  kAcc2 = 3,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Everything a Service deployment fixes at startup.
+struct ServiceOptions {
+  EngineKind engine = EngineKind::kAcc2;
+
+  /// Chain-wide consensus parameters (index mode, schema, skip list) plus
+  /// the SP-local tuning knobs (num_prover_threads, proof_cache_capacity,
+  /// block_cache_blocks) they carry.
+  core::ChainConfig config;
+
+  /// Trusted setup. Pass a shared oracle to make several services (or a
+  /// service plus typed-layer code) byte-compatible; otherwise one is
+  /// created from `oracle_seed` / `acc_params`.
+  std::shared_ptr<accum::KeyOracle> oracle;
+  uint64_t oracle_seed = 42;
+  accum::AccParams acc_params;
+  accum::ProverMode prover_mode = accum::ProverMode::kHonest;
+
+  /// Durable store directory; empty = in-memory chain. A non-empty dir is
+  /// opened (created if absent) and appends write through; reopening the
+  /// same dir resumes the persisted chain without recomputing a digest.
+  std::string store_dir;
+  store::BlockStore::Options store_options;
+  /// With a store: bound the miner's resident tail to this many blocks
+  /// (0 = keep all decoded blocks in RAM; queries read through the store's
+  /// block cache either way).
+  size_t retain_window = 0;
+
+  /// Stripes of the shared disjointness-proof cache (1 = one exact global
+  /// LRU; more stripes cut contention between query threads).
+  size_t proof_cache_shards = 16;
+
+  /// Subscription proof sharing across standing queries (§7.1).
+  bool subscriptions_share_proofs = true;
+};
+
+/// An engine-erased query answer: the result set plus the canonical
+/// serialized <R, VO> response — the bytes an SP would put on the wire, and
+/// what Verify() checks against block headers.
+struct QueryResult {
+  std::vector<chain::Object> objects;
+  Bytes response_bytes;
+  /// Size of the VO alone (the paper's VO-size metric; response_bytes also
+  /// carries the result objects).
+  size_t vo_bytes = 0;
+};
+
+/// One per-(standing query, block) notification, buffered at Append and
+/// drained with TakeSubscriptionEvents. `notification_bytes` is the
+/// canonical serialized proof tree for VerifyNotification.
+struct SubscriptionEvent {
+  uint32_t query_id = 0;
+  uint64_t height = 0;
+  std::vector<chain::Object> objects;  ///< matches (often empty)
+  Bytes notification_bytes;
+};
+
+/// A consistent snapshot of the service's observable state.
+struct ServiceStats {
+  EngineKind engine = EngineKind::kAcc2;
+  bool durable = false;
+  uint64_t num_blocks = 0;
+  uint64_t queries_served = 0;
+  uint64_t subscriptions_active = 0;
+  uint64_t subscription_events_pending = 0;
+  LruStats proof_cache;
+  LruStats block_cache;  ///< zero in in-memory mode (no decoded-block cache)
+};
+
+class IServiceBackend;
+
+class Service {
+ public:
+  /// Build a service from `options`: create the engine (or adopt
+  /// options.oracle), open/resume the store when `store_dir` is set, and
+  /// wire the caches. InvalidArgument for inconsistent options; store-open
+  /// failures (Corruption etc.) pass through.
+  static Result<std::unique_ptr<Service>> Open(ServiceOptions options);
+
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // --- miner side (exclusive; serialized against queries) -----------------
+
+  /// Mine the next block from `objects` at `timestamp` (monotonic), write
+  /// it through to the store when durable, and run it past every standing
+  /// subscription (events are buffered for TakeSubscriptionEvents).
+  Status Append(std::vector<chain::Object> objects, uint64_t timestamp);
+
+  /// Durable commit point: fsync the store and advance its commit
+  /// watermark. No-op in in-memory mode.
+  Status Sync();
+
+  // --- query side (thread-safe, concurrent) -------------------------------
+
+  /// Answer one Boolean range query: <R, VO> as a QueryResult.
+  /// InvalidArgument for a structurally invalid query.
+  Result<QueryResult> Query(const core::Query& q);
+
+  /// Answer a batch concurrently on the shared worker pool (results in
+  /// input order, each independently ok or failed). Byte-identical to
+  /// issuing the same queries serially.
+  std::vector<Result<QueryResult>> QueryBatch(
+      const std::vector<core::Query>& queries);
+
+  // --- user-side helpers ---------------------------------------------------
+
+  /// Feed the chain's sealed headers to a light client (Fig 3 header sync).
+  Status SyncLightClient(chain::LightClient* client) const;
+
+  /// Replay `result` against headers only: soundness + completeness
+  /// (core/verifier.h). VerifyFailed = the response lies; Corruption = the
+  /// bytes don't decode.
+  Status Verify(const core::Query& q, const QueryResult& result,
+                const chain::LightClient& client) const;
+
+  /// Verify one buffered subscription event against headers only.
+  Status VerifyNotification(const core::Query& q, const SubscriptionEvent& ev,
+                            const chain::LightClient& client) const;
+
+  // --- subscriptions -------------------------------------------------------
+
+  /// Register a standing query; events cover blocks appended afterwards.
+  Result<uint32_t> Subscribe(const core::Query& q);
+  Status Unsubscribe(uint32_t id);
+
+  /// Drain all buffered subscription events (appended order).
+  std::vector<SubscriptionEvent> TakeSubscriptionEvents();
+
+  // --- introspection -------------------------------------------------------
+
+  ServiceStats Stats() const;
+  uint64_t NumBlocks() const;
+  EngineKind engine_kind() const;
+  const core::ChainConfig& config() const;
+
+ private:
+  explicit Service(std::unique_ptr<IServiceBackend> backend);
+
+  std::unique_ptr<IServiceBackend> backend_;
+};
+
+}  // namespace vchain::api
+
+namespace vchain {
+// The service layer is the intended first contact with the library; alias
+// it into the top-level namespace (vchain::Service, vchain::QueryBuilder in
+// api/query_builder.h).
+using api::EngineKind;
+using api::QueryResult;
+using api::Service;
+using api::ServiceOptions;
+using api::ServiceStats;
+using api::SubscriptionEvent;
+}  // namespace vchain
+
+#endif  // VCHAIN_API_SERVICE_H_

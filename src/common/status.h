@@ -56,6 +56,16 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Typed predicates, one per taxonomy entry, so call sites can branch on a
+  // class of failure without spelling out the enum
+  // (`st.IsInvalidArgument()` instead of `st.code() == Code::k...`).
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsVerifyFailed() const { return code_ == Code::kVerifyFailed; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
   /// Human-readable "CODE: message" form for logs and test failure output.
   std::string ToString() const {
     if (ok()) return "OK";

@@ -22,9 +22,12 @@
 //     resolve the deduplicated, cache-missing set on the process-wide
 //     ThreadPool::Shared() — no threads are constructed per query;
 //   * disjointness proofs are cached across queries; pass a shared
-//     ProofCache to pool hits across processors serving the same chain
-//     (the cache is unsynchronized — share it only between processors
-//     queried from a single thread).
+//     ProofCache to pool hits across processors serving the same chain.
+//     The cache is internally synchronized (mutex-striped), so processors
+//     on different threads may share one — the processor itself stays
+//     single-threaded per instance (it keeps per-walk scratch state); the
+//     concurrent-SP shape is one processor per query thread over a shared
+//     cache and a thread-safe block source (see api/service.h).
 
 #ifndef VCHAIN_CORE_PROCESSOR_H_
 #define VCHAIN_CORE_PROCESSOR_H_
@@ -82,8 +85,11 @@ class QueryProcessor {
   QueryProcessor(const QueryProcessor&) = delete;
   QueryProcessor& operator=(const QueryProcessor&) = delete;
 
-  /// Process q over the chain; returns <R, VO>.
+  /// Process q over the chain; returns <R, VO>, or Status::InvalidArgument
+  /// for a structurally invalid query (inverted or out-of-domain range,
+  /// out-of-schema dimension, empty OR-clause — see core::ValidateQuery).
   Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q) {
+    VCHAIN_RETURN_IF_ERROR(ValidateQuery(q, config_.schema));
     TransformedQuery tq = TransformQuery(q, config_.schema);
     MappedQueryView view(engine_, tq);
 
@@ -128,7 +134,7 @@ class QueryProcessor {
     return resp;
   }
 
-  const typename ProofCache<Engine>::Stats& cache_stats() const {
+  typename ProofCache<Engine>::Stats cache_stats() const {
     return cache_->stats();
   }
 
@@ -309,8 +315,7 @@ class QueryProcessor {
         if (inserted) {
           Job job;
           job.d = &deferred_[i];
-          if (const auto* hit = cache_->Lookup(key)) {
-            job.proof = *hit;
+          if (cache_->Lookup(key, &job.proof)) {
             job.cached = true;
           } else {
             to_compute.push_back(jobs.size());
@@ -327,8 +332,7 @@ class QueryProcessor {
             assert(proof.ok());
             job.proof = proof.TakeValue();
           });
-      // Publish fresh proofs to the cross-query cache (single-threaded
-      // again, so no synchronization on the cache itself).
+      // Publish fresh proofs to the cross-query cache.
       for (auto& [key, idx] : unique) {
         if (!jobs[idx].cached) cache_->Insert(key, jobs[idx].proof);
       }

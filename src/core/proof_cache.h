@@ -12,15 +12,25 @@
 // capacity evicts the coldest entry and bumps `Stats::evictions`. Capacity 0
 // means unbounded (benchmarks that want the old behavior).
 //
-// NOT thread-safe: the map and stats counters are unsynchronized. A cache
-// may be shared across QueryProcessors only when all of them issue queries
-// from the same thread (the processors' own parallel passes keep cache
-// access on the query thread, so they are fine).
+// Thread safety: the cache is safe to share across QueryProcessors queried
+// from many threads concurrently (the concurrent-SP shape of api::Service).
+// Internally it is mutex-striped: keys are partitioned over `shards`
+// independently-locked LRU maps, so concurrent queries only contend when
+// their keys collide on a shard. With `shards == 1` (the default) the cache
+// is one exact global LRU; with more shards each shard LRU-bounds its own
+// partition (total resident proofs stay within capacity + shards - 1), which
+// is the right trade for a cache hammered by many query threads. Proofs are
+// deterministic, so cache behavior — including two threads racing to prove
+// the same key — can never change a proof, digest, or VO byte; it only
+// affects how often ProveDisjoint runs.
 
 #ifndef VCHAIN_CORE_PROOF_CACHE_H_
 #define VCHAIN_CORE_PROOF_CACHE_H_
 
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "accum/multiset.h"
 #include "common/lru.h"
@@ -34,8 +44,19 @@ class ProofCache {
   using Stats = LruStats;
   using Key = crypto::Hash32;
 
-  /// `capacity` = max resident proofs; 0 = unbounded.
-  explicit ProofCache(size_t capacity = 0) : map_(capacity) {}
+  /// `capacity` = max resident proofs; 0 = unbounded. `shards` = number of
+  /// independently-locked LRU partitions (rounded up to 1); use 1 for an
+  /// exact global LRU, more (e.g. 16) when many threads share the cache.
+  explicit ProofCache(size_t capacity = 0, size_t shards = 1) {
+    if (shards < 1) shards = 1;
+    size_t per_shard =
+        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+    capacity_ = capacity;
+  }
 
   /// Canonical cache key for a (digest, clause) pair — H(digest | clause).
   /// Public so batch passes can key their own dedup maps consistently.
@@ -49,38 +70,82 @@ class ProofCache {
   }
 
   /// Returns the cached or freshly-computed proof for (w, clause); forwards
-  /// ProveDisjoint errors (i.e. the sets intersect).
+  /// ProveDisjoint errors (i.e. the sets intersect). The proof itself is
+  /// computed outside any lock — a miss never serializes other threads
+  /// behind a multiexp.
   Result<typename Engine::Proof> GetOrProve(
       const Engine& engine, const typename Engine::ObjectDigest& digest,
       const accum::Multiset& w, const accum::Multiset& clause) {
     Key key = KeyFor(engine, digest, clause);
-    if (const typename Engine::Proof* hit = map_.Get(key)) {
-      return *hit;
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (const typename Engine::Proof* hit = shard.map.Get(key)) {
+        return *hit;
+      }
     }
     auto proof = engine.ProveDisjoint(w, clause);
     if (proof.ok()) {
-      map_.Put(key, proof.value());
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.Put(key, proof.value());
     }
     return proof;
   }
 
   /// Lookup without computing (used by the deferred-proof batch pass to
   /// skip already-proven jobs before they are dispatched to the pool).
-  /// The pointer is valid until the entry is evicted by a later insert.
-  const typename Engine::Proof* Lookup(const Key& key) {
-    return map_.Get(key);
+  /// Copies the proof into `*out` — under concurrency a pointer into the
+  /// map could be evicted by another thread's insert before the caller
+  /// dereferences it.
+  bool Lookup(const Key& key, typename Engine::Proof* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const typename Engine::Proof* hit = shard.map.Get(key);
+    if (hit == nullptr) return false;
+    *out = *hit;
+    return true;
   }
 
   /// Install a proof computed out-of-band (e.g. on the worker pool),
-  /// evicting the least-recently-used entry when at capacity.
+  /// evicting the shard's least-recently-used entry when at capacity.
   void Insert(const Key& key, const typename Engine::Proof& proof) {
-    map_.Put(key, proof);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.Put(key, proof);
   }
 
-  const Stats& stats() const { return map_.stats(); }
-  size_t size() const { return map_.size(); }
-  size_t capacity() const { return map_.capacity(); }
-  void Clear() { map_.Clear(); }
+  /// Aggregated hit/miss/eviction counters across all shards (a consistent
+  /// per-shard snapshot; shards are read one lock at a time).
+  Stats stats() const {
+    Stats out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      const Stats& s = shard->map.stats();
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
+    }
+    return out;
+  }
+
+  size_t size() const {
+    size_t out = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      out += shard->map.size();
+    }
+    return out;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  void Clear() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.Clear();
+    }
+  }
 
  private:
   struct KeyHasher {
@@ -91,7 +156,24 @@ class ProofCache {
     }
   };
 
-  LruMap<Key, typename Engine::Proof, KeyHasher> map_;
+  struct Shard {
+    explicit Shard(size_t per_shard_capacity) : map(per_shard_capacity) {}
+    mutable std::mutex mu;
+    LruMap<Key, typename Engine::Proof, KeyHasher> map;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    if (shards_.size() == 1) return *shards_[0];
+    // Shard on a key byte the intra-shard hash does not consume (KeyHasher
+    // reads bytes [0, 8)); SHA-256 output bytes are independent, so any
+    // byte spreads uniformly.
+    uint64_t sel;
+    std::memcpy(&sel, key.data() + 8, sizeof(sel));
+    return *shards_[sel % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t capacity_ = 0;
 };
 
 }  // namespace vchain::core

@@ -26,6 +26,40 @@ std::string Query::ToString() const {
   return os.str();
 }
 
+Status ValidateQuery(const Query& q, const NumericSchema& schema) {
+  for (size_t i = 0; i < q.ranges.size(); ++i) {
+    const RangePredicate& r = q.ranges[i];
+    if (r.dim >= schema.dims) {
+      return Status::InvalidArgument(
+          "range predicate " + std::to_string(i) + " on dimension " +
+          std::to_string(r.dim) + ", but the schema has " +
+          std::to_string(schema.dims) + " dimension(s)");
+    }
+    if (r.lo > r.hi) {
+      return Status::InvalidArgument(
+          "range predicate " + std::to_string(i) + " is inverted: lo " +
+          std::to_string(r.lo) + " > hi " + std::to_string(r.hi));
+    }
+    // A 64-bit dimension's domain is all of uint64_t (and MaxValue() would
+    // be UB to compute) — only narrower schemas can have out-of-domain hi.
+    if (schema.bits < 64 && r.hi > schema.MaxValue()) {
+      return Status::InvalidArgument(
+          "range predicate " + std::to_string(i) + " hi " +
+          std::to_string(r.hi) + " exceeds the " +
+          std::to_string(schema.bits) + "-bit domain max " +
+          std::to_string(schema.MaxValue()));
+    }
+  }
+  for (size_t i = 0; i < q.keyword_cnf.size(); ++i) {
+    if (q.keyword_cnf[i].empty()) {
+      return Status::InvalidArgument(
+          "keyword CNF clause " + std::to_string(i) +
+          " is an empty OR (unsatisfiable)");
+    }
+  }
+  return Status::OK();
+}
+
 TransformedQuery TransformQuery(const Query& q, const NumericSchema& schema) {
   TransformedQuery out;
   for (const RangePredicate& r : q.ranges) {

@@ -54,6 +54,21 @@ struct TransformedQuery {
   std::vector<Multiset> clauses;
 };
 
+/// Structural validation against the chain's schema. Returns
+/// Status::InvalidArgument for a range with `lo > hi`, a range whose bounds
+/// exceed the dimension's domain, a range on a dimension the schema does not
+/// have, or an empty OR-clause (an unsatisfiable CNF conjunct). TransformQuery
+/// requires a valid query: feeding it an invalid one mis-transforms silently
+/// (an inverted or out-of-domain range yields a wrong dyadic cover; an
+/// out-of-schema dimension produces elements no object carries), so every
+/// query-consuming entry point (QueryProcessor, Verifier, api::Service,
+/// SubscriptionManager::TrySubscribe) calls this first.
+///
+/// An inverted *time window* (`time_start > time_end`) is deliberately not an
+/// error: the window selects zero blocks, and an empty response is the
+/// correct, verifiable answer.
+Status ValidateQuery(const Query& q, const NumericSchema& schema);
+
 TransformedQuery TransformQuery(const Query& q, const NumericSchema& schema);
 
 /// Ground-truth predicate evaluation on raw attribute values (no prefix

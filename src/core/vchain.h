@@ -1,62 +1,78 @@
 // Umbrella header: the vChain public API.
 //
-// Typical wiring (see examples/quickstart.cpp):
+// First contact: vchain::Service (src/api/service.h) — the SP's front door.
+// One object owns the whole stack (miner write-through, durable block store,
+// timestamp index, shared proof cache, subscriptions) behind a *runtime*
+// engine choice, serves queries from any number of threads, and returns the
+// library-wide Status taxonomy (see examples/quickstart.cpp):
+//
+//   vchain::ServiceOptions opts;
+//   opts.engine = vchain::EngineKind::kAcc2;        // runtime, not template
+//   opts.config.schema = {/*dims=*/1, /*bits=*/10};
+//   opts.store_dir = "/var/lib/vchain";             // "" = in-memory chain
+//   auto svc = vchain::Service::Open(opts).TakeValue();
+//
+//   svc->Append(objects, timestamp);                // miner side
+//   auto result = svc->Query(vchain::QueryBuilder() // any thread
+//                                .Window(ts, te)
+//                                .Range(0, 200, 250)
+//                                .AllOf({"Sedan"})
+//                                .AnyOf({"Benz", "BMW"})
+//                                .Build());
+//
+//   chain::LightClient light;                       // user side
+//   svc->SyncLightClient(&light);
+//   Status ok = svc->Verify(q, result.value(), light);
+//
+// Query/QueryBatch/Stats are safe from any number of threads concurrently
+// (shared mutex-striped ProofCache, shared decoded-block cache with
+// per-query handles); Append/Subscribe serialize against them. Concurrent
+// execution is bit-identical to serial — interleaving can never change a
+// digest, proof, or VO byte. Malformed queries (inverted or out-of-domain
+// range, unknown dimension, empty OR-clause) are rejected with
+// Status::InvalidArgument by every entry point (core::ValidateQuery).
+//
+// The typed, engine-templated layer underneath stays public for callers
+// that need compile-time engines, custom block sources, or the lazy
+// subscription scheme:
 //
 //   auto oracle  = accum::KeyOracle::Create(seed);
 //   accum::Acc2Engine engine(oracle);
-//   core::ChainConfig config;                       // mode, schema, skip size
 //   core::ChainBuilder<accum::Acc2Engine> miner(engine, config);
 //   miner.AppendBlock(objects, timestamp);          // miner builds the ADS
-//
-//   chain::LightClient light;                       // user syncs headers
-//   miner.SyncLightClient(&light);
-//
 //   core::QueryProcessor<accum::Acc2Engine> sp(engine, config,
 //                                              &miner.blocks(),
 //                                              &miner.timestamp_index());
 //   auto resp = sp.TimeWindowQuery(q);              // SP: <R, VO>
-//
 //   core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
-//   Status ok = verifier.VerifyTimeWindow(q, resp.value());
+//   Status ok2 = verifier.VerifyTimeWindow(q, resp.value());
 //
-// Persistent SP (store/ subsystem) — the production shape: the chain lives
-// in a crash-safe append-only store, the SP streams blocks through an LRU
-// cache, and a restart resumes without recomputing any digest:
+// Durable storage (store/ subsystem): Service manages a BlockStore itself
+// when `store_dir` is set; typed-layer code can do the same wiring by hand —
+// `BlockStore::Open` + `ChainBuilder::AttachStore` (O(1) write-through,
+// `SetRetainWindow` bounds miner RAM) or `ResumeFromStore` after a restart,
+// then serve through a `StoreBlockSource` (single-threaded) or
+// `ConcurrentStoreBlockSource` (many query threads, shared LRU). Cold start
+// rebuilds `TimestampIndex` and re-syncs a `LightClient` straight from the
+// store — no re-mining.
 //
-//   auto db = store::BlockStore::Open("/var/lib/vchain", {}).TakeValue();
-//   miner.AttachStore(db.get());                    // O(1) write-through
-//   miner.SetRetainWindow(64);                      //   + bounded miner RAM
-//   ...mine...
-//   db->Sync();                                     // commit point
+// Subscription queries live in sub/subscription.h; Service exposes the
+// realtime scheme (Subscribe/TakeSubscriptionEvents/VerifyNotification),
+// while the lazy scheme (§7.2, Algorithm 5) remains typed-layer via
+// SubscriptionManager::ProcessNewBlocksLazy.
 //
-//   // After a restart (or on a separate SP host sharing the directory):
-//   auto db2 = store::BlockStore::Open("/var/lib/vchain", {}).TakeValue();
-//   core::TimestampIndex ts = db2->RebuildTimestampIndex();
-//   chain::LightClient light2;
-//   db2->SyncLightClient(&light2);                  // cold start, no mining
-//   store::StoreBlockSource<accum::Acc2Engine> src(engine, db2.get(),
-//                                                  config.block_cache_blocks);
-//   core::QueryProcessor<accum::Acc2Engine> sp2(engine, config, &src, &ts);
-//   // ...bit-identical results and VO bytes to the in-memory SP, over a
-//   // chain that can be arbitrarily larger than RAM.
-//   // Mining can also continue from the tip:
-//   //   ChainBuilder<...>::ResumeFromStore(engine, config, db2.get())
-//
-// Subscription queries live in sub/subscription.h; a standing SP drains new
-// blocks from any BlockSource via SubscriptionManager::ProcessNewBlocks.
-//
-// Concurrency knobs. `ChainConfig::num_prover_threads` caps how many workers
-// of the process-wide `ThreadPool::Shared()` one query's deferred
-// disjointness proofs may occupy (non-aggregating engines only; 1 = fully
-// serial, the default). Engines additionally accept
-// `set_thread_pool(&ThreadPool::Shared())` to window-parallelize their
-// multi-scalar multiplications on the same pool. Both parallel paths are
-// bit-identical to their serial counterparts, so they can be flipped on per
-// deployment without affecting any digest, proof, or VO byte.
+// Concurrency knobs. `ServiceOptions::proof_cache_shards` stripes the
+// shared disjointness-proof cache across independently-locked LRU
+// partitions. `ChainConfig::num_prover_threads` caps how many workers of
+// the process-wide `ThreadPool::Shared()` one query's deferred proofs may
+// occupy (non-aggregating engines only; 1 = fully serial, the default).
+// Engines additionally accept `set_thread_pool(&ThreadPool::Shared())` to
+// window-parallelize their multi-scalar multiplications on the same pool.
+// All parallel paths are bit-identical to their serial counterparts.
 //
 // Cache knobs (SP-local, never consensus): `ChainConfig::proof_cache_capacity`
 // LRU-bounds the disjointness-proof cache; `ChainConfig::block_cache_blocks`
-// sizes StoreBlockSource's decoded-block cache.
+// sizes the decoded-block cache of either store-backed source.
 
 #ifndef VCHAIN_CORE_VCHAIN_H_
 #define VCHAIN_CORE_VCHAIN_H_
@@ -66,6 +82,8 @@
 #include "accum/engine.h"
 #include "accum/keys.h"
 #include "accum/mock.h"
+#include "api/query_builder.h"
+#include "api/service.h"
 #include "chain/light_client.h"
 #include "core/block.h"
 #include "core/chain_builder.h"
@@ -76,6 +94,7 @@
 #include "store/block_serde.h"
 #include "store/block_source.h"
 #include "store/block_store.h"
+#include "store/concurrent_block_source.h"
 #include "store/segment_log.h"
 
 #endif  // VCHAIN_CORE_VCHAIN_H_

@@ -34,9 +34,12 @@ class Verifier {
            const chain::LightClient* light_client)
       : engine_(engine), config_(config), lc_(light_client) {}
 
-  /// Full verification of a time-window query response.
+  /// Full verification of a time-window query response. A structurally
+  /// invalid query is InvalidArgument (the user-side mirror of the SP's
+  /// rejection — such a query could not have produced an honest response).
   Status VerifyTimeWindow(const Query& q,
                           const QueryResponse<Engine>& resp) const {
+    VCHAIN_RETURN_IF_ERROR(ValidateQuery(q, config_.schema));
     TransformedQuery tq = TransformQuery(q, config_.schema);
     MappedQueryView view(engine_, tq);
 

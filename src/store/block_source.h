@@ -19,6 +19,11 @@
 // TimestampAt exists so height-range lookups never fault a cold block in:
 // the store keeps all headers resident, so timestamp probes are pure memory
 // reads in both implementations.
+//
+// Both sources here are single-threaded (one query walk at a time). Many
+// query threads sharing one disk-backed cache use
+// store/concurrent_block_source.h, which vends per-query handles over a
+// shared, locked LRU of shared_ptr-owned blocks.
 
 #ifndef VCHAIN_STORE_BLOCK_SOURCE_H_
 #define VCHAIN_STORE_BLOCK_SOURCE_H_

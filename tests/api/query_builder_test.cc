@@ -1,0 +1,123 @@
+// QueryBuilder assembly and core::ValidateQuery's typed rejection of
+// structurally invalid queries — the InvalidArgument taxonomy every
+// query-consuming entry point (Service, QueryProcessor, Verifier,
+// SubscriptionManager::TrySubscribe) now shares.
+
+#include <gtest/gtest.h>
+
+#include "api/query_builder.h"
+#include "core/query.h"
+
+namespace vchain::api {
+namespace {
+
+using chain::NumericSchema;
+using core::Query;
+using core::ValidateQuery;
+
+NumericSchema TestSchema() { return NumericSchema{/*dims=*/2, /*bits=*/8}; }
+
+TEST(QueryBuilderTest, AssemblesAllPredicateKinds) {
+  Query q = QueryBuilder()
+                .Window(100, 200)
+                .Range(0, 10, 20)
+                .Range(1, 0, 255)
+                .AllOf({"Sedan", "Hybrid"})
+                .AnyOf({"Benz", "BMW"})
+                .Build();
+  EXPECT_EQ(q.time_start, 100u);
+  EXPECT_EQ(q.time_end, 200u);
+  ASSERT_EQ(q.ranges.size(), 2u);
+  EXPECT_EQ(q.ranges[0].dim, 0u);
+  EXPECT_EQ(q.ranges[0].lo, 10u);
+  EXPECT_EQ(q.ranges[0].hi, 20u);
+  EXPECT_EQ(q.ranges[1].dim, 1u);
+  // AllOf expands to one single-keyword clause each; AnyOf is one clause.
+  ASSERT_EQ(q.keyword_cnf.size(), 3u);
+  EXPECT_EQ(q.keyword_cnf[0], (std::vector<std::string>{"Sedan"}));
+  EXPECT_EQ(q.keyword_cnf[1], (std::vector<std::string>{"Hybrid"}));
+  EXPECT_EQ(q.keyword_cnf[2], (std::vector<std::string>{"Benz", "BMW"}));
+}
+
+TEST(QueryBuilderTest, DefaultWindowSpansWholeChain) {
+  Query q = QueryBuilder().AnyOf({"x"}).Build();
+  EXPECT_EQ(q.time_start, 0u);
+  EXPECT_EQ(q.time_end, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(QueryBuilderTest, ValidatingBuildAcceptsWellFormedQuery) {
+  auto q = QueryBuilder()
+               .Range(0, 10, 20)
+               .AnyOf({"Benz", "BMW"})
+               .Build(TestSchema());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().ranges.size(), 1u);
+}
+
+TEST(QueryBuilderTest, ValidatingBuildRejectsInvertedRange) {
+  auto q = QueryBuilder().Range(0, 30, 20).Build(TestSchema());
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument()) << q.status().ToString();
+}
+
+TEST(ValidateQueryTest, AcceptsEmptyQuery) {
+  // No predicates at all: matches everything in the window; legal.
+  EXPECT_TRUE(ValidateQuery(Query{}, TestSchema()).ok());
+}
+
+TEST(ValidateQueryTest, RejectsInvertedRange) {
+  Query q;
+  q.ranges = {{0, 200, 100}};
+  Status st = ValidateQuery(q, TestSchema());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ValidateQueryTest, RejectsOutOfSchemaDimension) {
+  Query q;
+  q.ranges = {{2, 0, 10}};  // schema has dims 0 and 1 only
+  Status st = ValidateQuery(q, TestSchema());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ValidateQueryTest, RejectsOutOfDomainBound) {
+  Query q;
+  q.ranges = {{0, 0, 256}};  // 8-bit domain max is 255
+  Status st = ValidateQuery(q, TestSchema());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ValidateQueryTest, AcceptsFullDomainRange) {
+  Query q;
+  q.ranges = {{0, 0, 255}};
+  EXPECT_TRUE(ValidateQuery(q, TestSchema()).ok());
+}
+
+TEST(ValidateQueryTest, RejectsEmptyOrClause) {
+  Query q;
+  q.keyword_cnf = {{"Sedan"}, {}};  // second conjunct is unsatisfiable
+  Status st = ValidateQuery(q, TestSchema());
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ValidateQueryTest, InvertedTimeWindowIsNotAnError) {
+  // An empty window selects zero blocks — a verifiable empty answer, not a
+  // malformed query.
+  Query q = QueryBuilder().Window(200, 100).AnyOf({"x"}).Build();
+  EXPECT_TRUE(ValidateQuery(q, TestSchema()).ok());
+}
+
+TEST(ValidateQueryTest, ErrorMessagesNameTheOffendingPredicate) {
+  Query q;
+  q.ranges = {{0, 0, 10}, {1, 9, 3}};
+  Status st = ValidateQuery(q, TestSchema());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("predicate 1"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace vchain::api

@@ -51,8 +51,9 @@ TEST(ProofCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
                                                  Clause(0));
   auto key1 = ProofCache<MockAcc2Engine>::KeyFor(engine, engine.Digest(W(1)),
                                                  Clause(1));
-  EXPECT_NE(cache.Lookup(key0), nullptr);
-  EXPECT_EQ(cache.Lookup(key1), nullptr);
+  MockAcc2Engine::Proof out;
+  EXPECT_TRUE(cache.Lookup(key0, &out));
+  EXPECT_FALSE(cache.Lookup(key1, &out));
 }
 
 TEST(ProofCacheTest, ReprovingAfterEvictionStillReturnsIdenticalProof) {
