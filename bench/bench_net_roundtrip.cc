@@ -1,0 +1,120 @@
+// Wire-protocol roundtrip overhead: the same query served in-process
+// (Service::Query) vs over the loopback HTTP wire (SpClient -> SpServer),
+// plus the fixed transport floor (healthz) and the batch amortization.
+// Emits BENCH_net_roundtrip.json for cross-PR tracking.
+//
+//   healthz          : minimal request/response — the transport floor
+//   inprocess-query  : Service::Query, no wire (the lower bound)
+//   wire-query       : JSON in, canonical VO bytes out, keep-alive socket
+//   wire-query-x16   : 16-query batch, per-query cost (one HTTP exchange)
+//
+// `--quick` (CI smoke) shrinks iterations so the binary proves the wire
+// path works in seconds; absolute numbers come from full runs.
+
+#include "harness.h"
+#include "net/sp_client.h"
+#include "net/sp_server.h"
+
+using namespace vchain;
+using namespace vchain::bench;
+
+namespace {
+
+double MedianSeconds(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  Scale scale = GetScale();
+  const size_t blocks = quick ? 8 : scale.window_blocks.back();
+  const size_t iters = quick ? 3 : 25;
+  const size_t batch = 16;
+
+  DatasetProfile profile =
+      workload::ProfileFor(workload::DatasetKind::k4SQ,
+                           scale.objects_per_block);
+
+  std::printf("# net roundtrip — wire vs in-process query latency "
+              "(%zu blocks, %zu iters%s)\n",
+              blocks, iters, quick ? ", quick" : "");
+  std::printf("%-24s %-18s %14s %12s\n", "op", "engine", "median_ns",
+              "ops/s");
+  BenchJson json("net_roundtrip");
+
+  for (api::EngineKind kind :
+       {api::EngineKind::kMockAcc2, api::EngineKind::kAcc2}) {
+    const char* engine_name = api::EngineKindName(kind);
+
+    api::ServiceOptions opts;
+    opts.engine = kind;
+    opts.config = ConfigFor(profile, IndexMode::kBoth);
+    opts.oracle = SharedOracle();
+    opts.prover_mode = ProverMode::kTrustedFast;
+    auto svc = api::Service::Open(opts).TakeValue();
+
+    DatasetGenerator gen(profile, /*seed=*/1234);
+    for (size_t b = 0; b < blocks; ++b) {
+      auto objs = gen.NextBlock();
+      uint64_t ts = objs.front().timestamp;
+      if (!svc->Append(std::move(objs), ts).ok()) std::abort();
+    }
+
+    net::SpServer::Options sopts;
+    sopts.http.num_threads = 2;
+    auto server = net::SpServer::Start(svc.get(), sopts).TakeValue();
+    net::SpClient::Options copts;
+    copts.port = server->port();
+    copts.verify = opts;  // same shared oracle: setup cost not re-paid
+    auto client = net::SpClient::Connect(copts).TakeValue();
+
+    chain::LightClient light = client->NewLightClient();
+    if (!client->SyncHeaders(&light).ok()) std::abort();
+
+    // One representative query over the newer half of the chain.
+    auto headers = svc->Headers(0, blocks - 1).TakeValue();
+    DatasetGenerator qgen(profile, /*seed=*/1234);
+    core::Query q = qgen.MakeQuery(profile.default_selectivity,
+                                   profile.default_clause_size,
+                                   headers[blocks / 2].timestamp,
+                                   headers.back().timestamp);
+
+    auto measure = [&](const char* op, auto body) {
+      std::vector<double> samples;
+      samples.reserve(iters);
+      for (size_t i = 0; i < iters; ++i) {
+        Timer t;
+        body();
+        samples.push_back(t.ElapsedSeconds());
+      }
+      double median = MedianSeconds(&samples);
+      std::printf("%-24s %-18s %14.0f %12.1f\n", op, engine_name,
+                  median * 1e9, median > 0 ? 1.0 / median : 0);
+      json.Add(std::string(op) + "-" + engine_name, blocks, median * 1e9,
+               median > 0 ? 1.0 / median : 0);
+    };
+
+    measure("healthz", [&] {
+      if (!client->Healthz().ok()) std::abort();
+    });
+    measure("inprocess-query", [&] {
+      if (!svc->Query(q).ok()) std::abort();
+    });
+    measure("wire-query", [&] {
+      auto r = client->Query(q);
+      if (!r.ok()) std::abort();
+    });
+    measure("wire-query-x16", [&] {
+      std::vector<core::Query> qs(batch, q);
+      auto r = client->QueryBatch(qs);
+      if (!r.ok()) std::abort();
+    });
+  }
+  return 0;
+}

@@ -124,7 +124,8 @@ int main() {
 
   // Baseline: fully-resident chain.
   {
-    core::QueryProcessor<Acc2Engine> sp(engine, config, &miner.blocks(),
+    store::VectorBlockSource<Acc2Engine> mem_source(&miner.blocks());
+    core::QueryProcessor<Acc2Engine> sp(engine, config, &mem_source,
                                         &miner.timestamp_index());
     double s = run_query(sp);
     std::printf("%-16s %6zu blocks  %10.0f ns\n", "query-mem", window,

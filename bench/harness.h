@@ -183,7 +183,8 @@ QueryPoint RunTimeWindowPoint(const ChainBuilder<Engine>& builder,
   Status st = builder.SyncLightClient(&light);
   if (!st.ok()) std::abort();
   const Engine& engine = builder.engine();
-  core::QueryProcessor<Engine> sp(engine, config, &builder.blocks(),
+  store::VectorBlockSource<Engine> source(&builder.blocks());
+  core::QueryProcessor<Engine> sp(engine, config, &source,
                                   &builder.timestamp_index());
   core::Verifier<Engine> verifier(engine, config, &light);
 

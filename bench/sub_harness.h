@@ -59,7 +59,7 @@ SubCosts RunSubscriptionSession(const DatasetProfile& profile,
     } else {
       r.q.keyword_cnf.back() = popular[i % n_templates];
     }
-    r.id = mgr.Subscribe(r.q);
+    r.id = mgr.TrySubscribe(r.q).TakeValue();
     regs.push_back(std::move(r));
   }
 

@@ -1,0 +1,165 @@
+// sp_query — a light user querying a remote SP from a separate process.
+//
+// Connects to a vchain_spd instance, syncs and validates block headers,
+// submits one Boolean range query, verifies the response locally against
+// those headers, and prints the results plus the SHA-256 of the response
+// bytes. Exit 0 only when everything — transport, decode, verification,
+// and an optional expected-bytes hash — checks out, which is what the CI
+// e2e job asserts.
+//
+//   $ ./sp_query --port 8080 --demo-query --expect-hash <hex>
+//   $ ./sp_query --port 8080 --window 1700000000 1700400000 \
+//                --range 0 200 260 --all Sedan --any Benz --any BMW
+//
+// Flags: --host H --port N --engine KIND    (must match the SP)
+//        --demo-query                       use the canonical demo query
+//        --window TS TE | --range DIM LO HI | --all KW | --any KW (repeat)
+//        --expect-hash HEX                  fail unless response hash matches
+//        --stats                            also print /stats JSON
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/sp_client.h"
+#include "net/wire.h"
+#include "spd_common.h"
+
+namespace {
+
+/// --window/--range consume the following N positional values, so collect
+/// raw argv once here instead of teaching Flags about arities.
+bool BuildQueryFromFlags(int argc, char** argv, vchain::core::Query* out) {
+  vchain::QueryBuilder builder;
+  bool any_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_u64 = [&](uint64_t* v) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *v = std::strtoull(argv[++i], &end, 10);
+      return end != nullptr && *end == '\0';
+    };
+    if (arg == "--window") {
+      uint64_t ts, te;
+      if (!next_u64(&ts) || !next_u64(&te)) return false;
+      builder.Window(ts, te);
+      any_flag = true;
+    } else if (arg == "--range") {
+      uint64_t dim, lo, hi;
+      if (!next_u64(&dim) || !next_u64(&lo) || !next_u64(&hi)) return false;
+      builder.Range(static_cast<uint32_t>(dim), lo, hi);
+      any_flag = true;
+    } else if (arg == "--all") {
+      if (i + 1 >= argc) return false;
+      builder.AllOf({argv[++i]});
+      any_flag = true;
+    } else if (arg == "--any") {
+      if (i + 1 >= argc) return false;
+      std::vector<std::string> clause;
+      std::string kws = argv[++i];
+      size_t start = 0;
+      while (start <= kws.size()) {
+        size_t comma = kws.find(',', start);
+        if (comma == std::string::npos) comma = kws.size();
+        if (comma > start) clause.push_back(kws.substr(start, comma - start));
+        start = comma + 1;
+      }
+      if (clause.empty()) return false;
+      builder.AnyOf(std::move(clause));
+      any_flag = true;
+    }
+  }
+  if (!any_flag) return false;
+  *out = builder.Build();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spd::Flags flags(argc, argv);
+  vchain::EngineKind engine;
+  if (!spd::ParseEngineFlag(flags, &engine)) return 2;
+
+  vchain::core::Query q;
+  if (flags.Has("--demo-query")) {
+    q = spd::DemoQuery();
+  } else if (!BuildQueryFromFlags(argc, argv, &q)) {
+    std::fprintf(stderr,
+                 "no query: pass --demo-query or --window/--range/--all/--any "
+                 "flags\n");
+    return 2;
+  }
+
+  vchain::net::SpClient::Options copts;
+  copts.host = flags.Get("--host", "127.0.0.1");
+  copts.port =
+      static_cast<uint16_t>(std::stoul(flags.Get("--port", "8080")));
+  copts.verify = spd::DemoOptions(engine);
+  auto connected = vchain::net::SpClient::Connect(copts);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  auto client = connected.TakeValue();
+
+  vchain::Status health = client->Healthz();
+  if (!health.ok()) {
+    std::fprintf(stderr, "healthz failed: %s\n", health.ToString().c_str());
+    return 1;
+  }
+
+  // 1. Validated header sync: the client's own light client re-checks
+  // heights, hash linkage, timestamps, and consensus proofs.
+  vchain::chain::LightClient light = client->NewLightClient();
+  vchain::Status synced = client->SyncHeaders(&light);
+  if (!synced.ok()) {
+    std::fprintf(stderr, "header sync failed: %s\n",
+                 synced.ToString().c_str());
+    return 1;
+  }
+  std::printf("synced %zu headers\n", light.Height());
+
+  // 2. The query, over the wire.
+  std::printf("query: %s\n", vchain::net::QueryToJson(q).c_str());
+  auto result = client->Query(q);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("received %zu result(s), VO = %zu bytes\n",
+              result.value().objects.size(), result.value().vo_bytes);
+  for (const vchain::chain::Object& o : result.value().objects) {
+    std::printf("  %s\n", o.ToString().c_str());
+  }
+  std::string hash = spd::HexDigest(result.value().response_bytes);
+  std::printf("response_hash=%s\n", hash.c_str());
+
+  // 3. Local verification — nothing past the socket is trusted without it.
+  vchain::Status verified = client->Verify(q, result.value(), light);
+  std::printf("verification: %s\n", verified.ToString().c_str());
+  if (!verified.ok()) return 1;
+
+  std::string expect = flags.Get("--expect-hash", "");
+  if (!expect.empty() && expect != hash) {
+    std::fprintf(stderr,
+                 "response bytes differ from the in-process answer:\n"
+                 "  expected %s\n  received %s\n",
+                 expect.c_str(), hash.c_str());
+    return 1;
+  }
+
+  if (flags.Has("--stats")) {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("stats: %s\n",
+                vchain::net::StatsToJson(stats.value()).c_str());
+  }
+  return 0;
+}

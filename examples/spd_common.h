@@ -1,0 +1,131 @@
+// Shared plumbing for the vchain_spd server and sp_query client binaries:
+// the demo deployment parameters (engine-agnostic public setup both sides
+// must agree on out of band), a deterministic demo workload, the canonical
+// demo query, and a tiny flag parser. Kept header-only so each example
+// stays a single translation unit.
+
+#ifndef VCHAIN_EXAMPLES_SPD_COMMON_H_
+#define VCHAIN_EXAMPLES_SPD_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/vchain.h"
+#include "crypto/sha256.h"
+
+namespace spd {
+
+/// The public parameters of the demo deployment. Server and client both
+/// derive them from the engine name alone — exactly the out-of-band
+/// agreement (trusted setup + chain config) the paper assumes.
+inline vchain::ServiceOptions DemoOptions(vchain::EngineKind engine) {
+  vchain::ServiceOptions opts;
+  opts.engine = engine;
+  opts.config.mode = vchain::core::IndexMode::kBoth;
+  opts.config.schema = vchain::chain::NumericSchema{/*dims=*/1, /*bits=*/10};
+  opts.config.skiplist_size = 2;
+  opts.oracle_seed = 7;
+  opts.acc_params.universe_bits = 16;
+  return opts;
+}
+
+inline constexpr uint64_t kDemoBaseTime = 1700000000;
+inline constexpr uint64_t kDemoTimeStep = 86400;
+
+/// Mine `blocks` deterministic rental-offer blocks (Example 3.2 shapes).
+/// Same inputs -> same chain -> same digests, on every run and engine.
+inline vchain::Status MineDemoChain(vchain::Service* svc, size_t blocks) {
+  static const char* kMakes[] = {"Benz", "BMW", "Audi", "Toyota"};
+  static const char* kTypes[] = {"Sedan", "Van", "SUV"};
+  uint64_t id = svc->NumBlocks() * 2;
+  for (size_t b = svc->NumBlocks(); b < blocks; ++b) {
+    uint64_t ts = kDemoBaseTime + b * kDemoTimeStep;
+    std::vector<vchain::chain::Object> objects;
+    for (size_t i = 0; i < 2; ++i) {
+      vchain::chain::Object o;
+      o.id = id++;
+      o.timestamp = ts;
+      o.numeric = {180 + ((b * 37 + i * 53) % 160)};  // prices in [180, 339]
+      o.keywords = {kTypes[(b + i) % 3], kMakes[(b * 2 + i) % 4]};
+      objects.push_back(std::move(o));
+    }
+    VCHAIN_RETURN_IF_ERROR(svc->Append(std::move(objects), ts));
+  }
+  return svc->Sync();
+}
+
+/// The canonical demo query both binaries know: sedans from Benz or BMW at
+/// 200..260 over the whole demo window.
+inline vchain::core::Query DemoQuery() {
+  return vchain::QueryBuilder()
+      .Window(kDemoBaseTime, kDemoBaseTime + 4096 * kDemoTimeStep)
+      .Range(/*dim=*/0, 200, 260)
+      .AllOf({"Sedan"})
+      .AnyOf({"Benz", "BMW"})
+      .Build();
+}
+
+inline std::string HexDigest(const vchain::Bytes& bytes) {
+  vchain::crypto::Hash32 h = vchain::crypto::Sha256Digest(
+      vchain::ByteSpan(bytes.data(), bytes.size()));
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (uint8_t byte : h) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+/// argv walker: Next("--flag") consumes "--flag VALUE" pairs in order.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Value of `--name` (last occurrence wins), or `fallback`.
+  std::string Get(const char* name, const std::string& fallback) const {
+    std::string value = fallback;
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) value = argv_[i + 1];
+    }
+    return value;
+  }
+
+  bool Has(const char* name) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return true;
+    }
+    return false;
+  }
+
+  /// All values of a repeatable `--name VALUE` flag, in order.
+  std::vector<std::string> GetAll(const char* name) const {
+    std::vector<std::string> out;
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) out.emplace_back(argv_[i + 1]);
+    }
+    return out;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+inline bool ParseEngineFlag(const Flags& flags, vchain::EngineKind* out) {
+  std::string name = flags.Get("--engine", "acc2");
+  if (!vchain::api::EngineKindFromName(name, out)) {
+    std::fprintf(stderr,
+                 "unknown --engine %s (mock-acc1|mock-acc2|acc1|acc2)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace spd
+
+#endif  // VCHAIN_EXAMPLES_SPD_COMMON_H_

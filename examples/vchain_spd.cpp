@@ -1,0 +1,103 @@
+// vchain_spd — the SP as a standalone network daemon.
+//
+// Serves a vchain::Service (in-memory or persisted) over the HTTP wire
+// protocol (net/sp_server.h) until SIGINT/SIGTERM. With --demo N it first
+// mines N deterministic demo blocks (resuming a persisted store mines only
+// the missing tail) and prints `demo_query_hash=<sha256>` — the hash of the
+// canonical demo query's in-process response bytes, which a separate-process
+// client can compare against what it receives over the wire (CI does
+// exactly this; see sp_query --expect-hash).
+//
+//   $ ./vchain_spd --engine acc2 --store /tmp/spd --demo 24 --port 8080
+//   serving engine=acc2 blocks=24 on 127.0.0.1:8080
+//
+// Flags: --engine mock-acc1|mock-acc2|acc1|acc2   (default acc2)
+//        --store DIR    persist/reopen a chain    (default: in-memory)
+//        --port N       0 = ephemeral             (default 8080)
+//        --threads N    HTTP workers              (default 4)
+//        --demo N       ensure N demo blocks exist
+//        --once         exit immediately after startup (smoke mode)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "net/sp_server.h"
+#include "spd_common.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  spd::Flags flags(argc, argv);
+  vchain::EngineKind engine;
+  if (!spd::ParseEngineFlag(flags, &engine)) return 2;
+
+  vchain::ServiceOptions opts = spd::DemoOptions(engine);
+  opts.store_dir = flags.Get("--store", "");
+  auto opened = vchain::Service::Open(opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<vchain::Service> svc = opened.TakeValue();
+
+  size_t demo_blocks = std::stoul(flags.Get("--demo", "0"));
+  if (demo_blocks > 0) {
+    if (svc->NumBlocks() > demo_blocks) {
+      std::fprintf(stderr, "store already has %llu blocks (> --demo %zu)\n",
+                   static_cast<unsigned long long>(svc->NumBlocks()),
+                   demo_blocks);
+      return 1;
+    }
+    vchain::Status mined = spd::MineDemoChain(svc.get(), demo_blocks);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "demo mining failed: %s\n",
+                   mined.ToString().c_str());
+      return 1;
+    }
+    // The in-process answer to the canonical demo query; a remote client
+    // receiving different bytes for the same query proves a wire bug.
+    auto result = svc->Query(spd::DemoQuery());
+    if (!result.ok()) {
+      std::fprintf(stderr, "demo query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("demo_query_hash=%s\n",
+                spd::HexDigest(result.value().response_bytes).c_str());
+  }
+
+  vchain::net::SpServer::Options sopts;
+  sopts.http.port = static_cast<uint16_t>(std::stoul(flags.Get("--port", "8080")));
+  sopts.http.num_threads = std::stoul(flags.Get("--threads", "4"));
+  auto server = vchain::net::SpServer::Start(svc.get(), sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving engine=%s blocks=%llu on 127.0.0.1:%u\n",
+              vchain::api::EngineKindName(engine),
+              static_cast<unsigned long long>(svc->NumBlocks()),
+              server.value()->port());
+  std::fflush(stdout);
+
+  if (flags.Has("--once")) {
+    server.value()->Stop();
+    return 0;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  server.value()->Stop();
+  return 0;
+}

@@ -34,6 +34,10 @@ class IServiceBackend {
   virtual Result<QueryResult> Query(const core::Query& q) = 0;
 
   virtual Status SyncLightClient(chain::LightClient* client) const = 0;
+  virtual Result<std::vector<chain::BlockHeader>> Headers(
+      uint64_t from, uint64_t to) const = 0;
+  virtual Result<QueryResult> DecodeResult(
+      const Bytes& response_bytes) const = 0;
   virtual Status Verify(const core::Query& q, const QueryResult& result,
                         const chain::LightClient& client) const = 0;
   virtual Status VerifyNotification(const core::Query& q,

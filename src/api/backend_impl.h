@@ -133,6 +133,38 @@ class ServiceBackend final : public IServiceBackend {
     return builder_->SyncLightClient(client);
   }
 
+  Result<std::vector<chain::BlockHeader>> Headers(uint64_t from,
+                                                  uint64_t to) const override {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    uint64_t tip = builder_->NumBlocks();
+    std::vector<chain::BlockHeader> out;
+    if (tip == 0 || from >= tip) return out;
+    if (to >= tip) to = tip - 1;
+    for (uint64_t h = from; h <= to; ++h) {
+      // Pruned heights live only in the store's resident header column
+      // (pruning requires an attached store, so store_ is non-null there).
+      out.push_back(h < builder_->base_height()
+                        ? store_->HeaderAt(h)
+                        : builder_->blocks()[h - builder_->base_height()]
+                              .header);
+    }
+    return out;
+  }
+
+  Result<QueryResult> DecodeResult(const Bytes& response_bytes) const override {
+    ByteReader r(ByteSpan(response_bytes.data(), response_bytes.size()));
+    core::QueryResponse<Engine> resp;
+    VCHAIN_RETURN_IF_ERROR(core::DeserializeResponse(engine_, &r, &resp));
+    if (r.Remaining() != 0) {
+      return Status::Corruption("trailing bytes after query response");
+    }
+    QueryResult out;
+    out.response_bytes = response_bytes;
+    out.vo_bytes = core::VoByteSize(engine_, resp.vo);
+    out.objects = std::move(resp.objects);
+    return out;
+  }
+
   Status Verify(const core::Query& q, const QueryResult& result,
                 const chain::LightClient& client) const override {
     ByteReader r(ByteSpan(result.response_bytes.data(),

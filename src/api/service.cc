@@ -28,6 +28,17 @@ const char* EngineKindName(EngineKind kind) {
   return "unknown";
 }
 
+bool EngineKindFromName(std::string_view name, EngineKind* out) {
+  for (EngineKind kind : {EngineKind::kMockAcc1, EngineKind::kMockAcc2,
+                          EngineKind::kAcc1, EngineKind::kAcc2}) {
+    if (name == EngineKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<std::unique_ptr<Service>> Service::Open(ServiceOptions options) {
   if (options.proof_cache_shards == 0) options.proof_cache_shards = 1;
   std::shared_ptr<accum::KeyOracle> oracle =
@@ -91,6 +102,15 @@ std::vector<Result<QueryResult>> Service::QueryBatch(
 
 Status Service::SyncLightClient(chain::LightClient* client) const {
   return backend_->SyncLightClient(client);
+}
+
+Result<std::vector<chain::BlockHeader>> Service::Headers(uint64_t from,
+                                                         uint64_t to) const {
+  return backend_->Headers(from, to);
+}
+
+Result<QueryResult> Service::DecodeResult(const Bytes& response_bytes) const {
+  return backend_->DecodeResult(response_bytes);
 }
 
 Status Service::Verify(const core::Query& q, const QueryResult& result,

@@ -48,6 +48,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "accum/acc1.h"  // ProverMode
@@ -71,6 +72,10 @@ enum class EngineKind : uint8_t {
 };
 
 const char* EngineKindName(EngineKind kind);
+
+/// Inverse of EngineKindName ("acc2" -> kAcc2, etc.); false when `name`
+/// names no engine. The wire layer and CLI flags parse engines with this.
+bool EngineKindFromName(std::string_view name, EngineKind* out);
 
 /// Everything a Service deployment fixes at startup.
 struct ServiceOptions {
@@ -181,6 +186,20 @@ class Service {
 
   /// Feed the chain's sealed headers to a light client (Fig 3 header sync).
   Status SyncLightClient(chain::LightClient* client) const;
+
+  /// One page of sealed headers, heights [from, to] inclusive (both clamped
+  /// to the tip; empty when `from` is past it). This is the light-client
+  /// sync primitive a remote transport exposes (GET /headers): the caller
+  /// pages forward and feeds each header to its own LightClient, which
+  /// re-validates linkage and consensus — nothing here is trusted.
+  Result<std::vector<chain::BlockHeader>> Headers(uint64_t from,
+                                                  uint64_t to) const;
+
+  /// Decode canonical response bytes (the on-the-wire form) back into a
+  /// QueryResult — result objects and VO size re-derived from the bytes.
+  /// Corruption when the bytes don't decode exactly. A remote client pairs
+  /// this with Verify: decode what arrived, then check it against headers.
+  Result<QueryResult> DecodeResult(const Bytes& response_bytes) const;
 
   /// Replay `result` against headers only: soundness + completeness
   /// (core/verifier.h). VerifyFailed = the response lies; Corruption = the

@@ -102,10 +102,10 @@ class ChainBuilder {
   /// least the skip-construction tail.
   ///
   /// IMPORTANT: once pruning is active, `blocks()` is a *window* whose
-  /// index i is height `base_height() + i` — do not hand it to
-  /// QueryProcessor's vector constructor (its height range would silently
-  /// start at the window, not genesis). Serve queries from the attached
-  /// store through a StoreBlockSource instead.
+  /// index i is height `base_height() + i` — do not wrap it in a
+  /// VectorBlockSource (its height range would silently start at the
+  /// window, not genesis). Serve queries from the attached store through a
+  /// StoreBlockSource instead.
   Status SetRetainWindow(size_t retain) {
     if (retain != 0) {
       if (store_ == nullptr) {

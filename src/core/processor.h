@@ -66,20 +66,6 @@ class QueryProcessor {
         own_cache_(config.proof_cache_capacity),
         cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
 
-  /// Convenience: serve an in-memory chain (wraps it in a VectorBlockSource
-  /// owned by the processor).
-  QueryProcessor(const Engine& engine, const ChainConfig& config,
-                 const std::vector<Block<Engine>>* blocks,
-                 const TimestampIndex* ts_index = nullptr,
-                 ProofCache<Engine>* shared_cache = nullptr)
-      : engine_(engine),
-        config_(config),
-        owned_source_(std::make_unique<store::VectorBlockSource<Engine>>(blocks)),
-        source_(owned_source_.get()),
-        ts_index_(ts_index),
-        own_cache_(config.proof_cache_capacity),
-        cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {}
-
   // cache_ may point at own_cache_, so a memberwise copy/move would leave
   // the new object aiming into the source's storage.
   QueryProcessor(const QueryProcessor&) = delete;
@@ -415,7 +401,6 @@ class QueryProcessor {
 
   const Engine& engine_;
   const ChainConfig& config_;
-  std::unique_ptr<store::VectorBlockSource<Engine>> owned_source_;
   const store::BlockSource<Engine>* source_;
   const TimestampIndex* ts_index_;
   ProofCache<Engine> own_cache_;

@@ -61,6 +61,12 @@
 // while the lazy scheme (§7.2, Algorithm 5) remains typed-layer via
 // SubscriptionManager::ProcessNewBlocksLazy.
 //
+// Remote deployments (src/net/): `net::SpServer` publishes a Service over
+// a dependency-free HTTP/1.1 wire protocol and `net::SpClient` is the
+// light user's side — JSON queries out, canonical VO bytes back, headers
+// synced and re-validated locally, nothing trusted past the socket (see
+// examples/vchain_spd.cpp and examples/sp_query.cpp, or `README.md`).
+//
 // Concurrency knobs. `ServiceOptions::proof_cache_shards` stripes the
 // shared disjointness-proof cache across independently-locked LRU
 // partitions. `ChainConfig::num_prover_threads` caps how many workers of
@@ -91,6 +97,8 @@
 #include "core/query.h"
 #include "core/verifier.h"
 #include "core/vo.h"
+#include "net/sp_client.h"
+#include "net/sp_server.h"
 #include "store/block_serde.h"
 #include "store/block_source.h"
 #include "store/block_store.h"

@@ -1,0 +1,594 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace vchain::net {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+void SetRecvTimeout(int fd, int seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = seconds;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Append more bytes from `fd` into `buf`; false on EOF/error/timeout.
+bool RecvMore(int fd, std::string* buf) {
+  char chunk[4096];
+  ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n <= 0) return false;
+  buf->append(chunk, static_cast<size_t>(n));
+  return true;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (c <= 0x20 || c >= 0x7F || c == ':') return false;
+  }
+  return true;
+}
+
+bool HexNibble(char c, uint8_t* out) {
+  if (c >= '0' && c <= '9') {
+    *out = static_cast<uint8_t>(c - '0');
+  } else if (c >= 'a' && c <= 'f') {
+    *out = static_cast<uint8_t>(c - 'a' + 10);
+  } else if (c >= 'A' && c <= 'F') {
+    *out = static_cast<uint8_t>(c - 'A' + 10);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool PercentDecode(std::string_view in, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '%') {
+      uint8_t hi, lo;
+      if (i + 2 >= in.size() || !HexNibble(in[i + 1], &hi) ||
+          !HexNibble(in[i + 2], &lo)) {
+        return false;
+      }
+      out->push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+') {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+/// Split "path?a=1&b=2" into path + decoded query map; false when malformed.
+bool ParseTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* query) {
+  if (target.empty() || target[0] != '/' ||
+      target.size() > HttpServer::kMaxTargetBytes) {
+    return false;
+  }
+  for (unsigned char c : target) {
+    if (c <= 0x20 || c == 0x7F) return false;
+  }
+  size_t qpos = target.find('?');
+  std::string_view raw_path =
+      qpos == std::string_view::npos ? target : target.substr(0, qpos);
+  if (!PercentDecode(raw_path, path)) return false;
+  if (qpos == std::string_view::npos) return true;
+  std::string_view qs = target.substr(qpos + 1);
+  while (!qs.empty()) {
+    size_t amp = qs.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? qs : qs.substr(0, amp);
+    qs = amp == std::string_view::npos ? std::string_view{}
+                                       : qs.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key, value;
+    if (!PercentDecode(pair.substr(0, eq == std::string_view::npos ? pair.size()
+                                                                   : eq),
+                       &key)) {
+      return false;
+    }
+    if (eq != std::string_view::npos &&
+        !PercentDecode(pair.substr(eq + 1), &value)) {
+      return false;
+    }
+    (*query)[key] = value;
+  }
+  return true;
+}
+
+struct ParsedHead {
+  HttpRequest request;
+  size_t content_length = 0;
+  bool keep_alive = true;
+  bool has_transfer_encoding = false;
+};
+
+/// Parse one request head (everything before the blank line). nullopt =
+/// protocol violation (the caller answers 400 and closes).
+std::optional<ParsedHead> ParseRequestHead(std::string_view head) {
+  ParsedHead out;
+  size_t line_end = head.find(kCrlf);
+  if (line_end == std::string_view::npos) return std::nullopt;
+  std::string_view request_line = head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (!IsToken(method)) return std::nullopt;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return std::nullopt;
+  out.keep_alive = version == "HTTP/1.1";
+  out.request.method = std::string(method);
+  if (!ParseTarget(target, &out.request.path, &out.request.query)) {
+    return std::nullopt;
+  }
+
+  std::string_view rest = head.substr(line_end + 2);
+  size_t header_count = 0;
+  bool have_content_length = false;
+  while (!rest.empty()) {
+    size_t eol = rest.find(kCrlf);
+    if (eol == std::string_view::npos) return std::nullopt;
+    std::string_view line = rest.substr(0, eol);
+    rest = rest.substr(eol + 2);
+    if (line.empty()) break;
+    // obs-fold (leading whitespace continuation) is an RFC 7230 MUST NOT.
+    if (line[0] == ' ' || line[0] == '\t') return std::nullopt;
+    if (++header_count > HttpServer::kMaxHeaderCount) return std::nullopt;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) return std::nullopt;
+    std::string key = ToLower(name);
+    std::string value(Trim(line.substr(colon + 1)));
+    if (key == "content-length") {
+      uint64_t v = 0;
+      // Duplicate or malformed Content-Length is a classic smuggling vector.
+      if (have_content_length || !ParseDecimalU64(value, &v)) return std::nullopt;
+      have_content_length = true;
+      out.content_length = v;
+    } else if (key == "transfer-encoding") {
+      out.has_transfer_encoding = true;
+    } else if (key == "connection") {
+      std::string lower = ToLower(value);
+      if (lower == "close") out.keep_alive = false;
+      if (lower == "keep-alive") out.keep_alive = true;
+    }
+    out.request.headers[key] = std::move(value);
+  }
+  return out;
+}
+
+std::string SerializeResponse(const HttpResponse& resp, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    HttpReasonPhrase(resp.status);
+  out += kCrlf;
+  out += "Content-Type: " + resp.content_type;
+  out += kCrlf;
+  out += "Content-Length: " + std::to_string(resp.body.size());
+  out += kCrlf;
+  out += keep_alive ? "Connection: keep-alive" : "Connection: close";
+  out += kCrlf;
+  for (const auto& [name, value] : resp.headers) {
+    out += name + ": " + value;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += resp.body;
+  return out;
+}
+
+bool SendAllFd(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+Result<int> OpenClientSocket(const std::string& host, uint16_t port,
+                             int recv_timeout_seconds) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Internal(std::string("getaddrinfo: ") + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Status::Internal("connect to " + host + ":" + port_str +
+                            " failed: " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetRecvTimeout(fd, recv_timeout_seconds);
+  return fd;
+}
+
+}  // namespace
+
+bool ParseDecimalU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    default: return "Unknown";
+  }
+}
+
+// --- server ------------------------------------------------------------------
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
+                                                      Handler handler) {
+  if (options.num_threads == 0) options.num_threads = 1;
+  std::unique_ptr<HttpServer> server(
+      new HttpServer(std::move(options), std::move(handler)));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->options_.port);
+  if (::inet_pton(AF_INET, server->options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   server->options_.bind_address);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->active_fds_.assign(server->options_.num_threads, -1);
+  for (size_t i = 0; i < server->options_.num_threads; ++i) {
+    server->workers_.emplace_back(
+        [srv = server.get(), i] { srv->WorkerLoop(i); });
+  }
+  return server;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    return;
+  }
+  // Unblock accept() in every worker, then any in-flight recv().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (int fd : active_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::WorkerLoop(size_t worker_index) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener is gone
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetRecvTimeout(fd, options_.recv_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_fds_[worker_index] = fd;
+    }
+    // Stop() sets stopping_ *before* sweeping active_fds_. If its sweep ran
+    // between our accept() and the registration above, it missed this fd —
+    // but then this load observes stopping_ == true and we shut the
+    // connection down ourselves instead of blocking in recv().
+    if (stopping_.load(std::memory_order_seq_cst)) ::shutdown(fd, SHUT_RDWR);
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_fds_[worker_index] = -1;
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buf;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // 1. Read the request head.
+    size_t head_end;
+    while ((head_end = buf.find(kHeadEnd)) == std::string::npos) {
+      if (buf.size() > kMaxHeadBytes) {
+        SendAllFd(fd, SerializeResponse(
+                          {.status = 400,
+                           .content_type = "text/plain",
+                           .body = "request head too large\n"},
+                          /*keep_alive=*/false));
+        return;
+      }
+      if (!RecvMore(fd, &buf)) return;  // EOF, timeout, or Stop()
+    }
+    auto parsed = ParseRequestHead(std::string_view(buf).substr(
+        0, head_end + kHeadEnd.size()));
+    if (!parsed) {
+      SendAllFd(fd, SerializeResponse({.status = 400,
+                                       .content_type = "text/plain",
+                                       .body = "malformed request\n"},
+                                      /*keep_alive=*/false));
+      return;
+    }
+    if (parsed->has_transfer_encoding) {
+      SendAllFd(fd, SerializeResponse(
+                        {.status = 501,
+                         .content_type = "text/plain",
+                         .body = "transfer-encoding not supported\n"},
+                        /*keep_alive=*/false));
+      return;
+    }
+    if (parsed->content_length > options_.max_body_bytes) {
+      SendAllFd(fd, SerializeResponse({.status = 413,
+                                       .content_type = "text/plain",
+                                       .body = "body too large\n"},
+                                      /*keep_alive=*/false));
+      return;
+    }
+
+    // 2. Read the body.
+    size_t total = head_end + kHeadEnd.size() + parsed->content_length;
+    while (buf.size() < total) {
+      if (!RecvMore(fd, &buf)) return;
+    }
+    parsed->request.body =
+        buf.substr(head_end + kHeadEnd.size(), parsed->content_length);
+    buf.erase(0, total);  // keep any pipelined next request
+
+    // 3. Dispatch; a throwing handler is a programming error upstream, but
+    // answering 500 beats tearing down the whole server.
+    HttpResponse resp;
+    try {
+      resp = handler_(parsed->request);
+    } catch (...) {
+      resp = {.status = 500,
+              .content_type = "text/plain",
+              .body = "internal error\n"};
+    }
+    if (!SendAllFd(fd, SerializeResponse(resp, parsed->keep_alive))) return;
+    if (!parsed->keep_alive) return;
+  }
+}
+
+// --- client ------------------------------------------------------------------
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status HttpConnection::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  auto fd = OpenClientSocket(options_.host, options_.port,
+                             options_.recv_timeout_seconds);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  return Status::OK();
+}
+
+Status HttpConnection::SendAll(std::string_view data) {
+  if (!SendAllFd(fd_, data)) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Internal("send failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
+                                               const std::string& target,
+                                               std::string_view body,
+                                               const std::string& content_type) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + options_.host + ":" + std::to_string(options_.port) +
+             "\r\n";
+  request += "Content-Type: " + content_type + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: keep-alive\r\n\r\n";
+  request.append(body.data(), body.size());
+
+  // A kept-alive socket may have been closed by the peer since the last
+  // round-trip; retry the whole exchange once on a fresh connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = fd_ >= 0;
+    VCHAIN_RETURN_IF_ERROR(Connect());
+    if (!SendAll(request).ok()) {
+      if (reused) continue;
+      return Status::Internal("send failed");
+    }
+
+    std::string buf;
+    size_t head_end;
+    bool peer_closed = false;
+    while ((head_end = buf.find(kHeadEnd)) == std::string::npos) {
+      if (buf.size() > HttpServer::kMaxHeadBytes) {
+        return Status::Corruption("response head too large");
+      }
+      if (!RecvMore(fd_, &buf)) {
+        peer_closed = true;
+        break;
+      }
+    }
+    if (peer_closed) {
+      ::close(fd_);
+      fd_ = -1;
+      if (reused && buf.empty()) continue;  // stale keep-alive, retry once
+      return Status::Internal("connection closed mid-response");
+    }
+
+    std::string_view head = std::string_view(buf).substr(0, head_end);
+    size_t line_end = head.find(kCrlf);
+    std::string_view status_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+      return Status::Corruption("malformed status line");
+    }
+    uint64_t status_code = 0;
+    if (!ParseDecimalU64(status_line.substr(9, 3), &status_code)) {
+      return Status::Corruption("malformed status code");
+    }
+
+    HttpResponse resp;
+    resp.status = static_cast<int>(status_code);
+    size_t content_length = 0;
+    bool have_length = false;
+    bool keep_alive = true;
+    std::string_view rest = head.substr(
+        line_end == std::string_view::npos ? head.size() : line_end + 2);
+    while (!rest.empty()) {
+      size_t eol = rest.find(kCrlf);
+      std::string_view line =
+          eol == std::string_view::npos ? rest : rest.substr(0, eol);
+      rest = eol == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(eol + 2);
+      if (line.empty()) continue;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::Corruption("malformed response header");
+      }
+      std::string key = ToLower(line.substr(0, colon));
+      std::string value(Trim(line.substr(colon + 1)));
+      if (key == "content-length") {
+        uint64_t v = 0;
+        if (have_length || !ParseDecimalU64(value, &v) ||
+            v > options_.max_response_bytes) {
+          return Status::Corruption("bad content-length");
+        }
+        have_length = true;
+        content_length = v;
+      } else if (key == "content-type") {
+        resp.content_type = value;
+      } else if (key == "connection") {
+        if (ToLower(value) == "close") keep_alive = false;
+      } else {
+        resp.headers.emplace_back(std::move(key), std::move(value));
+      }
+    }
+    if (!have_length) {
+      return Status::Corruption("response without content-length");
+    }
+
+    size_t total = head_end + kHeadEnd.size() + content_length;
+    while (buf.size() < total) {
+      if (!RecvMore(fd_, &buf)) {
+        ::close(fd_);
+        fd_ = -1;
+        return Status::Internal("connection closed mid-body");
+      }
+    }
+    resp.body = buf.substr(head_end + kHeadEnd.size(), content_length);
+    if (!keep_alive) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return resp;
+  }
+  return Status::Internal("request failed after reconnect");
+}
+
+}  // namespace vchain::net

@@ -1,0 +1,145 @@
+// Dependency-free HTTP/1.1 transport for the SP wire protocol.
+//
+// Deliberately a *subset* of HTTP/1.1 — exactly what an SP deployment
+// behind a loopback, LAN, or reverse proxy needs, with every limit
+// explicit so a hostile peer can neither exhaust memory nor wedge a
+// worker:
+//
+//   * GET/POST, request head capped (kMaxHeadBytes), header count capped,
+//     target length capped, bare-LF and obs-fold rejected;
+//   * bodies require Content-Length (Transfer-Encoding is answered 501 —
+//     chunked parsing is attack surface the protocol doesn't need);
+//   * per-connection inactivity timeout (SO_RCVTIMEO) so a stalled peer
+//     frees its worker; keep-alive honored until either side says close;
+//   * a malformed request gets a 400 and the connection is closed — the
+//     server never crashes on hostile bytes (tests/net/http_server_test.cc
+//     throws garbage at a live socket).
+//
+// Server shape: one listening socket, `num_threads` workers all blocked in
+// accept(2) (the kernel load-balances), each serving one connection at a
+// time to completion. The SP's work per request is proving, not I/O — a
+// handful of workers saturates the CPU, and there is no event-loop state
+// machine to audit. Stop() shuts the listener and any in-flight
+// connections down and joins the workers.
+//
+// The client (`HttpConnection`) keeps one connection alive across
+// round-trips and transparently reconnects once when a kept-alive socket
+// turns out to be stale (the server or a proxy closed it between requests).
+
+#ifndef VCHAIN_NET_HTTP_H_
+#define VCHAIN_NET_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vchain::net {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" / "POST" (upper-case)
+  std::string path;    ///< target before '?', e.g. "/query"
+  std::map<std::string, std::string> query;    ///< decoded ?key=value params
+  std::map<std::string, std::string> headers;  ///< lower-cased field names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/octet-stream";
+  std::vector<std::pair<std::string, std::string>> headers;  ///< extras
+  std::string body;
+};
+
+const char* HttpReasonPhrase(int status);
+
+/// Strict decimal u64: digits only, max 20 chars, overflow-checked. Shared
+/// by the request parser, the /headers query params, and the client's
+/// response-header parsing so the accepted grammar cannot drift.
+bool ParseDecimalU64(std::string_view s, uint64_t* out);
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 = ephemeral; read the chosen one from port()
+    size_t num_threads = 4;
+    size_t max_body_bytes = 8u << 20;
+    /// Per-recv inactivity timeout; a peer silent this long is dropped.
+    int recv_timeout_seconds = 10;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Bind, listen, and spin up the worker threads. InvalidArgument for a
+  /// bad bind address, Internal for socket errors (port in use, ...).
+  static Result<std::unique_ptr<HttpServer>> Start(Options options,
+                                                   Handler handler);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void Stop();
+  uint16_t port() const { return port_; }
+
+  static constexpr size_t kMaxHeadBytes = 16u << 10;
+  static constexpr size_t kMaxHeaderCount = 64;
+  static constexpr size_t kMaxTargetBytes = 2048;
+
+ private:
+  HttpServer(Options options, Handler handler);
+  void WorkerLoop(size_t worker_index);
+  void ServeConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+  std::vector<int> active_fds_;  // one slot per worker; -1 = idle
+  std::mutex active_mu_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Client side: one persistent connection, lazily (re)established.
+class HttpConnection {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    size_t max_response_bytes = 256u << 20;
+    int recv_timeout_seconds = 60;
+  };
+
+  explicit HttpConnection(Options options) : options_(std::move(options)) {}
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// One request/response exchange. Internal on connect/transport failure,
+  /// Corruption when the peer's response violates the protocol subset.
+  Result<HttpResponse> RoundTrip(const std::string& method,
+                                 const std::string& target,
+                                 std::string_view body,
+                                 const std::string& content_type);
+
+ private:
+  Status Connect();
+  Status SendAll(std::string_view data);
+
+  Options options_;
+  int fd_ = -1;
+};
+
+}  // namespace vchain::net
+
+#endif  // VCHAIN_NET_HTTP_H_

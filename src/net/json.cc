@@ -1,0 +1,384 @@
+#include "net/json.h"
+
+#include <cstdio>
+
+namespace vchain::net {
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Number(uint64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Str(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out = std::to_string(number_);
+      break;
+    case Kind::kString:
+      AppendJsonString(string_, &out);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += items_[i].Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendJsonString(members_[i].first, &out);
+        out.push_back(':');
+        out += members_[i].second.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    VCHAIN_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing characters after value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxJsonDepth) {
+      return Status::InvalidArgument("json: nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        VCHAIN_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("json: bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("json: bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Status::InvalidArgument("json: bad literal");
+      default:
+        if (c >= '0' && c <= '9') return ParseNumber(out);
+        return Status::InvalidArgument("json: unexpected character");
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    // Strict subset: non-negative integers in u64 range, no leading zeros
+    // (other than the single digit 0), no fraction, no exponent.
+    size_t start = pos_;
+    uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
+      if (v > (UINT64_MAX - digit) / 10) {
+        return Status::InvalidArgument("json: integer overflows u64");
+      }
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    size_t len = pos_ - start;
+    if (len == 0) return Status::InvalidArgument("json: bad number");
+    if (len > 1 && text_[start] == '0') {
+      return Status::InvalidArgument("json: leading zero");
+    }
+    if (pos_ < text_.size()) {
+      char next = text_[pos_];
+      if (next == '.' || next == 'e' || next == 'E' || next == '-' ||
+          next == '+') {
+        return Status::InvalidArgument(
+            "json: only unsigned integers are accepted");
+      }
+    }
+    *out = JsonValue::Number(v);
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("json: truncated \\u escape");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      uint32_t nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::InvalidArgument("json: bad \\u escape digit");
+      }
+      v = (v << 4) | nibble;
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Status::InvalidArgument("json: expected string");
+    out->clear();
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("json: unterminated string");
+      }
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) {
+        return Status::InvalidArgument("json: raw control byte in string");
+      }
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("json: truncated escape");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          VCHAIN_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Status::InvalidArgument("json: lone high surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            VCHAIN_RETURN_IF_ERROR(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Status::InvalidArgument("json: bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Status::InvalidArgument("json: lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Status::InvalidArgument("json: bad escape character");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue item;
+      VCHAIN_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->mutable_items()->push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) {
+        return Status::InvalidArgument("json: expected ',' or ']'");
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      VCHAIN_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Status::InvalidArgument("json: expected ':'");
+      JsonValue value;
+      VCHAIN_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      if (out->Find(key) != nullptr) {
+        return Status::InvalidArgument("json: duplicate object key");
+      }
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) {
+        return Status::InvalidArgument("json: expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace vchain::net

@@ -1,0 +1,91 @@
+// Minimal strict JSON for the wire protocol (net/wire.h).
+//
+// The protocol only needs a small, predictable slice of JSON: objects,
+// arrays, strings, booleans, null, and *unsigned 64-bit integers* (block
+// timestamps and heights use the full u64 range, which a double-backed
+// number type would silently round). The parser is deliberately stricter
+// than RFC 8259 where strictness removes attack surface:
+//
+//   * numbers must be non-negative integers that fit in u64 — no sign, no
+//     fraction, no exponent, no leading zeros;
+//   * nesting depth is capped (kMaxDepth) so a hostile body cannot blow the
+//     stack with `[[[[...`;
+//   * strings must be valid escapes only; \uXXXX decodes to UTF-8 with
+//     surrogate pairs handled and lone surrogates rejected;
+//   * input must be one value with nothing but whitespace after it.
+//
+// Errors are Status::InvalidArgument (malformed request input, mapped to
+// HTTP 400 by the server), never a crash — the same contract the binary
+// serde layer (common/serde.h) gives for Corruption.
+
+#ifndef VCHAIN_NET_JSON_H_
+#define VCHAIN_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vchain::net {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(uint64_t v);
+  static JsonValue Str(std::string v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  uint64_t as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>* mutable_items() { return &items_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  void Set(std::string key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Compact canonical serialization (members in insertion order).
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  uint64_t number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Strict parse of exactly one JSON value (see header comment for the
+/// accepted subset). InvalidArgument on any deviation.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Append `s` as a quoted JSON string literal with all required escapes.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Maximum nesting depth ParseJson accepts.
+inline constexpr size_t kMaxJsonDepth = 64;
+
+}  // namespace vchain::net
+
+#endif  // VCHAIN_NET_JSON_H_

@@ -1,0 +1,151 @@
+#include "net/sp_client.h"
+
+#include <utility>
+
+#include "net/wire.h"
+
+namespace vchain::net {
+
+namespace {
+
+/// Non-200 responses carry a text/plain Status::ToString body; surface the
+/// SP's own taxonomy where the mapping is unambiguous.
+Status StatusFromHttp(const HttpResponse& resp) {
+  std::string body = resp.body;
+  while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  switch (resp.status) {
+    case 400: return Status::InvalidArgument("sp: " + body);
+    case 404: return Status::NotFound("sp: " + body);
+    default:
+      return Status::Internal("sp: http " + std::to_string(resp.status) +
+                              ": " + body);
+  }
+}
+
+const std::string* FindHeader(const HttpResponse& resp, const std::string& key) {
+  for (const auto& [k, v] : resp.headers) {
+    if (k == key) return &v;  // client stores keys lower-cased
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpClient>> SpClient::Connect(Options options) {
+  std::unique_ptr<SpClient> client(new SpClient());
+  options.verify.store_dir.clear();  // verifier role: no chain state
+  options.verify.retain_window = 0;
+  auto verifier = api::Service::Open(options.verify);
+  if (!verifier.ok()) return verifier.status();
+  client->verifier_ = verifier.TakeValue();
+  HttpConnection::Options http;
+  http.host = options.host;
+  http.port = options.port;
+  http.max_response_bytes = options.max_response_bytes;
+  http.recv_timeout_seconds = options.recv_timeout_seconds;
+  client->http_ = std::make_unique<HttpConnection>(std::move(http));
+  client->options_ = std::move(options);
+  return client;
+}
+
+Result<api::QueryResult> SpClient::Query(const core::Query& q) {
+  auto resp = http_->RoundTrip("POST", "/query", QueryToJson(q),
+                               "application/json");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  Bytes bytes(resp.value().body.begin(), resp.value().body.end());
+  // DecodeResult re-derives objects/vo_bytes from the bytes themselves and
+  // rejects trailing garbage — HTTP metadata is advisory only.
+  return verifier_->DecodeResult(bytes);
+}
+
+Result<std::vector<Result<api::QueryResult>>> SpClient::QueryBatch(
+    const std::vector<core::Query>& queries) {
+  if (queries.size() > kMaxWireBatchQueries) {
+    return Status::InvalidArgument("batch too large for one request");
+  }
+  auto resp = http_->RoundTrip("POST", "/query_batch",
+                               BatchRequestToJson(queries),
+                               "application/json");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  auto items = DecodeBatchResponse(
+      ByteSpan(reinterpret_cast<const uint8_t*>(resp.value().body.data()),
+               resp.value().body.size()));
+  if (!items.ok()) return items.status();
+  if (items.value().size() != queries.size()) {
+    return Status::Corruption("batch response count mismatch");
+  }
+  std::vector<Result<api::QueryResult>> out;
+  out.reserve(items.value().size());
+  for (WireBatchItem& item : items.value()) {
+    if (item.status.ok()) {
+      out.push_back(verifier_->DecodeResult(item.response_bytes));
+    } else {
+      out.push_back(Result<api::QueryResult>(std::move(item.status)));
+    }
+  }
+  return out;
+}
+
+Status SpClient::SyncHeaders(chain::LightClient* light) {
+  for (;;) {
+    std::string target = "/headers?from=" + std::to_string(light->Height());
+    auto resp = http_->RoundTrip("GET", target, "", "text/plain");
+    if (!resp.ok()) return resp.status();
+    if (resp.value().status != 200) return StatusFromHttp(resp.value());
+    const std::string* tip_str = FindHeader(resp.value(), "x-vchain-tip");
+    if (tip_str == nullptr) {
+      return Status::Corruption("headers response missing X-Vchain-Tip");
+    }
+    uint64_t tip = 0;
+    if (!ParseDecimalU64(*tip_str, &tip)) {
+      return Status::Corruption("malformed X-Vchain-Tip");
+    }
+    auto page = DecodeHeaderPage(
+        ByteSpan(reinterpret_cast<const uint8_t*>(resp.value().body.data()),
+                 resp.value().body.size()));
+    if (!page.ok()) return page.status();
+    if (page.value().empty()) {
+      if (light->Height() < tip) {
+        return Status::Corruption("sp sent an empty header page below tip");
+      }
+      return Status::OK();  // caught up
+    }
+    for (const chain::BlockHeader& h : page.value()) {
+      // SyncHeader re-validates height, linkage, timestamps, and consensus;
+      // a forged header stops the sync here.
+      VCHAIN_RETURN_IF_ERROR(light->SyncHeader(h));
+    }
+    if (light->Height() >= tip) return Status::OK();
+  }
+}
+
+Status SpClient::Verify(const core::Query& q, const api::QueryResult& result,
+                        const chain::LightClient& light) const {
+  return verifier_->Verify(q, result, light);
+}
+
+Result<api::ServiceStats> SpClient::Stats() {
+  auto resp = http_->RoundTrip("GET", "/stats", "", "text/plain");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  return StatsFromJson(resp.value().body);
+}
+
+Status SpClient::Healthz() {
+  auto resp = http_->RoundTrip("GET", "/healthz", "", "text/plain");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  const std::string* engine = FindHeader(resp.value(), "x-vchain-engine");
+  if (engine == nullptr ||
+      *engine != api::EngineKindName(options_.verify.engine)) {
+    return Status::VerifyFailed(
+        "sp engine does not match the client's verification parameters");
+  }
+  return Status::OK();
+}
+
+}  // namespace vchain::net

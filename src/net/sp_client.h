@@ -1,0 +1,99 @@
+// SpClient — the light user's side of the wire protocol (§3's query user).
+//
+// Trust ends at the socket. The client ships a query as JSON, receives the
+// canonical response bytes, and believes *nothing* about them until they
+// pass Verify against block headers its own LightClient validated (hash
+// linkage + consensus proof, fetched via GET /headers and re-checked
+// locally). The only out-of-band inputs are the public parameters every
+// vChain participant shares anyway: the accumulator's trusted setup
+// (oracle/seed) and the chain config — both fixed in Options.verify, the
+// same ServiceOptions the SP was opened with.
+//
+//   SpClient::Options opts;
+//   opts.host = "sp.example.com"; opts.port = 8443;
+//   opts.verify = /* same engine/config/oracle_seed as the SP */;
+//   auto client = SpClient::Connect(opts).TakeValue();
+//
+//   chain::LightClient light = client->NewLightClient();
+//   client->SyncHeaders(&light);                  // validated header sync
+//   auto result = client->Query(q);               // over the wire
+//   Status ok = client->Verify(q, result.value(), light);  // local check
+//
+// Verification plumbing reuses the engine-erased Service in a chain-less
+// "verifier role": an in-memory Service holds the engine + config and
+// exposes DecodeResult/Verify/VerifyNotification — no blocks, no store.
+
+#ifndef VCHAIN_NET_SP_CLIENT_H_
+#define VCHAIN_NET_SP_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "chain/light_client.h"
+#include "net/http.h"
+
+namespace vchain::net {
+
+class SpClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Public parameters for local verification: engine kind, chain config,
+    /// trusted setup (oracle or oracle_seed/acc_params). `store_dir` is
+    /// ignored — the verifier role never holds chain state.
+    api::ServiceOptions verify;
+    size_t max_response_bytes = 256u << 20;
+    int recv_timeout_seconds = 60;
+  };
+
+  /// Build the local verifier and the (lazily connected) HTTP transport.
+  /// Does not touch the network — the first request does.
+  static Result<std::unique_ptr<SpClient>> Connect(Options options);
+
+  /// POST /query: returns the decoded result; response bytes are exactly
+  /// what the SP sent (DecodeResult re-derives objects and VO size from
+  /// them — nothing from HTTP metadata is trusted). Per-query SP failures
+  /// (e.g. InvalidArgument for a malformed query) come back as the mapped
+  /// Status.
+  Result<api::QueryResult> Query(const core::Query& q);
+
+  /// POST /query_batch: per-query results in input order.
+  Result<std::vector<Result<api::QueryResult>>> QueryBatch(
+      const std::vector<core::Query>& queries);
+
+  /// GET /headers pages from `light->Height()` until the light client has
+  /// validated every header up to the SP's tip. A header failing validation
+  /// aborts with that status — a lying SP cannot advance the client.
+  Status SyncHeaders(chain::LightClient* light);
+
+  /// Local verification against validated headers (never the network).
+  Status Verify(const core::Query& q, const api::QueryResult& result,
+                const chain::LightClient& light) const;
+
+  /// GET /stats, parsed.
+  Result<api::ServiceStats> Stats();
+
+  /// GET /healthz; OK iff the SP answers 200 with a matching engine kind.
+  Status Healthz();
+
+  /// A light client configured with the chain's consensus parameters.
+  chain::LightClient NewLightClient() const {
+    return chain::LightClient(options_.verify.config.pow);
+  }
+
+  const api::ServiceOptions& verify_options() const { return options_.verify; }
+
+ private:
+  SpClient() = default;
+
+  Options options_;
+  std::unique_ptr<HttpConnection> http_;
+  std::unique_ptr<api::Service> verifier_;  ///< chain-less verifier role
+};
+
+}  // namespace vchain::net
+
+#endif  // VCHAIN_NET_SP_CLIENT_H_

@@ -1,0 +1,127 @@
+#include "net/sp_server.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+
+namespace vchain::net {
+
+namespace {
+
+HttpResponse TextResponse(int status, std::string body) {
+  return {.status = status,
+          .content_type = "text/plain",
+          .body = std::move(body)};
+}
+
+HttpResponse ErrorResponse(const Status& st) {
+  return TextResponse(HttpStatusFor(st), st.ToString() + "\n");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
+                                                  Options options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("SpServer requires a service");
+  }
+  std::unique_ptr<SpServer> server(new SpServer());
+  server->service_ = service;
+  server->options_ = options;
+  auto http = HttpServer::Start(
+      options.http,
+      [srv = server.get()](const HttpRequest& req) { return srv->Handle(req); });
+  if (!http.ok()) return http.status();
+  server->http_ = http.TakeValue();
+  return server;
+}
+
+HttpResponse SpServer::Handle(const HttpRequest& req) const {
+  if (req.path == "/healthz") {
+    if (req.method != "GET") return TextResponse(405, "use GET\n");
+    HttpResponse resp = TextResponse(200, "ok\n");
+    resp.headers.emplace_back("X-Vchain-Engine",
+                              api::EngineKindName(service_->engine_kind()));
+    return resp;
+  }
+
+  if (req.path == "/stats") {
+    if (req.method != "GET") return TextResponse(405, "use GET\n");
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = StatsToJson(service_->Stats());
+    return resp;
+  }
+
+  if (req.path == "/headers") {
+    if (req.method != "GET") return TextResponse(405, "use GET\n");
+    uint64_t tip = service_->NumBlocks();
+    uint64_t from = 0;
+    uint64_t to = tip == 0 ? 0 : tip - 1;
+    auto param = [&req](const char* key, uint64_t* out) {
+      auto it = req.query.find(key);
+      if (it == req.query.end()) return true;  // optional
+      return ParseDecimalU64(it->second, out);
+    };
+    if (!param("from", &from) || !param("to", &to)) {
+      return TextResponse(400, "from/to must be unsigned integers\n");
+    }
+    // Cap the page; the client pages forward from its own height. Compare
+    // via `to - from` (never overflows for to >= from) — `to - from + 1`
+    // wraps to 0 for the full u64 range and would skip the clamp.
+    uint64_t cap = std::max<size_t>(1, options_.max_headers_per_page);
+    cap = std::min<uint64_t>(cap, kMaxWireHeadersPerPage);
+    if (to >= from && to - from > cap - 1) to = from + cap - 1;
+    auto headers = service_->Headers(from, to);
+    if (!headers.ok()) return ErrorResponse(headers.status());
+    HttpResponse resp;
+    Bytes frame = EncodeHeaderPage(headers.value());
+    resp.body.assign(frame.begin(), frame.end());
+    resp.headers.emplace_back("X-Vchain-Tip", std::to_string(tip));
+    return resp;
+  }
+
+  if (req.path == "/query") {
+    if (req.method != "POST") return TextResponse(405, "use POST\n");
+    auto query = QueryFromJson(req.body);
+    if (!query.ok()) return ErrorResponse(query.status());
+    auto result = service_->Query(query.value());
+    if (!result.ok()) return ErrorResponse(result.status());
+    HttpResponse resp;
+    resp.body.assign(result.value().response_bytes.begin(),
+                     result.value().response_bytes.end());
+    resp.headers.emplace_back("X-Vchain-Engine",
+                              api::EngineKindName(service_->engine_kind()));
+    resp.headers.emplace_back("X-Vchain-Vo-Bytes",
+                              std::to_string(result.value().vo_bytes));
+    resp.headers.emplace_back(
+        "X-Vchain-Results", std::to_string(result.value().objects.size()));
+    return resp;
+  }
+
+  if (req.path == "/query_batch") {
+    if (req.method != "POST") return TextResponse(405, "use POST\n");
+    auto queries = BatchRequestFromJson(req.body);
+    if (!queries.ok()) return ErrorResponse(queries.status());
+    auto results = service_->QueryBatch(queries.value());
+    std::vector<WireBatchItem> items;
+    items.reserve(results.size());
+    for (auto& r : results) {
+      WireBatchItem item;
+      if (r.ok()) {
+        item.response_bytes = std::move(r.value().response_bytes);
+      } else {
+        item.status = r.status();
+      }
+      items.push_back(std::move(item));
+    }
+    HttpResponse resp;
+    Bytes frame = EncodeBatchResponse(items);
+    resp.body.assign(frame.begin(), frame.end());
+    return resp;
+  }
+
+  return TextResponse(404, "unknown endpoint\n");
+}
+
+}  // namespace vchain::net

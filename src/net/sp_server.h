@@ -1,0 +1,57 @@
+// SpServer — a vchain::Service published over HTTP (the paper's SP as an
+// actual network service; Fig 3's client/SP boundary becomes a socket).
+//
+// Endpoints:
+//   POST /query        JSON query (net/wire.h)  ->  canonical response
+//                      bytes verbatim as the body; X-Vchain-Vo-Bytes,
+//                      X-Vchain-Results, X-Vchain-Engine metadata headers
+//   POST /query_batch  {"queries":[...]}        ->  binary batch frame
+//   GET  /headers?from=&to=                     ->  binary header page
+//                      (X-Vchain-Tip = chain height; pages are capped, the
+//                      client loops until its light client reaches the tip)
+//   GET  /stats        service stats as JSON
+//   GET  /healthz      "ok\n" + X-Vchain-Engine (liveness probe)
+//
+// The server is a thin routing shim: all SP semantics live in
+// vchain::Service, whose Query path is already thread-safe under
+// concurrent callers — the HTTP workers call straight into it, no extra
+// locking. Nothing returned here needs to be trusted; clients verify the
+// response bytes against their own light-client headers.
+
+#ifndef VCHAIN_NET_SP_SERVER_H_
+#define VCHAIN_NET_SP_SERVER_H_
+
+#include <memory>
+
+#include "api/service.h"
+#include "net/http.h"
+
+namespace vchain::net {
+
+class SpServer {
+ public:
+  struct Options {
+    HttpServer::Options http;
+    /// Cap on GET /headers page size (clients page; see SpClient).
+    size_t max_headers_per_page = 4096;
+  };
+
+  /// Start serving `service` (not owned; must outlive the server).
+  static Result<std::unique_ptr<SpServer>> Start(api::Service* service,
+                                                 Options options);
+
+  void Stop() { http_->Stop(); }
+  uint16_t port() const { return http_->port(); }
+
+ private:
+  SpServer() = default;
+  HttpResponse Handle(const HttpRequest& req) const;
+
+  api::Service* service_ = nullptr;
+  Options options_;
+  std::unique_ptr<HttpServer> http_;
+};
+
+}  // namespace vchain::net
+
+#endif  // VCHAIN_NET_SP_SERVER_H_

@@ -1,0 +1,345 @@
+#include "net/wire.h"
+
+#include "common/serde.h"
+#include "net/json.h"
+
+namespace vchain::net {
+
+namespace {
+
+/// Require member `key` of `obj` with kind `kind`; InvalidArgument otherwise.
+Result<const JsonValue*> Member(const JsonValue& obj, const std::string& key,
+                                JsonValue::Kind kind) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("wire: missing \"" + key + "\"");
+  }
+  if (v->kind() != kind) {
+    return Status::InvalidArgument("wire: wrong type for \"" + key + "\"");
+  }
+  return v;
+}
+
+JsonValue QueryToJsonValue(const core::Query& q) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue window = JsonValue::Array();
+  window.mutable_items()->push_back(JsonValue::Number(q.time_start));
+  window.mutable_items()->push_back(JsonValue::Number(q.time_end));
+  obj.Set("window", std::move(window));
+  JsonValue ranges = JsonValue::Array();
+  for (const core::RangePredicate& r : q.ranges) {
+    JsonValue range = JsonValue::Object();
+    range.Set("dim", JsonValue::Number(r.dim));
+    range.Set("lo", JsonValue::Number(r.lo));
+    range.Set("hi", JsonValue::Number(r.hi));
+    ranges.mutable_items()->push_back(std::move(range));
+  }
+  obj.Set("ranges", std::move(ranges));
+  JsonValue cnf = JsonValue::Array();
+  for (const auto& clause : q.keyword_cnf) {
+    JsonValue or_clause = JsonValue::Array();
+    for (const std::string& kw : clause) {
+      or_clause.mutable_items()->push_back(JsonValue::Str(kw));
+    }
+    cnf.mutable_items()->push_back(std::move(or_clause));
+  }
+  obj.Set("cnf", std::move(cnf));
+  return obj;
+}
+
+Result<core::Query> QueryFromJsonValue(const JsonValue& obj) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("wire: query must be a JSON object");
+  }
+  core::Query q;
+
+  auto window = Member(obj, "window", JsonValue::Kind::kArray);
+  if (!window.ok()) return window.status();
+  const auto& w = window.value()->items();
+  if (w.size() != 2 || !w[0].is_number() || !w[1].is_number()) {
+    return Status::InvalidArgument("wire: \"window\" must be [ts, te]");
+  }
+  q.time_start = w[0].as_number();
+  q.time_end = w[1].as_number();
+
+  auto ranges = Member(obj, "ranges", JsonValue::Kind::kArray);
+  if (!ranges.ok()) return ranges.status();
+  if (ranges.value()->items().size() > kMaxWireRanges) {
+    return Status::InvalidArgument("wire: too many ranges");
+  }
+  for (const JsonValue& rv : ranges.value()->items()) {
+    if (!rv.is_object()) {
+      return Status::InvalidArgument("wire: range must be an object");
+    }
+    auto dim = Member(rv, "dim", JsonValue::Kind::kNumber);
+    auto lo = Member(rv, "lo", JsonValue::Kind::kNumber);
+    auto hi = Member(rv, "hi", JsonValue::Kind::kNumber);
+    if (!dim.ok()) return dim.status();
+    if (!lo.ok()) return lo.status();
+    if (!hi.ok()) return hi.status();
+    if (dim.value()->as_number() > UINT32_MAX) {
+      return Status::InvalidArgument("wire: range dim overflows u32");
+    }
+    q.ranges.push_back(core::RangePredicate{
+        static_cast<uint32_t>(dim.value()->as_number()),
+        lo.value()->as_number(), hi.value()->as_number()});
+  }
+
+  auto cnf = Member(obj, "cnf", JsonValue::Kind::kArray);
+  if (!cnf.ok()) return cnf.status();
+  if (cnf.value()->items().size() > kMaxWireClauses) {
+    return Status::InvalidArgument("wire: too many CNF clauses");
+  }
+  for (const JsonValue& cv : cnf.value()->items()) {
+    if (!cv.is_array()) {
+      return Status::InvalidArgument("wire: CNF clause must be an array");
+    }
+    if (cv.items().size() > kMaxWireKeywordsPerClause) {
+      return Status::InvalidArgument("wire: OR-clause too large");
+    }
+    std::vector<std::string> clause;
+    for (const JsonValue& kw : cv.items()) {
+      if (!kw.is_string()) {
+        return Status::InvalidArgument("wire: keyword must be a string");
+      }
+      if (kw.as_string().size() > kMaxWireKeywordBytes) {
+        return Status::InvalidArgument("wire: keyword too long");
+      }
+      clause.push_back(kw.as_string());
+    }
+    q.keyword_cnf.push_back(std::move(clause));
+  }
+  // Structural validity against the chain's schema (range bounds, known
+  // dimensions, no empty OR-clause) is the server's job — it owns the
+  // schema; the codec only enforces shape and size.
+  return q;
+}
+
+}  // namespace
+
+std::string QueryToJson(const core::Query& q) {
+  return QueryToJsonValue(q).Dump();
+}
+
+Result<core::Query> QueryFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  return QueryFromJsonValue(parsed.value());
+}
+
+std::string BatchRequestToJson(const std::vector<core::Query>& queries) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  for (const core::Query& q : queries) {
+    arr.mutable_items()->push_back(QueryToJsonValue(q));
+  }
+  obj.Set("queries", std::move(arr));
+  return obj.Dump();
+}
+
+Result<std::vector<core::Query>> BatchRequestFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::InvalidArgument("wire: batch must be a JSON object");
+  }
+  auto queries = Member(parsed.value(), "queries", JsonValue::Kind::kArray);
+  if (!queries.ok()) return queries.status();
+  if (queries.value()->items().size() > kMaxWireBatchQueries) {
+    return Status::InvalidArgument("wire: batch too large");
+  }
+  std::vector<core::Query> out;
+  out.reserve(queries.value()->items().size());
+  for (const JsonValue& qv : queries.value()->items()) {
+    auto q = QueryFromJsonValue(qv);
+    if (!q.ok()) return q.status();
+    out.push_back(q.TakeValue());
+  }
+  return out;
+}
+
+Bytes EncodeBatchResponse(const std::vector<WireBatchItem>& items) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const WireBatchItem& item : items) {
+    w.PutBool(item.status.ok());
+    if (item.status.ok()) {
+      w.PutBytes(ByteSpan(item.response_bytes.data(),
+                          item.response_bytes.size()));
+    } else {
+      w.PutU8(StatusCodeToWire(item.status.code()));
+      w.PutString(item.status.message());
+    }
+  }
+  return w.TakeBytes();
+}
+
+Result<std::vector<WireBatchItem>> DecodeBatchResponse(ByteSpan frame) {
+  ByteReader r(frame);
+  uint32_t count = 0;
+  VCHAIN_RETURN_IF_ERROR(r.GetU32(&count));
+  // Each item is at least the ok byte + a u32 length (or code + length).
+  if (count > kMaxWireBatchQueries || count > r.Remaining()) {
+    return Status::Corruption("batch frame: item count exceeds payload");
+  }
+  std::vector<WireBatchItem> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireBatchItem item;
+    bool ok = false;
+    VCHAIN_RETURN_IF_ERROR(r.GetBool(&ok));
+    if (ok) {
+      VCHAIN_RETURN_IF_ERROR(r.GetBytes(&item.response_bytes));
+    } else {
+      uint8_t code = 0;
+      VCHAIN_RETURN_IF_ERROR(r.GetU8(&code));
+      auto decoded = StatusCodeFromWire(code);
+      if (!decoded.ok()) return decoded.status();
+      std::string msg;
+      VCHAIN_RETURN_IF_ERROR(r.GetString(&msg, /*max_len=*/1u << 16));
+      switch (decoded.value()) {
+        case Status::Code::kInvalidArgument:
+          item.status = Status::InvalidArgument(std::move(msg));
+          break;
+        case Status::Code::kNotFound:
+          item.status = Status::NotFound(std::move(msg));
+          break;
+        case Status::Code::kCorruption:
+          item.status = Status::Corruption(std::move(msg));
+          break;
+        case Status::Code::kVerifyFailed:
+          item.status = Status::VerifyFailed(std::move(msg));
+          break;
+        case Status::Code::kNotSupported:
+          item.status = Status::NotSupported(std::move(msg));
+          break;
+        default:
+          item.status = Status::Internal(std::move(msg));
+          break;
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  if (r.Remaining() != 0) {
+    return Status::Corruption("batch frame: trailing bytes");
+  }
+  return out;
+}
+
+Bytes EncodeHeaderPage(const std::vector<chain::BlockHeader>& headers) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(headers.size()));
+  for (const chain::BlockHeader& h : headers) h.Serialize(&w);
+  return w.TakeBytes();
+}
+
+Result<std::vector<chain::BlockHeader>> DecodeHeaderPage(ByteSpan frame) {
+  ByteReader r(frame);
+  uint32_t count = 0;
+  VCHAIN_RETURN_IF_ERROR(r.GetU32(&count));
+  if (count > kMaxWireHeadersPerPage ||
+      static_cast<size_t>(count) * chain::BlockHeader::kSerializedSize >
+          r.Remaining()) {
+    return Status::Corruption("header page: count exceeds payload");
+  }
+  std::vector<chain::BlockHeader> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    chain::BlockHeader h;
+    VCHAIN_RETURN_IF_ERROR(chain::BlockHeader::Deserialize(&r, &h));
+    out.push_back(h);
+  }
+  if (r.Remaining() != 0) {
+    return Status::Corruption("header page: trailing bytes");
+  }
+  return out;
+}
+
+std::string StatsToJson(const api::ServiceStats& stats) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("engine", JsonValue::Str(api::EngineKindName(stats.engine)));
+  obj.Set("durable", JsonValue::Bool(stats.durable));
+  obj.Set("num_blocks", JsonValue::Number(stats.num_blocks));
+  obj.Set("queries_served", JsonValue::Number(stats.queries_served));
+  obj.Set("subscriptions_active", JsonValue::Number(stats.subscriptions_active));
+  obj.Set("subscription_events_pending",
+          JsonValue::Number(stats.subscription_events_pending));
+  auto lru = [](const LruStats& s) {
+    JsonValue v = JsonValue::Object();
+    v.Set("hits", JsonValue::Number(s.hits));
+    v.Set("misses", JsonValue::Number(s.misses));
+    v.Set("evictions", JsonValue::Number(s.evictions));
+    return v;
+  };
+  obj.Set("proof_cache", lru(stats.proof_cache));
+  obj.Set("block_cache", lru(stats.block_cache));
+  return obj.Dump();
+}
+
+Result<api::ServiceStats> StatsFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& obj = parsed.value();
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("wire: stats must be a JSON object");
+  }
+  api::ServiceStats stats;
+  auto engine = Member(obj, "engine", JsonValue::Kind::kString);
+  if (!engine.ok()) return engine.status();
+  if (!api::EngineKindFromName(engine.value()->as_string(), &stats.engine)) {
+    return Status::InvalidArgument("wire: unknown engine name");
+  }
+  auto u64 = [&obj](const std::string& key, uint64_t* out) -> Status {
+    auto v = Member(obj, key, JsonValue::Kind::kNumber);
+    if (!v.ok()) return v.status();
+    *out = v.value()->as_number();
+    return Status::OK();
+  };
+  auto durable = Member(obj, "durable", JsonValue::Kind::kBool);
+  if (!durable.ok()) return durable.status();
+  stats.durable = durable.value()->as_bool();
+  VCHAIN_RETURN_IF_ERROR(u64("num_blocks", &stats.num_blocks));
+  VCHAIN_RETURN_IF_ERROR(u64("queries_served", &stats.queries_served));
+  VCHAIN_RETURN_IF_ERROR(
+      u64("subscriptions_active", &stats.subscriptions_active));
+  VCHAIN_RETURN_IF_ERROR(u64("subscription_events_pending",
+                             &stats.subscription_events_pending));
+  auto lru = [&obj](const std::string& key, LruStats* out) -> Status {
+    auto v = Member(obj, key, JsonValue::Kind::kObject);
+    if (!v.ok()) return v.status();
+    auto field = [&v](const std::string& k, uint64_t* dst) -> Status {
+      auto f = Member(*v.value(), k, JsonValue::Kind::kNumber);
+      if (!f.ok()) return f.status();
+      *dst = f.value()->as_number();
+      return Status::OK();
+    };
+    VCHAIN_RETURN_IF_ERROR(field("hits", &out->hits));
+    VCHAIN_RETURN_IF_ERROR(field("misses", &out->misses));
+    VCHAIN_RETURN_IF_ERROR(field("evictions", &out->evictions));
+    return Status::OK();
+  };
+  VCHAIN_RETURN_IF_ERROR(lru("proof_cache", &stats.proof_cache));
+  VCHAIN_RETURN_IF_ERROR(lru("block_cache", &stats.block_cache));
+  return stats;
+}
+
+uint8_t StatusCodeToWire(Status::Code code) {
+  return static_cast<uint8_t>(code);
+}
+
+Result<Status::Code> StatusCodeFromWire(uint8_t wire) {
+  if (wire > static_cast<uint8_t>(Status::Code::kInternal) ||
+      wire == static_cast<uint8_t>(Status::Code::kOk)) {
+    return Status::Corruption("unknown wire status code");
+  }
+  return static_cast<Status::Code>(wire);
+}
+
+int HttpStatusFor(const Status& st) {
+  if (st.ok()) return 200;
+  if (st.IsInvalidArgument()) return 400;
+  if (st.IsNotFound()) return 404;
+  return 500;
+}
+
+}  // namespace vchain::net

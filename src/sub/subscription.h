@@ -125,18 +125,13 @@ class SubscriptionManager {
         ip_tree_(config.schema, options.ip),
         cache_(config.proof_cache_capacity) {}
 
-  /// Validating registration: rejects a structurally invalid standing query
-  /// (inverted/out-of-domain range, out-of-schema dimension, empty
-  /// OR-clause) with Status::InvalidArgument instead of silently matching
-  /// nothing — the front door used by api::Service.
+  /// Register a standing query; returns its id. Rejects a structurally
+  /// invalid query (inverted/out-of-domain range, out-of-schema dimension,
+  /// empty OR-clause) with Status::InvalidArgument instead of silently
+  /// matching nothing. The raw unvalidated Subscribe this wrapped is gone —
+  /// every registration validates.
   Result<uint32_t> TrySubscribe(const Query& q) {
     VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(q, config_.schema));
-    return Subscribe(q);
-  }
-
-  /// Register a subscription; returns the query id. The query must be valid
-  /// (see TrySubscribe).
-  uint32_t Subscribe(const Query& q) {
     uint32_t id = ip_tree_.Register(q);
     QueryRuntime rt;
     rt.tq = core::TransformQuery(q, config_.schema);

@@ -185,7 +185,8 @@ std::vector<Bytes> SerialReference(const std::shared_ptr<KeyOracle>& oracle,
     auto st = builder.AppendBlock(objs, objs.front().timestamp);
     EXPECT_TRUE(st.ok()) << st.status().ToString();
   }
-  QueryProcessor<Engine> sp(engine, config, &builder.blocks(),
+  store::VectorBlockSource<Engine> source(&builder.blocks());
+  QueryProcessor<Engine> sp(engine, config, &source,
                             &builder.timestamp_index());
   std::vector<Bytes> out;
   for (const Query& q : queries) {

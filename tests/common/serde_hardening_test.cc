@@ -67,7 +67,8 @@ struct Corpus {
     }
 
     // A response exercising matches, mismatch proofs, skips, aggregation.
-    QueryProcessor<Engine> sp(engine, config, &miner.blocks(),
+    store::VectorBlockSource<Engine> source(&miner.blocks());
+    QueryProcessor<Engine> sp(engine, config, &source,
                               &miner.timestamp_index());
     Query q;
     q.time_start = kBaseTime;

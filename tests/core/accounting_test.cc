@@ -76,8 +76,8 @@ TEST(AccountingTest, VoByteSizeEqualsSerializedLength) {
     auto objs = gen.NextBlock();
     ASSERT_TRUE(miner.AppendBlock(objs, objs.front().timestamp).ok());
   }
-  core::QueryProcessor<accum::MockAcc2Engine> sp(engine, config,
-                                                 &miner.blocks());
+  store::VectorBlockSource<accum::MockAcc2Engine> source(&miner.blocks());
+  core::QueryProcessor<accum::MockAcc2Engine> sp(engine, config, &source);
   Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
                                  gen.TimestampOfBlock(7));
   auto resp = sp.TimeWindowQuery(q);
@@ -120,8 +120,8 @@ TEST(SubscriptionLifecycleTest, DeregisteredQueryStopsReceiving) {
   sub::SubscriptionManager<accum::MockAcc2Engine> mgr(engine, config, opts);
   Query q;
   q.keyword_cnf = {{"venue:1", "venue:2"}};
-  uint32_t a = mgr.Subscribe(q);
-  uint32_t b = mgr.Subscribe(q);
+  uint32_t a = mgr.TrySubscribe(q).TakeValue();
+  uint32_t b = mgr.TrySubscribe(q).TakeValue();
   ChainBuilder<accum::MockAcc2Engine> miner(engine, config);
   DatasetGenerator gen(profile, 6);
   auto objs = gen.NextBlock();
@@ -143,9 +143,9 @@ TEST(SubscriptionLifecycleTest, ResubscribeGetsFreshId) {
   sub::SubscriptionManager<accum::MockAcc2Engine> mgr(engine, config, opts);
   Query q;
   q.keyword_cnf = {{"x"}};
-  uint32_t a = mgr.Subscribe(q);
+  uint32_t a = mgr.TrySubscribe(q).TakeValue();
   mgr.Unsubscribe(a);
-  uint32_t b = mgr.Subscribe(q);
+  uint32_t b = mgr.TrySubscribe(q).TakeValue();
   EXPECT_NE(a, b);
 }
 

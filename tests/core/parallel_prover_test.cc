@@ -36,8 +36,9 @@ void RunParallelEquivalence() {
   chain::LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());
 
-  QueryProcessor<Engine> serial_sp(engine, serial_cfg, &miner.blocks());
-  QueryProcessor<Engine> parallel_sp(engine, parallel_cfg, &miner.blocks());
+  store::VectorBlockSource<Engine> source(&miner.blocks());
+  QueryProcessor<Engine> serial_sp(engine, serial_cfg, &source);
+  QueryProcessor<Engine> parallel_sp(engine, parallel_cfg, &source);
   Verifier<Engine> verifier(engine, serial_cfg, &light);
 
   for (int round = 0; round < 4; ++round) {
@@ -80,7 +81,8 @@ TEST(ParallelProverTest, AggregatingEngineUnaffected) {
   }
   chain::LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());
-  QueryProcessor<accum::MockAcc2Engine> sp(engine, cfg, &miner.blocks());
+  store::VectorBlockSource<accum::MockAcc2Engine> source(&miner.blocks());
+  QueryProcessor<accum::MockAcc2Engine> sp(engine, cfg, &source);
   Verifier<accum::MockAcc2Engine> verifier(engine, cfg, &light);
   Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
                                  gen.TimestampOfBlock(4));

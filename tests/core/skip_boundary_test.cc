@@ -58,7 +58,8 @@ struct Fixture {
 template <typename Engine>
 void RunBoundaryCases() {
   Fixture<Engine> fx;
-  QueryProcessor<Engine> sp(fx.engine, fx.cfg, &fx.miner->blocks(),
+  store::VectorBlockSource<Engine> source(&fx.miner->blocks());
+  QueryProcessor<Engine> sp(fx.engine, fx.cfg, &source,
                             &fx.miner->timestamp_index());
   Verifier<Engine> verifier(fx.engine, fx.cfg, &fx.light);
 

@@ -88,10 +88,10 @@ TEST(TimestampIndexTest, ProcessorEquivalentWithAndWithoutIndex) {
   }
   ASSERT_EQ(miner.timestamp_index().size(), miner.blocks().size());
 
+  store::VectorBlockSource<accum::MockAcc2Engine> source(&miner.blocks());
   QueryProcessor<accum::MockAcc2Engine> sp_indexed(
-      engine, cfg, &miner.blocks(), &miner.timestamp_index());
-  QueryProcessor<accum::MockAcc2Engine> sp_direct(engine, cfg,
-                                                  &miner.blocks());
+      engine, cfg, &source, &miner.timestamp_index());
+  QueryProcessor<accum::MockAcc2Engine> sp_direct(engine, cfg, &source);
 
   chain::LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());

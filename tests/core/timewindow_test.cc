@@ -116,8 +116,8 @@ template <typename Engine>
 void RunRoundTrip(IndexMode mode, size_t blocks, size_t per_block,
                   uint64_t seed) {
   Fixture<Engine> fx(mode, blocks, per_block, seed);
-  QueryProcessor<Engine> sp(fx.engine, fx.config,
-                            &fx.builder_storage->blocks());
+  store::VectorBlockSource<Engine> source(&fx.builder_storage->blocks());
+  QueryProcessor<Engine> sp(fx.engine, fx.config, &source);
   Verifier<Engine> verifier(fx.engine, fx.config, &fx.light);
 
   Query q = CarQuery(kBaseTime, kBaseTime + (blocks - 1) * kTimeStep);
@@ -152,8 +152,8 @@ TYPED_TEST(TimeWindowTest, BothModeRoundTrip) {
 
 TYPED_TEST(TimeWindowTest, PartialWindow) {
   Fixture<TypeParam> fx(IndexMode::kIntra, 6, 4, 4);
-  QueryProcessor<TypeParam> sp(fx.engine, fx.config,
-                               &fx.builder_storage->blocks());
+  store::VectorBlockSource<TypeParam> source(&fx.builder_storage->blocks());
+  QueryProcessor<TypeParam> sp(fx.engine, fx.config, &source);
   Verifier<TypeParam> verifier(fx.engine, fx.config, &fx.light);
   // Blocks 2..4 only.
   Query q = CarQuery(kBaseTime + 2 * kTimeStep, kBaseTime + 4 * kTimeStep);
@@ -168,8 +168,8 @@ TYPED_TEST(TimeWindowTest, PartialWindow) {
 
 TYPED_TEST(TimeWindowTest, EmptyWindow) {
   Fixture<TypeParam> fx(IndexMode::kIntra, 3, 4, 5);
-  QueryProcessor<TypeParam> sp(fx.engine, fx.config,
-                               &fx.builder_storage->blocks());
+  store::VectorBlockSource<TypeParam> source(&fx.builder_storage->blocks());
+  QueryProcessor<TypeParam> sp(fx.engine, fx.config, &source);
   Verifier<TypeParam> verifier(fx.engine, fx.config, &fx.light);
   Query q = CarQuery(1, 2);  // before genesis
   auto resp = sp.TimeWindowQuery(q);
@@ -181,8 +181,8 @@ TYPED_TEST(TimeWindowTest, EmptyWindow) {
 
 TYPED_TEST(TimeWindowTest, SelectiveQueryReturnsNothingButVerifies) {
   Fixture<TypeParam> fx(IndexMode::kBoth, 12, 4, 6);
-  QueryProcessor<TypeParam> sp(fx.engine, fx.config,
-                               &fx.builder_storage->blocks());
+  store::VectorBlockSource<TypeParam> source(&fx.builder_storage->blocks());
+  QueryProcessor<TypeParam> sp(fx.engine, fx.config, &source);
   Verifier<TypeParam> verifier(fx.engine, fx.config, &fx.light);
   Query q;
   q.time_start = kBaseTime;
@@ -209,8 +209,8 @@ TYPED_TEST(TimeWindowTest, SelectiveQueryReturnsNothingButVerifies) {
 
 TYPED_TEST(TimeWindowTest, VoSerdeRoundTripVerifies) {
   Fixture<TypeParam> fx(IndexMode::kBoth, 8, 4, 7);
-  QueryProcessor<TypeParam> sp(fx.engine, fx.config,
-                               &fx.builder_storage->blocks());
+  store::VectorBlockSource<TypeParam> source(&fx.builder_storage->blocks());
+  QueryProcessor<TypeParam> sp(fx.engine, fx.config, &source);
   Verifier<TypeParam> verifier(fx.engine, fx.config, &fx.light);
   Query q = CarQuery(kBaseTime, kBaseTime + 7 * kTimeStep);
   auto resp = sp.TimeWindowQuery(q);
@@ -228,8 +228,8 @@ TYPED_TEST(TimeWindowTest, VoSerdeRoundTripVerifies) {
 
 TYPED_TEST(TimeWindowTest, RangeOnlyAndKeywordOnlyQueries) {
   Fixture<TypeParam> fx(IndexMode::kIntra, 4, 5, 8);
-  QueryProcessor<TypeParam> sp(fx.engine, fx.config,
-                               &fx.builder_storage->blocks());
+  store::VectorBlockSource<TypeParam> source(&fx.builder_storage->blocks());
+  QueryProcessor<TypeParam> sp(fx.engine, fx.config, &source);
   Verifier<TypeParam> verifier(fx.engine, fx.config, &fx.light);
   Query range_only;
   range_only.time_start = kBaseTime;

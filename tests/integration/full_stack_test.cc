@@ -52,7 +52,8 @@ TEST(FullStackTest, PowMinedChainVerifiesEndToEnd) {
   Status st = strict.SyncHeader(miner.blocks()[0].header);
   EXPECT_FALSE(st.ok());
 
-  core::QueryProcessor<accum::Acc2Engine> sp(engine, config, &miner.blocks());
+  store::VectorBlockSource<accum::Acc2Engine> source(&miner.blocks());
+  core::QueryProcessor<accum::Acc2Engine> sp(engine, config, &source);
   core::Verifier<accum::Acc2Engine> verifier(engine, config, &light);
   Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
                                  gen.TimestampOfBlock(9));
@@ -98,8 +99,8 @@ TEST_P(OracleSweepTest, RandomQueriesMatchBruteForce) {
   }
   chain::LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());
-  core::QueryProcessor<accum::MockAcc1Engine> sp(engine, config,
-                                                 &miner.blocks());
+  store::VectorBlockSource<accum::MockAcc1Engine> source(&miner.blocks());
+  core::QueryProcessor<accum::MockAcc1Engine> sp(engine, config, &source);
   core::Verifier<accum::MockAcc1Engine> verifier(engine, config, &light);
 
   Rng rng(77);
@@ -168,8 +169,8 @@ TEST(FullStackTest, ResponseBytesSurviveHostileReordering) {
   }
   chain::LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());
-  core::QueryProcessor<accum::MockAcc2Engine> sp(engine, config,
-                                                 &miner.blocks());
+  store::VectorBlockSource<accum::MockAcc2Engine> source(&miner.blocks());
+  core::QueryProcessor<accum::MockAcc2Engine> sp(engine, config, &source);
   core::Verifier<accum::MockAcc2Engine> verifier(engine, config, &light);
   Query q = gen.MakeDefaultQuery(gen.TimestampOfBlock(0),
                                  gen.TimestampOfBlock(4));

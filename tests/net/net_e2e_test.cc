@@ -1,0 +1,293 @@
+// Loopback end-to-end: a real SpServer on 127.0.0.1 serving a real Service,
+// queried by SpClient over actual sockets, for all four engines.
+//
+// The contract under test is the paper's: the client trusts nothing past
+// the socket. Headers are re-validated by the client's own LightClient,
+// response bytes are verified against those headers, and — the reproduction
+// invariant — the bytes that cross the wire are bit-identical to what an
+// in-process Service::Query returns for the same query.
+
+#include <gtest/gtest.h>
+
+#include "common/rand.h"
+#include "core/vchain.h"
+#include "net/sp_client.h"
+#include "net/sp_server.h"
+#include "net/wire.h"
+
+namespace vchain::net {
+namespace {
+
+using api::EngineKind;
+using api::QueryResult;
+using api::Service;
+using api::ServiceOptions;
+using chain::Object;
+using core::Query;
+
+template <typename Engine>
+struct KindOf;
+template <>
+struct KindOf<accum::MockAcc1Engine> {
+  static constexpr EngineKind value = EngineKind::kMockAcc1;
+};
+template <>
+struct KindOf<accum::MockAcc2Engine> {
+  static constexpr EngineKind value = EngineKind::kMockAcc2;
+};
+template <>
+struct KindOf<accum::Acc1Engine> {
+  static constexpr EngineKind value = EngineKind::kAcc1;
+};
+template <>
+struct KindOf<accum::Acc2Engine> {
+  static constexpr EngineKind value = EngineKind::kAcc2;
+};
+
+constexpr uint64_t kBaseTime = 1000;
+constexpr uint64_t kTimeStep = 10;
+
+ServiceOptions MakeOptions(EngineKind kind) {
+  ServiceOptions opts;
+  opts.engine = kind;
+  opts.config.mode = core::IndexMode::kBoth;
+  opts.config.schema = chain::NumericSchema{/*dims=*/2, /*bits=*/8};
+  opts.config.skiplist_size = 2;
+  opts.oracle_seed = 2026;  // public trusted setup, shared out of band
+  opts.acc_params.universe_bits = 16;
+  return opts;
+}
+
+/// SP-side service with a small deterministic chain mined in.
+std::unique_ptr<Service> MakeServedService(EngineKind kind) {
+  auto svc = Service::Open(MakeOptions(kind)).TakeValue();
+  static const char* kMakes[] = {"Benz", "BMW", "Audi", "Toyota"};
+  static const char* kTypes[] = {"Sedan", "Van", "SUV"};
+  Rng rng(42);
+  uint64_t id = 0;
+  for (size_t b = 0; b < 8; ++b) {
+    uint64_t ts = kBaseTime + b * kTimeStep;
+    std::vector<Object> objs;
+    for (size_t i = 0; i < 3; ++i) {
+      Object o;
+      o.id = id++;
+      o.timestamp = ts;
+      o.numeric = {rng.Below(256), rng.Below(256)};
+      o.keywords = {kTypes[rng.Below(3)], kMakes[rng.Below(4)]};
+      objs.push_back(std::move(o));
+    }
+    EXPECT_TRUE(svc->Append(std::move(objs), ts).ok());
+  }
+  return svc;
+}
+
+Query MatchyQuery() {
+  return api::QueryBuilder()
+      .Window(kBaseTime, kBaseTime + 7 * kTimeStep)
+      .Range(0, 10, 200)
+      .AnyOf({"Sedan", "Van"})
+      .Build();
+}
+
+template <typename Engine>
+class NetE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = MakeServedService(KindOf<Engine>::value);
+    SpServer::Options sopts;
+    sopts.http.num_threads = 2;
+    auto server = SpServer::Start(service_.get(), sopts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = server.TakeValue();
+
+    SpClient::Options copts;
+    copts.port = server_->port();
+    copts.verify = MakeOptions(KindOf<Engine>::value);
+    auto client = SpClient::Connect(copts);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = client.TakeValue();
+  }
+
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<SpServer> server_;
+  std::unique_ptr<SpClient> client_;
+};
+
+using AllEngines = ::testing::Types<accum::MockAcc1Engine, accum::MockAcc2Engine,
+                                    accum::Acc1Engine, accum::Acc2Engine>;
+TYPED_TEST_SUITE(NetE2eTest, AllEngines);
+
+TYPED_TEST(NetE2eTest, HealthzAndStats) {
+  EXPECT_TRUE(this->client_->Healthz().ok());
+  auto stats = this->client_->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().engine, KindOf<TypeParam>::value);
+  EXPECT_EQ(stats.value().num_blocks, 8u);
+}
+
+TYPED_TEST(NetE2eTest, HeaderSyncValidatesTheWholeChain) {
+  chain::LightClient light = this->client_->NewLightClient();
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  EXPECT_EQ(light.Height(), 8u);
+
+  // The wire headers are the service's own headers, byte for byte.
+  chain::LightClient direct;
+  ASSERT_TRUE(this->service_->SyncLightClient(&direct).ok());
+  for (uint64_t h = 0; h < 8; ++h) {
+    EXPECT_EQ(light.HeaderAt(h), direct.HeaderAt(h));
+  }
+
+  // Re-syncing from the current height is a no-op, not an error.
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  EXPECT_EQ(light.Height(), 8u);
+}
+
+TYPED_TEST(NetE2eTest, WireBytesAreBitIdenticalToInProcess) {
+  Query q = MatchyQuery();
+  auto wire = this->client_->Query(q);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  auto local = this->service_->Query(q);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(wire.value().response_bytes, local.value().response_bytes);
+  EXPECT_EQ(wire.value().vo_bytes, local.value().vo_bytes);
+  ASSERT_EQ(wire.value().objects.size(), local.value().objects.size());
+  for (size_t i = 0; i < wire.value().objects.size(); ++i) {
+    EXPECT_EQ(wire.value().objects[i], local.value().objects[i]);
+  }
+}
+
+TYPED_TEST(NetE2eTest, ClientVerifiesAndCatchesTampering) {
+  chain::LightClient light = this->client_->NewLightClient();
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  Query q = MatchyQuery();
+  auto result = this->client_->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().objects.empty());
+  ASSERT_TRUE(this->client_->Verify(q, result.value(), light).ok());
+
+  // Any flipped byte in what arrived must be caught locally.
+  QueryResult tampered = result.value();
+  tampered.response_bytes[tampered.response_bytes.size() / 2] ^= 0x01;
+  Status bad = this->client_->Verify(q, tampered, light);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.IsVerifyFailed() || bad.IsCorruption()) << bad.ToString();
+}
+
+TYPED_TEST(NetE2eTest, EmptyWindowIsAVerifiableEmptyAnswer) {
+  chain::LightClient light = this->client_->NewLightClient();
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  Query q = api::QueryBuilder()
+                .Window(kBaseTime + 1000, kBaseTime + 2000)
+                .AnyOf({"Sedan"})
+                .Build();
+  auto result = this->client_->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().objects.empty());
+  EXPECT_TRUE(this->client_->Verify(q, result.value(), light).ok());
+}
+
+TYPED_TEST(NetE2eTest, InvalidQueryComesBackInvalidArgument) {
+  Query inverted = api::QueryBuilder().Range(0, 200, 100).Build();
+  auto result = this->client_->Query(inverted);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status().ToString();
+}
+
+TYPED_TEST(NetE2eTest, BatchMixesSuccessesAndFailures) {
+  chain::LightClient light = this->client_->NewLightClient();
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  std::vector<Query> qs = {
+      MatchyQuery(),
+      api::QueryBuilder().Range(0, 200, 100).Build(),  // inverted: fails
+      api::QueryBuilder().Window(0, kBaseTime - 1).AnyOf({"Benz"}).Build(),
+  };
+  auto batch = this->client_->QueryBatch(qs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), 3u);
+
+  ASSERT_TRUE(batch.value()[0].ok());
+  EXPECT_TRUE(
+      this->client_->Verify(qs[0], batch.value()[0].value(), light).ok());
+  auto local = this->service_->Query(qs[0]);
+  EXPECT_EQ(batch.value()[0].value().response_bytes,
+            local.value().response_bytes);
+
+  EXPECT_FALSE(batch.value()[1].ok());
+  EXPECT_TRUE(batch.value()[1].status().IsInvalidArgument());
+
+  ASSERT_TRUE(batch.value()[2].ok());
+  EXPECT_TRUE(batch.value()[2].value().objects.empty());
+  EXPECT_TRUE(
+      this->client_->Verify(qs[2], batch.value()[2].value(), light).ok());
+}
+
+TYPED_TEST(NetE2eTest, QueriesKeepWorkingWhileTheChainGrows) {
+  chain::LightClient light = this->client_->NewLightClient();
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  // Mine a new block between two wire queries; the second query + a header
+  // re-sync must observe and verify the longer chain.
+  std::vector<Object> objs(1);
+  objs[0].id = 999;
+  objs[0].timestamp = kBaseTime + 8 * kTimeStep;
+  objs[0].numeric = {50, 60};
+  objs[0].keywords = {"Sedan", "Benz"};
+  ASSERT_TRUE(
+      this->service_->Append(std::move(objs), kBaseTime + 8 * kTimeStep).ok());
+
+  Query q = api::QueryBuilder()
+                .Window(kBaseTime + 8 * kTimeStep, kBaseTime + 8 * kTimeStep)
+                .AnyOf({"Sedan"})
+                .Build();
+  auto result = this->client_->Query(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().objects.size(), 1u);
+  EXPECT_EQ(result.value().objects[0].id, 999u);
+  ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
+  EXPECT_EQ(light.Height(), 9u);
+  EXPECT_TRUE(this->client_->Verify(q, result.value(), light).ok());
+}
+
+// The /headers page cap must hold even for the full-u64 range request
+// (to - from + 1 overflows to 0; the clamp must not be skipped).
+TEST(NetE2eRawTest, HeaderPageCapSurvivesFullRangeRequest) {
+  auto svc = MakeServedService(EngineKind::kMockAcc2);
+  SpServer::Options sopts;
+  sopts.http.num_threads = 1;
+  sopts.max_headers_per_page = 2;  // chain has 8 blocks
+  auto server = SpServer::Start(svc.get(), sopts).TakeValue();
+  HttpConnection conn({.host = "127.0.0.1", .port = server->port()});
+  auto resp = conn.RoundTrip(
+      "GET", "/headers?from=0&to=18446744073709551615", "", "text/plain");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp.value().status, 200);
+  auto page = DecodeHeaderPage(
+      ByteSpan(reinterpret_cast<const uint8_t*>(resp.value().body.data()),
+               resp.value().body.size()));
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page.value().size(), 2u);  // capped, not the whole chain
+}
+
+// The /query endpoint speaks strict JSON: hostile bodies get a 400, not a
+// crash (the full malformed-HTTP sweep lives in http_server_test.cc).
+TEST(NetE2eRawTest, MalformedQueryBodyIs400) {
+  auto svc = MakeServedService(EngineKind::kMockAcc2);
+  SpServer::Options sopts;
+  sopts.http.num_threads = 1;
+  auto server = SpServer::Start(svc.get(), sopts).TakeValue();
+  HttpConnection conn({.host = "127.0.0.1", .port = server->port()});
+  for (const char* bad : {"", "{", "[]", "{\"window\":[0]}",
+                          "{\"window\":[0,1],\"ranges\":[],\"cnf\":[[]]}"}) {
+    auto resp = conn.RoundTrip("POST", "/query", bad, "application/json");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp.value().status, 400) << bad;
+  }
+  auto not_found = conn.RoundTrip("GET", "/nope", "", "text/plain");
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found.value().status, 404);
+  auto wrong_method = conn.RoundTrip("GET", "/query", "", "text/plain");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method.value().status, 405);
+}
+
+}  // namespace
+}  // namespace vchain::net

@@ -60,7 +60,8 @@ struct Env {
   }
 
   QueryResponse<Engine> HonestResponse(const Query& q) {
-    QueryProcessor<Engine> sp(engine, config, &builder->blocks());
+    store::VectorBlockSource<Engine> source(&builder->blocks());
+    QueryProcessor<Engine> sp(engine, config, &source);
     auto resp = sp.TimeWindowQuery(q);
     EXPECT_TRUE(resp.ok());
     return resp.TakeValue();

@@ -144,7 +144,8 @@ TYPED_TEST(BlockStoreTest, ReopenedStoreServesIdenticalVoBytes) {
   // Reference: the in-memory SP.
   LightClient light;
   ASSERT_TRUE(miner.SyncLightClient(&light).ok());
-  QueryProcessor<Engine> mem_sp(engine, config, &miner.blocks(),
+  store::VectorBlockSource<Engine> mem_source(&miner.blocks());
+  QueryProcessor<Engine> mem_sp(engine, config, &mem_source,
                                 &miner.timestamp_index());
   Query q = CarQuery(kBaseTime + 2 * kTimeStep, kBaseTime + 10 * kTimeStep);
   auto mem_resp = mem_sp.TimeWindowQuery(q);
@@ -259,7 +260,8 @@ TYPED_TEST(BlockStoreTest, PrunedMinerKeepsBoundedWindow) {
   core::TimestampIndex ts_index = db.value()->RebuildTimestampIndex();
   StoreBlockSource<Engine> source(engine, db.value().get(), 8);
   QueryProcessor<Engine> disk_sp(engine, config, &source, &ts_index);
-  QueryProcessor<Engine> mem_sp(engine, config, &reference.blocks(),
+  store::VectorBlockSource<Engine> mem_source(&reference.blocks());
+  QueryProcessor<Engine> mem_sp(engine, config, &mem_source,
                                 &reference.timestamp_index());
   Query q = CarQuery(kBaseTime, kBaseTime + 29 * kTimeStep);
   auto disk_resp = disk_sp.TimeWindowQuery(q);
@@ -347,7 +349,7 @@ TEST(BlockStoreSourceTest, SubscriptionDrainAndMhtBaselineFromStore) {
   sub::SubscriptionManager<Engine> subs(engine, config, {});
   Query q;
   q.keyword_cnf = {{"Sedan"}};
-  subs.Subscribe(q);
+  ASSERT_TRUE(subs.TrySubscribe(q).ok());
   uint64_t next_height = 0;
   auto notifs = subs.ProcessNewBlocks(source, &next_height);
   EXPECT_EQ(next_height, 8u);
@@ -355,7 +357,7 @@ TEST(BlockStoreSourceTest, SubscriptionDrainAndMhtBaselineFromStore) {
 
   // Reference: drain the same blocks from the in-memory chain.
   sub::SubscriptionManager<Engine> mem_subs(engine, config, {});
-  mem_subs.Subscribe(q);
+  ASSERT_TRUE(mem_subs.TrySubscribe(q).ok());
   VectorBlockSource<Engine> mem_source(&miner.blocks());
   uint64_t mem_next = 0;
   auto mem_notifs = mem_subs.ProcessNewBlocks(mem_source, &mem_next);

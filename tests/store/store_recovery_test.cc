@@ -145,7 +145,8 @@ TEST(StoreRecoveryTest, TornTailRecoveryPreservesCommittedPrefixExactly) {
   core::TimestampIndex ts_index = db.value()->RebuildTimestampIndex();
   StoreBlockSource<Engine> source(engine, db.value().get(), 4);
   QueryProcessor<Engine> disk_sp(engine, config, &source, &ts_index);
-  QueryProcessor<Engine> mem_sp(engine, config, &miner.blocks(),
+  store::VectorBlockSource<Engine> mem_source(&miner.blocks());
+  QueryProcessor<Engine> mem_sp(engine, config, &mem_source,
                                 &miner.timestamp_index());
   Query q;
   q.time_start = kBaseTime;

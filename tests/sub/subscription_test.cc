@@ -93,11 +93,11 @@ TYPED_TEST(SubscriptionTest, RealtimeNotificationsVerifyAndMatchOracle) {
   SubEnv<TypeParam> env;
   typename SubscriptionManager<TypeParam>::Options opts;
   SubscriptionManager<TypeParam> mgr(env.engine, env.config, opts);
-  uint32_t qid = mgr.Subscribe(env.MatchZoneQuery());
+  uint32_t qid = mgr.TrySubscribe(env.MatchZoneQuery()).TakeValue();
   // A broad keyword-only query too.
   Query kw;
   kw.keyword_cnf = {{"red", "blue"}};
-  uint32_t qid2 = mgr.Subscribe(kw);
+  uint32_t qid2 = mgr.TrySubscribe(kw).TakeValue();
 
   env.Mine(6, /*allow_matches=*/true, /*seed=*/1);
   SubVerifier<TypeParam> verifier(env.engine, env.config, &env.light);
@@ -138,7 +138,7 @@ TYPED_TEST(SubscriptionTest, RangeOnlyQueryUsesCellExclusions) {
   SubscriptionManager<TypeParam> mgr(env.engine, env.config, opts);
   Query range_only;
   range_only.ranges = {{0, 0, 15}, {1, 0, 15}};
-  uint32_t qid = mgr.Subscribe(range_only);
+  uint32_t qid = mgr.TrySubscribe(range_only).TakeValue();
   (void)qid;
 
   env.Mine(4, /*allow_matches=*/false, /*seed=*/2);  // all objects outside
@@ -164,7 +164,7 @@ TYPED_TEST(SubscriptionTest, NotificationSerdeRoundTrip) {
   typename SubscriptionManager<TypeParam>::Options opts;
   SubscriptionManager<TypeParam> mgr(env.engine, env.config, opts);
   Query q = env.MatchZoneQuery();
-  mgr.Subscribe(q);
+  ASSERT_TRUE(mgr.TrySubscribe(q).ok());
   env.Mine(3, true, 3);
   SubVerifier<TypeParam> verifier(env.engine, env.config, &env.light);
   for (const auto& block : env.builder->blocks()) {
@@ -184,7 +184,7 @@ TYPED_TEST(SubscriptionTest, TamperedNotificationRejected) {
   typename SubscriptionManager<TypeParam>::Options opts;
   SubscriptionManager<TypeParam> mgr(env.engine, env.config, opts);
   Query q = env.MatchZoneQuery();
-  mgr.Subscribe(q);
+  ASSERT_TRUE(mgr.TrySubscribe(q).ok());
   env.Mine(4, true, 4);
   SubVerifier<TypeParam> verifier(env.engine, env.config, &env.light);
   for (const auto& block : env.builder->blocks()) {
@@ -223,7 +223,7 @@ TEST(LazySubscriptionTest, SilentRunFlushesWithAggregatedProof) {
   opts.lazy = true;
   SubscriptionManager<accum::MockAcc2Engine> mgr(env.engine, env.config, opts);
   Query q = env.MatchZoneQuery();
-  uint32_t qid = mgr.Subscribe(q);
+  uint32_t qid = mgr.TrySubscribe(q).TakeValue();
   (void)qid;
 
   // 10 silent blocks, then one matching block.
@@ -274,7 +274,7 @@ TEST(LazySubscriptionTest, TamperedBatchRejected) {
   opts.lazy = true;
   SubscriptionManager<accum::MockAcc2Engine> mgr(env.engine, env.config, opts);
   Query q = env.MatchZoneQuery();
-  mgr.Subscribe(q);
+  ASSERT_TRUE(mgr.TrySubscribe(q).ok());
   env.Mine(5, false, 7);
   for (const auto& block : env.builder->blocks()) {
     auto out = mgr.ProcessBlockLazy(block);
@@ -322,7 +322,7 @@ TEST(SharedProofTest, IpTreeModeSharesProofsAcrossQueries) {
   // Many subscriptions sharing the same clause.
   Query q;
   q.keyword_cnf = {{"nosuchword"}};
-  for (int i = 0; i < 8; ++i) mgr.Subscribe(q);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(mgr.TrySubscribe(q).ok());
   env.Mine(3, false, 8);
   for (const auto& block : env.builder->blocks()) {
     mgr.ProcessBlock(block);
@@ -337,7 +337,7 @@ TEST(SubscriptionBn254Test, RealtimeAndLazyEndToEnd) {
   typename SubscriptionManager<accum::Acc2Engine>::Options opts;
   SubscriptionManager<accum::Acc2Engine> mgr(env.engine, env.config, opts);
   Query q = env.MatchZoneQuery();
-  mgr.Subscribe(q);
+  ASSERT_TRUE(mgr.TrySubscribe(q).ok());
   env.Mine(3, true, 9);
   SubVerifier<accum::Acc2Engine> verifier(env.engine, env.config, &env.light);
   for (const auto& block : env.builder->blocks()) {
@@ -350,7 +350,7 @@ TEST(SubscriptionBn254Test, RealtimeAndLazyEndToEnd) {
   lazy_opts.lazy = true;
   SubscriptionManager<accum::Acc2Engine> lazy_mgr(env.engine, env.config,
                                                   lazy_opts);
-  lazy_mgr.Subscribe(q);
+  ASSERT_TRUE(lazy_mgr.TrySubscribe(q).ok());
   uint64_t owed = 0;
   for (const auto& block : env.builder->blocks()) {
     for (const auto& batch : lazy_mgr.ProcessBlockLazy(block)) {

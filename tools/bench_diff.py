@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare freshly generated BENCH_*.json files
+against the committed baselines in bench/results/.
+
+Every figure/bench driver emits rows of {"op", "n", "median_ns",
+"throughput"} (bench/harness.h BenchJson). This tool matches rows by
+(op, n) across a baseline directory and a current directory and fails
+(exit 1) when any matched row's median_ns regressed by more than
+--threshold (default 0.30 = +30%).
+
+Rows are skipped, never failed, when:
+  * the file or the (op, n) row exists on only one side (new/retired ops);
+  * the baseline median is below --min-ns (sub-microsecond timings are
+    dominated by jitter, not by the code under test).
+
+Usage:
+  tools/bench_diff.py --baseline bench/results --current /tmp/bench-out
+  tools/bench_diff.py ... --threshold 0.5 --only BENCH_net_roundtrip.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_rows(path: pathlib.Path):
+    """-> {(op, n): median_ns}; last occurrence of a key wins."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[(row["op"], row["n"])] = float(row["median_ns"])
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, type=pathlib.Path,
+                    help="directory with the committed BENCH_*.json files")
+    ap.add_argument("--current", required=True, type=pathlib.Path,
+                    help="directory with freshly generated BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="fail when median_ns grows by more than this "
+                         "fraction (default: 0.30)")
+    ap.add_argument("--min-ns", type=float, default=1000.0,
+                    help="ignore rows whose baseline median is below this "
+                         "(jitter floor; default: 1000)")
+    ap.add_argument("--only", nargs="*", default=None,
+                    help="restrict the comparison to these file names")
+    args = ap.parse_args()
+
+    current_files = sorted(args.current.glob("BENCH_*.json"))
+    if args.only:
+        current_files = [f for f in current_files if f.name in set(args.only)]
+    if not current_files:
+        print(f"bench_diff: no BENCH_*.json files under {args.current}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for current_path in current_files:
+        baseline_path = args.baseline / current_path.name
+        if not baseline_path.exists():
+            print(f"  [skip] {current_path.name}: no committed baseline")
+            continue
+        baseline = load_rows(baseline_path)
+        current = load_rows(current_path)
+        for key in sorted(baseline.keys() & current.keys(),
+                          key=lambda k: (str(k[0]), k[1])):
+            base_ns, cur_ns = baseline[key], current[key]
+            if base_ns < args.min_ns:
+                continue
+            compared += 1
+            delta = (cur_ns - base_ns) / base_ns
+            op, n = key
+            line = (f"  {current_path.name}: {op} (n={n}) "
+                    f"{base_ns:.0f} -> {cur_ns:.0f} ns ({delta:+.1%})")
+            if delta > args.threshold:
+                regressions.append(line)
+                print(line + "  REGRESSION")
+            else:
+                print(line)
+
+    print(f"bench_diff: compared {compared} rows, "
+          f"{len(regressions)} regression(s) beyond +{args.threshold:.0%}")
+    if regressions:
+        print("\nregressed rows:")
+        for line in regressions:
+            print(line)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end wire-protocol test, the way CI runs it: for every engine,
+# start vchain_spd as a real daemon against a persisted store, query it
+# with sp_query from a *separate process*, and require that
+#   1. client-side verification accepts (trust ends at the socket), and
+#   2. the VO bytes received over the wire hash-match the in-process
+#      Service::Query answer (vchain_spd prints demo_query_hash at startup;
+#      sp_query fails unless its received bytes hash to --expect-hash).
+# Each engine also exercises the restart path: the daemon is killed,
+# reopened from the same store directory, and must serve identical bytes.
+#
+# Usage: tools/e2e_wire_test.sh <build-dir> [work-dir]
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: e2e_wire_test.sh <build-dir> [work-dir]}
+WORK_DIR=${2:-$(mktemp -d)}
+SPD="$BUILD_DIR/vchain_spd"
+CLIENT="$BUILD_DIR/sp_query"
+DEMO_BLOCKS=16
+
+SPD_PID=""
+cleanup() {
+  if [[ -n "$SPD_PID" ]] && kill -0 "$SPD_PID" 2>/dev/null; then
+    kill "$SPD_PID" 2>/dev/null || true
+    wait "$SPD_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+start_spd() {  # engine store log -> sets SPD_PID, PORT, HASH
+  local engine=$1 store=$2 log=$3
+  "$SPD" --engine "$engine" --store "$store" --demo "$DEMO_BLOCKS" \
+         --port 0 --threads 2 > "$log" 2>&1 &
+  SPD_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "serving" "$log" 2>/dev/null && break
+    if ! kill -0 "$SPD_PID" 2>/dev/null; then
+      echo "vchain_spd exited early:"; cat "$log"; exit 1
+    fi
+    sleep 0.1
+  done
+  grep -q "serving" "$log" || { echo "vchain_spd never came up:"; cat "$log"; exit 1; }
+  PORT=$(grep -oE 'on 127\.0\.0\.1:[0-9]+' "$log" | grep -oE '[0-9]+$')
+  HASH=$(grep -oE 'demo_query_hash=[0-9a-f]+' "$log" | cut -d= -f2)
+  [[ -n "$PORT" && -n "$HASH" ]] || { echo "missing port/hash:"; cat "$log"; exit 1; }
+}
+
+stop_spd() {
+  kill "$SPD_PID"
+  wait "$SPD_PID" 2>/dev/null || true
+  SPD_PID=""
+}
+
+for engine in mock-acc1 mock-acc2 acc1 acc2; do
+  store="$WORK_DIR/spd-$engine"
+  rm -rf "$store"
+
+  echo "=== $engine: fresh store, separate-process query + verify ==="
+  start_spd "$engine" "$store" "$WORK_DIR/spd-$engine.log"
+  "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
+            --expect-hash "$HASH" --stats
+  first_hash=$HASH
+  stop_spd
+
+  echo "=== $engine: restart from the persisted store ==="
+  start_spd "$engine" "$store" "$WORK_DIR/spd-$engine-reopen.log"
+  if [[ "$HASH" != "$first_hash" ]]; then
+    echo "reopened store answered with different bytes: $HASH vs $first_hash"
+    exit 1
+  fi
+  "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
+            --expect-hash "$HASH"
+  stop_spd
+done
+
+echo "e2e wire test: all engines OK"
