@@ -16,6 +16,9 @@
 //        --window TS TE | --range DIM LO HI | --all KW | --any KW (repeat)
 //        --expect-hash HEX                  fail unless response hash matches
 //        --stats                            also print /stats JSON
+//        --retries N                        attempts per request (default 3;
+//                                           1 disables retry)
+//        --backoff-ms N                     initial retry backoff (default 100)
 
 #include <cstdio>
 #include <cstdlib>
@@ -96,6 +99,13 @@ int main(int argc, char** argv) {
   copts.port =
       static_cast<uint16_t>(std::stoul(flags.Get("--port", "8080")));
   copts.verify = spd::DemoOptions(engine);
+  // Resilience knobs: transient failures (connect refused during an SP
+  // restart, 429/503 back-off answers) are retried with jittered
+  // exponential backoff before anything is reported as an error.
+  copts.retry.max_attempts =
+      static_cast<int>(std::stoul(flags.Get("--retries", "3")));
+  copts.retry.initial_backoff_ms =
+      static_cast<int>(std::stoul(flags.Get("--backoff-ms", "100")));
   auto connected = vchain::net::SpClient::Connect(copts);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",

@@ -7,6 +7,7 @@
 #ifndef VCHAIN_EXAMPLES_SPD_COMMON_H_
 #define VCHAIN_EXAMPLES_SPD_COMMON_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -36,11 +37,15 @@ inline constexpr uint64_t kDemoTimeStep = 86400;
 
 /// Mine `blocks` deterministic rental-offer blocks (Example 3.2 shapes).
 /// Same inputs -> same chain -> same digests, on every run and engine.
-inline vchain::Status MineDemoChain(vchain::Service* svc, size_t blocks) {
+/// `stop` (optional) aborts between blocks — the daemon passes its signal
+/// flag so SIGTERM mid-mining still syncs what was mined and exits cleanly.
+inline vchain::Status MineDemoChain(vchain::Service* svc, size_t blocks,
+                                    const std::atomic<bool>* stop = nullptr) {
   static const char* kMakes[] = {"Benz", "BMW", "Audi", "Toyota"};
   static const char* kTypes[] = {"Sedan", "Van", "SUV"};
   uint64_t id = svc->NumBlocks() * 2;
   for (size_t b = svc->NumBlocks(); b < blocks; ++b) {
+    if (stop != nullptr && stop->load()) break;
     uint64_t ts = kDemoBaseTime + b * kDemoTimeStep;
     std::vector<vchain::chain::Object> objects;
     for (size_t i = 0; i < 2; ++i) {

@@ -17,6 +17,14 @@
 //        --threads N    HTTP workers              (default 4)
 //        --demo N       ensure N demo blocks exist
 //        --once         exit immediately after startup (smoke mode)
+//        --max-conns N  connection cap; excess shed 503  (default 64)
+//        --rps N        per-IP rate limit, 0 = off       (default 0)
+//        --drain-timeout N  graceful-drain budget, seconds (default 10)
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish in-flight
+// requests, then a final store Sync() so everything served as durable is.
+// The handlers are installed before demo mining — an interrupt mid-mining
+// syncs what was mined and exits cleanly instead of dying mid-append.
 
 #include <atomic>
 #include <chrono>
@@ -37,6 +45,11 @@ int main(int argc, char** argv) {
   vchain::EngineKind engine;
   if (!spd::ParseEngineFlag(flags, &engine)) return 2;
 
+  // Before any mining or serving: a signal during startup must still reach
+  // the sync-and-exit path below, not the default handler.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   vchain::ServiceOptions opts = spd::DemoOptions(engine);
   opts.store_dir = flags.Get("--store", "");
   auto opened = vchain::Service::Open(opts);
@@ -55,11 +68,15 @@ int main(int argc, char** argv) {
                    demo_blocks);
       return 1;
     }
-    vchain::Status mined = spd::MineDemoChain(svc.get(), demo_blocks);
+    vchain::Status mined = spd::MineDemoChain(svc.get(), demo_blocks, &g_stop);
     if (!mined.ok()) {
       std::fprintf(stderr, "demo mining failed: %s\n",
                    mined.ToString().c_str());
       return 1;
+    }
+    if (g_stop.load()) {
+      std::printf("interrupted during demo mining; synced and exiting\n");
+      return 0;  // MineDemoChain already ran the final Sync()
     }
     // The in-process answer to the canonical demo query; a remote client
     // receiving different bytes for the same query proves a wire bug.
@@ -76,6 +93,8 @@ int main(int argc, char** argv) {
   vchain::net::SpServer::Options sopts;
   sopts.http.port = static_cast<uint16_t>(std::stoul(flags.Get("--port", "8080")));
   sopts.http.num_threads = std::stoul(flags.Get("--threads", "4"));
+  sopts.http.max_connections = std::stoul(flags.Get("--max-conns", "64"));
+  sopts.http.rate_limit_rps = std::stod(flags.Get("--rps", "0"));
   auto server = vchain::net::SpServer::Start(svc.get(), sopts);
   if (!server.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",
@@ -92,12 +111,20 @@ int main(int argc, char** argv) {
     server.value()->Stop();
     return 0;
   }
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // Graceful drain: no new connections, in-flight requests finish, then a
+  // final Sync() makes everything served as durable actually durable.
+  std::printf("draining\n");
+  std::fflush(stdout);
+  int drain_timeout = std::stoi(flags.Get("--drain-timeout", "10"));
+  vchain::Status drained = server.value()->Drain(drain_timeout);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "final sync failed: %s\n",
+                 drained.ToString().c_str());
+    return 1;
+  }
   std::printf("shutting down\n");
-  server.value()->Stop();
   return 0;
 }

@@ -30,6 +30,7 @@ class IServiceBackend {
   virtual Status Append(std::vector<chain::Object> objects,
                         uint64_t timestamp) = 0;
   virtual Status Sync() = 0;
+  virtual Status Health() const = 0;
 
   virtual Result<QueryResult> Query(const core::Query& q) = 0;
 

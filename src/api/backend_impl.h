@@ -95,8 +95,22 @@ class ServiceBackend final : public IServiceBackend {
   Status Append(std::vector<chain::Object> objects,
                 uint64_t timestamp) override {
     std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (degraded_) {
+      return Status::Unavailable("service is read-only: " + degraded_reason_);
+    }
     auto stats = builder_->AppendBlock(std::move(objects), timestamp);
-    if (!stats.ok()) return stats.status();
+    if (!stats.ok()) {
+      // AppendBlock writes through to the store *before* touching the
+      // in-memory chain, so on failure memory still mirrors the durable
+      // prefix — queries stay correct. A validation error (InvalidArgument)
+      // is the caller's problem; anything else is a storage fault and
+      // flips the service read-only until a restart reopens the store
+      // through its recovery path.
+      if (!stats.status().IsInvalidArgument()) {
+        EnterDegradedLocked(stats.status());
+      }
+      return stats.status();
+    }
     DrainSubscriptionsLocked();
     return Status::OK();
   }
@@ -104,7 +118,19 @@ class ServiceBackend final : public IServiceBackend {
   Status Sync() override {
     std::unique_lock<std::shared_mutex> lock(state_mu_);
     if (store_ == nullptr) return Status::OK();
-    return store_->Sync();
+    // Still attempted in degraded mode: fsyncing the clean prefix written
+    // before the fault can only help.
+    Status st = store_->Sync();
+    if (!st.ok() && !degraded_) EnterDegradedLocked(st);
+    return st;
+  }
+
+  Status Health() const override {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    if (degraded_) {
+      return Status::Unavailable("degraded (read-only): " + degraded_reason_);
+    }
+    return Status::OK();
   }
 
   // --- query side ----------------------------------------------------------
@@ -228,6 +254,7 @@ class ServiceBackend final : public IServiceBackend {
     ServiceStats s;
     s.engine = options_.engine;
     s.durable = store_ != nullptr;
+    s.degraded = degraded_;
     s.num_blocks = builder_->NumBlocks();
     s.queries_served = queries_served_.load(std::memory_order_relaxed);
     s.subscriptions_active = active_subscriptions_.size();
@@ -270,6 +297,12 @@ class ServiceBackend final : public IServiceBackend {
     out.vo_bytes = core::VoByteSize(engine_, resp.value().vo);
     out.objects = std::move(resp.value().objects);
     return out;
+  }
+
+  /// Caller holds the exclusive lock. Keeps the first fault's message.
+  void EnterDegradedLocked(const Status& cause) {
+    degraded_ = true;
+    degraded_reason_ = cause.ToString();
   }
 
   /// Run every block since the last drain past the standing queries,
@@ -317,6 +350,9 @@ class ServiceBackend final : public IServiceBackend {
   std::set<uint32_t> active_subscriptions_;
   uint64_t sub_next_height_ = 0;
   std::vector<SubscriptionEvent> pending_events_;
+
+  bool degraded_ = false;  ///< storage write fault -> read-only
+  std::string degraded_reason_;
 
   mutable std::shared_mutex state_mu_;
   std::atomic<uint64_t> queries_served_{0};

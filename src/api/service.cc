@@ -86,6 +86,8 @@ Status Service::Append(std::vector<chain::Object> objects,
 
 Status Service::Sync() { return backend_->Sync(); }
 
+Status Service::Health() const { return backend_->Health(); }
+
 Result<QueryResult> Service::Query(const core::Query& q) {
   return backend_->Query(q);
 }

@@ -137,6 +137,9 @@ struct SubscriptionEvent {
 struct ServiceStats {
   EngineKind engine = EngineKind::kAcc2;
   bool durable = false;
+  /// Read-only after a storage write fault; queries keep serving, Append
+  /// returns Unavailable until the process restarts over a reopened store.
+  bool degraded = false;
   uint64_t num_blocks = 0;
   uint64_t queries_served = 0;
   uint64_t subscriptions_active = 0;
@@ -169,6 +172,12 @@ class Service {
   /// Durable commit point: fsync the store and advance its commit
   /// watermark. No-op in in-memory mode.
   Status Sync();
+
+  /// OK while the service accepts writes; Unavailable (with the original
+  /// fault in the message) once a storage write fault has forced read-only
+  /// degraded mode. Queries are unaffected either way — this is what a
+  /// load balancer or /healthz endpoint should poll.
+  Status Health() const;
 
   // --- query side (thread-safe, concurrent) -------------------------------
 

@@ -28,6 +28,7 @@ class Status {
     kVerifyFailed,
     kNotSupported,
     kInternal,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +52,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// The service exists but cannot take this request right now (overload,
+  /// degraded read-only mode). Retryable, unlike kInternal.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +71,7 @@ class Status {
   bool IsVerifyFailed() const { return code_ == Code::kVerifyFailed; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable "CODE: message" form for logs and test failure output.
   std::string ToString() const {
@@ -78,6 +85,7 @@ class Status {
       case Code::kVerifyFailed: name = "VERIFY_FAILED"; break;
       case Code::kNotSupported: name = "NOT_SUPPORTED"; break;
       case Code::kInternal: name = "INTERNAL"; break;
+      case Code::kUnavailable: name = "UNAVAILABLE"; break;
     }
     return message_.empty() ? std::string(name)
                             : std::string(name) + ": " + message_;

@@ -1,38 +1,64 @@
 #include "net/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <unordered_map>
 
 namespace vchain::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr std::string_view kCrlf = "\r\n";
 constexpr std::string_view kHeadEnd = "\r\n\r\n";
 
-void SetRecvTimeout(int fd, int seconds) {
-  if (seconds <= 0) return;
+void SetRecvTimeoutMs(int fd, int64_t ms) {
+  if (ms <= 0) return;
   struct timeval tv;
-  tv.tv_sec = seconds;
-  tv.tv_usec = 0;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-/// Append more bytes from `fd` into `buf`; false on EOF/error/timeout.
-bool RecvMore(int fd, std::string* buf) {
+void SetSendTimeoutMs(int fd, int64_t ms) {
+  if (ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+enum class RecvOutcome { kData, kEof, kTimeout, kError };
+
+/// Append more bytes from `fd` into `buf`. On kError, `*err` holds errno.
+RecvOutcome RecvMore(int fd, std::string* buf, int* err = nullptr) {
   char chunk[4096];
-  ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-  if (n <= 0) return false;
-  buf->append(chunk, static_cast<size_t>(n));
-  return true;
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<size_t>(n));
+      return RecvOutcome::kData;
+    }
+    if (n == 0) return RecvOutcome::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvOutcome::kTimeout;
+    if (err != nullptr) *err = errno;
+    return RecvOutcome::kError;
+  }
 }
 
 std::string ToLower(std::string_view s) {
@@ -227,8 +253,18 @@ bool SendAllFd(int fd, std::string_view data) {
   return true;
 }
 
+HttpResponse RetryLaterResponse(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "text/plain";
+  resp.body = std::move(body);
+  resp.headers.emplace_back("Retry-After", "1");
+  return resp;
+}
+
 Result<int> OpenClientSocket(const std::string& host, uint16_t port,
-                             int recv_timeout_seconds) {
+                             int recv_timeout_seconds,
+                             int connect_timeout_seconds) {
   struct addrinfo hints;
   std::memset(&hints, 0, sizeof(hints));
   hints.ai_family = AF_UNSPEC;
@@ -237,24 +273,62 @@ Result<int> OpenClientSocket(const std::string& host, uint16_t port,
   std::string port_str = std::to_string(port);
   int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
   if (rc != 0) {
-    return Status::Internal(std::string("getaddrinfo: ") + gai_strerror(rc));
+    return Status::Internal("getaddrinfo " + host + ": " + gai_strerror(rc));
   }
   int fd = -1;
+  int last_err = ECONNREFUSED;
   for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    bool connected = false;
+    if (connect_timeout_seconds > 0) {
+      // Nonblocking connect + poll so an unresponsive host costs a bounded
+      // wait instead of the kernel's (minutes-long) SYN retry budget.
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      if (crc == 0) {
+        connected = true;
+      } else if (errno == EINPROGRESS) {
+        struct pollfd p;
+        p.fd = fd;
+        p.events = POLLOUT;
+        int prc = ::poll(&p, 1, connect_timeout_seconds * 1000);
+        if (prc == 1) {
+          int so_error = 0;
+          socklen_t len = sizeof(so_error);
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+          if (so_error == 0) {
+            connected = true;
+          } else {
+            last_err = so_error;
+          }
+        } else {
+          last_err = prc == 0 ? ETIMEDOUT : errno;
+        }
+      } else {
+        last_err = errno;
+      }
+      if (connected) ::fcntl(fd, F_SETFL, flags);
+    } else {
+      connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0;
+      if (!connected) last_err = errno;
+    }
+    if (connected) break;
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(res);
   if (fd < 0) {
     return Status::Internal("connect to " + host + ":" + port_str +
-                            " failed: " + std::strerror(errno));
+                            " failed: " + std::strerror(last_err));
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  SetRecvTimeout(fd, recv_timeout_seconds);
+  SetRecvTimeoutMs(fd, static_cast<int64_t>(recv_timeout_seconds) * 1000);
   return fd;
 }
 
@@ -279,12 +353,68 @@ const char* HttpReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
+
+// --- per-IP token bucket -----------------------------------------------------
+
+/// One token bucket per peer IPv4 address: `rps` sustained, `burst` peak.
+/// The map is bounded — when it outgrows kMaxBuckets, buckets that have
+/// refilled to full (idle peers) are purged.
+class IpRateLimiter {
+ public:
+  IpRateLimiter(double rps, double burst)
+      : rps_(rps), burst_(burst > 0 ? burst : std::max(rps, 1.0)) {}
+
+  bool Allow(uint32_t ip) {
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buckets_.size() > kMaxBuckets) Purge(now);
+    auto [it, fresh] = buckets_.try_emplace(ip);
+    Bucket& b = it->second;
+    if (fresh) {
+      b.tokens = burst_;
+    } else {
+      double dt = std::chrono::duration<double>(now - b.last).count();
+      b.tokens = std::min(burst_, b.tokens + dt * rps_);
+    }
+    b.last = now;
+    if (b.tokens < 1.0) return false;
+    b.tokens -= 1.0;
+    return true;
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    Clock::time_point last{};
+  };
+
+  static constexpr size_t kMaxBuckets = 4096;
+
+  void Purge(Clock::time_point now) {
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      double dt = std::chrono::duration<double>(now - it->second.last).count();
+      if (it->second.tokens + dt * rps_ >= burst_) {
+        it = buckets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const double rps_;
+  const double burst_;
+  std::mutex mu_;
+  std::unordered_map<uint32_t, Bucket> buckets_;
+};
 
 // --- server ------------------------------------------------------------------
 
@@ -294,6 +424,8 @@ HttpServer::HttpServer(Options options, Handler handler)
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
                                                       Handler handler) {
   if (options.num_threads == 0) options.num_threads = 1;
+  if (options.max_connections == 0) options.max_connections = 1;
+  if (options.accept_queue == 0) options.accept_queue = 1;
   std::unique_ptr<HttpServer> server(
       new HttpServer(std::move(options), std::move(handler)));
 
@@ -330,119 +462,306 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
   }
   server->listen_fd_ = fd;
   server->port_ = ntohs(addr.sin_port);
-  server->active_fds_.assign(server->options_.num_threads, -1);
+  if (server->options_.rate_limit_rps > 0) {
+    server->limiter_ = std::make_unique<IpRateLimiter>(
+        server->options_.rate_limit_rps, server->options_.rate_limit_burst);
+  }
+  server->slots_.assign(server->options_.num_threads, WorkerSlot{});
   for (size_t i = 0; i < server->options_.num_threads; ++i) {
     server->workers_.emplace_back(
         [srv = server.get(), i] { srv->WorkerLoop(i); });
   }
+  server->accept_thread_ = std::thread([srv = server.get()] {
+    srv->AcceptLoop();
+  });
   return server;
 }
 
 HttpServer::~HttpServer() { Stop(); }
 
-void HttpServer::Stop() {
-  if (stopping_.exchange(true)) {
-    for (std::thread& t : workers_) {
-      if (t.joinable()) t.join();
-    }
-    return;
-  }
-  // Unblock accept() in every worker, then any in-flight recv().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    for (int fd : active_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-    }
-  }
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.accepted = n_accepted_.load(std::memory_order_relaxed);
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.shed_overload = n_shed_.load(std::memory_order_relaxed);
+  s.rate_limited = n_rate_limited_.load(std::memory_order_relaxed);
+  s.timed_out = n_timed_out_.load(std::memory_order_relaxed);
+  s.active_connections = held_connections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::JoinAll() {
+  if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
 }
 
-void HttpServer::WorkerLoop(size_t worker_index) {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+void HttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    JoinAll();
+    return;
+  }
+  // Unblock the accept thread, then any in-flight recv().
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (const WorkerSlot& slot : slots_) {
+      if (slot.fd >= 0) ::shutdown(slot.fd, SHUT_RDWR);
+    }
+  }
+  queue_cv_.notify_all();
+  JoinAll();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (const PendingConn& conn : queue_) ::close(conn.fd);
+    queue_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::Drain(int timeout_seconds) {
+  if (draining_.exchange(true) || stopping_.load(std::memory_order_relaxed)) {
+    Stop();  // second caller (or raced with Stop): fall through to hard stop
+    return;
+  }
+  // 1. Refuse new connections.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // 2. Shut idle keep-alive connections; their workers wake from recv(),
+  //    see draining_, and exit. Workers mid-request finish and answer with
+  //    Connection: close on their own.
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (const WorkerSlot& slot : slots_) {
+      if (slot.fd >= 0 && !slot.in_request) ::shutdown(slot.fd, SHUT_RD);
+    }
+  }
+  queue_cv_.notify_all();
+  // 3. Wait for in-flight work to complete, then hard-stop to join.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::seconds(timeout_seconds);
+  while (held_connections_.load(std::memory_order_acquire) > 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Stop();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !draining_.load(std::memory_order_relaxed)) {
+    struct sockaddr_in peer;
+    socklen_t peer_len = sizeof(peer);
+    int fd = ::accept(listen_fd_, reinterpret_cast<struct sockaddr*>(&peer),
+                      &peer_len);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (stopping_.load(std::memory_order_relaxed) ||
+          draining_.load(std::memory_order_relaxed)) {
+        break;
+      }
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listener is gone
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    SetRecvTimeout(fd, options_.recv_timeout_seconds);
-    {
-      std::lock_guard<std::mutex> lock(active_mu_);
-      active_fds_[worker_index] = fd;
+    uint32_t ip =
+        peer.sin_family == AF_INET ? ntohl(peer.sin_addr.s_addr) : 0;
+
+    // Admission control: the server never holds more than max_connections
+    // sockets (in service + queued) and the queue itself is bounded, so
+    // a connection flood is shed at the door instead of growing memory.
+    bool admitted = false;
+    if (held_connections_.load(std::memory_order_acquire) <
+        options_.max_connections) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.accept_queue) {
+        queue_.push_back(PendingConn{fd, ip});
+        held_connections_.fetch_add(1, std::memory_order_acq_rel);
+        n_accepted_.fetch_add(1, std::memory_order_relaxed);
+        admitted = true;
+      }
     }
-    // Stop() sets stopping_ *before* sweeping active_fds_. If its sweep ran
-    // between our accept() and the registration above, it missed this fd —
-    // but then this load observes stopping_ == true and we shut the
-    // connection down ourselves instead of blocking in recv().
-    if (stopping_.load(std::memory_order_seq_cst)) ::shutdown(fd, SHUT_RDWR);
-    ServeConnection(fd);
-    {
-      std::lock_guard<std::mutex> lock(active_mu_);
-      active_fds_[worker_index] = -1;
+    if (admitted) {
+      queue_cv_.notify_one();
+      continue;
     }
+    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    // Bounded-time best-effort 503 so well-behaved clients back off;
+    // SO_SNDTIMEO keeps a hostile peer from wedging the accept thread.
+    SetSendTimeoutMs(fd, 1000);
+    SendAllFd(fd, SerializeResponse(
+                      RetryLaterResponse(503, "server overloaded\n"),
+                      /*keep_alive=*/false));
     ::close(fd);
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::WorkerLoop(size_t worker_index) {
+  for (;;) {
+    PendingConn conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               draining_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping or drained dry
+      conn = queue_.front();
+      queue_.pop_front();
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(conn.fd);
+      held_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      slots_[worker_index] = WorkerSlot{conn.fd, false};
+    }
+    // Stop() sets stopping_ *before* sweeping the slots. If its sweep ran
+    // between our pop and the registration above, it missed this fd — but
+    // then this load observes stopping_ == true and we shut the connection
+    // down ourselves instead of blocking in recv().
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+    }
+    ServeConnection(conn.fd, conn.peer_ip, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      slots_[worker_index] = WorkerSlot{};
+    }
+    ::close(conn.fd);
+    held_connections_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
+                                 size_t worker_index) {
+  auto mark_in_request = [this, fd, worker_index](bool in_request) {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    slots_[worker_index] = WorkerSlot{fd, in_request};
+  };
+  // Receive into `buf` under a phase deadline; no deadline (nullopt) means
+  // the plain keep-alive idle timeout.
+  auto recv_phase =
+      [this, fd](std::string* buf,
+                 const std::optional<Clock::time_point>& deadline)
+      -> RecvOutcome {
+    int64_t ms = static_cast<int64_t>(options_.recv_timeout_seconds) * 1000;
+    if (deadline.has_value()) {
+      int64_t remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              *deadline - Clock::now())
+                              .count();
+      if (remaining <= 0) return RecvOutcome::kTimeout;
+      ms = ms > 0 ? std::min(ms, remaining) : remaining;
+    }
+    SetRecvTimeoutMs(fd, ms);
+    return RecvMore(fd, buf);
+  };
+  auto answer = [fd](int status, std::string body, bool keep_alive) {
+    return SendAllFd(
+        fd, SerializeResponse({.status = status,
+                               .content_type = "text/plain",
+                               .body = std::move(body)},
+                              keep_alive));
+  };
+
   std::string buf;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    // 1. Read the request head.
+    mark_in_request(!buf.empty());
+
+    // 1. Read the request head. The idle wait for the first byte runs on
+    // the keep-alive timeout; once anything arrives the header progress
+    // deadline starts — a slow-loris peer trickling header bytes gets 408
+    // instead of holding the worker for recv_timeout per byte.
+    std::optional<Clock::time_point> head_deadline;
+    if (!buf.empty() && options_.header_timeout_seconds > 0) {
+      head_deadline =
+          Clock::now() + std::chrono::seconds(options_.header_timeout_seconds);
+    }
     size_t head_end;
     while ((head_end = buf.find(kHeadEnd)) == std::string::npos) {
       if (buf.size() > kMaxHeadBytes) {
-        SendAllFd(fd, SerializeResponse(
-                          {.status = 400,
-                           .content_type = "text/plain",
-                           .body = "request head too large\n"},
-                          /*keep_alive=*/false));
+        answer(400, "request head too large\n", false);
         return;
       }
-      if (!RecvMore(fd, &buf)) return;  // EOF, timeout, or Stop()
+      bool idle = buf.empty();
+      RecvOutcome out = recv_phase(&buf, head_deadline);
+      if (out == RecvOutcome::kData) {
+        if (idle) {
+          mark_in_request(true);
+          if (options_.header_timeout_seconds > 0) {
+            head_deadline = Clock::now() + std::chrono::seconds(
+                                               options_.header_timeout_seconds);
+          }
+        }
+        continue;
+      }
+      if (out == RecvOutcome::kTimeout && !idle) {
+        n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        answer(408, "timed out reading request head\n", false);
+      }
+      return;  // idle timeout, EOF, error, or Stop()
     }
     auto parsed = ParseRequestHead(std::string_view(buf).substr(
         0, head_end + kHeadEnd.size()));
     if (!parsed) {
-      SendAllFd(fd, SerializeResponse({.status = 400,
-                                       .content_type = "text/plain",
-                                       .body = "malformed request\n"},
-                                      /*keep_alive=*/false));
+      answer(400, "malformed request\n", false);
       return;
     }
     if (parsed->has_transfer_encoding) {
-      SendAllFd(fd, SerializeResponse(
-                        {.status = 501,
-                         .content_type = "text/plain",
-                         .body = "transfer-encoding not supported\n"},
-                        /*keep_alive=*/false));
+      answer(501, "transfer-encoding not supported\n", false);
       return;
     }
     if (parsed->content_length > options_.max_body_bytes) {
-      SendAllFd(fd, SerializeResponse({.status = 413,
-                                       .content_type = "text/plain",
-                                       .body = "body too large\n"},
-                                      /*keep_alive=*/false));
+      answer(413, "body too large\n", false);
       return;
     }
 
-    // 2. Read the body.
+    // 2. Read the body under its own progress deadline.
+    std::optional<Clock::time_point> body_deadline;
+    if (options_.body_timeout_seconds > 0) {
+      body_deadline =
+          Clock::now() + std::chrono::seconds(options_.body_timeout_seconds);
+    }
     size_t total = head_end + kHeadEnd.size() + parsed->content_length;
     while (buf.size() < total) {
-      if (!RecvMore(fd, &buf)) return;
+      RecvOutcome out = recv_phase(&buf, body_deadline);
+      if (out == RecvOutcome::kData) continue;
+      if (out == RecvOutcome::kTimeout) {
+        n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        answer(408, "timed out reading request body\n", false);
+      }
+      return;
     }
     parsed->request.body =
         buf.substr(head_end + kHeadEnd.size(), parsed->content_length);
     buf.erase(0, total);  // keep any pipelined next request
 
-    // 3. Dispatch; a throwing handler is a programming error upstream, but
+    const bool keep_alive =
+        parsed->keep_alive && !draining_.load(std::memory_order_relaxed);
+
+    // 3. Per-IP rate limit — answered before the handler runs, so a
+    // flooding client costs parsing, not proving. Keep-alive is preserved:
+    // a well-behaved client backs off and reuses the connection.
+    if (limiter_ != nullptr && !limiter_->Allow(peer_ip)) {
+      n_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      if (!SendAllFd(fd,
+                     SerializeResponse(
+                         RetryLaterResponse(429, "rate limit exceeded\n"),
+                         keep_alive))) {
+        return;
+      }
+      if (!keep_alive) return;
+      continue;
+    }
+
+    // 4. Dispatch; a throwing handler is a programming error upstream, but
     // answering 500 beats tearing down the whole server.
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
     HttpResponse resp;
     try {
       resp = handler_(parsed->request);
@@ -451,8 +770,8 @@ void HttpServer::ServeConnection(int fd) {
               .content_type = "text/plain",
               .body = "internal error\n"};
     }
-    if (!SendAllFd(fd, SerializeResponse(resp, parsed->keep_alive))) return;
-    if (!parsed->keep_alive) return;
+    if (!SendAllFd(fd, SerializeResponse(resp, keep_alive))) return;
+    if (!keep_alive) return;
   }
 }
 
@@ -465,7 +784,8 @@ HttpConnection::~HttpConnection() {
 Status HttpConnection::Connect() {
   if (fd_ >= 0) return Status::OK();
   auto fd = OpenClientSocket(options_.host, options_.port,
-                             options_.recv_timeout_seconds);
+                             options_.recv_timeout_seconds,
+                             options_.connect_timeout_seconds);
   if (!fd.ok()) return fd.status();
   fd_ = fd.value();
   return Status::OK();
@@ -473,9 +793,12 @@ Status HttpConnection::Connect() {
 
 Status HttpConnection::SendAll(std::string_view data) {
   if (!SendAllFd(fd_, data)) {
+    int err = errno;
     ::close(fd_);
     fd_ = -1;
-    return Status::Internal("send failed: " + std::string(std::strerror(errno)));
+    return Status::Internal("send to " + options_.host + ":" +
+                            std::to_string(options_.port) +
+                            " failed: " + std::strerror(err));
   }
   return Status::OK();
 }
@@ -483,10 +806,13 @@ Status HttpConnection::SendAll(std::string_view data) {
 Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
                                                const std::string& target,
                                                std::string_view body,
-                                               const std::string& content_type) {
+                                               const std::string& content_type,
+                                               bool* sent_on_wire) {
+  if (sent_on_wire != nullptr) *sent_on_wire = false;
+  const std::string peer =
+      options_.host + ":" + std::to_string(options_.port);
   std::string request = method + " " + target + " HTTP/1.1\r\n";
-  request += "Host: " + options_.host + ":" + std::to_string(options_.port) +
-             "\r\n";
+  request += "Host: " + peer + "\r\n";
   request += "Content-Type: " + content_type + "\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   request += "Connection: keep-alive\r\n\r\n";
@@ -497,28 +823,46 @@ Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
   for (int attempt = 0; attempt < 2; ++attempt) {
     const bool reused = fd_ >= 0;
     VCHAIN_RETURN_IF_ERROR(Connect());
-    if (!SendAll(request).ok()) {
-      if (reused) continue;
-      return Status::Internal("send failed");
+    if (sent_on_wire != nullptr) *sent_on_wire = true;
+    {
+      Status sent = SendAll(request);
+      if (!sent.ok()) {
+        if (reused) continue;  // stale keep-alive; one fresh retry
+        return sent;
+      }
     }
 
     std::string buf;
     size_t head_end;
-    bool peer_closed = false;
+    Status recv_failure = Status::OK();
     while ((head_end = buf.find(kHeadEnd)) == std::string::npos) {
       if (buf.size() > HttpServer::kMaxHeadBytes) {
         return Status::Corruption("response head too large");
       }
-      if (!RecvMore(fd_, &buf)) {
-        peer_closed = true;
-        break;
+      int err = 0;
+      RecvOutcome out = RecvMore(fd_, &buf, &err);
+      if (out == RecvOutcome::kData) continue;
+      if (out == RecvOutcome::kTimeout) {
+        recv_failure = Status::Internal(
+            "recv from " + peer + " timed out after " +
+            std::to_string(options_.recv_timeout_seconds) + "s");
+      } else if (out == RecvOutcome::kError) {
+        recv_failure = Status::Internal("recv from " + peer +
+                                        " failed: " + std::strerror(err));
+      } else {
+        recv_failure = Status::Internal("connection to " + peer +
+                                        " closed by peer mid-response");
       }
+      break;
     }
-    if (peer_closed) {
+    if (!recv_failure.ok()) {
+      bool clean_early_close = buf.empty();
       ::close(fd_);
       fd_ = -1;
-      if (reused && buf.empty()) continue;  // stale keep-alive, retry once
-      return Status::Internal("connection closed mid-response");
+      // A reused connection the server closed before sending anything is a
+      // stale keep-alive, not a failure — retry once on a fresh socket.
+      if (reused && clean_early_close) continue;
+      return recv_failure;
     }
 
     std::string_view head = std::string_view(buf).substr(0, head_end);
@@ -575,11 +919,23 @@ Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
 
     size_t total = head_end + kHeadEnd.size() + content_length;
     while (buf.size() < total) {
-      if (!RecvMore(fd_, &buf)) {
-        ::close(fd_);
-        fd_ = -1;
-        return Status::Internal("connection closed mid-body");
+      int err = 0;
+      RecvOutcome out = RecvMore(fd_, &buf, &err);
+      if (out == RecvOutcome::kData) continue;
+      ::close(fd_);
+      fd_ = -1;
+      if (out == RecvOutcome::kTimeout) {
+        return Status::Internal(
+            "recv from " + peer + " timed out after " +
+            std::to_string(options_.recv_timeout_seconds) +
+            "s mid-body");
       }
+      if (out == RecvOutcome::kError) {
+        return Status::Internal("recv from " + peer +
+                                " failed mid-body: " + std::strerror(err));
+      }
+      return Status::Internal("connection to " + peer +
+                              " closed by peer mid-body");
     }
     resp.body = buf.substr(head_end + kHeadEnd.size(), content_length);
     if (!keep_alive) {
@@ -588,7 +944,7 @@ Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
     }
     return resp;
   }
-  return Status::Internal("request failed after reconnect");
+  return Status::Internal("request to " + peer + " failed after reconnect");
 }
 
 }  // namespace vchain::net

@@ -9,28 +9,41 @@
 //     target length capped, bare-LF and obs-fold rejected;
 //   * bodies require Content-Length (Transfer-Encoding is answered 501 —
 //     chunked parsing is attack surface the protocol doesn't need);
-//   * per-connection inactivity timeout (SO_RCVTIMEO) so a stalled peer
-//     frees its worker; keep-alive honored until either side says close;
+//   * slow-loris protection: separate progress deadlines for the request
+//     head and body (a peer that trickles one byte per poll interval gets
+//     408 and dropped), plus the per-recv keep-alive idle timeout;
+//   * overload protection: a global connection cap with a bounded accept
+//     queue — excess connections are shed with an immediate 503 +
+//     Retry-After and never buffered, so a flood cannot grow server
+//     memory — and an optional per-IP token-bucket rate limiter that
+//     answers 429 + Retry-After without running the handler;
 //   * a malformed request gets a 400 and the connection is closed — the
 //     server never crashes on hostile bytes (tests/net/http_server_test.cc
 //     throws garbage at a live socket).
 //
-// Server shape: one listening socket, `num_threads` workers all blocked in
-// accept(2) (the kernel load-balances), each serving one connection at a
-// time to completion. The SP's work per request is proving, not I/O — a
-// handful of workers saturates the CPU, and there is no event-loop state
-// machine to audit. Stop() shuts the listener and any in-flight
-// connections down and joins the workers.
+// Server shape: one accept thread feeding a bounded queue drained by
+// `num_threads` workers, each serving one connection at a time to
+// completion. The SP's work per request is proving, not I/O — a handful of
+// workers saturates the CPU, and there is no event-loop state machine to
+// audit. Stop() aborts in-flight connections; Drain() is the graceful
+// variant: stop accepting, let in-flight requests finish (their response
+// carries Connection: close), shut idle keep-alive connections, and only
+// hard-stop when the drain deadline expires.
 //
 // The client (`HttpConnection`) keeps one connection alive across
 // round-trips and transparently reconnects once when a kept-alive socket
 // turns out to be stale (the server or a proxy closed it between requests).
+// Every transport failure carries the errno text and the phase it happened
+// in, and `sent_on_wire` tells retrying callers whether the request may
+// have reached the peer.
 
 #ifndef VCHAIN_NET_HTTP_H_
 #define VCHAIN_NET_HTTP_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -66,6 +79,19 @@ const char* HttpReasonPhrase(int status);
 /// response-header parsing so the accepted grammar cannot drift.
 bool ParseDecimalU64(std::string_view s, uint64_t* out);
 
+/// Monotonic counters of the server's availability machinery (all events
+/// since Start). Snapshot via HttpServer::stats().
+struct HttpServerStats {
+  uint64_t accepted = 0;       ///< connections handed to a worker
+  uint64_t requests = 0;       ///< requests dispatched to the handler
+  uint64_t shed_overload = 0;  ///< connections answered 503 at accept
+  uint64_t rate_limited = 0;   ///< requests answered 429
+  uint64_t timed_out = 0;      ///< connections dropped for slow progress (408)
+  uint64_t active_connections = 0;  ///< queued + in service right now
+};
+
+class IpRateLimiter;
+
 class HttpServer {
  public:
   struct Options {
@@ -73,14 +99,36 @@ class HttpServer {
     uint16_t port = 0;  ///< 0 = ephemeral; read the chosen one from port()
     size_t num_threads = 4;
     size_t max_body_bytes = 8u << 20;
-    /// Per-recv inactivity timeout; a peer silent this long is dropped.
+    /// Per-recv inactivity timeout between requests on a keep-alive
+    /// connection; a peer silent this long is dropped.
     int recv_timeout_seconds = 10;
+
+    // --- overload protection -------------------------------------------------
+    /// Hard cap on connections the server holds at once (in service +
+    /// queued). Connections beyond it are shed with 503 + Retry-After at
+    /// accept time, so a flood can never grow server memory.
+    size_t max_connections = 64;
+    /// Bound of the accepted-but-unserved queue between the accept thread
+    /// and the workers (also counted against max_connections).
+    size_t accept_queue = 16;
+    /// Per-IP sustained requests/second; 0 disables rate limiting.
+    double rate_limit_rps = 0;
+    /// Token-bucket burst per IP; 0 -> max(rate_limit_rps, 1).
+    double rate_limit_burst = 0;
+
+    // --- slow-loris protection -----------------------------------------------
+    /// Once the first head byte arrives, the full request head must arrive
+    /// within this budget (408 otherwise). 0 disables.
+    int header_timeout_seconds = 5;
+    /// Budget for the request body after the head (408 otherwise). 0
+    /// disables.
+    int body_timeout_seconds = 10;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  /// Bind, listen, and spin up the worker threads. InvalidArgument for a
-  /// bad bind address, Internal for socket errors (port in use, ...).
+  /// Bind, listen, and spin up the accept + worker threads. InvalidArgument
+  /// for a bad bind address, Internal for socket errors (port in use, ...).
   static Result<std::unique_ptr<HttpServer>> Start(Options options,
                                                    Handler handler);
 
@@ -88,26 +136,65 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
+  /// Hard stop: abort in-flight connections and join all threads.
   void Stop();
+
+  /// Graceful stop: close the listener, finish in-flight requests (their
+  /// responses carry Connection: close), shut idle keep-alive connections,
+  /// and join. Falls back to Stop() when workers are still busy after
+  /// `timeout_seconds`. Idempotent with Stop(); safe to call once from any
+  /// thread.
+  void Drain(int timeout_seconds = 10);
+
   uint16_t port() const { return port_; }
+  HttpServerStats stats() const;
 
   static constexpr size_t kMaxHeadBytes = 16u << 10;
   static constexpr size_t kMaxHeaderCount = 64;
   static constexpr size_t kMaxTargetBytes = 2048;
 
  private:
+  struct PendingConn {
+    int fd = -1;
+    uint32_t peer_ip = 0;  ///< IPv4 host order; 0 when unavailable
+  };
+  /// Per-worker slot, guarded by active_mu_.
+  struct WorkerSlot {
+    int fd = -1;            ///< connection being served; -1 = idle
+    bool in_request = false;  ///< past the first head byte, pre-response
+  };
+
   HttpServer(Options options, Handler handler);
+  void AcceptLoop();
   void WorkerLoop(size_t worker_index);
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, uint32_t peer_ip, size_t worker_index);
+  /// Wake everything and join all threads (accept + workers).
+  void JoinAll();
 
   Options options_;
   Handler handler_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::vector<int> active_fds_;  // one slot per worker; -1 = idle
+  std::unique_ptr<IpRateLimiter> limiter_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingConn> queue_;
+
+  std::vector<WorkerSlot> slots_;
   std::mutex active_mu_;
+
+  std::atomic<size_t> held_connections_{0};  ///< queued + in service
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
+  std::atomic<uint64_t> n_accepted_{0};
+  std::atomic<uint64_t> n_requests_{0};
+  std::atomic<uint64_t> n_shed_{0};
+  std::atomic<uint64_t> n_rate_limited_{0};
+  std::atomic<uint64_t> n_timed_out_{0};
 };
 
 /// Client side: one persistent connection, lazily (re)established.
@@ -118,6 +205,9 @@ class HttpConnection {
     uint16_t port = 0;
     size_t max_response_bytes = 256u << 20;
     int recv_timeout_seconds = 60;
+    /// Budget for establishing the TCP connection (nonblocking connect +
+    /// poll). 0 = the OS default.
+    int connect_timeout_seconds = 10;
   };
 
   explicit HttpConnection(Options options) : options_(std::move(options)) {}
@@ -125,12 +215,20 @@ class HttpConnection {
   HttpConnection(const HttpConnection&) = delete;
   HttpConnection& operator=(const HttpConnection&) = delete;
 
-  /// One request/response exchange. Internal on connect/transport failure,
-  /// Corruption when the peer's response violates the protocol subset.
+  /// One request/response exchange. Internal on connect/transport failure
+  /// (message carries the errno text and phase), Corruption when the
+  /// peer's response violates the protocol subset.
+  ///
+  /// `sent_on_wire` (optional): set true once any request byte may have
+  /// reached the peer on a *fresh* connection — the signal a retrying
+  /// caller uses to gate non-idempotent requests. (A send on a reused
+  /// keep-alive connection that the server already closed is retried
+  /// internally; that cannot double-deliver, since the peer never read it.)
   Result<HttpResponse> RoundTrip(const std::string& method,
                                  const std::string& target,
                                  std::string_view body,
-                                 const std::string& content_type);
+                                 const std::string& content_type,
+                                 bool* sent_on_wire = nullptr);
 
  private:
   Status Connect();

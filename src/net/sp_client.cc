@@ -1,5 +1,9 @@
 #include "net/sp_client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "net/wire.h"
@@ -18,6 +22,12 @@ Status StatusFromHttp(const HttpResponse& resp) {
   switch (resp.status) {
     case 400: return Status::InvalidArgument("sp: " + body);
     case 404: return Status::NotFound("sp: " + body);
+    case 429:
+    case 503:
+      // The SP's back-off answers: rate limit / overload shed / degraded
+      // read-only mode. Retryable by construction.
+      return Status::Unavailable("sp: http " + std::to_string(resp.status) +
+                                 ": " + body);
     default:
       return Status::Internal("sp: http " + std::to_string(resp.status) +
                               ": " + body);
@@ -31,7 +41,67 @@ const std::string* FindHeader(const HttpResponse& resp, const std::string& key) 
   return nullptr;
 }
 
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+int64_t SpClient::ComputeBackoffMs(const RetryPolicy& policy, int attempt,
+                                   uint64_t jitter) {
+  double base = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  int64_t cap = std::max<int64_t>(1, static_cast<int64_t>(base));
+  // Uniform in [cap/2, cap]: enough spread to de-correlate a thundering
+  // herd while still guaranteeing meaningful backoff.
+  int64_t lo = cap / 2;
+  return lo + static_cast<int64_t>(jitter % static_cast<uint64_t>(cap - lo + 1));
+}
+
+Result<HttpResponse> SpClient::Exchange(const std::string& method,
+                                        const std::string& target,
+                                        const std::string& body,
+                                        const std::string& content_type,
+                                        bool idempotent, bool retry_busy) {
+  const RetryPolicy& policy = options_.retry;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 1;; ++attempt) {
+    bool sent_on_wire = false;
+    auto resp =
+        http_->RoundTrip(method, target, body, content_type, &sent_on_wire);
+    int64_t server_wait_ms = -1;
+    if (resp.ok()) {
+      int code = resp.value().status;
+      if (!retry_busy || (code != 429 && code != 503)) return resp;
+      last = StatusFromHttp(resp.value());
+      const std::string* ra = FindHeader(resp.value(), "retry-after");
+      uint64_t seconds = 0;
+      if (ra != nullptr && ParseDecimalU64(*ra, &seconds)) {
+        seconds = std::min<uint64_t>(
+            seconds, static_cast<uint64_t>(
+                         std::max(0, policy.max_retry_after_seconds)));
+        server_wait_ms = static_cast<int64_t>(seconds) * 1000;
+      }
+    } else {
+      last = resp.status();
+      if (!idempotent && sent_on_wire) {
+        // The request may have reached the peer; re-sending could
+        // double-apply. (All current endpoints are idempotent reads — this
+        // branch guards future mutating endpoints.)
+        return last;
+      }
+    }
+    if (attempt >= max_attempts) return last;
+    int64_t wait_ms = ComputeBackoffMs(policy, attempt, SplitMix64(&jitter_state_));
+    wait_ms = std::max(wait_ms, server_wait_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
+}
 
 Result<std::unique_ptr<SpClient>> SpClient::Connect(Options options) {
   std::unique_ptr<SpClient> client(new SpClient());
@@ -45,14 +115,15 @@ Result<std::unique_ptr<SpClient>> SpClient::Connect(Options options) {
   http.port = options.port;
   http.max_response_bytes = options.max_response_bytes;
   http.recv_timeout_seconds = options.recv_timeout_seconds;
+  http.connect_timeout_seconds = options.connect_timeout_seconds;
   client->http_ = std::make_unique<HttpConnection>(std::move(http));
+  client->jitter_state_ = options.retry.jitter_seed;
   client->options_ = std::move(options);
   return client;
 }
 
 Result<api::QueryResult> SpClient::Query(const core::Query& q) {
-  auto resp = http_->RoundTrip("POST", "/query", QueryToJson(q),
-                               "application/json");
+  auto resp = Exchange("POST", "/query", QueryToJson(q), "application/json");
   if (!resp.ok()) return resp.status();
   if (resp.value().status != 200) return StatusFromHttp(resp.value());
   Bytes bytes(resp.value().body.begin(), resp.value().body.end());
@@ -66,9 +137,8 @@ Result<std::vector<Result<api::QueryResult>>> SpClient::QueryBatch(
   if (queries.size() > kMaxWireBatchQueries) {
     return Status::InvalidArgument("batch too large for one request");
   }
-  auto resp = http_->RoundTrip("POST", "/query_batch",
-                               BatchRequestToJson(queries),
-                               "application/json");
+  auto resp = Exchange("POST", "/query_batch", BatchRequestToJson(queries),
+                       "application/json");
   if (!resp.ok()) return resp.status();
   if (resp.value().status != 200) return StatusFromHttp(resp.value());
   auto items = DecodeBatchResponse(
@@ -93,7 +163,7 @@ Result<std::vector<Result<api::QueryResult>>> SpClient::QueryBatch(
 Status SpClient::SyncHeaders(chain::LightClient* light) {
   for (;;) {
     std::string target = "/headers?from=" + std::to_string(light->Height());
-    auto resp = http_->RoundTrip("GET", target, "", "text/plain");
+    auto resp = Exchange("GET", target, "", "text/plain");
     if (!resp.ok()) return resp.status();
     if (resp.value().status != 200) return StatusFromHttp(resp.value());
     const std::string* tip_str = FindHeader(resp.value(), "x-vchain-tip");
@@ -129,14 +199,16 @@ Status SpClient::Verify(const core::Query& q, const api::QueryResult& result,
 }
 
 Result<api::ServiceStats> SpClient::Stats() {
-  auto resp = http_->RoundTrip("GET", "/stats", "", "text/plain");
+  auto resp = Exchange("GET", "/stats", "", "text/plain");
   if (!resp.ok()) return resp.status();
   if (resp.value().status != 200) return StatusFromHttp(resp.value());
   return StatsFromJson(resp.value().body);
 }
 
 Status SpClient::Healthz() {
-  auto resp = http_->RoundTrip("GET", "/healthz", "", "text/plain");
+  // A 503 here *is* the health answer (degraded SP) — don't spin on it.
+  auto resp = Exchange("GET", "/healthz", "", "text/plain",
+                       /*idempotent=*/true, /*retry_busy=*/false);
   if (!resp.ok()) return resp.status();
   if (resp.value().status != 200) return StatusFromHttp(resp.value());
   const std::string* engine = FindHeader(resp.value(), "x-vchain-engine");

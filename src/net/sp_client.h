@@ -19,6 +19,14 @@
 //   auto result = client->Query(q);               // over the wire
 //   Status ok = client->Verify(q, result.value(), light);  // local check
 //
+// Resilience: every wire call runs under Options.retry — exponential
+// backoff with jitter across transport failures and the SP's own back-off
+// signals (429/503, honoring Retry-After up to a cap). Every request in
+// the protocol is an idempotent read, so retries can never double-apply;
+// if a mutating endpoint is ever added, route it through Exchange with
+// idempotent=false and the transport's sent_on_wire signal gates the
+// retry.
+//
 // Verification plumbing reuses the engine-erased Service in a chain-less
 // "verifier role": an in-memory Service holds the engine + config and
 // exposes DecodeResult/Verify/VerifyNotification — no blocks, no store.
@@ -38,6 +46,22 @@ namespace vchain::net {
 
 class SpClient {
  public:
+  /// Exponential backoff with jitter for transient failures. An attempt is
+  /// retried on transport errors (connect/send/recv) and on the SP's 429 /
+  /// 503 back-off answers; protocol errors (400/404, Corruption) never
+  /// retry. Backoff for attempt k is jittered uniformly in
+  /// [base/2, base] with base = initial_backoff_ms * multiplier^(k-1),
+  /// capped at max_backoff_ms; a server Retry-After raises (never lowers)
+  /// the wait, capped at max_retry_after_seconds.
+  struct RetryPolicy {
+    int max_attempts = 3;  ///< 1 = no retries
+    int initial_backoff_ms = 100;
+    double backoff_multiplier = 2.0;
+    int max_backoff_ms = 2000;
+    int max_retry_after_seconds = 5;
+    uint64_t jitter_seed = 0x76636A31;  ///< deterministic by default
+  };
+
   struct Options {
     std::string host = "127.0.0.1";
     uint16_t port = 0;
@@ -47,6 +71,8 @@ class SpClient {
     api::ServiceOptions verify;
     size_t max_response_bytes = 256u << 20;
     int recv_timeout_seconds = 60;
+    int connect_timeout_seconds = 10;
+    RetryPolicy retry;
   };
 
   /// Build the local verifier and the (lazily connected) HTTP transport.
@@ -86,12 +112,31 @@ class SpClient {
 
   const api::ServiceOptions& verify_options() const { return options_.verify; }
 
+  /// Backoff for the retry after attempt `attempt` (1-based): jittered
+  /// exponential per `policy`, using `jitter` as the randomness source.
+  /// Exposed for tests.
+  static int64_t ComputeBackoffMs(const RetryPolicy& policy, int attempt,
+                                  uint64_t jitter);
+
  private:
   SpClient() = default;
+
+  /// One wire exchange under the retry policy. `retry_busy` additionally
+  /// retries the SP's 429/503 back-off answers (false where the busy
+  /// signal *is* the answer, e.g. Healthz). Non-idempotent callers must
+  /// pass idempotent=false: then a request that may have reached the wire
+  /// is never re-sent.
+  Result<HttpResponse> Exchange(const std::string& method,
+                                const std::string& target,
+                                const std::string& body,
+                                const std::string& content_type,
+                                bool idempotent = true,
+                                bool retry_busy = true);
 
   Options options_;
   std::unique_ptr<HttpConnection> http_;
   std::unique_ptr<api::Service> verifier_;  ///< chain-less verifier role
+  uint64_t jitter_state_ = 0;               ///< splitmix64 walk
 };
 
 }  // namespace vchain::net

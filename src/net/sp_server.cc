@@ -39,7 +39,11 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
 HttpResponse SpServer::Handle(const HttpRequest& req) const {
   if (req.path == "/healthz") {
     if (req.method != "GET") return TextResponse(405, "use GET\n");
-    HttpResponse resp = TextResponse(200, "ok\n");
+    Status health = service_->Health();
+    HttpResponse resp =
+        health.ok() ? TextResponse(200, "ok\n")
+                    : TextResponse(HttpStatusFor(health),
+                                   "degraded: " + health.message() + "\n");
     resp.headers.emplace_back("X-Vchain-Engine",
                               api::EngineKindName(service_->engine_kind()));
     return resp;

@@ -10,7 +10,15 @@
 //                      (X-Vchain-Tip = chain height; pages are capped, the
 //                      client loops until its light client reaches the tip)
 //   GET  /stats        service stats as JSON
-//   GET  /healthz      "ok\n" + X-Vchain-Engine (liveness probe)
+//   GET  /healthz      "ok\n" + X-Vchain-Engine (liveness probe); 503
+//                      "degraded: ..." once the service is read-only after
+//                      a storage fault — a load balancer drains writes but
+//                      queries keep serving
+//
+// Availability: the embedded HttpServer enforces the connection cap, per-IP
+// rate limit, and slow-loris timeouts (HttpServer::Options); Drain() is the
+// graceful shutdown used by vchain_spd's signal handler — stop accepting,
+// finish in-flight requests, then a final service Sync().
 //
 // The server is a thin routing shim: all SP semantics live in
 // vchain::Service, whose Query path is already thread-safe under
@@ -40,8 +48,19 @@ class SpServer {
   static Result<std::unique_ptr<SpServer>> Start(api::Service* service,
                                                  Options options);
 
+  /// Hard stop: abort in-flight requests.
   void Stop() { http_->Stop(); }
+
+  /// Graceful stop: stop accepting, finish in-flight requests, then fsync
+  /// the service's store so everything served as durable actually is.
+  /// Returns the final Sync status.
+  Status Drain(int timeout_seconds = 10) {
+    http_->Drain(timeout_seconds);
+    return service_->Sync();
+  }
+
   uint16_t port() const { return http_->port(); }
+  HttpServerStats http_stats() const { return http_->stats(); }
 
  private:
   SpServer() = default;

@@ -259,6 +259,7 @@ std::string StatsToJson(const api::ServiceStats& stats) {
   JsonValue obj = JsonValue::Object();
   obj.Set("engine", JsonValue::Str(api::EngineKindName(stats.engine)));
   obj.Set("durable", JsonValue::Bool(stats.durable));
+  obj.Set("degraded", JsonValue::Bool(stats.degraded));
   obj.Set("num_blocks", JsonValue::Number(stats.num_blocks));
   obj.Set("queries_served", JsonValue::Number(stats.queries_served));
   obj.Set("subscriptions_active", JsonValue::Number(stats.subscriptions_active));
@@ -298,6 +299,9 @@ Result<api::ServiceStats> StatsFromJson(std::string_view json) {
   auto durable = Member(obj, "durable", JsonValue::Kind::kBool);
   if (!durable.ok()) return durable.status();
   stats.durable = durable.value()->as_bool();
+  // Optional for wire compatibility with pre-degraded-mode servers.
+  auto degraded = Member(obj, "degraded", JsonValue::Kind::kBool);
+  if (degraded.ok()) stats.degraded = degraded.value()->as_bool();
   VCHAIN_RETURN_IF_ERROR(u64("num_blocks", &stats.num_blocks));
   VCHAIN_RETURN_IF_ERROR(u64("queries_served", &stats.queries_served));
   VCHAIN_RETURN_IF_ERROR(
@@ -328,7 +332,7 @@ uint8_t StatusCodeToWire(Status::Code code) {
 }
 
 Result<Status::Code> StatusCodeFromWire(uint8_t wire) {
-  if (wire > static_cast<uint8_t>(Status::Code::kInternal) ||
+  if (wire > static_cast<uint8_t>(Status::Code::kUnavailable) ||
       wire == static_cast<uint8_t>(Status::Code::kOk)) {
     return Status::Corruption("unknown wire status code");
   }
@@ -339,6 +343,7 @@ int HttpStatusFor(const Status& st) {
   if (st.ok()) return 200;
   if (st.IsInvalidArgument()) return 400;
   if (st.IsNotFound()) return 404;
+  if (st.IsUnavailable()) return 503;
   return 500;
 }
 

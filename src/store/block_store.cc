@@ -1,17 +1,11 @@
 #include "store/block_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <optional>
 
 #include "common/crc32c.h"
 #include "common/serde.h"
-#include "store/posix_io.h"
 
 namespace vchain::store {
 
@@ -36,13 +30,15 @@ struct CommitWatermark {
 
 /// A missing/short/damaged sidecar reads as "no watermark" — the tolerant
 /// direction (recovery instead of refusal).
-std::optional<CommitWatermark> ReadCommitWatermark(const std::string& dir) {
-  std::FILE* f = std::fopen(CommitPath(dir).c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
+std::optional<CommitWatermark> ReadCommitWatermark(const std::string& dir,
+                                                   Env* env) {
+  auto exists = env->FileExists(CommitPath(dir));
+  if (!exists.ok() || !exists.value()) return std::nullopt;
+  auto file = env->OpenFile(CommitPath(dir));
+  if (!file.ok()) return std::nullopt;
   uint8_t buf[kCommitBytes];
-  size_t got = std::fread(buf, 1, sizeof(buf), f);
-  std::fclose(f);
-  if (got != sizeof(buf)) return std::nullopt;
+  auto got = file.value()->Read(0, buf, sizeof(buf));
+  if (!got.ok() || got.value() != sizeof(buf)) return std::nullopt;
   ByteReader r(ByteSpan(buf, sizeof(buf)));
   uint32_t magic = 0, crc = 0;
   CommitWatermark wm;
@@ -56,21 +52,6 @@ std::optional<CommitWatermark> ReadCommitWatermark(const std::string& dir) {
   return wm;
 }
 
-/// fsync a directory so a freshly created file's directory entry is durable
-/// (file-content fsync alone does not persist the entry on all filesystems).
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::Internal("open dir " + dir + ": " + std::strerror(errno));
-  }
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::Internal("fsync dir " + dir + ": " + std::strerror(errno));
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 std::string BlockStore::SegmentPath(const std::string& dir, uint32_t index) {
@@ -82,12 +63,8 @@ std::string BlockStore::SegmentPath(const std::string& dir, uint32_t index) {
 Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
                                                      Options options,
                                                      RecoveryStats* stats) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("create_directories " + dir + ": " + ec.message());
-  }
   std::unique_ptr<BlockStore> store(new BlockStore(dir, options));
+  VCHAIN_RETURN_IF_ERROR(store->env_->CreateDirs(dir));
   VCHAIN_RETURN_IF_ERROR(store->OpenSegments(stats));
   return store;
 }
@@ -99,9 +76,9 @@ Status BlockStore::OpenSegments(RecoveryStats* stats) {
   // and later rolls would append into the stale higher-numbered files.
   uint32_t max_index = 0;
   size_t seen = 0;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    std::string name = entry.path().filename().string();
+  auto names = env_->ListDir(dir_);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : names.value()) {
     unsigned index = 0;
     // Exact-match the segment naming scheme; sscanf alone would also accept
     // e.g. "seg-000003.log.bak" and fail the density check below.
@@ -111,24 +88,17 @@ Status BlockStore::OpenSegments(RecoveryStats* stats) {
       if (index > max_index) max_index = index;
     }
   }
-  if (ec) {
-    return Status::Internal("list " + dir_ + ": " + ec.message());
-  }
   if (seen != 0 && seen != static_cast<size_t>(max_index) + 1) {
     return Status::Corruption("segment files are not dense in " + dir_ +
                               " (a segment is missing)");
   }
   std::vector<std::string> paths;
   for (uint32_t i = 0; i < seen; ++i) {
-    std::string path = SegmentPath(dir_, i);
-    if (!fs::exists(path)) {
-      return Status::Corruption("missing segment file: " + path);
-    }
-    paths.push_back(std::move(path));
+    paths.push_back(SegmentPath(dir_, i));
   }
   if (stats != nullptr) *stats = RecoveryStats{};
 
-  std::optional<CommitWatermark> watermark = ReadCommitWatermark(dir_);
+  std::optional<CommitWatermark> watermark = ReadCommitWatermark(dir_, env_);
   for (size_t si = 0; si < paths.size(); ++si) {
     bool last = si + 1 == paths.size();
     SegmentLog::OpenStats seg_stats;
@@ -161,7 +131,7 @@ Status BlockStore::OpenSegments(RecoveryStats* stats) {
               : 0;
     }
     auto seg = SegmentLog::Open(paths[si], /*truncate_torn_tail=*/last,
-                                &seg_stats, visit, strict_below);
+                                &seg_stats, visit, strict_below, env_);
     if (!seg.ok()) return seg.status();
     if (stats != nullptr) stats->truncated_bytes += seg_stats.truncated_bytes;
     segments_.push_back(seg.TakeValue());
@@ -188,12 +158,25 @@ Status BlockStore::WriteCommitWatermark() {
   w.PutU64(segments_.back()->size_bytes());
   w.PutU32(Crc32c(ByteSpan(w.bytes().data(), w.bytes().size())));
   std::string path = CommitPath(dir_);
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) return IoError("open", path);
-  Status st = PWriteFull(fd, 0, w.bytes().data(), w.bytes().size(), path);
-  if (st.ok() && ::fsync(fd) != 0) st = IoError("fsync", path);
-  ::close(fd);
-  return st;
+  bool need_entry_sync = false;
+  if (!commit_entry_synced_) {
+    auto exists = env_->FileExists(path);
+    if (!exists.ok()) return exists.status();
+    need_entry_sync = !exists.value();
+  }
+  auto file = env_->OpenFile(path);
+  if (!file.ok()) return file.status();
+  VCHAIN_RETURN_IF_ERROR(
+      file.value()->Write(0, w.bytes().data(), w.bytes().size()));
+  VCHAIN_RETURN_IF_ERROR(file.value()->Sync());
+  // Persist the sidecar's directory entry once; losing it is only the
+  // tolerant direction (reads as "no watermark") but would downgrade
+  // bit-rot detection after the crash.
+  if (need_entry_sync) {
+    VCHAIN_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  }
+  commit_entry_synced_ = true;
+  return Status::OK();
 }
 
 Status BlockStore::CheckContinuity(const chain::BlockHeader& header) const {
@@ -226,12 +209,13 @@ Status BlockStore::RollSegment() {
   }
   auto seg = SegmentLog::Open(
       SegmentPath(dir_, static_cast<uint32_t>(segments_.size())),
-      /*truncate_torn_tail=*/true);
+      /*truncate_torn_tail=*/true, nullptr, nullptr, SegmentLog::kNoWatermark,
+      env_);
   if (!seg.ok()) return seg.status();
   // Persist the new file's directory entry before any record relies on it;
   // otherwise a crash could drop the whole segment while its blocks'
   // appends (and fsyncs) reported success.
-  VCHAIN_RETURN_IF_ERROR(SyncDir(dir_));
+  VCHAIN_RETURN_IF_ERROR(env_->SyncDir(dir_));
   segments_.push_back(seg.TakeValue());
   return Status::OK();
 }

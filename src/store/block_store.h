@@ -47,6 +47,10 @@ class BlockStore {
     /// is batched: call `Sync()` at commit points (still torn-tail safe —
     /// an unsynced crash loses a suffix, never the middle).
     bool sync_every_append = false;
+    /// All file and directory I/O goes through this seam. nullptr ->
+    /// Env::Default() (production posix). Tests swap in a
+    /// FaultInjectionEnv; the pointer must outlive the store.
+    Env* env = nullptr;
   };
 
   struct RecoveryStats {
@@ -91,6 +95,9 @@ class BlockStore {
   }
   const std::string& dir() const { return dir_; }
   size_t NumSegments() const { return segments_.size(); }
+  /// True once a failed append/sync has put the store into write-refusal
+  /// (reads stay valid; reopen to resume appending).
+  bool broken() const { return broken_; }
 
   // --- cold start ------------------------------------------------------------
 
@@ -117,7 +124,9 @@ class BlockStore {
   };
 
   BlockStore(std::string dir, Options options)
-      : dir_(std::move(dir)), options_(options) {}
+      : dir_(std::move(dir)), options_(options) {
+    env_ = options_.env != nullptr ? options_.env : Env::Default();
+  }
 
   static std::string SegmentPath(const std::string& dir, uint32_t index);
   Status OpenSegments(RecoveryStats* stats);
@@ -131,7 +140,10 @@ class BlockStore {
 
   std::string dir_;
   Options options_;
+  Env* env_ = nullptr;
   bool broken_ = false;  ///< a failed append left ambiguous on-disk state
+  /// COMMIT sidecar's directory entry known durable (SyncDir'd).
+  bool commit_entry_synced_ = false;
   std::vector<std::unique_ptr<SegmentLog>> segments_;
   std::vector<chain::BlockHeader> headers_;
   std::vector<RecordRef> index_;  // height -> record location

@@ -1,0 +1,376 @@
+#include "store/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/rand.h"
+#include "store/posix_io.h"
+
+namespace vchain::store {
+
+namespace fs = std::filesystem;
+
+// --- posix env ---------------------------------------------------------------
+
+namespace {
+
+class PosixFile final : public Env::File {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(uint64_t offset, uint8_t* buf, size_t n) override {
+    return PReadFull(fd_, offset, buf, n, path_);
+  }
+
+  Status Write(uint64_t offset, const uint8_t* buf, size_t n) override {
+    return PWriteFull(fd_, offset, buf, n, path_);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return IoError("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return IoError("ftruncate", path_);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) return IoError("lseek", path_);
+    return static_cast<uint64_t>(end);
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return IoError("open", path);
+    return std::unique_ptr<File>(new PosixFile(path, fd));
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    std::error_code ec;
+    bool exists = fs::exists(path, ec);
+    if (ec) return Status::Internal("stat " + path + ": " + ec.message());
+    return exists;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec) return Status::Internal("remove " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("create_directories " + dir + ": " +
+                              ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::Internal("list " + dir + ": " + ec.message());
+    return names;
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return IoError("open dir", dir);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return IoError("fsync dir", dir);
+    return Status::OK();
+  }
+};
+
+Status InjectedError(const char* what, const std::string& path, int err) {
+  return Status::Internal(std::string(what) + " " + path + ": " +
+                          std::strerror(err) + " (injected)");
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- fault-injection env -----------------------------------------------------
+
+/// Wraps a base file; every mutation is journaled in the env's per-path
+/// state so PowerCut can replay an arbitrary subset of unsynced ops.
+class FaultInjectionFile final : public Env::File {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::unique_ptr<Env::File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Result<size_t> Read(uint64_t offset, uint8_t* buf, size_t n) override {
+    return base_->Read(offset, buf, n);
+  }
+
+  Status Write(uint64_t offset, const uint8_t* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    const FaultInjectionEnv::Fault* fault = env_->MaybeWriteFault();
+    size_t applied = n;
+    if (fault != nullptr) {
+      // A short write leaves a torn prefix of the frame on disk; a plain
+      // failure leaves nothing.
+      applied = fault->short_write && n > 1 ? n / 2 : 0;
+    }
+    if (applied > 0) {
+      VCHAIN_RETURN_IF_ERROR(ApplyWrite(offset, buf, applied));
+    }
+    if (fault != nullptr) {
+      return InjectedError("pwrite", base_->path(), fault->err);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    const FaultInjectionEnv::Fault* fault = env_->MaybeSyncFault();
+    if (fault != nullptr) {
+      // fsyncgate semantics: after a failed fsync nothing new is known
+      // durable — the journal keeps every record so a later PowerCut can
+      // still drop them.
+      return InjectedError("fsync", base_->path(), fault->err);
+    }
+    VCHAIN_RETURN_IF_ERROR(base_->Sync());
+    env_->files_[base_->path()].unsynced.clear();
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    const FaultInjectionEnv::Fault* fault = env_->MaybeWriteFault();
+    if (fault != nullptr) {
+      return InjectedError("ftruncate", base_->path(), fault->err);
+    }
+    auto old_size = base_->Size();
+    if (!old_size.ok()) return old_size.status();
+    FaultInjectionEnv::WriteRecord rec;
+    rec.offset = size;
+    rec.old_size = old_size.value();
+    rec.is_truncate = true;
+    if (size < rec.old_size) {
+      rec.preimage.resize(rec.old_size - size);
+      auto got = base_->Read(size, rec.preimage.data(), rec.preimage.size());
+      if (!got.ok()) return got.status();
+      rec.preimage.resize(got.value());
+    }
+    VCHAIN_RETURN_IF_ERROR(base_->Truncate(size));
+    env_->files_[base_->path()].unsynced.push_back(std::move(rec));
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  /// Journal preimage + data, then write through. Caller holds env mu_.
+  Status ApplyWrite(uint64_t offset, const uint8_t* buf, size_t n) {
+    auto old_size = base_->Size();
+    if (!old_size.ok()) return old_size.status();
+    FaultInjectionEnv::WriteRecord rec;
+    rec.offset = offset;
+    rec.old_size = old_size.value();
+    rec.data.assign(buf, buf + n);
+    if (offset < rec.old_size) {
+      size_t overlap =
+          static_cast<size_t>(std::min<uint64_t>(rec.old_size - offset, n));
+      rec.preimage.resize(overlap);
+      auto got = base_->Read(offset, rec.preimage.data(), overlap);
+      if (!got.ok()) return got.status();
+      rec.preimage.resize(got.value());
+    }
+    VCHAIN_RETURN_IF_ERROR(base_->Write(offset, buf, n));
+    env_->files_[base_->path()].unsynced.push_back(std::move(rec));
+    return Status::OK();
+  }
+
+  FaultInjectionEnv* env_;
+  std::unique_ptr<Env::File> base_;
+};
+
+Result<std::unique_ptr<Env::File>> FaultInjectionEnv::OpenFile(
+    const std::string& path) {
+  auto existed = base_->FileExists(path);
+  if (!existed.ok()) return existed.status();
+  auto file = base_->OpenFile(path);
+  if (!file.ok()) return file.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& state = files_[path];  // keeps journal across reopen
+    if (!existed.value()) state.entry_pending = true;
+  }
+  return std::unique_ptr<File>(
+      new FaultInjectionFile(this, file.TakeValue()));
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Fault* fault = MaybeSyncFault();
+  if (fault != nullptr) return InjectedError("fsync dir", dir, fault->err);
+  VCHAIN_RETURN_IF_ERROR(base_->SyncDir(dir));
+  for (auto& [path, state] : files_) {
+    if (fs::path(path).parent_path().string() == dir) {
+      state.entry_pending = false;
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::ScheduleFault(Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = fault;
+  fault_writes_seen_ = 0;
+  fault_syncs_seen_ = 0;
+}
+
+uint64_t FaultInjectionEnv::total_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_writes_;
+}
+
+uint64_t FaultInjectionEnv::total_syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_syncs_;
+}
+
+const FaultInjectionEnv::Fault* FaultInjectionEnv::MaybeWriteFault() {
+  ++total_writes_;
+  if (fault_.op != Fault::Op::kWrite) return nullptr;
+  if (++fault_writes_seen_ != fault_.at) return nullptr;
+  return &fault_;
+}
+
+const FaultInjectionEnv::Fault* FaultInjectionEnv::MaybeSyncFault() {
+  ++total_syncs_;
+  if (fault_.op != Fault::Op::kSync) return nullptr;
+  if (++fault_syncs_seen_ != fault_.at) return nullptr;
+  return &fault_;
+}
+
+void FaultInjectionEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  fault_ = Fault{};
+}
+
+Status FaultInjectionEnv::PowerCut(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rng rng(seed);
+  for (auto it = files_.begin(); it != files_.end();) {
+    const std::string& path = it->first;
+    FileState& state = it->second;
+
+    // A file whose directory entry was never fsync'd may vanish wholesale.
+    if (state.entry_pending && rng.Chance(0.5)) {
+      VCHAIN_RETURN_IF_ERROR(base_->DeleteFile(path));
+      it = files_.erase(it);
+      continue;
+    }
+    if (state.unsynced.empty()) {
+      ++it;
+      continue;
+    }
+
+    auto file = base_->OpenFile(path);
+    if (!file.ok()) return file.status();
+    auto size = file.value()->Size();
+    if (!size.ok()) return size.status();
+    Bytes content(size.value());
+    if (!content.empty()) {
+      auto got = file.value()->Read(0, content.data(), content.size());
+      if (!got.ok()) return got.status();
+    }
+
+    // Rewind to the last-fsync'd image: undo every journaled op in strict
+    // reverse order (LIFO undo is exact).
+    for (auto rec = state.unsynced.rbegin(); rec != state.unsynced.rend();
+         ++rec) {
+      if (rec->is_truncate) {
+        content.resize(rec->old_size, 0);
+        std::copy(rec->preimage.begin(), rec->preimage.end(),
+                  content.begin() + static_cast<ptrdiff_t>(rec->offset));
+      } else {
+        std::copy(rec->preimage.begin(), rec->preimage.end(),
+                  content.begin() + static_cast<ptrdiff_t>(rec->offset));
+        content.resize(rec->old_size);
+      }
+    }
+
+    // Unordered writeback: re-apply an arbitrary subset, some torn to a
+    // prefix. A gap left by a dropped write reads back as fresh (zero)
+    // blocks, exactly what a never-written disk region contains.
+    for (const WriteRecord& rec : state.unsynced) {
+      if (rec.is_truncate) {
+        if (rng.Chance(0.5)) content.resize(rec.offset);
+        continue;
+      }
+      double roll = rng.NextDouble();
+      size_t applied = rec.data.size();
+      if (roll < 0.35) {
+        applied = 0;  // dropped
+      } else if (roll < 0.55 && rec.data.size() > 1) {
+        applied = 1 + rng.Below(rec.data.size() - 1);  // torn prefix
+      }
+      if (applied == 0) continue;
+      if (content.size() < rec.offset + applied) {
+        content.resize(rec.offset + applied, 0);
+      }
+      std::copy(rec.data.begin(),
+                rec.data.begin() + static_cast<ptrdiff_t>(applied),
+                content.begin() + static_cast<ptrdiff_t>(rec.offset));
+    }
+
+    VCHAIN_RETURN_IF_ERROR(file.value()->Truncate(content.size()));
+    if (!content.empty()) {
+      VCHAIN_RETURN_IF_ERROR(
+          file.value()->Write(0, content.data(), content.size()));
+    }
+    VCHAIN_RETURN_IF_ERROR(file.value()->Sync());
+    state.unsynced.clear();
+    state.entry_pending = false;
+    ++it;
+  }
+  // What survived is the new durable baseline.
+  for (auto& [path, state] : files_) state.unsynced.clear();
+  return Status::OK();
+}
+
+}  // namespace vchain::store

@@ -1,0 +1,171 @@
+// Env — the storage layer's only door to the operating system.
+//
+// Every byte src/store/ reads or writes (segment records, the COMMIT
+// sidecar, directory entries) flows through one of these virtual calls, so
+// the whole durability story can be tested against an *injected* operating
+// system instead of the real one. Two implementations:
+//
+//   * Env::Default() — the production posix env: positional pread/pwrite
+//     (EINTR-retrying, via store/posix_io.h), fsync, ftruncate, and
+//     directory-entry fsync. Stateless; one shared instance.
+//
+//   * FaultInjectionEnv — wraps any base env and makes the failure modes a
+//     real disk exhibits reproducible on demand:
+//       - fail the nth write with ENOSPC/EIO, optionally leaving a torn
+//         prefix of the frame on disk (a short write);
+//       - fail the nth fsync (content or directory);
+//       - PowerCut(seed): emulate a power loss with *unordered* writeback —
+//         every write since the file's last successful fsync is
+//         independently kept, dropped (its preimage restored), or kept as a
+//         torn prefix, and files whose directory entry was never fsync'd
+//         vanish entirely.
+//     tests/store/crash_loop_test.cc drives hundreds of append/kill/reopen
+//     cycles through this env and requires recovery to a clean durable
+//     prefix every time.
+//
+// The seam is deliberately narrow — open/read/write/sync/truncate/size plus
+// four directory ops — because that is the storage layer's entire syscall
+// surface. Higher layers (net/, api/) never see an Env; they observe
+// storage faults only as Status values (and api::Service reacts by entering
+// read-only degraded mode).
+
+#ifndef VCHAIN_STORE_ENV_H_
+#define VCHAIN_STORE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace vchain::store {
+
+class Env {
+ public:
+  /// A read-write file addressed positionally (no cursor — failed or
+  /// partial operations are always retryable at the same offset).
+  class File {
+   public:
+    virtual ~File() = default;
+    /// pread up to `n` bytes; short only at EOF.
+    virtual Result<size_t> Read(uint64_t offset, uint8_t* buf, size_t n) = 0;
+    /// pwrite exactly `n` bytes at `offset` (or fail).
+    virtual Status Write(uint64_t offset, const uint8_t* buf, size_t n) = 0;
+    virtual Status Sync() = 0;
+    virtual Status Truncate(uint64_t size) = 0;
+    virtual Result<uint64_t> Size() = 0;
+    virtual const std::string& path() const = 0;
+  };
+
+  virtual ~Env() = default;
+
+  /// Open `path` read-write, creating it when absent.
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path) = 0;
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  /// Filenames (not paths) of the directory's entries.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  /// fsync the directory itself, making created entries durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The shared production posix env.
+  static Env* Default();
+};
+
+/// Deterministic fault injector over a base env (see file comment).
+/// Thread-compatible: the storage layer serializes writes, and tests drive
+/// PowerCut/ScheduleFault only between store open/close.
+class FaultInjectionEnv : public Env {
+ public:
+  struct Fault {
+    enum class Op { kNone, kWrite, kSync };
+    Op op = Op::kNone;
+    /// 1-based index of the matching operation that fails (counted from
+    /// ScheduleFault; writes and syncs counted separately).
+    uint64_t at = 0;
+    int err = 5;  // EIO
+    /// Leave a torn prefix of the frame on disk before failing.
+    bool short_write = false;
+  };
+
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override {
+    return base_->CreateDirs(dir);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status SyncDir(const std::string& dir) override;
+
+  /// Arm one fault; resets the operation counters. Only one fault is armed
+  /// at a time (the crash loop re-arms per cycle).
+  void ScheduleFault(Fault fault);
+  void ClearFault() { ScheduleFault(Fault{}); }
+
+  /// Operations observed since construction (not reset by ScheduleFault).
+  uint64_t total_writes() const;
+  uint64_t total_syncs() const;
+
+  /// Emulate a power loss across every tracked file: each un-fsync'd write
+  /// is independently kept, dropped, or torn to a prefix (driven by
+  /// `seed`); files whose directory entry was never SyncDir'd are deleted.
+  /// Call with no live File handles (i.e., after the store is destroyed).
+  Status PowerCut(uint64_t seed);
+
+  /// Forget all tracking (treat current on-disk state as durable).
+  void Reset();
+
+ private:
+  friend class FaultInjectionFile;
+
+  struct WriteRecord {
+    uint64_t offset = 0;
+    Bytes data;      ///< bytes written (re-applied for kept writes)
+    Bytes preimage;  ///< prior content of [offset, offset+data.size())
+    uint64_t old_size = 0;  ///< file size before the op
+    bool is_truncate = false;  ///< data empty; preimage = truncated tail
+  };
+
+  struct FileState {
+    std::vector<WriteRecord> unsynced;
+    /// Created through this env and the parent dir not yet fsync'd — a
+    /// power cut may drop the whole file.
+    bool entry_pending = false;
+  };
+
+  /// nullptr = no fault this op.
+  const Fault* MaybeWriteFault();
+  const Fault* MaybeSyncFault();
+
+  Env* base_;
+  mutable std::mutex mu_;
+  Fault fault_;
+  uint64_t fault_writes_seen_ = 0;
+  uint64_t fault_syncs_seen_ = 0;
+  uint64_t total_writes_ = 0;
+  uint64_t total_syncs_ = 0;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace vchain::store
+
+namespace vchain {
+// The seam is storage infrastructure but the name is library-wide: a
+// ServiceOptions carries one via store_options.env.
+using store::Env;
+using store::FaultInjectionEnv;
+}  // namespace vchain
+
+#endif  // VCHAIN_STORE_ENV_H_

@@ -1,14 +1,9 @@
 #include "store/segment_log.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "common/crc32c.h"
 #include "common/serde.h"
-#include "store/posix_io.h"
 
 namespace vchain::store {
 namespace {
@@ -33,20 +28,33 @@ uint32_t RecordCrc(const uint8_t len_bytes[4], ByteSpan payload) {
 
 }  // namespace
 
+Status SegmentLog::InitFresh() {
+  VCHAIN_RETURN_IF_ERROR(file_->Truncate(0));
+  uint8_t hdr[kFileHeaderBytes];
+  EncodeU32(kMagic, hdr);
+  EncodeU32(kVersion, hdr + 4);
+  VCHAIN_RETURN_IF_ERROR(file_->Write(0, hdr, sizeof(hdr)));
+  end_offset_ = kFileHeaderBytes;
+  offsets_.clear();
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SegmentLog>> SegmentLog::Open(const std::string& path,
                                                      bool truncate_torn_tail,
                                                      OpenStats* stats,
                                                      const RecordVisitor& visitor,
-                                                     uint64_t strict_below) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) return IoError("open", path);
-  std::unique_ptr<SegmentLog> log(new SegmentLog(path, fd));
+                                                     uint64_t strict_below,
+                                                     Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->OpenFile(path);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<SegmentLog> log(new SegmentLog(file.TakeValue()));
   if (stats != nullptr) *stats = OpenStats{};
 
-  off_t file_size = ::lseek(fd, 0, SEEK_END);
-  if (file_size < 0) return IoError("lseek", path);
-  if (file_size > 0 &&
-      static_cast<uint64_t>(file_size) < kFileHeaderBytes) {
+  auto size = log->file_->Size();
+  if (!size.ok()) return size.status();
+  uint64_t file_size = size.value();
+  if (file_size > 0 && file_size < kFileHeaderBytes) {
     // A crash during the 8-byte file-header write of a freshly created
     // segment leaves a prefix of the (deterministic) header bytes — recover
     // it as an empty segment rather than refusing to open the store.
@@ -54,19 +62,13 @@ Result<std::unique_ptr<SegmentLog>> SegmentLog::Open(const std::string& path,
       return Status::Corruption("torn file header in non-final segment: " +
                                 path);
     }
-    if (::ftruncate(fd, 0) != 0) return IoError("ftruncate", path);
-    if (stats != nullptr) {
-      stats->truncated_bytes = static_cast<uint64_t>(file_size);
-    }
+    VCHAIN_RETURN_IF_ERROR(log->file_->Truncate(0));
+    if (stats != nullptr) stats->truncated_bytes = file_size;
     file_size = 0;
   }
   if (file_size == 0) {
     // Fresh segment: write the file header.
-    uint8_t hdr[kFileHeaderBytes];
-    EncodeU32(kMagic, hdr);
-    EncodeU32(kVersion, hdr + 4);
-    VCHAIN_RETURN_IF_ERROR(PWriteFull(fd, 0, hdr, sizeof(hdr), path));
-    log->end_offset_ = kFileHeaderBytes;
+    VCHAIN_RETURN_IF_ERROR(log->InitFresh());
     return log;
   }
   VCHAIN_RETURN_IF_ERROR(
@@ -77,18 +79,30 @@ Result<std::unique_ptr<SegmentLog>> SegmentLog::Open(const std::string& path,
 Status SegmentLog::ScanExisting(bool truncate_torn_tail, OpenStats* stats,
                                 const RecordVisitor& visitor,
                                 uint64_t strict_below) {
-  off_t file_size = ::lseek(fd_, 0, SEEK_END);
-  if (file_size < 0) return IoError("lseek", path_);
-  uint64_t size = static_cast<uint64_t>(file_size);
+  auto size_r = file_->Size();
+  if (!size_r.ok()) return size_r.status();
+  uint64_t size = size_r.value();
 
   uint8_t hdr[kFileHeaderBytes];
-  auto got = PReadFull(fd_, 0, hdr, sizeof(hdr), path_);
+  auto got = file_->Read(0, hdr, sizeof(hdr));
   if (!got.ok()) return got.status();
-  if (DecodeU32(hdr) != kMagic) {
-    return Status::Corruption("bad segment magic: " + path_);
-  }
-  if (DecodeU32(hdr + 4) != kVersion) {
-    return Status::Corruption("unsupported segment version: " + path_);
+  if (DecodeU32(hdr) != kMagic || DecodeU32(hdr + 4) != kVersion) {
+    // With a watermark that says *no* byte of this file was ever fsync'd,
+    // garbage where the header should be is an unordered-writeback artifact
+    // (e.g. the header's page was dropped while a later record's page
+    // survived), not bit rot — recover the file as an empty segment.
+    if (truncate_torn_tail && strict_below == 0) {
+      VCHAIN_RETURN_IF_ERROR(InitFresh());
+      if (stats != nullptr) {
+        stats->records = 0;
+        stats->truncated_bytes = size;
+      }
+      return Status::OK();
+    }
+    if (DecodeU32(hdr) != kMagic) {
+      return Status::Corruption("bad segment magic: " + path());
+    }
+    return Status::Corruption("unsupported segment version: " + path());
   }
 
   uint64_t pos = kFileHeaderBytes;
@@ -107,15 +121,14 @@ Status SegmentLog::ScanExisting(bool truncate_torn_tail, OpenStats* stats,
   while (pos < size) {
     uint8_t rec_hdr[kRecordHeaderBytes];
     if (size - pos < kRecordHeaderBytes) break;  // torn length field
-    auto hr = PReadFull(fd_, pos, rec_hdr, sizeof(rec_hdr), path_);
+    auto hr = file_->Read(pos, rec_hdr, sizeof(rec_hdr));
     if (!hr.ok()) return hr.status();
     uint32_t len = DecodeU32(rec_hdr);
     uint32_t crc = DecodeU32(rec_hdr + 4);
     if (len > kMaxPayloadBytes) break;  // garbage length: unframed tail
     if (size - pos - kRecordHeaderBytes < len) break;  // payload cut short
     payload.resize(len);
-    auto pr = PReadFull(fd_, pos + kRecordHeaderBytes, payload.data(), len,
-                        path_);
+    auto pr = file_->Read(pos + kRecordHeaderBytes, payload.data(), len);
     if (!pr.ok()) return pr.status();
     if (RecordCrc(rec_hdr, ByteSpan(payload.data(), payload.size())) != crc) {
       crc_damage_before_eof = pos + kRecordHeaderBytes + len < size;
@@ -134,19 +147,17 @@ Status SegmentLog::ScanExisting(bool truncate_torn_tail, OpenStats* stats,
                               : pos < strict_below;
     if (durable_damage) {
       return Status::Corruption(
-          "damaged record in fsync'd data (bit rot) in " + path_);
+          "damaged record in fsync'd data (bit rot) in " + path());
     }
   }
 
   uint64_t torn = size - pos;
   if (torn > 0) {
     if (!truncate_torn_tail) {
-      return Status::Corruption("torn tail in non-final segment: " + path_);
+      return Status::Corruption("torn tail in non-final segment: " + path());
     }
-    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
-      return IoError("ftruncate", path_);
-    }
-    if (::fsync(fd_) != 0) return IoError("fsync", path_);
+    VCHAIN_RETURN_IF_ERROR(file_->Truncate(pos));
+    VCHAIN_RETURN_IF_ERROR(file_->Sync());
   }
   end_offset_ = pos;
   if (stats != nullptr) {
@@ -154,10 +165,6 @@ Status SegmentLog::ScanExisting(bool truncate_torn_tail, OpenStats* stats,
     stats->truncated_bytes = torn;
   }
   return Status::OK();
-}
-
-SegmentLog::~SegmentLog() {
-  if (fd_ >= 0) ::close(fd_);
 }
 
 Result<uint64_t> SegmentLog::Append(ByteSpan payload) {
@@ -169,8 +176,7 @@ Result<uint64_t> SegmentLog::Append(ByteSpan payload) {
   EncodeU32(RecordCrc(frame.data(), payload), frame.data() + 4);
   std::memcpy(frame.data() + kRecordHeaderBytes, payload.data(),
               payload.size());
-  VCHAIN_RETURN_IF_ERROR(
-      PWriteFull(fd_, end_offset_, frame.data(), frame.size(), path_));
+  VCHAIN_RETURN_IF_ERROR(file_->Write(end_offset_, frame.data(), frame.size()));
   uint64_t offset = end_offset_;
   offsets_.push_back(offset);
   end_offset_ += frame.size();
@@ -179,7 +185,7 @@ Result<uint64_t> SegmentLog::Append(ByteSpan payload) {
 
 Result<Bytes> SegmentLog::ReadAt(uint64_t offset) const {
   uint8_t rec_hdr[kRecordHeaderBytes];
-  auto hr = PReadFull(fd_, offset, rec_hdr, sizeof(rec_hdr), path_);
+  auto hr = file_->Read(offset, rec_hdr, sizeof(rec_hdr));
   if (!hr.ok()) return hr.status();
   if (hr.value() != kRecordHeaderBytes) {
     return Status::Corruption("record header past end of segment");
@@ -190,8 +196,7 @@ Result<Bytes> SegmentLog::ReadAt(uint64_t offset) const {
     return Status::Corruption("record length field too large");
   }
   Bytes payload(len);
-  auto pr = PReadFull(fd_, offset + kRecordHeaderBytes, payload.data(), len,
-                      path_);
+  auto pr = file_->Read(offset + kRecordHeaderBytes, payload.data(), len);
   if (!pr.ok()) return pr.status();
   if (pr.value() != len) {
     return Status::Corruption("record payload past end of segment");
@@ -202,9 +207,6 @@ Result<Bytes> SegmentLog::ReadAt(uint64_t offset) const {
   return payload;
 }
 
-Status SegmentLog::Sync() {
-  if (::fsync(fd_) != 0) return IoError("fsync", path_);
-  return Status::OK();
-}
+Status SegmentLog::Sync() { return file_->Sync(); }
 
 }  // namespace vchain::store

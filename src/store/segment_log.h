@@ -43,6 +43,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "store/env.h"
 
 namespace vchain::store {
 
@@ -81,13 +82,16 @@ class SegmentLog {
   /// reorder across pages — so recovery keeps the clean prefix and
   /// truncates. Pass kNoWatermark to treat all non-tail damage as bit rot
   /// (the right call for segments sealed by an fsync), 0 to treat all
-  /// damage as recoverable.
+  /// damage as recoverable — with `strict_below == 0` even a damaged *file
+  /// header* recovers (the whole file is an unsynced-writeback artifact).
+  ///
+  /// All I/O goes through `env` (nullptr -> Env::Default()).
   static Result<std::unique_ptr<SegmentLog>> Open(
       const std::string& path, bool truncate_torn_tail,
       OpenStats* stats = nullptr, const RecordVisitor& visitor = nullptr,
-      uint64_t strict_below = kNoWatermark);
+      uint64_t strict_below = kNoWatermark, Env* env = nullptr);
 
-  ~SegmentLog();
+  ~SegmentLog() = default;
   SegmentLog(const SegmentLog&) = delete;
   SegmentLog& operator=(const SegmentLog&) = delete;
 
@@ -106,16 +110,18 @@ class SegmentLog {
   size_t num_records() const { return offsets_.size(); }
   /// Next append position == current logical file size.
   uint64_t size_bytes() const { return end_offset_; }
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return file_->path(); }
 
  private:
-  SegmentLog(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  explicit SegmentLog(std::unique_ptr<Env::File> file)
+      : file_(std::move(file)) {}
 
   Status ScanExisting(bool truncate_torn_tail, OpenStats* stats,
                       const RecordVisitor& visitor, uint64_t strict_below);
+  /// Truncate to empty and write a fresh file header.
+  Status InitFresh();
 
-  std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<Env::File> file_;
   uint64_t end_offset_ = kFileHeaderBytes;
   std::vector<uint64_t> offsets_;
 };

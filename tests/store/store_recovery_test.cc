@@ -14,6 +14,7 @@
 
 #include "common/rand.h"
 #include "core/vchain.h"
+#include "store/env.h"
 
 namespace vchain::store {
 namespace {
@@ -222,6 +223,122 @@ TEST(StoreRecoveryTest, UnsyncedMidFileDamageRecoversToCleanPrefix) {
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   Mine(&resumed.value(), 1, 4, /*seed=*/33);
   EXPECT_EQ(db.value()->NumBlocks(), 5u);
+}
+
+// The disk fills mid-append (injected ENOSPC): the store must refuse
+// further writes — the on-disk state is ambiguous — while reads over the
+// already-appended prefix stay valid, and a reopen recovers exactly the
+// durable prefix and resumes mining.
+TEST(StoreRecoveryTest, EnospcDuringAppendFailsStoreAndReopenRecovers) {
+  std::string dir = UniqueDir();
+  Engine engine = MakeEngine();
+  ChainConfig config = TestConfig();
+  FaultInjectionEnv fenv;
+  BlockStore::Options opts;
+  opts.env = &fenv;
+
+  ChainBuilder<Engine> miner(engine, config);
+  {
+    auto db = BlockStore::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(miner.AttachStore(db.value().get()).ok());
+    Mine(&miner, 5, 4, /*seed=*/41);
+    ASSERT_TRUE(db.value()->Sync().ok());  // watermark after block 4
+
+    FaultInjectionEnv::Fault fault;
+    fault.op = FaultInjectionEnv::Fault::Op::kWrite;
+    fault.err = 28;  // ENOSPC
+    fault.at = 1;
+    fenv.ScheduleFault(fault);
+    auto st = miner.AppendBlock(
+        {{.id = 9000,
+          .timestamp = kBaseTime + 5 * kTimeStep,
+          .numeric = {1, 2},
+          .keywords = {"Sedan", "Benz"}}},
+        kBaseTime + 5 * kTimeStep);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.status().ToString().find("No space left"), std::string::npos)
+        << st.status().ToString();
+    fenv.ClearFault();
+
+    // Write-refusal: even with space back, the store stays failed ...
+    EXPECT_TRUE(db.value()->broken());
+    auto again = miner.AppendBlock(
+        {{.id = 9001,
+          .timestamp = kBaseTime + 5 * kTimeStep,
+          .numeric = {1, 2},
+          .keywords = {"Sedan", "Benz"}}},
+        kBaseTime + 5 * kTimeStep);
+    EXPECT_FALSE(again.ok());
+    // ... but reads over the durable prefix still serve.
+    EXPECT_EQ(db.value()->NumBlocks(), 5u);
+    EXPECT_TRUE(db.value()->ReadRecord(4).ok());
+  }
+
+  // Reopen: recovery truncates the ambiguous tail back to the durable
+  // prefix and mining resumes.
+  BlockStore::RecoveryStats stats;
+  auto db = BlockStore::Open(dir, opts, &stats);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value()->NumBlocks(), 5u);
+  for (uint64_t h = 0; h < 5; ++h) {
+    EXPECT_EQ(db.value()->HeaderAt(h).Hash(), miner.blocks()[h].header.Hash());
+  }
+  auto resumed =
+      ChainBuilder<Engine>::ResumeFromStore(engine, config, db.value().get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  Mine(&resumed.value(), 2, 4, /*seed=*/42);
+  EXPECT_EQ(db.value()->NumBlocks(), 7u);
+}
+
+// fsync fails under sync_every_append (fsyncgate: the kernel may have
+// dropped the page, so "retry the fsync" is not a recovery strategy). The
+// append must report failure, the store must refuse further writes, and a
+// reopen recovers a consistent prefix that includes everything previously
+// acknowledged as durable.
+TEST(StoreRecoveryTest, FsyncFailureDuringAppendFailsStoreAndReopenRecovers) {
+  std::string dir = UniqueDir();
+  Engine engine = MakeEngine();
+  ChainConfig config = TestConfig();
+  FaultInjectionEnv fenv;
+  BlockStore::Options opts;
+  opts.env = &fenv;
+  opts.sync_every_append = true;
+
+  ChainBuilder<Engine> miner(engine, config);
+  {
+    auto db = BlockStore::Open(dir, opts);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(miner.AttachStore(db.value().get()).ok());
+    Mine(&miner, 4, 4, /*seed=*/51);  // each append acked durable
+
+    FaultInjectionEnv::Fault fault;
+    fault.op = FaultInjectionEnv::Fault::Op::kSync;
+    fault.at = 1;
+    fenv.ScheduleFault(fault);
+    auto st = miner.AppendBlock(
+        {{.id = 9100,
+          .timestamp = kBaseTime + 4 * kTimeStep,
+          .numeric = {1, 2},
+          .keywords = {"Sedan", "Benz"}}},
+        kBaseTime + 4 * kTimeStep);
+    ASSERT_FALSE(st.ok());
+    fenv.ClearFault();
+    EXPECT_TRUE(db.value()->broken());
+    EXPECT_EQ(db.value()->NumBlocks(), 4u);  // the failed block was not acked
+  }
+  // Power loss after the failed fsync: unsynced pages may vanish.
+  ASSERT_TRUE(fenv.PowerCut(/*seed=*/77).ok());
+
+  auto db = BlockStore::Open(dir, opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_GE(db.value()->NumBlocks(), 4u);  // acked durability held
+  for (uint64_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(db.value()->HeaderAt(h).Hash(), miner.blocks()[h].header.Hash());
+  }
+  auto resumed =
+      ChainBuilder<Engine>::ResumeFromStore(engine, config, db.value().get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
 }
 
 TEST(StoreRecoveryTest, FlippedBodyByteIsDetectedAtOpen) {

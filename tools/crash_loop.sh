@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Crash-loop harness, the way CI runs it. Two stages:
+#
+#   1. In-process fault loop: tests/store/crash_loop_test drives hundreds of
+#      append / injected-fault / power-cut / reopen cycles per engine
+#      through FaultInjectionEnv and requires recovery to a clean durable
+#      prefix (bit-identical headers and VO bytes, never Corruption).
+#
+#   2. Real kill -9 loop: vchain_spd mines a demo chain into a persisted
+#      store and is SIGKILLed at random points mid-mining, over and over.
+#      Every restart must recover the store and resume; the finished chain
+#      must answer the canonical demo query with exactly the same bytes as
+#      an uninterrupted in-memory run (hash equality), and a final
+#      separate-process sp_query must verify against it. The last daemon is
+#      stopped with SIGTERM to exercise the graceful drain + final-Sync
+#      path.
+#
+# Usage: tools/crash_loop.sh [--quick] <build-dir> [work-dir]
+#   --quick : fewer cycles/kills (the ASan CI job uses this)
+
+set -euo pipefail
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+  shift
+fi
+BUILD_DIR=${1:?usage: crash_loop.sh [--quick] <build-dir> [work-dir]}
+WORK_DIR=${2:-$(mktemp -d)}
+mkdir -p "$WORK_DIR"
+SPD="$BUILD_DIR/vchain_spd"
+LOOP_TEST="$BUILD_DIR/crash_loop_test"
+CLIENT="$BUILD_DIR/sp_query"
+# The real accumulator plus a chain this long keeps mining busy for ~250ms,
+# so the 20-200ms kills below land mid-append, not after the chain is
+# already complete.
+ENGINE=acc2
+DEMO_BLOCKS=400
+
+if [[ "$QUICK" == 1 ]]; then
+  CYCLES=25   # x4 engines = 100 injected-crash cycles
+  KILLS=6
+else
+  CYCLES=150  # x4 engines = 600 injected-crash cycles
+  KILLS=15
+fi
+
+echo "=== stage 1: injected fault loop ($CYCLES cycles/engine) ==="
+VCHAIN_CRASH_CYCLES=$CYCLES "$LOOP_TEST"
+
+echo "=== stage 2: kill -9 loop ($KILLS kills) ==="
+SPD_PID=""
+cleanup() {
+  if [[ -n "$SPD_PID" ]] && kill -0 "$SPD_PID" 2>/dev/null; then
+    kill -9 "$SPD_PID" 2>/dev/null || true
+    wait "$SPD_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+# Reference: the uninterrupted run's answer to the canonical demo query.
+REF_LOG="$WORK_DIR/ref.log"
+"$SPD" --engine "$ENGINE" --demo "$DEMO_BLOCKS" --port 0 --once > "$REF_LOG" 2>&1
+REF_HASH=$(grep -oE 'demo_query_hash=[0-9a-f]+' "$REF_LOG" | cut -d= -f2)
+[[ -n "$REF_HASH" ]] || { echo "no reference hash:"; cat "$REF_LOG"; exit 1; }
+
+STORE="$WORK_DIR/spd-crash-store"
+rm -rf "$STORE"
+HASH=""
+PORT=""
+for ((i = 1; i <= KILLS; ++i)); do
+  LOG="$WORK_DIR/spd-kill-$i.log"
+  "$SPD" --engine "$ENGINE" --store "$STORE" --demo "$DEMO_BLOCKS" \
+         --port 0 --threads 2 > "$LOG" 2>&1 &
+  SPD_PID=$!
+  # Kill at a random point 20-200ms in — usually mid-mining, sometimes
+  # mid-recovery of the previous kill's damage.
+  sleep "$(awk -v r=$RANDOM 'BEGIN{printf "%.3f", 0.02 + (r % 180) / 1000}')"
+  if ! kill -0 "$SPD_PID" 2>/dev/null; then
+    # Exited already — it must have been a clean come-up, not a crash.
+    wait "$SPD_PID" && status=0 || status=$?
+    echo "daemon exited early (status $status):"; cat "$LOG"; exit 1
+  fi
+  kill -9 "$SPD_PID"
+  wait "$SPD_PID" 2>/dev/null || true
+  SPD_PID=""
+  echo "  kill $i: $(wc -c < "$STORE"/seg-*.log 2>/dev/null | tail -1 | awk '{print $1}' || echo 0) bytes in last segment"
+done
+
+# Final run: recover once more and let mining finish.
+LOG="$WORK_DIR/spd-final.log"
+"$SPD" --engine "$ENGINE" --store "$STORE" --demo "$DEMO_BLOCKS" \
+       --port 0 --threads 2 > "$LOG" 2>&1 &
+SPD_PID=$!
+for _ in $(seq 1 300); do
+  grep -q "serving" "$LOG" 2>/dev/null && break
+  if ! kill -0 "$SPD_PID" 2>/dev/null; then
+    echo "daemon failed to recover after kill loop:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.1
+done
+grep -q "serving" "$LOG" || { echo "daemon never came up:"; cat "$LOG"; exit 1; }
+PORT=$(grep -oE 'on 127\.0\.0\.1:[0-9]+' "$LOG" | grep -oE '[0-9]+$')
+HASH=$(grep -oE 'demo_query_hash=[0-9a-f]+' "$LOG" | cut -d= -f2)
+
+if [[ "$HASH" != "$REF_HASH" ]]; then
+  echo "recovered chain answers differently after $KILLS kills:"
+  echo "  expected $REF_HASH"
+  echo "  received $HASH"
+  exit 1
+fi
+
+# Separate-process client verification against the survivor.
+"$CLIENT" --engine "$ENGINE" --port "$PORT" --demo-query --expect-hash "$REF_HASH"
+
+# Graceful exit: SIGTERM must drain and run the final Sync.
+kill -TERM "$SPD_PID"
+wait "$SPD_PID" && status=0 || status=$?
+SPD_PID=""
+[[ "$status" == 0 ]] || { echo "graceful shutdown exited $status:"; cat "$LOG"; exit 1; }
+grep -q "shutting down" "$LOG" || { echo "no graceful drain in log:"; cat "$LOG"; exit 1; }
+
+echo "crash loop: store survived $KILLS kill -9s with bit-identical answers"
