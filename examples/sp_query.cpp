@@ -16,6 +16,8 @@
 //        --window TS TE | --range DIM LO HI | --all KW | --any KW (repeat)
 //        --expect-hash HEX                  fail unless response hash matches
 //        --stats                            also print /stats JSON
+//        --timing                           print client wall time + the SP's
+//                                           per-stage trace (X-Vchain-Trace)
 //        --retries N                        attempts per request (default 3;
 //                                           1 disables retry)
 //        --backoff-ms N                     initial retry backoff (default 100)
@@ -23,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "net/sp_client.h"
 #include "net/wire.h"
 #include "spd_common.h"
@@ -131,13 +134,24 @@ int main(int argc, char** argv) {
   }
   std::printf("synced %zu headers\n", light.Height());
 
-  // 2. The query, over the wire.
+  // 2. The query, over the wire. --timing additionally opts into the SP's
+  // per-stage trace header; the response bytes are identical either way.
   std::printf("query: %s\n", vchain::net::QueryToJson(q).c_str());
-  auto result = client->Query(q);
+  const bool timing = flags.Has("--timing");
+  std::string server_trace;
+  uint64_t t0 = vchain::metrics::MonotonicNanos();
+  auto result = client->Query(q, timing ? &server_trace : nullptr);
+  uint64_t wall_ns = vchain::metrics::MonotonicNanos() - t0;
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+  if (timing) {
+    std::printf("client_wall_ms=%.3f\n",
+                static_cast<double>(wall_ns) * 1e-6);
+    std::printf("server_trace=%s\n",
+                server_trace.empty() ? "(none)" : server_trace.c_str());
   }
   std::printf("received %zu result(s), VO = %zu bytes\n",
               result.value().objects.size(), result.value().vo_bytes);

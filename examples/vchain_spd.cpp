@@ -20,6 +20,14 @@
 //        --max-conns N  connection cap; excess shed 503  (default 64)
 //        --rps N        per-IP rate limit, 0 = off       (default 0)
 //        --drain-timeout N  graceful-drain budget, seconds (default 10)
+//        --log-level L  debug|info|warn|error|off        (default info)
+//        --log-json     one JSON object per log line (for log shippers)
+//        --slow-query-ms N  warn-log queries slower than N ms, with their
+//                           stage breakdown (default 0 = off)
+//
+// Observability: GET /metrics serves the Prometheus exposition of every
+// tier (store, service, HTTP); logs go to stderr with a request id stamped
+// on every line a request emits (the client's X-Request-Id when sent).
 //
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish in-flight
 // requests, then a final store Sync() so everything served as durable is.
@@ -32,6 +40,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/log.h"
 #include "net/sp_server.h"
 #include "spd_common.h"
 
@@ -44,6 +53,12 @@ int main(int argc, char** argv) {
   spd::Flags flags(argc, argv);
   vchain::EngineKind engine;
   if (!spd::ParseEngineFlag(flags, &engine)) return 2;
+
+  if (!vchain::logging::SetMinLevelFromName(flags.Get("--log-level", "info"))) {
+    std::fprintf(stderr, "bad --log-level (debug|info|warn|error|off)\n");
+    return 2;
+  }
+  vchain::logging::SetJsonOutput(flags.Has("--log-json"));
 
   // Before any mining or serving: a signal during startup must still reach
   // the sync-and-exit path below, not the default handler.
@@ -95,6 +110,7 @@ int main(int argc, char** argv) {
   sopts.http.num_threads = std::stoul(flags.Get("--threads", "4"));
   sopts.http.max_connections = std::stoul(flags.Get("--max-conns", "64"));
   sopts.http.rate_limit_rps = std::stod(flags.Get("--rps", "0"));
+  sopts.slow_query_ms = std::stoull(flags.Get("--slow-query-ms", "0"));
   auto server = vchain::net::SpServer::Start(svc.get(), sopts);
   if (!server.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/service.h"
+#include "core/query_trace.h"
 
 namespace vchain::api {
 
@@ -32,7 +33,10 @@ class IServiceBackend {
   virtual Status Sync() = 0;
   virtual Status Health() const = 0;
 
-  virtual Result<QueryResult> Query(const core::Query& q) = 0;
+  /// `trace` (optional) receives the per-stage breakdown, serialize_ns
+  /// included; tracing never changes the response bytes.
+  virtual Result<QueryResult> Query(const core::Query& q,
+                                    core::QueryTrace* trace) = 0;
 
   virtual Status SyncLightClient(chain::LightClient* client) const = 0;
   virtual Result<std::vector<chain::BlockHeader>> Headers(

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "api/backend.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "core/chain_builder.h"
 #include "core/processor.h"
 #include "core/proof_cache.h"
@@ -135,7 +137,8 @@ class ServiceBackend final : public IServiceBackend {
 
   // --- query side ----------------------------------------------------------
 
-  Result<QueryResult> Query(const core::Query& q) override {
+  Result<QueryResult> Query(const core::Query& q,
+                            core::QueryTrace* trace) override {
     VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(q, options_.config.schema));
     std::shared_lock<std::shared_mutex> lock(state_mu_);
     if (disk_source_ != nullptr) {
@@ -143,13 +146,13 @@ class ServiceBackend final : public IServiceBackend {
       core::QueryProcessor<Engine> sp(engine_, options_.config, &handle,
                                       &builder_->timestamp_index(),
                                       &proof_cache_);
-      return Finish(sp.TimeWindowQuery(q));
+      return Finish(sp.TimeWindowQuery(q, trace), trace);
     }
     store::VectorBlockSource<Engine> source(&builder_->blocks());
     core::QueryProcessor<Engine> sp(engine_, options_.config, &source,
                                     &builder_->timestamp_index(),
                                     &proof_cache_);
-    return Finish(sp.TimeWindowQuery(q));
+    return Finish(sp.TimeWindowQuery(q, trace), trace);
   }
 
   // --- user-side helpers ---------------------------------------------------
@@ -287,15 +290,18 @@ class ServiceBackend final : public IServiceBackend {
 
   /// Serialize a successful response into the erased QueryResult
   /// (serialize first, then move the result objects out — no copies).
-  Result<QueryResult> Finish(Result<core::QueryResponse<Engine>> resp) {
+  Result<QueryResult> Finish(Result<core::QueryResponse<Engine>> resp,
+                             core::QueryTrace* trace) {
     if (!resp.ok()) return resp.status();
     queries_served_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t t0 = trace ? metrics::MonotonicNanos() : 0;
     QueryResult out;
     ByteWriter w;
     core::SerializeResponse(engine_, resp.value(), &w);
     out.response_bytes = std::move(w.bytes());
     out.vo_bytes = core::VoByteSize(engine_, resp.value().vo);
     out.objects = std::move(resp.value().objects);
+    if (trace) trace->serialize_ns += metrics::MonotonicNanos() - t0;
     return out;
   }
 
@@ -303,6 +309,11 @@ class ServiceBackend final : public IServiceBackend {
   void EnterDegradedLocked(const Status& cause) {
     degraded_ = true;
     degraded_reason_ = cause.ToString();
+    metrics::Registry::Default()
+        .GetGauge("vchain_service_degraded",
+                  "1 while the service is read-only after a storage fault")
+        ->Set(1);
+    logging::Error("service_degraded").Kv("reason", degraded_reason_);
   }
 
   /// Run every block since the last drain past the standing queries,
@@ -315,6 +326,11 @@ class ServiceBackend final : public IServiceBackend {
       sub_next_height_ = tip;
       return;
     }
+    static metrics::Histogram* drain_seconds =
+        metrics::Registry::Default().GetLatencyHistogram(
+            "vchain_service_subscription_drain_seconds",
+            "Per-append standing-query drain latency");
+    metrics::ScopedTimer timer(drain_seconds);
     auto drain = [&](const store::BlockSource<Engine>& source) {
       while (sub_next_height_ < tip) {
         for (auto& notif : subs_.ProcessNewBlocks(source, &sub_next_height_)) {

@@ -14,9 +14,88 @@
 #include "accum/acc2.h"
 #include "accum/mock.h"
 #include "api/backend_impl.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace vchain::api {
+
+namespace {
+
+/// One registration, process-wide: total query latency, the per-stage
+/// share histograms the paper's cost breakdown reads from, and the
+/// served/error counters. Pointers are stable, so grab them once.
+struct QueryMetrics {
+  metrics::Histogram* query_seconds;
+  metrics::Histogram* stage_setup;
+  metrics::Histogram* stage_window_lookup;
+  metrics::Histogram* stage_match_walk;
+  metrics::Histogram* stage_aggregate;
+  metrics::Histogram* stage_prove;
+  metrics::Histogram* stage_serialize;
+  metrics::Counter* queries_total;
+  metrics::Counter* query_errors_total;
+  metrics::Counter* proof_cache_hits_total;
+  metrics::Counter* proof_cache_misses_total;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics m = [] {
+      metrics::Registry& r = metrics::Registry::Default();
+      const char* stage_name = "vchain_service_query_stage_seconds";
+      const char* stage_help =
+          "Per-stage server-side query latency (see core/query_trace.h)";
+      QueryMetrics out;
+      out.query_seconds = r.GetLatencyHistogram(
+          "vchain_service_query_seconds",
+          "End-to-end server-side query latency, serialization included");
+      out.stage_setup =
+          r.GetLatencyHistogram(stage_name, stage_help, {{"stage", "setup"}});
+      out.stage_window_lookup = r.GetLatencyHistogram(
+          stage_name, stage_help, {{"stage", "window_lookup"}});
+      out.stage_match_walk = r.GetLatencyHistogram(
+          stage_name, stage_help, {{"stage", "match_walk"}});
+      out.stage_aggregate = r.GetLatencyHistogram(stage_name, stage_help,
+                                                  {{"stage", "aggregate"}});
+      out.stage_prove =
+          r.GetLatencyHistogram(stage_name, stage_help, {{"stage", "prove"}});
+      out.stage_serialize = r.GetLatencyHistogram(stage_name, stage_help,
+                                                  {{"stage", "serialize"}});
+      out.queries_total = r.GetCounter("vchain_service_queries_total",
+                                       "Queries answered successfully");
+      out.query_errors_total = r.GetCounter(
+          "vchain_service_query_errors_total",
+          "Queries rejected or failed (validation errors included)");
+      out.proof_cache_hits_total =
+          r.GetCounter("vchain_service_proof_cache_hits_total",
+                       "Disjointness-proof cache hits observed by queries");
+      out.proof_cache_misses_total =
+          r.GetCounter("vchain_service_proof_cache_misses_total",
+                       "Disjointness-proof cache misses (proofs computed)");
+      return out;
+    }();
+    return m;
+  }
+};
+
+void ObserveQueryTrace(const core::QueryTrace& t, bool ok) {
+  const QueryMetrics& m = QueryMetrics::Get();
+  if (!ok) {
+    m.query_errors_total->Inc();
+    return;
+  }
+  m.queries_total->Inc();
+  m.query_seconds->Observe(static_cast<double>(t.total_ns) * 1e-9);
+  m.stage_setup->Observe(static_cast<double>(t.setup_ns) * 1e-9);
+  m.stage_window_lookup->Observe(static_cast<double>(t.window_lookup_ns) *
+                                 1e-9);
+  m.stage_match_walk->Observe(static_cast<double>(t.match_walk_ns) * 1e-9);
+  m.stage_aggregate->Observe(static_cast<double>(t.aggregate_ns) * 1e-9);
+  m.stage_prove->Observe(static_cast<double>(t.prove_ns) * 1e-9);
+  m.stage_serialize->Observe(static_cast<double>(t.serialize_ns) * 1e-9);
+  m.proof_cache_hits_total->Inc(t.proof_cache_hits);
+  m.proof_cache_misses_total->Inc(t.proof_cache_misses);
+}
+
+}  // namespace
 
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {
@@ -81,6 +160,11 @@ Service::~Service() = default;
 
 Status Service::Append(std::vector<chain::Object> objects,
                        uint64_t timestamp) {
+  static metrics::Histogram* append_seconds =
+      metrics::Registry::Default().GetLatencyHistogram(
+          "vchain_service_append_seconds",
+          "Mine-and-write-through latency per appended block");
+  metrics::ScopedTimer timer(append_seconds);
   return backend_->Append(std::move(objects), timestamp);
 }
 
@@ -88,17 +172,37 @@ Status Service::Sync() { return backend_->Sync(); }
 
 Status Service::Health() const { return backend_->Health(); }
 
-Result<QueryResult> Service::Query(const core::Query& q) {
-  return backend_->Query(q);
+Result<QueryResult> Service::Query(const core::Query& q,
+                                   core::QueryTrace* trace) {
+  // Every query is stage-timed: the trace is a handful of clock reads
+  // against milliseconds of proving, and always collecting it keeps the
+  // stage histograms honest instead of sampling only opted-in requests.
+  core::QueryTrace local;
+  core::QueryTrace* t = trace != nullptr ? trace : &local;
+  uint64_t t0 = metrics::MonotonicNanos();
+  auto out = backend_->Query(q, t);
+  t->total_ns += metrics::MonotonicNanos() - t0;
+  ObserveQueryTrace(*t, out.ok());
+  return out;
 }
 
 std::vector<Result<QueryResult>> Service::QueryBatch(
     const std::vector<core::Query>& queries) {
+  static metrics::Histogram* batch_seconds =
+      metrics::Registry::Default().GetLatencyHistogram(
+          "vchain_service_batch_seconds",
+          "Whole-batch latency of QueryBatch calls");
+  metrics::ScopedTimer timer(batch_seconds);
   std::vector<Result<QueryResult>> out(
       queries.size(), Result<QueryResult>(Status::Internal("not executed")));
   ThreadPool& pool = ThreadPool::Shared();
-  pool.ParallelFor(queries.size(), pool.NumWorkers() + 1,
-                   [&](size_t i) { out[i] = backend_->Query(queries[i]); });
+  pool.ParallelFor(queries.size(), pool.NumWorkers() + 1, [&](size_t i) {
+    core::QueryTrace t;
+    uint64_t t0 = metrics::MonotonicNanos();
+    out[i] = backend_->Query(queries[i], &t);
+    t.total_ns += metrics::MonotonicNanos() - t0;
+    ObserveQueryTrace(t, out[i].ok());
+  });
   return out;
 }
 

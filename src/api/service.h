@@ -57,6 +57,7 @@
 #include "common/lru.h"
 #include "core/block.h"
 #include "core/query.h"
+#include "core/query_trace.h"
 #include "store/block_store.h"
 
 namespace vchain::api {
@@ -183,7 +184,14 @@ class Service {
 
   /// Answer one Boolean range query: <R, VO> as a QueryResult.
   /// InvalidArgument for a structurally invalid query.
-  Result<QueryResult> Query(const core::Query& q);
+  ///
+  /// `trace` (optional) receives the per-stage wall-time/work breakdown
+  /// (core/query_trace.h), total_ns included. Every query is stage-timed
+  /// internally either way — the breakdown feeds the
+  /// vchain_service_query_stage_seconds histograms — so passing a trace
+  /// costs nothing extra and never changes the response bytes.
+  Result<QueryResult> Query(const core::Query& q,
+                            core::QueryTrace* trace = nullptr);
 
   /// Answer a batch concurrently on the shared worker pool (results in
   /// input order, each independently ok or failed). Byte-identical to

@@ -1,0 +1,256 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace vchain::logging {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(Level::kInfo)};
+std::atomic<bool> g_json{false};
+
+thread_local std::string t_request_id;
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "info";
+}
+
+/// ISO-8601 UTC with milliseconds: 2026-08-07T09:15:02.114Z.
+std::string NowStamp() {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t secs = system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+/// key=value values are quoted only when they need it, so the common case
+/// stays awk-able; quoted values escape backslash, quote, and newline.
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendEscaped(std::string* out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        // Strip other control bytes: a log line is one line, always.
+        if (static_cast<unsigned char>(c) >= 0x20) *out += c;
+    }
+  }
+}
+
+void AppendKvValue(std::string* out, std::string_view v) {
+  if (!NeedsQuoting(v)) {
+    *out += v;
+    return;
+  }
+  *out += '"';
+  AppendEscaped(out, v);
+  *out += '"';
+}
+
+void AppendJsonString(std::string* out, std::string_view v) {
+  *out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          *out += esc;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool SetMinLevelFromName(std::string_view name) {
+  if (name == "debug") SetMinLevel(Level::kDebug);
+  else if (name == "info") SetMinLevel(Level::kInfo);
+  else if (name == "warn") SetMinLevel(Level::kWarn);
+  else if (name == "error") SetMinLevel(Level::kError);
+  else if (name == "off") SetMinLevel(Level::kOff);
+  else return false;
+  return true;
+}
+
+void SetJsonOutput(bool json) {
+  g_json.store(json, std::memory_order_relaxed);
+}
+
+bool JsonOutput() { return g_json.load(std::memory_order_relaxed); }
+
+const std::string& CurrentRequestId() { return t_request_id; }
+
+ScopedRequestId::ScopedRequestId(std::string id)
+    : saved_(std::move(t_request_id)) {
+  t_request_id = std::move(id);
+}
+
+ScopedRequestId::~ScopedRequestId() { t_request_id = std::move(saved_); }
+
+LogLine::LogLine(Level level, std::string_view msg)
+    : enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)),
+      json_(g_json.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  buf_.reserve(160);
+  if (json_) {
+    buf_ += "{\"ts\":";
+    AppendJsonString(&buf_, NowStamp());
+    buf_ += ",\"level\":";
+    AppendJsonString(&buf_, LevelName(level));
+    buf_ += ",\"msg\":";
+    AppendJsonString(&buf_, msg);
+    if (!t_request_id.empty()) {
+      buf_ += ",\"req\":";
+      AppendJsonString(&buf_, t_request_id);
+    }
+  } else {
+    buf_ += "ts=";
+    buf_ += NowStamp();
+    buf_ += " level=";
+    buf_ += LevelName(level);
+    buf_ += " msg=";
+    AppendKvValue(&buf_, msg);
+    if (!t_request_id.empty()) {
+      buf_ += " req=";
+      AppendKvValue(&buf_, t_request_id);
+    }
+  }
+}
+
+LogLine::LogLine(LogLine&& other) noexcept
+    : enabled_(other.enabled_),
+      json_(other.json_),
+      buf_(std::move(other.buf_)) {
+  other.enabled_ = false;
+}
+
+void LogLine::AppendKey(std::string_view key) {
+  if (json_) {
+    buf_ += ',';
+    AppendJsonString(&buf_, key);
+    buf_ += ':';
+  } else {
+    buf_ += ' ';
+    buf_ += key;
+    buf_ += '=';
+  }
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  if (json_) {
+    AppendJsonString(&buf_, value);
+  } else {
+    AppendKvValue(&buf_, value);
+  }
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, bool value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  char num[48];
+  if (std::isfinite(value)) {
+    std::snprintf(num, sizeof(num), "%.6g", value);
+    buf_ += num;
+  } else if (json_) {
+    buf_ += "null";  // JSON has no Inf/NaN literals
+  } else {
+    buf_ += std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf");
+  }
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, uint64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  char num[24];
+  std::snprintf(num, sizeof(num), "%" PRIu64, value);
+  buf_ += num;
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, int64_t value) {
+  if (!enabled_) return *this;
+  AppendKey(key);
+  char num[24];
+  std::snprintf(num, sizeof(num), "%" PRId64, value);
+  buf_ += num;
+  return *this;
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  if (json_) buf_ += '}';
+  buf_ += '\n';
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(buf_.data(), 1, buf_.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace vchain::logging

@@ -1,0 +1,118 @@
+// Structured, leveled, dependency-free logging: one record per line, as
+// `key=value` pairs (default) or a single JSON object (`SetJsonOutput`).
+// Built for machine-parseable operational logs, not printf debugging:
+//
+//   logging::Info("query_done")
+//       .Kv("route", "/query")
+//       .Kv("ms", 12.4)
+//       .Kv("results", n);
+//   // ts=2026-08-07T09:15:02.114Z level=info msg=query_done
+//   //   req=5f2a... route=/query ms=12.4 results=3     (one line)
+//
+// The record is assembled in the LogLine's private buffer and emitted by
+// its destructor with a single locked write to stderr, so concurrent
+// threads never interleave fragments. Below-threshold records cost one
+// relaxed atomic load; every Kv on them is a no-op.
+//
+// Request-id stamping: the HTTP server wraps each handler invocation in a
+// ScopedRequestId, so any log line emitted anywhere under that call —
+// service, store, processor — carries `req=<id>` without plumbing the id
+// through every signature. The id is thread_local; worker threads each
+// serve one request at a time, which is exactly the shape that makes a
+// thread-local ambient id correct.
+
+#ifndef VCHAIN_COMMON_LOG_H_
+#define VCHAIN_COMMON_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vchain::logging {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global threshold: records below it are dropped at construction.
+/// Default kInfo.
+void SetMinLevel(Level level);
+Level MinLevel();
+/// Parses "debug"/"info"/"warn"/"error"/"off"; false on anything else.
+bool SetMinLevelFromName(std::string_view name);
+
+/// true → each record is one JSON object per line instead of key=value.
+void SetJsonOutput(bool json);
+bool JsonOutput();
+
+/// The ambient per-thread request id stamped on every record (empty =
+/// omitted). Set via ScopedRequestId around request handling.
+const std::string& CurrentRequestId();
+
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(std::string id);
+  ~ScopedRequestId();
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+/// One record, emitted on destruction. Move-only temporary; use through
+/// Debug()/Info()/Warn()/Error() below.
+class LogLine {
+ public:
+  LogLine(Level level, std::string_view msg);
+  ~LogLine();
+  LogLine(LogLine&& other) noexcept;
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  LogLine& operator=(LogLine&&) = delete;
+
+  LogLine& Kv(std::string_view key, std::string_view value);
+  LogLine& Kv(std::string_view key, const char* value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, const std::string& value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, bool value);
+  LogLine& Kv(std::string_view key, double value);
+  LogLine& Kv(std::string_view key, uint64_t value);
+  LogLine& Kv(std::string_view key, int64_t value);
+  LogLine& Kv(std::string_view key, int value) {
+    return Kv(key, static_cast<int64_t>(value));
+  }
+  LogLine& Kv(std::string_view key, unsigned value) {
+    return Kv(key, static_cast<uint64_t>(value));
+  }
+
+ private:
+  void AppendKey(std::string_view key);
+  bool enabled_;
+  bool json_;
+  std::string buf_;
+};
+
+inline LogLine Debug(std::string_view msg) {
+  return LogLine(Level::kDebug, msg);
+}
+inline LogLine Info(std::string_view msg) {
+  return LogLine(Level::kInfo, msg);
+}
+inline LogLine Warn(std::string_view msg) {
+  return LogLine(Level::kWarn, msg);
+}
+inline LogLine Error(std::string_view msg) {
+  return LogLine(Level::kError, msg);
+}
+
+}  // namespace vchain::logging
+
+#endif  // VCHAIN_COMMON_LOG_H_

@@ -1,0 +1,292 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vchain::metrics {
+
+namespace {
+
+/// Prometheus sample-value / le-label formatting: exact integers render
+/// without an exponent or trailing ".0" (counters stay grep-able and the
+/// linter can parse them as ints), everything else gets enough digits to
+/// round-trip monitoring math without drowning the exposition.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+/// HELP text escapes backslash and newline per the exposition spec (quotes
+/// stay literal there, unlike in label values).
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Label values escape per the exposition spec: backslash, double quote,
+/// and newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` (optionally with a trailing `le`), or "" when
+/// there are no labels at all.
+std::string RenderLabels(const Labels& labels, const char* le_value) {
+  if (labels.empty() && le_value == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  if (le_value != nullptr) {
+    if (!first) out += ",";
+    out += "le=\"";
+    out += le_value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyBucketsSeconds() {
+  static const std::vector<double> kBounds = {
+      1e-6,   2.5e-6, 5e-6,   1e-5,   2.5e-5, 5e-5,   1e-4,  2.5e-4,
+      5e-4,   1e-3,   2.5e-3, 5e-3,   1e-2,   2.5e-2, 5e-2,  1e-1,
+      2.5e-1, 5e-1,   1.0,    2.5,    5.0,    10.0};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank of the target observation, 1-based; ceil so q=1 lands on the
+  // last observation and q=0 on the first.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) {
+      // Overflow bucket: no upper bound to interpolate toward; clamp to
+      // the largest finite bound (or 0 for a bound-less summary).
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    double hi = bounds_[i];
+    if (in_bucket == 0) return hi;
+    double frac = static_cast<double>(rank - cum) / in_bucket;
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Registry& Registry::Default() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Registry::Child* Registry::GetChild(const std::string& name,
+                                    const std::string& help, Type type,
+                                    const Labels& labels,
+                                    const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.help = help;
+    fam.type = type;
+    if (bounds != nullptr) fam.bounds = *bounds;
+  } else if (fam.type != type) {
+    std::fprintf(stderr,
+                 "metrics: family %s re-registered with a different type\n",
+                 name.c_str());
+    std::abort();
+  }
+  for (const auto& child : fam.children) {
+    if (child->labels == labels) return child.get();
+  }
+  auto child = std::make_unique<Child>();
+  child->labels = labels;
+  switch (type) {
+    case Type::kCounter:
+      child->counter = std::make_unique<Counter>();
+      break;
+    case Type::kGauge:
+      child->gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      child->histogram = std::make_unique<Histogram>(fam.bounds);
+      break;
+  }
+  fam.children.push_back(std::move(child));
+  return fam.children.back().get();
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help,
+                              const Labels& labels) {
+  return GetChild(name, help, Type::kCounter, labels, nullptr)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const Labels& labels) {
+  return GetChild(name, help, Type::kGauge, labels, nullptr)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  const std::vector<double>& bounds,
+                                  const Labels& labels) {
+  return GetChild(name, help, Type::kHistogram, labels, &bounds)
+      ->histogram.get();
+}
+
+size_t Registry::AddCollector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Registry::RemoveCollector(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::string Registry::WriteText() {
+  // Collectors may register metrics or set gauges — run them before the
+  // registry lock is held so they can call back in without deadlocking.
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+  }
+  for (const auto& fn : collectors) fn();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + EscapeHelp(fam.help) + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.type) {
+      case Type::kCounter: out += "counter\n"; break;
+      case Type::kGauge: out += "gauge\n"; break;
+      case Type::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& child : fam.children) {
+      switch (fam.type) {
+        case Type::kCounter:
+          out += name + RenderLabels(child->labels, nullptr) + " " +
+                 FormatValue(static_cast<double>(child->counter->Value())) +
+                 "\n";
+          break;
+        case Type::kGauge:
+          out += name + RenderLabels(child->labels, nullptr) + " " +
+                 FormatValue(child->gauge->Value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *child->histogram;
+          uint64_t cum = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cum += h.BucketCount(i);
+            std::string le = FormatValue(h.bounds()[i]);
+            out += name + "_bucket" +
+                   RenderLabels(child->labels, le.c_str()) + " " +
+                   FormatValue(static_cast<double>(cum)) + "\n";
+          }
+          cum += h.BucketCount(h.bounds().size());
+          out += name + "_bucket" + RenderLabels(child->labels, "+Inf") +
+                 " " + FormatValue(static_cast<double>(cum)) + "\n";
+          out += name + "_sum" + RenderLabels(child->labels, nullptr) + " " +
+                 FormatValue(h.Sum()) + "\n";
+          out += name + "_count" + RenderLabels(child->labels, nullptr) +
+                 " " + FormatValue(static_cast<double>(h.Count())) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimer::ScopedTimer(Histogram* h)
+    : h_(h), start_ns_(h == nullptr ? 0 : MonotonicNanos()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (h_ == nullptr) return;
+  h_->Observe(static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9);
+}
+
+}  // namespace vchain::metrics

@@ -1,0 +1,221 @@
+// Dependency-free metrics substrate: counters, gauges, and fixed-bucket
+// latency histograms behind a process-wide registry with a Prometheus
+// text-exposition writer.
+//
+// Design constraints, in order:
+//
+//   1. Hot-path cost. Every instrument is a handful of relaxed atomic
+//      operations — no locks, no allocation, no syscalls. The registry
+//      mutex is taken only at registration (once per family/child, at
+//      construction time of the instrumented object) and at exposition
+//      (a scrape, a few times a minute). Instrument pointers are stable
+//      for the life of the registry, so callers register once and keep
+//      the raw pointer.
+//   2. Exactness. Counters and histogram bucket/count/sum values are
+//      exact under concurrency (fetch_add; the double-valued sum uses a
+//      compare_exchange loop). Quantiles are estimated from the fixed
+//      buckets by linear interpolation — the standard Prometheus
+//      histogram trade: cheap writes, bounded error set by the bucket
+//      layout.
+//   3. No dependencies. Plain C++20; exposition is hand-rolled
+//      text/plain; version=0.0.4.
+//
+// Naming scheme (enforced by convention, checked by tools/check_metrics.py
+// in CI): `vchain_<tier>_<name>`, where tier ∈ {store, core, service,
+// http}. Counters end in `_total`; latency histograms end in `_seconds`
+// and observe seconds as doubles.
+//
+// Registration is idempotent: asking for an existing (name, labels) pair
+// returns the same instrument pointer, so N instances of an instrumented
+// object (stores, servers) share one family without coordination. Asking
+// for an existing name with a different metric type aborts — that is a
+// programming error that would corrupt the exposition.
+
+#ifndef VCHAIN_COMMON_METRICS_H_
+#define VCHAIN_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vchain::metrics {
+
+/// Monotonically increasing count. Relaxed atomics: per-event ordering is
+/// irrelevant for monitoring, and relaxed fetch_add is a single lock-free
+/// RMW on every target we build for.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A value that goes up and down (in-flight requests, degraded flag,
+/// last-recovery duration). Stored as a double so one type serves both
+/// integral gauges and seconds-valued ones.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double d) { Add(-d); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-at-read, per-bucket atomic counts,
+/// exact total count and sum. Bucket upper bounds are fixed at
+/// construction (ascending, +Inf implicit), so Observe is a binary search
+/// plus two relaxed RMWs — no lock, no allocation.
+class Histogram {
+ public:
+  /// `bounds` = ascending finite upper bounds; the +Inf bucket is
+  /// implicit. Empty bounds degenerate to a count/sum-only summary.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate from the bucket counts, q in [0, 1]: locate the
+  /// bucket holding the q-th observation and interpolate linearly inside
+  /// it. Observations beyond the last finite bound clamp to that bound.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of observations <= bounds()[i] (non-cumulative per-bucket
+  /// internally; this returns the raw per-bucket count, index
+  /// bounds().size() = the +Inf overflow bucket).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  // One extra slot for the +Inf overflow bucket. unique_ptr array because
+  // atomics are not movable and the registry stores histograms by value
+  // behind stable unique_ptrs anyway.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket layout for latency histograms, in seconds: 1 µs → 10 s,
+/// roughly 1-2.5-5 per decade. 22 buckets — fine-grained enough for p99
+/// on sub-millisecond ops without bloating the exposition.
+const std::vector<double>& LatencyBucketsSeconds();
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Registry of metric families. One process-wide Default() instance is
+/// what the library tiers instrument against; tests build their own for
+/// isolated golden output.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every tier instruments by default.
+  static Registry& Default();
+
+  /// Get-or-create. The returned pointer is stable for the registry's
+  /// lifetime. Re-registering the same (name, labels) returns the same
+  /// instrument; the same name with a different type aborts.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  /// `bounds` is fixed by the first registration of `name`; later calls
+  /// for new label sets reuse the family's layout.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+  Histogram* GetLatencyHistogram(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels = {}) {
+    return GetHistogram(name, help, LatencyBucketsSeconds(), labels);
+  }
+
+  /// Collectors run at the top of WriteText, before families are read —
+  /// the hook for point-in-time values that live outside the registry
+  /// (cache stats snapshots, queue depths). Keep them cheap; they run on
+  /// every scrape under no registry lock of their own. Returns an id for
+  /// RemoveCollector — mandatory when the collector captures an object
+  /// that dies before the (process-lifetime) registry does.
+  size_t AddCollector(std::function<void()> fn);
+  void RemoveCollector(size_t id);
+
+  /// Prometheus text exposition (version 0.0.4): families sorted by
+  /// name, each with one # HELP and one # TYPE line, histogram children
+  /// expanded to cumulative _bucket{le=...} plus _sum/_count.
+  std::string WriteText();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    Type type;
+    std::vector<double> bounds;  // histograms only
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  Child* GetChild(const std::string& name, const std::string& help,
+                  Type type, const Labels& labels,
+                  const std::vector<double>* bounds);
+
+  std::mutex mu_;
+  // std::map: exposition output is sorted and stable without a sort pass.
+  std::map<std::string, Family> families_;
+  std::map<size_t, std::function<void()>> collectors_;
+  size_t next_collector_id_ = 0;
+};
+
+/// RAII seconds-timer into a histogram: observes elapsed wall time on
+/// destruction. `h` may be null (no-op) so call sites stay unconditional.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_;
+};
+
+/// Monotonic nanoseconds now — the clock ScopedTimer and the query trace
+/// share, so stage sums line up with totals.
+uint64_t MonotonicNanos();
+
+}  // namespace vchain::metrics
+
+#endif  // VCHAIN_COMMON_METRICS_H_

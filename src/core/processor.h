@@ -38,10 +38,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/chain_builder.h"
 #include "core/proof_cache.h"
 #include "core/query.h"
+#include "core/query_trace.h"
 #include "core/timestamp_index.h"
 #include "core/vo.h"
 #include "store/block_source.h"
@@ -74,16 +76,40 @@ class QueryProcessor {
   /// Process q over the chain; returns <R, VO>, or Status::InvalidArgument
   /// for a structurally invalid query (inverted or out-of-domain range,
   /// out-of-schema dimension, empty OR-clause — see core::ValidateQuery).
-  Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q) {
+  ///
+  /// `trace` (optional) receives the per-stage wall-time/work breakdown
+  /// (core/query_trace.h). Tracing only reads clocks and bumps counters —
+  /// the VO bytes are bit-identical with tracing on or off.
+  Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q,
+                                                QueryTrace* trace = nullptr) {
+    trace_ = trace;
+    uint64_t t0 = trace ? metrics::MonotonicNanos() : 0;
     VCHAIN_RETURN_IF_ERROR(ValidateQuery(q, config_.schema));
     TransformedQuery tq = TransformQuery(q, config_.schema);
     MappedQueryView view(engine_, tq);
+    if (trace) {
+      uint64_t t1 = metrics::MonotonicNanos();
+      trace->setup_ns += t1 - t0;
+      t0 = t1;
+    }
 
     QueryResponse<Engine> resp;
     auto range = FindHeightRange(q.time_start, q.time_end);
-    if (!range) return resp;  // empty window: nothing to prove
+    if (trace) {
+      uint64_t t1 = metrics::MonotonicNanos();
+      trace->window_lookup_ns += t1 - t0;
+      t0 = t1;
+    }
+    if (!range) {
+      trace_ = nullptr;
+      return resp;  // empty window: nothing to prove
+    }
 
     Aggregator agg;
+    // Inline proving during the walk (serial non-aggregating path) adds to
+    // prove_ns as it happens; remember the baseline so the walk time can be
+    // de-overlapped below even when one trace accumulates several queries.
+    uint64_t prove_before_walk = trace ? trace->prove_ns : 0;
     uint64_t cursor = range->second;
     // Walk newest-to-oldest (Algorithm 4's direction). One block is
     // materialized at a time (BlockSource's reference contract), so a
@@ -91,6 +117,7 @@ class QueryProcessor {
     for (;;) {
       const Block<Engine>& block = source_->BlockAt(cursor);
       resp.vo.steps.push_back(ProcessBlock(block, tq, view, &resp, &agg));
+      if (trace) ++trace->blocks_walked;
       if (cursor == range->first) break;
       // Try the *largest* usable mismatching skip of the current block.
       bool jumped = false;
@@ -109,14 +136,33 @@ class QueryProcessor {
               tq, &agg));
           cursor -= skip.distance + 1;
           jumped = true;
+          if (trace) ++trace->skips_taken;
           break;
         }
       }
       if (!jumped) --cursor;
       if (cursor + 1 == range->first) break;  // walked past the start
     }
+    if (trace) {
+      // Inline proving during the walk (the serial non-aggregating path)
+      // was accumulated into prove_ns as it happened; subtract it here so
+      // match_walk_ns and prove_ns stay non-overlapping.
+      uint64_t t1 = metrics::MonotonicNanos();
+      uint64_t walk = t1 - t0;
+      uint64_t inline_prove = trace->prove_ns - prove_before_walk;
+      trace->match_walk_ns += walk > inline_prove ? walk - inline_prove : 0;
+      trace->results_matched = resp.objects.size();
+      t0 = t1;
+    }
     FlushAggregates(&agg, tq, &resp.vo);
+    if (trace) {
+      uint64_t t1 = metrics::MonotonicNanos();
+      trace->aggregate_ns += t1 - t0;
+      t0 = t1;
+    }
     ResolveDeferredProofs(tq, &resp.vo);
+    if (trace) trace->prove_ns += metrics::MonotonicNanos() - t0;
+    trace_ = nullptr;
     return resp;
   }
 
@@ -137,6 +183,31 @@ class QueryProcessor {
     typename Engine::ObjectDigest digest;
     uint32_t clause_idx;
   };
+
+  /// Cache-consulting proof with trace attribution. When tracing,
+  /// hit/miss/proved counters are bumped and — for inline proofs during
+  /// the walk (`in_walk`) — wall time is booked to prove_ns so the walk
+  /// stage can subtract it (FlushAggregates' proving stays inside the
+  /// aggregate stage instead).
+  Result<typename Engine::Proof> TracedGetOrProve(
+      const typename Engine::ObjectDigest& digest, const Multiset& w,
+      const Multiset& clause, bool in_walk) {
+    if (trace_ == nullptr) {
+      return cache_->GetOrProve(engine_, digest, w, clause);
+    }
+    bool hit = false;
+    uint64_t t0 = metrics::MonotonicNanos();
+    auto proof = cache_->GetOrProve(engine_, digest, w, clause, &hit);
+    uint64_t dt = metrics::MonotonicNanos() - t0;
+    if (in_walk) trace_->prove_ns += dt;
+    if (hit) {
+      ++trace_->proof_cache_hits;
+    } else {
+      ++trace_->proof_cache_misses;
+      ++trace_->proofs_computed;
+    }
+    return proof;
+  }
 
   std::optional<std::pair<uint64_t, uint64_t>> FindHeightRange(
       uint64_t ts, uint64_t te) const {
@@ -196,6 +267,7 @@ class QueryProcessor {
                        QueryResponse<Engine>* resp, Aggregator* agg,
                        BlockVO<Engine>* bvo) {
     for (size_t i = 0; i < block.objects.size(); ++i) {
+      if (trace_) ++trace_->nodes_visited;
       VoNode<Engine> node;
       node.digest = block.leaf_digests[i];
       const Multiset& w = block.object_ws[i];
@@ -219,6 +291,7 @@ class QueryProcessor {
                       QueryResponse<Engine>* resp, Aggregator* agg,
                       std::vector<VoNode<Engine>>* out) {
     const IndexNode<Engine>& n = block.nodes[node_idx];
+    if (trace_) ++trace_->nodes_visited;
     VoNode<Engine> vn;
     vn.digest = n.digest;
     view.MapForMatch(engine_, n.w, &mapped_w_);
@@ -267,7 +340,7 @@ class QueryProcessor {
         return;
       }
       auto proof =
-          cache_->GetOrProve(engine_, digest, w, tq.clauses[clause_idx]);
+          TracedGetOrProve(digest, w, tq.clauses[clause_idx], /*in_walk=*/true);
       // A failure here would mean the match decision and the accumulator
       // disagree, which the mapped-match relation rules out by construction.
       assert(proof.ok());
@@ -303,13 +376,16 @@ class QueryProcessor {
           job.d = &deferred_[i];
           if (cache_->Lookup(key, &job.proof)) {
             job.cached = true;
+            if (trace_) ++trace_->proof_cache_hits;
           } else {
             to_compute.push_back(jobs.size());
+            if (trace_) ++trace_->proof_cache_misses;
           }
           jobs.push_back(std::move(job));
         }
         job_of_deferred[i] = it->second;
       }
+      if (trace_) trace_->proofs_computed += to_compute.size();
       ThreadPool::Shared().ParallelFor(
           to_compute.size(), config_.num_prover_threads, [&](size_t k) {
             Job& job = jobs[to_compute[k]];
@@ -370,8 +446,8 @@ class QueryProcessor {
       if (config_.num_prover_threads > 1) {
         deferred_.push_back(DeferredProof{entry.w, entry.digest, clause_idx});
       } else {
-        auto proof = cache_->GetOrProve(engine_, entry.digest, entry.w,
-                                        tq.clauses[clause_idx]);
+        auto proof = TracedGetOrProve(entry.digest, entry.w,
+                                      tq.clauses[clause_idx], /*in_walk=*/true);
         assert(proof.ok());
         svo.proof = proof.TakeValue();
       }
@@ -385,9 +461,11 @@ class QueryProcessor {
       for (auto& [clause_idx, summed] : agg->pending) {
         // One proof over the summed multiset equals the ProofSum of the
         // individual proofs (A is linear), at a single multiexp's cost.
+        uint64_t t0 = trace_ ? metrics::MonotonicNanos() : 0;
         auto digest = engine_.Digest(summed);
-        auto proof =
-            cache_->GetOrProve(engine_, digest, summed, tq.clauses[clause_idx]);
+        if (trace_) trace_->msm_ns += metrics::MonotonicNanos() - t0;
+        auto proof = TracedGetOrProve(digest, summed, tq.clauses[clause_idx],
+                                      /*in_walk=*/false);
         assert(proof.ok());
         vo->aggregated.push_back(
             AggregatedProof<Engine>{clause_idx, proof.TakeValue()});
@@ -407,6 +485,7 @@ class QueryProcessor {
   ProofCache<Engine>* cache_;
   std::vector<DeferredProof> deferred_;
   std::vector<uint64_t> mapped_w_;  // per-node mapping scratch
+  QueryTrace* trace_ = nullptr;     // non-null only inside a traced call
 };
 
 }  // namespace vchain::core

@@ -72,18 +72,23 @@ class ProofCache {
   /// Returns the cached or freshly-computed proof for (w, clause); forwards
   /// ProveDisjoint errors (i.e. the sets intersect). The proof itself is
   /// computed outside any lock — a miss never serializes other threads
-  /// behind a multiexp.
+  /// behind a multiexp. `was_hit` (optional) reports whether the proof came
+  /// from the cache — per-call attribution the aggregated stats() cannot
+  /// give a tracing caller.
   Result<typename Engine::Proof> GetOrProve(
       const Engine& engine, const typename Engine::ObjectDigest& digest,
-      const accum::Multiset& w, const accum::Multiset& clause) {
+      const accum::Multiset& w, const accum::Multiset& clause,
+      bool* was_hit = nullptr) {
     Key key = KeyFor(engine, digest, clause);
     Shard& shard = ShardFor(key);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       if (const typename Engine::Proof* hit = shard.map.Get(key)) {
+        if (was_hit != nullptr) *was_hit = true;
         return *hit;
       }
     }
+    if (was_hit != nullptr) *was_hit = false;
     auto proof = engine.ProveDisjoint(w, clause);
     if (proof.ok()) {
       std::lock_guard<std::mutex> lock(shard.mu);

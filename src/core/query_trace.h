@@ -1,0 +1,98 @@
+// Per-query stage trace: where did this query's wall time go?
+//
+// The paper's evaluation (vChain §8) breaks SP cost into window lookup,
+// clause matching, disjointness proving, and MSM — QueryTrace reproduces
+// that breakdown from a live server. QueryProcessor::TimeWindowQuery fills
+// one when handed a non-null pointer; the api::Service wraps the call to
+// add serialization and total time, aggregates stages into histograms, and
+// the wire layer surfaces the trace as JSON in an `X-Vchain-Trace`
+// response header when the request opts in.
+//
+// Two invariants:
+//   * Tracing never touches query semantics — it reads clocks and bumps
+//     counters, so VO bytes are bit-identical with tracing on or off
+//     (asserted in tests/net/net_e2e_test.cc).
+//   * The primary stages are non-overlapping and cover the whole
+//     processor+serialize path, so their sum tracks total_ns to within
+//     scheduling noise (the acceptance bound is ~10%). msm_ns is an
+//     informational sub-stage of aggregate_ns (the accumulate-then-digest
+//     multi-scalar exponentiation), not a sixth term of the sum.
+//
+// All times are monotonic-clock nanoseconds (metrics::MonotonicNanos).
+
+#ifndef VCHAIN_CORE_QUERY_TRACE_H_
+#define VCHAIN_CORE_QUERY_TRACE_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace vchain::core {
+
+struct QueryTrace {
+  // --- Non-overlapping wall-time stages (ns). Sum ≈ total_ns. ---
+  /// Query validation, keyword→element mapping, processor setup.
+  uint64_t setup_ns = 0;
+  /// Height-range resolution for [ts, te] (timestamp index or binary
+  /// search over headers).
+  uint64_t window_lookup_ns = 0;
+  /// The block walk: per-node clause matching, result collection,
+  /// mismatch recording, skip-step attempts.
+  uint64_t match_walk_ns = 0;
+  /// FlushAggregates: summed-multiset digesting (the MSM) and inline
+  /// aggregate proving.
+  uint64_t aggregate_ns = 0;
+  /// ResolveDeferredProofs: batch disjointness proving on the pool.
+  uint64_t prove_ns = 0;
+  /// Response serialization to canonical VO bytes (filled by api tier).
+  uint64_t serialize_ns = 0;
+
+  /// Whole server-side call, measured around everything above (api tier).
+  uint64_t total_ns = 0;
+
+  /// Informational sub-stage of aggregate_ns: time inside the engine
+  /// digest of summed multisets — the multi-scalar multiplication.
+  uint64_t msm_ns = 0;
+
+  // --- Work counts. ---
+  uint64_t blocks_walked = 0;
+  uint64_t skips_taken = 0;       // skip-list hops that replaced block walks
+  uint64_t nodes_visited = 0;     // intra-block tree nodes examined
+  uint64_t results_matched = 0;   // objects returned
+  uint64_t proofs_computed = 0;   // ProveDisjoint executions (cache misses)
+  uint64_t proof_cache_hits = 0;
+  uint64_t proof_cache_misses = 0;
+
+  /// Sum of the non-overlapping stages — the number the ~10%-of-total
+  /// acceptance bound is checked against.
+  uint64_t StageSumNs() const {
+    return setup_ns + window_lookup_ns + match_walk_ns + aggregate_ns +
+           prove_ns + serialize_ns;
+  }
+
+  /// Compact single-line JSON — header-safe (ASCII, no CR/LF), hand
+  /// rolled so core does not depend on the net tier's codec.
+  std::string ToJson() const {
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"total_ns\":%" PRIu64 ",\"setup_ns\":%" PRIu64
+        ",\"window_lookup_ns\":%" PRIu64 ",\"match_walk_ns\":%" PRIu64
+        ",\"aggregate_ns\":%" PRIu64 ",\"prove_ns\":%" PRIu64
+        ",\"serialize_ns\":%" PRIu64 ",\"msm_ns\":%" PRIu64
+        ",\"blocks_walked\":%" PRIu64 ",\"skips_taken\":%" PRIu64
+        ",\"nodes_visited\":%" PRIu64 ",\"results_matched\":%" PRIu64
+        ",\"proofs_computed\":%" PRIu64 ",\"proof_cache_hits\":%" PRIu64
+        ",\"proof_cache_misses\":%" PRIu64 "}",
+        total_ns, setup_ns, window_lookup_ns, match_walk_ns, aggregate_ns,
+        prove_ns, serialize_ns, msm_ns, blocks_walked, skips_taken,
+        nodes_visited, results_matched, proofs_computed, proof_cache_hits,
+        proof_cache_misses);
+    return buf;
+  }
+};
+
+}  // namespace vchain::core
+
+#endif  // VCHAIN_CORE_QUERY_TRACE_H_

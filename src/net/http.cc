@@ -13,15 +13,57 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <optional>
+#include <random>
 #include <unordered_map>
+
+#include "common/log.h"
 
 namespace vchain::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// 16 hex chars, unique within the process and unlikely to collide across
+/// processes: a random per-process prefix XOR-mixed with a sequence
+/// number. Not a secret — just a correlation id.
+std::string GenerateRequestId() {
+  static const uint64_t prefix = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+           static_cast<uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count());
+  }();
+  static std::atomic<uint64_t> seq{0};
+  uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+  // splitmix64 finalizer: consecutive ids don't share prefixes.
+  uint64_t z = prefix + n * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(z));
+  return buf;
+}
+
+/// A client-supplied id is echoed into a response header and log records:
+/// clamp the length and drop anything that could smuggle CR/LF or break
+/// the key=value log grammar.
+std::string SanitizeRequestId(std::string_view id) {
+  std::string out;
+  out.reserve(std::min<size_t>(id.size(), 64));
+  for (char c : id) {
+    if (out.size() >= 64) break;
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.';
+    if (ok) out += c;
+  }
+  return out.empty() ? GenerateRequestId() : out;
+}
 
 constexpr std::string_view kCrlf = "\r\n";
 constexpr std::string_view kHeadEnd = "\r\n\r\n";
@@ -419,7 +461,35 @@ class IpRateLimiter {
 // --- server ------------------------------------------------------------------
 
 HttpServer::HttpServer(Options options, Handler handler)
-    : options_(std::move(options)), handler_(std::move(handler)) {}
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  metrics::Registry& reg = options_.registry != nullptr
+                               ? *options_.registry
+                               : metrics::Registry::Default();
+  n_accepted_ = reg.GetCounter("vchain_http_accepted_total",
+                               "Connections admitted to a worker");
+  n_requests_ = reg.GetCounter("vchain_http_requests_total",
+                               "Requests dispatched to the handler");
+  n_shed_ = reg.GetCounter("vchain_http_shed_total",
+                           "Connections shed with 503 at accept");
+  n_rate_limited_ = reg.GetCounter("vchain_http_rate_limited_total",
+                                   "Requests answered 429 by the per-IP "
+                                   "token bucket");
+  n_timed_out_ = reg.GetCounter(
+      "vchain_http_timeout_total",
+      "Connections dropped for slow head/body progress (408)");
+  const char* status_name = "vchain_http_responses_total";
+  const char* status_help = "Responses by status class";
+  n_status_2xx_ = reg.GetCounter(status_name, status_help, {{"class", "2xx"}});
+  n_status_3xx_ = reg.GetCounter(status_name, status_help, {{"class", "3xx"}});
+  n_status_4xx_ = reg.GetCounter(status_name, status_help, {{"class", "4xx"}});
+  n_status_5xx_ = reg.GetCounter(status_name, status_help, {{"class", "5xx"}});
+  active_connections_ =
+      reg.GetGauge("vchain_http_active_connections",
+                   "Connections held right now (queued + in service)");
+  request_seconds_ = reg.GetLatencyHistogram(
+      "vchain_http_request_seconds",
+      "Handler wall time per dispatched request");
+}
 
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
                                                       Handler handler) {
@@ -480,12 +550,15 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
 HttpServer::~HttpServer() { Stop(); }
 
 HttpServerStats HttpServer::stats() const {
+  // Read back from the registry counters — the same cells /metrics
+  // exposes — so the JSON stats endpoint and the Prometheus exposition
+  // cannot disagree.
   HttpServerStats s;
-  s.accepted = n_accepted_.load(std::memory_order_relaxed);
-  s.requests = n_requests_.load(std::memory_order_relaxed);
-  s.shed_overload = n_shed_.load(std::memory_order_relaxed);
-  s.rate_limited = n_rate_limited_.load(std::memory_order_relaxed);
-  s.timed_out = n_timed_out_.load(std::memory_order_relaxed);
+  s.accepted = n_accepted_->Value();
+  s.requests = n_requests_->Value();
+  s.shed_overload = n_shed_->Value();
+  s.rate_limited = n_rate_limited_->Value();
+  s.timed_out = n_timed_out_->Value();
   s.active_connections = held_connections_.load(std::memory_order_relaxed);
   return s;
 }
@@ -579,8 +652,10 @@ void HttpServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (queue_.size() < options_.accept_queue) {
         queue_.push_back(PendingConn{fd, ip});
-        held_connections_.fetch_add(1, std::memory_order_acq_rel);
-        n_accepted_.fetch_add(1, std::memory_order_relaxed);
+        size_t held =
+            held_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        active_connections_->Set(static_cast<double>(held));
+        n_accepted_->Inc();
         admitted = true;
       }
     }
@@ -588,7 +663,7 @@ void HttpServer::AcceptLoop() {
       queue_cv_.notify_one();
       continue;
     }
-    n_shed_.fetch_add(1, std::memory_order_relaxed);
+    n_shed_->Inc();
     // Bounded-time best-effort 503 so well-behaved clients back off;
     // SO_SNDTIMEO keeps a hostile peer from wedging the accept thread.
     SetSendTimeoutMs(fd, 1000);
@@ -614,7 +689,9 @@ void HttpServer::WorkerLoop(size_t worker_index) {
     }
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(conn.fd);
-      held_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      size_t held =
+          held_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      active_connections_->Set(static_cast<double>(held));
       continue;
     }
     {
@@ -634,7 +711,9 @@ void HttpServer::WorkerLoop(size_t worker_index) {
       slots_[worker_index] = WorkerSlot{};
     }
     ::close(conn.fd);
-    held_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    size_t held =
+        held_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    active_connections_->Set(static_cast<double>(held));
   }
 }
 
@@ -701,7 +780,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
         continue;
       }
       if (out == RecvOutcome::kTimeout && !idle) {
-        n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        n_timed_out_->Inc();
         answer(408, "timed out reading request head\n", false);
       }
       return;  // idle timeout, EOF, error, or Stop()
@@ -732,7 +811,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
       RecvOutcome out = recv_phase(&buf, body_deadline);
       if (out == RecvOutcome::kData) continue;
       if (out == RecvOutcome::kTimeout) {
-        n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        n_timed_out_->Inc();
         answer(408, "timed out reading request body\n", false);
       }
       return;
@@ -748,7 +827,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
     // flooding client costs parsing, not proving. Keep-alive is preserved:
     // a well-behaved client backs off and reuses the connection.
     if (limiter_ != nullptr && !limiter_->Allow(peer_ip)) {
-      n_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      n_rate_limited_->Inc();
       if (!SendAllFd(fd,
                      SerializeResponse(
                          RetryLaterResponse(429, "rate limit exceeded\n"),
@@ -761,14 +840,36 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
 
     // 4. Dispatch; a throwing handler is a programming error upstream, but
     // answering 500 beats tearing down the whole server.
-    n_requests_.fetch_add(1, std::memory_order_relaxed);
+    n_requests_->Inc();
+    // Correlation id: honor the client's X-Request-Id, else mint one. The
+    // id is echoed on the response and made ambient for every log line the
+    // handler emits (thread-local; one request per worker at a time).
+    auto rid_it = parsed->request.headers.find("x-request-id");
+    parsed->request.request_id =
+        rid_it != parsed->request.headers.end() && !rid_it->second.empty()
+            ? SanitizeRequestId(rid_it->second)
+            : GenerateRequestId();
     HttpResponse resp;
-    try {
-      resp = handler_(parsed->request);
-    } catch (...) {
-      resp = {.status = 500,
-              .content_type = "text/plain",
-              .body = "internal error\n"};
+    {
+      logging::ScopedRequestId rid_scope(parsed->request.request_id);
+      metrics::ScopedTimer timer(request_seconds_);
+      try {
+        resp = handler_(parsed->request);
+      } catch (...) {
+        resp = {.status = 500,
+                .content_type = "text/plain",
+                .body = "internal error\n"};
+      }
+    }
+    resp.headers.emplace_back("X-Request-Id", parsed->request.request_id);
+    if (resp.status >= 500) {
+      n_status_5xx_->Inc();
+    } else if (resp.status >= 400) {
+      n_status_4xx_->Inc();
+    } else if (resp.status >= 300) {
+      n_status_3xx_->Inc();
+    } else {
+      n_status_2xx_->Inc();
     }
     if (!SendAllFd(fd, SerializeResponse(resp, keep_alive))) return;
     if (!keep_alive) return;
@@ -803,11 +904,11 @@ Status HttpConnection::SendAll(std::string_view data) {
   return Status::OK();
 }
 
-Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
-                                               const std::string& target,
-                                               std::string_view body,
-                                               const std::string& content_type,
-                                               bool* sent_on_wire) {
+Result<HttpResponse> HttpConnection::RoundTrip(
+    const std::string& method, const std::string& target,
+    std::string_view body, const std::string& content_type,
+    bool* sent_on_wire,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   if (sent_on_wire != nullptr) *sent_on_wire = false;
   const std::string peer =
       options_.host + ":" + std::to_string(options_.port);
@@ -815,6 +916,9 @@ Result<HttpResponse> HttpConnection::RoundTrip(const std::string& method,
   request += "Host: " + peer + "\r\n";
   request += "Content-Type: " + content_type + "\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   request += "Connection: keep-alive\r\n\r\n";
   request.append(body.data(), body.size());
 

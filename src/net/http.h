@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace vchain::net {
@@ -63,6 +64,10 @@ struct HttpRequest {
   std::map<std::string, std::string> query;    ///< decoded ?key=value params
   std::map<std::string, std::string> headers;  ///< lower-cased field names
   std::string body;
+  /// The request's correlation id: the client's X-Request-Id when it sent
+  /// one, else generated at dispatch. Echoed on the response, stamped (via
+  /// logging::ScopedRequestId) on every log line the handler emits.
+  std::string request_id;
 };
 
 struct HttpResponse {
@@ -80,7 +85,10 @@ const char* HttpReasonPhrase(int status);
 bool ParseDecimalU64(std::string_view s, uint64_t* out);
 
 /// Monotonic counters of the server's availability machinery (all events
-/// since Start). Snapshot via HttpServer::stats().
+/// since the registry's counters were created). Snapshot via
+/// HttpServer::stats() — the values are read back from the same
+/// metrics::Registry counters `GET /metrics` exposes, so the two can never
+/// drift. Servers sharing one registry (the Default()) share counters.
 struct HttpServerStats {
   uint64_t accepted = 0;       ///< connections handed to a worker
   uint64_t requests = 0;       ///< requests dispatched to the handler
@@ -123,6 +131,11 @@ class HttpServer {
     /// Budget for the request body after the head (408 otherwise). 0
     /// disables.
     int body_timeout_seconds = 10;
+
+    /// Registry the server's counters/histograms live in; null = the
+    /// process-wide metrics::Registry::Default(). Tests inject their own
+    /// for isolated assertions.
+    metrics::Registry* registry = nullptr;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -190,11 +203,20 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
 
-  std::atomic<uint64_t> n_accepted_{0};
-  std::atomic<uint64_t> n_requests_{0};
-  std::atomic<uint64_t> n_shed_{0};
-  std::atomic<uint64_t> n_rate_limited_{0};
-  std::atomic<uint64_t> n_timed_out_{0};
+  // Availability counters live in the metrics registry (one source of
+  // truth for stats() and /metrics); held_connections_ above stays the
+  // admission-control variable and is mirrored into active_connections_.
+  metrics::Counter* n_accepted_ = nullptr;
+  metrics::Counter* n_requests_ = nullptr;
+  metrics::Counter* n_shed_ = nullptr;
+  metrics::Counter* n_rate_limited_ = nullptr;
+  metrics::Counter* n_timed_out_ = nullptr;
+  metrics::Counter* n_status_2xx_ = nullptr;
+  metrics::Counter* n_status_3xx_ = nullptr;
+  metrics::Counter* n_status_4xx_ = nullptr;
+  metrics::Counter* n_status_5xx_ = nullptr;
+  metrics::Gauge* active_connections_ = nullptr;
+  metrics::Histogram* request_seconds_ = nullptr;
 };
 
 /// Client side: one persistent connection, lazily (re)established.
@@ -224,11 +246,15 @@ class HttpConnection {
   /// caller uses to gate non-idempotent requests. (A send on a reused
   /// keep-alive connection that the server already closed is retried
   /// internally; that cannot double-deliver, since the peer never read it.)
-  Result<HttpResponse> RoundTrip(const std::string& method,
-                                 const std::string& target,
-                                 std::string_view body,
-                                 const std::string& content_type,
-                                 bool* sent_on_wire = nullptr);
+  /// `extra_headers` (optional) are appended verbatim to the request head
+  /// — how callers propagate X-Request-Id and opt into X-Vchain-Trace.
+  /// Field names must be token-safe; values must be CR/LF-free.
+  Result<HttpResponse> RoundTrip(
+      const std::string& method, const std::string& target,
+      std::string_view body, const std::string& content_type,
+      bool* sent_on_wire = nullptr,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
  private:
   Status Connect();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -62,18 +64,27 @@ int64_t SpClient::ComputeBackoffMs(const RetryPolicy& policy, int attempt,
   return lo + static_cast<int64_t>(jitter % static_cast<uint64_t>(cap - lo + 1));
 }
 
-Result<HttpResponse> SpClient::Exchange(const std::string& method,
-                                        const std::string& target,
-                                        const std::string& body,
-                                        const std::string& content_type,
-                                        bool idempotent, bool retry_busy) {
+Result<HttpResponse> SpClient::Exchange(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type, bool idempotent,
+    bool retry_busy,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   const RetryPolicy& policy = options_.retry;
   const int max_attempts = std::max(1, policy.max_attempts);
+  // One id per logical request, reused across retries: the server logs then
+  // show each attempt of the same operation under the same correlation id.
+  char request_id[17];
+  snprintf(request_id, sizeof(request_id), "%016llx",
+           static_cast<unsigned long long>(SplitMix64(&id_state_)));
+  std::vector<std::pair<std::string, std::string>> headers;
+  headers.reserve(extra_headers.size() + 1);
+  headers.emplace_back("X-Request-Id", request_id);
+  headers.insert(headers.end(), extra_headers.begin(), extra_headers.end());
   Status last = Status::Internal("unreachable");
   for (int attempt = 1;; ++attempt) {
     bool sent_on_wire = false;
-    auto resp =
-        http_->RoundTrip(method, target, body, content_type, &sent_on_wire);
+    auto resp = http_->RoundTrip(method, target, body, content_type,
+                                 &sent_on_wire, headers);
     int64_t server_wait_ms = -1;
     if (resp.ok()) {
       int code = resp.value().status;
@@ -118,14 +129,29 @@ Result<std::unique_ptr<SpClient>> SpClient::Connect(Options options) {
   http.connect_timeout_seconds = options.connect_timeout_seconds;
   client->http_ = std::make_unique<HttpConnection>(std::move(http));
   client->jitter_state_ = options.retry.jitter_seed;
+  // Request ids must differ across client processes (they correlate server
+  // logs), so unlike backoff jitter they are seeded from entropy.
+  client->id_state_ = (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+                      std::random_device{}() ^ options.retry.jitter_seed;
   client->options_ = std::move(options);
   return client;
 }
 
-Result<api::QueryResult> SpClient::Query(const core::Query& q) {
-  auto resp = Exchange("POST", "/query", QueryToJson(q), "application/json");
+Result<api::QueryResult> SpClient::Query(const core::Query& q,
+                                         std::string* server_trace_json) {
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (server_trace_json != nullptr) {
+    server_trace_json->clear();
+    extra.emplace_back("X-Vchain-Trace", "1");
+  }
+  auto resp = Exchange("POST", "/query", QueryToJson(q), "application/json",
+                       /*idempotent=*/true, /*retry_busy=*/true, extra);
   if (!resp.ok()) return resp.status();
   if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  if (server_trace_json != nullptr) {
+    const std::string* t = FindHeader(resp.value(), "x-vchain-trace");
+    if (t != nullptr) *server_trace_json = *t;
+  }
   Bytes bytes(resp.value().body.begin(), resp.value().body.end());
   // DecodeResult re-derives objects/vo_bytes from the bytes themselves and
   // rejects trailing garbage — HTTP metadata is advisory only.

@@ -84,7 +84,14 @@ class SpClient {
   /// them — nothing from HTTP metadata is trusted). Per-query SP failures
   /// (e.g. InvalidArgument for a malformed query) come back as the mapped
   /// Status.
-  Result<api::QueryResult> Query(const core::Query& q);
+  ///
+  /// `server_trace_json` (optional): when non-null the request opts into
+  /// server-side stage tracing (`X-Vchain-Trace: 1`) and receives the SP's
+  /// per-stage breakdown JSON from the response header ("" when the SP
+  /// sent none). Purely diagnostic — the response bytes, and therefore
+  /// verification, are identical with tracing on or off.
+  Result<api::QueryResult> Query(const core::Query& q,
+                                 std::string* server_trace_json = nullptr);
 
   /// POST /query_batch: per-query results in input order.
   Result<std::vector<Result<api::QueryResult>>> QueryBatch(
@@ -126,17 +133,25 @@ class SpClient {
   /// signal *is* the answer, e.g. Healthz). Non-idempotent callers must
   /// pass idempotent=false: then a request that may have reached the wire
   /// is never re-sent.
-  Result<HttpResponse> Exchange(const std::string& method,
-                                const std::string& target,
-                                const std::string& body,
-                                const std::string& content_type,
-                                bool idempotent = true,
-                                bool retry_busy = true);
+  ///
+  /// Every exchange carries an X-Request-Id, generated once per *logical*
+  /// request and reused across its retries, so server logs show one id per
+  /// user-visible operation no matter how many attempts it took.
+  /// `extra_headers` are appended after it (how Query opts into tracing).
+  Result<HttpResponse> Exchange(
+      const std::string& method, const std::string& target,
+      const std::string& body, const std::string& content_type,
+      bool idempotent = true, bool retry_busy = true,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
   Options options_;
   std::unique_ptr<HttpConnection> http_;
   std::unique_ptr<api::Service> verifier_;  ///< chain-less verifier role
   uint64_t jitter_state_ = 0;               ///< splitmix64 walk
+  uint64_t id_state_ = 0;                   ///< request-id walk (separate
+                                            ///< stream: ids must not perturb
+                                            ///< backoff jitter sequences)
 };
 
 }  // namespace vchain::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/log.h"
 #include "net/wire.h"
 
 namespace vchain::net {
@@ -18,6 +19,20 @@ HttpResponse ErrorResponse(const Status& st) {
   return TextResponse(HttpStatusFor(st), st.ToString() + "\n");
 }
 
+/// Per-route request counters, one labeled child per endpoint. Registered
+/// once per process against the default registry (route names are fixed, so
+/// a single static table is enough even with several servers).
+metrics::Counter* RouteCounter(const char* route) {
+  return metrics::Registry::Default().GetCounter(
+      "vchain_http_route_requests_total", "Requests dispatched, by endpoint",
+      {{"route", route}});
+}
+
+bool TraceRequested(const HttpRequest& req) {
+  auto it = req.headers.find("x-vchain-trace");
+  return it != req.headers.end() && it->second == "1";
+}
+
 }  // namespace
 
 Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
@@ -28,16 +43,75 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
   std::unique_ptr<SpServer> server(new SpServer());
   server->service_ = service;
   server->options_ = options;
+  // Export the service's observable state as gauges, refreshed at scrape
+  // time. The collector holds a raw Service pointer, so it is removed in
+  // Stop/Drain/~SpServer — all of which precede the service's death per the
+  // Start() contract (service must outlive the server).
+  server->registry_ = options.http.registry != nullptr
+                          ? options.http.registry
+                          : &metrics::Registry::Default();
+  {
+    metrics::Registry& r = *server->registry_;
+    metrics::Gauge* blocks =
+        r.GetGauge("vchain_service_blocks", "Chain height (sealed blocks)");
+    metrics::Gauge* degraded = r.GetGauge(
+        "vchain_service_degraded",
+        "1 once a storage fault forced read-only mode, else 0");
+    metrics::Gauge* subs = r.GetGauge("vchain_service_subscriptions_active",
+                                      "Standing queries registered");
+    metrics::Gauge* sub_pending =
+        r.GetGauge("vchain_service_subscription_events_pending",
+                   "Buffered, undrained subscription events");
+    metrics::Gauge* pc_hits =
+        r.GetGauge("vchain_service_proof_cache_lru_hits",
+                   "Lifetime hits of the shared disjointness-proof cache");
+    metrics::Gauge* pc_misses =
+        r.GetGauge("vchain_service_proof_cache_lru_misses",
+                   "Lifetime misses of the shared disjointness-proof cache");
+    metrics::Gauge* bc_hits =
+        r.GetGauge("vchain_service_block_cache_hits",
+                   "Lifetime hits of the decoded-block cache");
+    metrics::Gauge* bc_misses =
+        r.GetGauge("vchain_service_block_cache_misses",
+                   "Lifetime misses of the decoded-block cache");
+    api::Service* svc = service;
+    server->collector_id_ = r.AddCollector([=] {
+      api::ServiceStats s = svc->Stats();
+      blocks->Set(static_cast<double>(s.num_blocks));
+      degraded->Set(s.degraded ? 1 : 0);
+      subs->Set(static_cast<double>(s.subscriptions_active));
+      sub_pending->Set(static_cast<double>(s.subscription_events_pending));
+      pc_hits->Set(static_cast<double>(s.proof_cache.hits));
+      pc_misses->Set(static_cast<double>(s.proof_cache.misses));
+      bc_hits->Set(static_cast<double>(s.block_cache.hits));
+      bc_misses->Set(static_cast<double>(s.block_cache.misses));
+    });
+    server->collector_registered_ = true;
+  }
   auto http = HttpServer::Start(
       options.http,
       [srv = server.get()](const HttpRequest& req) { return srv->Handle(req); });
-  if (!http.ok()) return http.status();
+  if (!http.ok()) {
+    server->RemoveCollector();
+    return http.status();
+  }
   server->http_ = http.TakeValue();
   return server;
 }
 
+SpServer::~SpServer() { RemoveCollector(); }
+
+void SpServer::RemoveCollector() {
+  if (collector_registered_) {
+    registry_->RemoveCollector(collector_id_);
+    collector_registered_ = false;
+  }
+}
+
 HttpResponse SpServer::Handle(const HttpRequest& req) const {
   if (req.path == "/healthz") {
+    static metrics::Counter* n = RouteCounter("/healthz");
+    n->Inc();
     if (req.method != "GET") return TextResponse(405, "use GET\n");
     Status health = service_->Health();
     HttpResponse resp =
@@ -50,6 +124,8 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
   }
 
   if (req.path == "/stats") {
+    static metrics::Counter* n = RouteCounter("/stats");
+    n->Inc();
     if (req.method != "GET") return TextResponse(405, "use GET\n");
     HttpResponse resp;
     resp.content_type = "application/json";
@@ -57,7 +133,19 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
     return resp;
   }
 
+  if (req.path == "/metrics") {
+    static metrics::Counter* n = RouteCounter("/metrics");
+    n->Inc();
+    if (req.method != "GET") return TextResponse(405, "use GET\n");
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = registry_->WriteText();
+    return resp;
+  }
+
   if (req.path == "/headers") {
+    static metrics::Counter* n = RouteCounter("/headers");
+    n->Inc();
     if (req.method != "GET") return TextResponse(405, "use GET\n");
     uint64_t tip = service_->NumBlocks();
     uint64_t from = 0;
@@ -86,24 +174,15 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
   }
 
   if (req.path == "/query") {
+    static metrics::Counter* n = RouteCounter("/query");
+    n->Inc();
     if (req.method != "POST") return TextResponse(405, "use POST\n");
-    auto query = QueryFromJson(req.body);
-    if (!query.ok()) return ErrorResponse(query.status());
-    auto result = service_->Query(query.value());
-    if (!result.ok()) return ErrorResponse(result.status());
-    HttpResponse resp;
-    resp.body.assign(result.value().response_bytes.begin(),
-                     result.value().response_bytes.end());
-    resp.headers.emplace_back("X-Vchain-Engine",
-                              api::EngineKindName(service_->engine_kind()));
-    resp.headers.emplace_back("X-Vchain-Vo-Bytes",
-                              std::to_string(result.value().vo_bytes));
-    resp.headers.emplace_back(
-        "X-Vchain-Results", std::to_string(result.value().objects.size()));
-    return resp;
+    return HandleQuery(req);
   }
 
   if (req.path == "/query_batch") {
+    static metrics::Counter* n = RouteCounter("/query_batch");
+    n->Inc();
     if (req.method != "POST") return TextResponse(405, "use POST\n");
     auto queries = BatchRequestFromJson(req.body);
     if (!queries.ok()) return ErrorResponse(queries.status());
@@ -126,6 +205,42 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
   }
 
   return TextResponse(404, "unknown endpoint\n");
+}
+
+HttpResponse SpServer::HandleQuery(const HttpRequest& req) const {
+  auto query = QueryFromJson(req.body);
+  if (!query.ok()) return ErrorResponse(query.status());
+  // Always collect the trace — Service stage-times every query anyway, so
+  // this only decides whether the breakdown also rides a response header.
+  // The body stays the canonical response bytes verbatim either way.
+  core::QueryTrace trace;
+  auto result = service_->Query(query.value(), &trace);
+  if (options_.slow_query_ms > 0 && result.ok() &&
+      trace.total_ns >= options_.slow_query_ms * 1000000ull) {
+    logging::Warn("slow_query")
+        .Kv("total_ms", static_cast<double>(trace.total_ns) * 1e-6)
+        .Kv("prove_ms", static_cast<double>(trace.prove_ns) * 1e-6)
+        .Kv("walk_ms", static_cast<double>(trace.match_walk_ns) * 1e-6)
+        .Kv("aggregate_ms", static_cast<double>(trace.aggregate_ns) * 1e-6)
+        .Kv("blocks_walked", trace.blocks_walked)
+        .Kv("results", trace.results_matched)
+        .Kv("cache_hits", trace.proof_cache_hits)
+        .Kv("cache_misses", trace.proof_cache_misses);
+  }
+  if (!result.ok()) return ErrorResponse(result.status());
+  HttpResponse resp;
+  resp.body.assign(result.value().response_bytes.begin(),
+                   result.value().response_bytes.end());
+  resp.headers.emplace_back("X-Vchain-Engine",
+                            api::EngineKindName(service_->engine_kind()));
+  resp.headers.emplace_back("X-Vchain-Vo-Bytes",
+                            std::to_string(result.value().vo_bytes));
+  resp.headers.emplace_back("X-Vchain-Results",
+                            std::to_string(result.value().objects.size()));
+  if (TraceRequested(req)) {
+    resp.headers.emplace_back("X-Vchain-Trace", trace.ToJson());
+  }
+  return resp;
 }
 
 }  // namespace vchain::net

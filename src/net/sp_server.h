@@ -10,10 +10,23 @@
 //                      (X-Vchain-Tip = chain height; pages are capped, the
 //                      client loops until its light client reaches the tip)
 //   GET  /stats        service stats as JSON
+//   GET  /metrics      Prometheus text exposition (version 0.0.4) of the
+//                      process-wide metrics registry: store, service, and
+//                      HTTP tiers plus the service-state gauges this server
+//                      exports while running (block height, degraded flag,
+//                      cache hit/miss counts)
 //   GET  /healthz      "ok\n" + X-Vchain-Engine (liveness probe); 503
 //                      "degraded: ..." once the service is read-only after
 //                      a storage fault — a load balancer drains writes but
 //                      queries keep serving
+//
+// Observability: send `X-Vchain-Trace: 1` on POST /query and the response
+// carries the server's per-stage breakdown (core/query_trace.h) as JSON in
+// an `X-Vchain-Trace` response header. The trace rides a header, never the
+// body — the response bytes stay the canonical <R, VO> encoding verbatim,
+// bit-identical with tracing on or off, so verification is unaffected.
+// Queries slower than Options.slow_query_ms are logged at warn level with
+// the same stage breakdown and the ambient request id.
 //
 // Availability: the embedded HttpServer enforces the connection cap, per-IP
 // rate limit, and slow-loris timeouts (HttpServer::Options); Drain() is the
@@ -32,6 +45,7 @@
 #include <memory>
 
 #include "api/service.h"
+#include "common/metrics.h"
 #include "net/http.h"
 
 namespace vchain::net {
@@ -42,20 +56,29 @@ class SpServer {
     HttpServer::Options http;
     /// Cap on GET /headers page size (clients page; see SpClient).
     size_t max_headers_per_page = 4096;
+    /// Queries slower than this (server-side, serialization included) are
+    /// logged at warn level with their stage breakdown. 0 disables.
+    uint64_t slow_query_ms = 0;
   };
 
   /// Start serving `service` (not owned; must outlive the server).
   static Result<std::unique_ptr<SpServer>> Start(api::Service* service,
                                                  Options options);
 
+  ~SpServer();
+
   /// Hard stop: abort in-flight requests.
-  void Stop() { http_->Stop(); }
+  void Stop() {
+    http_->Stop();
+    RemoveCollector();
+  }
 
   /// Graceful stop: stop accepting, finish in-flight requests, then fsync
   /// the service's store so everything served as durable actually is.
   /// Returns the final Sync status.
   Status Drain(int timeout_seconds = 10) {
     http_->Drain(timeout_seconds);
+    RemoveCollector();
     return service_->Sync();
   }
 
@@ -65,10 +88,17 @@ class SpServer {
  private:
   SpServer() = default;
   HttpResponse Handle(const HttpRequest& req) const;
+  HttpResponse HandleQuery(const HttpRequest& req) const;
+  /// Deregister the ServiceStats collector from the registry (idempotent).
+  /// Must happen before the Service can die — the collector reads it.
+  void RemoveCollector();
 
   api::Service* service_ = nullptr;
   Options options_;
   std::unique_ptr<HttpServer> http_;
+  metrics::Registry* registry_ = nullptr;
+  size_t collector_id_ = 0;
+  bool collector_registered_ = false;
 };
 
 }  // namespace vchain::net

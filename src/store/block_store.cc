@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/crc32c.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 
 namespace vchain::store {
@@ -12,6 +13,43 @@ namespace vchain::store {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Store-tier instrumentation, registered once process-wide (all stores in
+/// a process share the families; the daemon runs one store).
+struct StoreMetrics {
+  metrics::Histogram* append_seconds;
+  metrics::Histogram* fsync_seconds;
+  metrics::Histogram* recovery_seconds;
+  metrics::Counter* appends_total;
+  metrics::Counter* appended_bytes_total;
+  metrics::Counter* segment_rolls_total;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics m = [] {
+      metrics::Registry& r = metrics::Registry::Default();
+      StoreMetrics out;
+      out.append_seconds = r.GetLatencyHistogram(
+          "vchain_store_append_seconds",
+          "Block append latency, fsync included when sync_every_append");
+      out.fsync_seconds = r.GetLatencyHistogram(
+          "vchain_store_fsync_seconds",
+          "Durable-commit latency (segment fsync + COMMIT watermark)");
+      out.recovery_seconds = r.GetLatencyHistogram(
+          "vchain_store_recovery_seconds",
+          "Open-time recovery: scan, CRC-verify and index all segments");
+      out.appends_total =
+          r.GetCounter("vchain_store_appends_total", "Block records appended");
+      out.appended_bytes_total = r.GetCounter(
+          "vchain_store_appended_bytes_total",
+          "Record payload bytes appended (header + body, pre-framing)");
+      out.segment_rolls_total = r.GetCounter(
+          "vchain_store_segment_rolls_total",
+          "Segments sealed and rolled over to a fresh file");
+      return out;
+    }();
+    return m;
+  }
+};
 
 // COMMIT sidecar: magic | segment:u32 | offset:u64 | crc32c(first 16 bytes).
 // Records the last fsync point so Open can tell fsync'd-then-damaged data
@@ -64,6 +102,7 @@ Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
                                                      Options options,
                                                      RecoveryStats* stats) {
   std::unique_ptr<BlockStore> store(new BlockStore(dir, options));
+  metrics::ScopedTimer recovery_timer(StoreMetrics::Get().recovery_seconds);
   VCHAIN_RETURN_IF_ERROR(store->env_->CreateDirs(dir));
   VCHAIN_RETURN_IF_ERROR(store->OpenSegments(stats));
   return store;
@@ -200,6 +239,7 @@ Status BlockStore::CheckContinuity(const chain::BlockHeader& header) const {
 }
 
 Status BlockStore::RollSegment() {
+  StoreMetrics::Get().segment_rolls_total->Inc();
   if (!segments_.empty()) {
     // Seal the outgoing segment before any record lands in the next one, so
     // a later crash can only tear the *last* segment; the watermark records
@@ -221,6 +261,7 @@ Status BlockStore::RollSegment() {
 }
 
 Status BlockStore::Append(const chain::BlockHeader& header, ByteSpan body) {
+  metrics::ScopedTimer timer(StoreMetrics::Get().append_seconds);
   if (broken_) {
     return Status::Internal(
         "block store is in a failed state after an append error; reopen it");
@@ -254,6 +295,8 @@ Status BlockStore::Append(const chain::BlockHeader& header, ByteSpan body) {
   headers_.push_back(header);
   index_.push_back(RecordRef{static_cast<uint32_t>(segments_.size()) - 1,
                              offset.value()});
+  StoreMetrics::Get().appends_total->Inc();
+  StoreMetrics::Get().appended_bytes_total->Inc(w.bytes().size());
   return Status::OK();
 }
 
@@ -272,6 +315,7 @@ Result<Bytes> BlockStore::ReadRecord(uint64_t height) const {
 
 Status BlockStore::Sync() {
   if (segments_.empty()) return Status::OK();
+  metrics::ScopedTimer timer(StoreMetrics::Get().fsync_seconds);
   VCHAIN_RETURN_IF_ERROR(segments_.back()->Sync());
   return WriteCommitWatermark();
 }

@@ -1,0 +1,199 @@
+// The metrics substrate: exact bucket math, exact counts under concurrent
+// writers (the TSan CI job runs this), idempotent registration with stable
+// pointers, collector lifecycle, and a golden Prometheus exposition.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vchain::metrics {
+namespace {
+
+TEST(MetricsTest, CounterCountsExactly) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetAddSub) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  g.Sub(3.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+}
+
+TEST(MetricsTest, HistogramBucketMath) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // bucket 0 (<= 0.1)
+  h.Observe(0.1);    // bucket 0 (boundary counts in its bucket)
+  h.Observe(0.5);    // bucket 1
+  h.Observe(10.0);   // bucket 2
+  h.Observe(100.0);  // +Inf overflow bucket
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.05 + 0.1 + 0.5 + 10.0 + 100.0);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 100 observations uniform in bucket (1, 2]: every quantile lands there.
+  for (int i = 0; i < 100; ++i) h.Observe(1.5);
+  double p50 = h.P50();
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  double p99 = h.P99();
+  EXPECT_GE(p99, 1.0);
+  EXPECT_LE(p99, 2.0);
+  // Empty histogram reads as 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  // Overflow observations clamp the estimate to the last finite bound.
+  Histogram over({1.0, 2.0});
+  over.Observe(50.0);
+  EXPECT_DOUBLE_EQ(over.P99(), 2.0);
+}
+
+TEST(MetricsTest, ConcurrentObserversStayExact) {
+  Registry r;
+  Counter* c = r.GetCounter("vchain_test_ops_total", "ops");
+  Histogram* h = r.GetHistogram("vchain_test_lat_seconds", "lat",
+                                {0.001, 0.01, 0.1});
+  Gauge* g = r.GetGauge("vchain_test_inflight", "inflight");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        // 2^-7: every partial sum is exactly representable, so the CAS
+        // loop's exactness is observable as FP equality, not a tolerance.
+        h->Observe(0.0078125);
+        g->Add(t % 2 == 0 ? 1.0 : -1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.0078125 * kThreads * kPerThread);
+  EXPECT_EQ(h->BucketCount(1), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);  // equal adds and subs
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentWithStablePointers) {
+  Registry r;
+  Counter* a = r.GetCounter("vchain_test_total", "help");
+  Counter* b = r.GetCounter("vchain_test_total", "ignored on re-get");
+  EXPECT_EQ(a, b);
+  Counter* la = r.GetCounter("vchain_test_labeled_total", "h", {{"k", "v1"}});
+  Counter* lb = r.GetCounter("vchain_test_labeled_total", "h", {{"k", "v2"}});
+  Counter* lc = r.GetCounter("vchain_test_labeled_total", "h", {{"k", "v1"}});
+  EXPECT_NE(la, lb);  // distinct children
+  EXPECT_EQ(la, lc);  // same child
+}
+
+TEST(MetricsTest, CollectorsRunAtScrapeAndAreRemovable) {
+  Registry r;
+  Gauge* g = r.GetGauge("vchain_test_gauge", "refreshed by collector");
+  std::atomic<int> runs{0};
+  size_t id = r.AddCollector([&] {
+    runs.fetch_add(1);
+    g->Set(7);
+  });
+  std::string text = r.WriteText();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_NE(text.find("vchain_test_gauge 7"), std::string::npos);
+  r.RemoveCollector(id);
+  r.WriteText();
+  EXPECT_EQ(runs.load(), 1);  // did not run again
+}
+
+TEST(MetricsTest, ExpositionGolden) {
+  Registry r;
+  r.GetCounter("vchain_test_requests_total", "Requests served")->Inc(3);
+  r.GetCounter("vchain_test_by_route_total", "By route", {{"route", "/q"}})
+      ->Inc();
+  r.GetGauge("vchain_test_up", "Liveness")->Set(1);
+  Histogram* h =
+      r.GetHistogram("vchain_test_seconds", "Latency", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(0.75);
+  h->Observe(2.0);
+  const std::string expected =
+      "# HELP vchain_test_by_route_total By route\n"
+      "# TYPE vchain_test_by_route_total counter\n"
+      "vchain_test_by_route_total{route=\"/q\"} 1\n"
+      "# HELP vchain_test_requests_total Requests served\n"
+      "# TYPE vchain_test_requests_total counter\n"
+      "vchain_test_requests_total 3\n"
+      "# HELP vchain_test_seconds Latency\n"
+      "# TYPE vchain_test_seconds histogram\n"
+      "vchain_test_seconds_bucket{le=\"0.5\"} 1\n"
+      "vchain_test_seconds_bucket{le=\"1\"} 2\n"
+      "vchain_test_seconds_bucket{le=\"+Inf\"} 3\n"
+      "vchain_test_seconds_sum 3\n"
+      "vchain_test_seconds_count 3\n"
+      "# HELP vchain_test_up Liveness\n"
+      "# TYPE vchain_test_up gauge\n"
+      "vchain_test_up 1\n";
+  EXPECT_EQ(r.WriteText(), expected);
+}
+
+TEST(MetricsTest, ExpositionEscapesHelpAndLabelValues) {
+  Registry r;
+  r.GetCounter("vchain_test_esc_total", "line\\one \"two\"",
+               {{"path", "a\\b\"c\""}})
+      ->Inc();
+  std::string text = r.WriteText();
+  EXPECT_NE(text.find("# HELP vchain_test_esc_total line\\\\one \"two\"\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vchain_test_esc_total{path=\"a\\\\b\\\"c\\\"\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ScopedTimerObservesAndToleratesNull) {
+  Registry r;
+  Histogram* h = r.GetLatencyHistogram("vchain_test_timer_seconds", "t");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Sum(), 0.0);
+  {
+    ScopedTimer noop(nullptr);  // must not crash
+  }
+}
+
+TEST(MetricsTest, LatencyBucketLayoutIsSane) {
+  const std::vector<double>& b = LatencyBucketsSeconds();
+  ASSERT_GE(b.size(), 10u);
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LT(b[i - 1], b[i]) << "bounds must ascend";
+  }
+  EXPECT_LE(b.front(), 1e-5);  // resolves micro-scale ops
+  EXPECT_GE(b.back(), 1.0);    // and second-scale ones
+}
+
+TEST(MetricsTest, MonotonicNanosAdvances) {
+  uint64_t a = MonotonicNanos();
+  uint64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace vchain::metrics

@@ -174,5 +174,80 @@ TEST_F(HttpServerTest, StopUnblocksEverything) {
   SUCCEED();
 }
 
+const std::string* FindHeader(const HttpResponse& resp,
+                              const std::string& key) {
+  for (const auto& [k, v] : resp.headers) {
+    if (k == key) return &v;  // client lower-cases field names
+  }
+  return nullptr;
+}
+
+TEST_F(HttpServerTest, RequestIdIsGeneratedWhenAbsent) {
+  HttpConnection conn({.host = "127.0.0.1", .port = server_->port()});
+  auto resp = conn.RoundTrip("GET", "/ping", "", "text/plain");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  const std::string* id = FindHeader(resp.value(), "x-request-id");
+  ASSERT_NE(id, nullptr) << "every response must carry X-Request-Id";
+  EXPECT_FALSE(id->empty());
+  // A second request gets a different id.
+  auto resp2 = conn.RoundTrip("GET", "/ping", "", "text/plain");
+  ASSERT_TRUE(resp2.ok());
+  const std::string* id2 = FindHeader(resp2.value(), "x-request-id");
+  ASSERT_NE(id2, nullptr);
+  EXPECT_NE(*id, *id2);
+}
+
+TEST_F(HttpServerTest, ClientRequestIdIsEchoedBack) {
+  HttpConnection conn({.host = "127.0.0.1", .port = server_->port()});
+  auto resp = conn.RoundTrip("GET", "/ping", "", "text/plain", nullptr,
+                             {{"X-Request-Id", "abc-123.DEF"}});
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  const std::string* id = FindHeader(resp.value(), "x-request-id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "abc-123.DEF");
+}
+
+TEST_F(HttpServerTest, HostileRequestIdIsReplacedNotEchoed) {
+  HttpConnection conn({.host = "127.0.0.1", .port = server_->port()});
+  // Characters outside [0-9a-zA-Z-_.] (here: quotes, spaces, braces) must
+  // never be reflected into a response header or a log line.
+  auto resp = conn.RoundTrip("GET", "/ping", "", "text/plain", nullptr,
+                             {{"X-Request-Id", "evil\"id {inject}"}});
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  const std::string* id = FindHeader(resp.value(), "x-request-id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_FALSE(id->empty());
+  EXPECT_EQ(id->find_first_of("\" {}"), std::string::npos);
+  EXPECT_NE(*id, "evil\"id {inject}");
+}
+
+TEST(HttpServerMetricsTest, InjectedRegistryIsTheOneSourceOfTruth) {
+  metrics::Registry registry;
+  HttpServer::Options opts;
+  opts.num_threads = 2;
+  opts.registry = &registry;
+  auto server = HttpServer::Start(opts, [](const HttpRequest&) {
+    return HttpResponse{.content_type = "text/plain", .body = "ok\n"};
+  });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  HttpConnection conn({.host = "127.0.0.1", .port = server.value()->port()});
+  for (int i = 0; i < 3; ++i) {
+    auto resp = conn.RoundTrip("GET", "/x", "", "text/plain");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  }
+  // stats() reads back the same registry counters /metrics exposes.
+  HttpServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.accepted, 1u);  // one keep-alive connection
+  std::string text = registry.WriteText();
+  EXPECT_NE(text.find("vchain_http_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vchain_http_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("vchain_http_responses_total{class=\"2xx\"} 3"),
+      std::string::npos);
+  server.value()->Stop();
+}
+
 }  // namespace
 }  // namespace vchain::net

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rand.h"
 #include "core/vchain.h"
 #include "net/sp_client.h"
@@ -156,6 +158,46 @@ TYPED_TEST(NetE2eTest, WireBytesAreBitIdenticalToInProcess) {
   }
 }
 
+// The observability invariant: opting into stage tracing changes response
+// *headers* only — the body is the canonical encoding, bit for bit.
+TYPED_TEST(NetE2eTest, TracingNeverChangesTheResponseBytes) {
+  Query q = MatchyQuery();
+  auto untraced = this->client_->Query(q);
+  ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+  std::string trace_json;
+  auto traced = this->client_->Query(q, &trace_json);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ(traced.value().response_bytes, untraced.value().response_bytes);
+  EXPECT_EQ(traced.value().vo_bytes, untraced.value().vo_bytes);
+  ASSERT_FALSE(trace_json.empty()) << "SP must answer X-Vchain-Trace: 1";
+  EXPECT_NE(trace_json.find("\"total_ns\":"), std::string::npos) << trace_json;
+  EXPECT_NE(trace_json.find("\"prove_ns\":"), std::string::npos) << trace_json;
+}
+
+// The traced stages are non-overlapping and cover the processor+serialize
+// path: their sum must track the server-side total. The acceptance bound
+// is ~10%, with an absolute floor so scheduler noise on a fast query
+// cannot flake CI.
+TYPED_TEST(NetE2eTest, TraceStagesSumToTotal) {
+  Query q = MatchyQuery();
+  core::QueryTrace trace;
+  auto local = this->service_->Query(q, &trace);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  ASSERT_GT(trace.total_ns, 0u);
+  uint64_t stage_sum = trace.StageSumNs();
+  ASSERT_GT(stage_sum, 0u);
+  EXPECT_LE(stage_sum, trace.total_ns)
+      << "stages cannot exceed the enclosing total";
+  uint64_t slack = std::max<uint64_t>(trace.total_ns / 10, 200000);  // 200 µs
+  EXPECT_GE(stage_sum + slack, trace.total_ns)
+      << "untraced gap too large: total=" << trace.total_ns
+      << " stage_sum=" << stage_sum;
+  // The work counts describe this workload: 8 blocks walked, results found.
+  EXPECT_GT(trace.blocks_walked, 0u);
+  EXPECT_GT(trace.results_matched, 0u);
+  EXPECT_EQ(trace.results_matched, local.value().objects.size());
+}
+
 TYPED_TEST(NetE2eTest, ClientVerifiesAndCatchesTampering) {
   chain::LightClient light = this->client_->NewLightClient();
   ASSERT_TRUE(this->client_->SyncHeaders(&light).ok());
@@ -265,6 +307,44 @@ TEST(NetE2eRawTest, HeaderPageCapSurvivesFullRangeRequest) {
                resp.value().body.size()));
   ASSERT_TRUE(page.ok()) << page.status().ToString();
   EXPECT_EQ(page.value().size(), 2u);  // capped, not the whole chain
+}
+
+// GET /metrics serves a Prometheus exposition covering every tier, and the
+// service-state gauges the SpServer's collector refreshes at scrape time.
+TEST(NetE2eRawTest, MetricsEndpointCoversAllTiers) {
+  auto svc = MakeServedService(EngineKind::kMockAcc2);
+  SpServer::Options sopts;
+  sopts.http.num_threads = 1;
+  auto server = SpServer::Start(svc.get(), sopts).TakeValue();
+  HttpConnection conn({.host = "127.0.0.1", .port = server->port()});
+  // Serve one query first so the service-tier histograms have samples.
+  auto q = conn.RoundTrip("POST", "/query", QueryToJson(MatchyQuery()),
+                          "application/json");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().status, 200);
+  auto resp = conn.RoundTrip("GET", "/metrics", "", "text/plain");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp.value().status, 200);
+  const std::string& text = resp.value().body;
+  // One family from each tier, plus the scrape-time service gauges.
+  EXPECT_NE(text.find("# TYPE vchain_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vchain_service_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "vchain_service_query_stage_seconds_bucket{stage=\"prove\""),
+            std::string::npos);
+  EXPECT_NE(text.find("vchain_service_blocks 8"), std::string::npos);
+  EXPECT_NE(text.find("vchain_service_degraded 0"), std::string::npos);
+  EXPECT_NE(text.find("vchain_http_route_requests_total{route=\"/query\"}"),
+            std::string::npos);
+  // Stopping the server deregisters its collector; a later registry write
+  // must not touch the (about-to-die) service.
+  server->Stop();
+  server.reset();
+  svc.reset();
+  std::string after = metrics::Registry::Default().WriteText();
+  EXPECT_FALSE(after.empty());  // no use-after-free, exposition still sane
 }
 
 // The /query endpoint speaks strict JSON: hostile bodies get a 400, not a

@@ -9,6 +9,11 @@
 # Each engine also exercises the restart path: the daemon is killed,
 # reopened from the same store directory, and must serve identical bytes.
 #
+# Observability ride-along: GET /metrics is scraped mid-run — once before
+# and once after the client's queries — and both expositions are linted by
+# tools/check_metrics.py (structure, naming scheme, histogram math, and
+# counter monotonicity across the two scrapes).
+#
 # Usage: tools/e2e_wire_test.sh <build-dir> [work-dir]
 
 set -euo pipefail
@@ -52,14 +57,34 @@ stop_spd() {
   SPD_PID=""
 }
 
+scrape_metrics() {  # port out-file
+  local port=$1 out=$2
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$port/metrics" -o "$out"
+  else
+    python3 -c "import sys, urllib.request; \
+sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$port/metrics', timeout=10).read().decode())" > "$out"
+  fi
+}
+
 for engine in mock-acc1 mock-acc2 acc1 acc2; do
   store="$WORK_DIR/spd-$engine"
   rm -rf "$store"
 
   echo "=== $engine: fresh store, separate-process query + verify ==="
   start_spd "$engine" "$store" "$WORK_DIR/spd-$engine.log"
+  scrape_metrics "$PORT" "$WORK_DIR/metrics-$engine-1.txt"
   "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
-            --expect-hash "$HASH" --stats
+            --expect-hash "$HASH" --stats --timing
+  scrape_metrics "$PORT" "$WORK_DIR/metrics-$engine-2.txt"
+  echo "=== $engine: /metrics exposition lint (two scrapes) ==="
+  python3 "$(dirname "$0")/check_metrics.py" \
+          "$WORK_DIR/metrics-$engine-1.txt" "$WORK_DIR/metrics-$engine-2.txt"
+  grep -q "vchain_store_appends_total" "$WORK_DIR/metrics-$engine-2.txt" || {
+    echo "store tier missing from /metrics"; exit 1; }
+  grep -q "vchain_service_query_stage_seconds_bucket" \
+          "$WORK_DIR/metrics-$engine-2.txt" || {
+    echo "service stage histograms missing from /metrics"; exit 1; }
   first_hash=$HASH
   stop_spd
 
