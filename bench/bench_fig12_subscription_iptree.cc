@@ -10,9 +10,10 @@ using namespace vchain::bench;
 int main() {
   Scale scale = GetScale();
   size_t period = scale.window_blocks[0];  // short fixed period
+  sub::MatcherMode matcher = SubMatcherFromEnv();
   std::printf("# Fig 12 — subscription SP cost vs number of queries "
-              "(period=%zu blocks, acc2)\n",
-              period);
+              "(period=%zu blocks, acc2, %s matcher)\n",
+              period, sub::MatcherModeName(matcher));
   std::printf("%-8s %-14s %9s %12s\n", "dataset", "scheme", "queries",
               "sp_cpu_s");
   for (DatasetKind kind :
@@ -30,8 +31,12 @@ int main() {
             Variant{"real-ip-acc2", false, true},
             Variant{"lazy-nip-acc2", true, false},
             Variant{"lazy-ip-acc2", true, true}}) {
-        SubCosts c = RunSubscriptionSession<Acc2Engine>(
-            profile, config, period, n, v.lazy, v.ip, /*verify=*/false);
+        SubSessionOptions so;
+        so.lazy = v.lazy;
+        so.use_ip_tree = v.ip;
+        so.matcher = matcher;
+        SubCosts c =
+            RunSubscriptionSession<Acc2Engine>(profile, config, period, n, so);
         std::printf("%-8s %-14s %9zu %12.4f\n", workload::DatasetName(kind),
                     v.name, n, c.sp_seconds);
         std::fflush(stdout);

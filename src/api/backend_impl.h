@@ -41,6 +41,8 @@
 #include "core/verifier.h"
 #include "store/block_source.h"
 #include "store/concurrent_block_source.h"
+#include "sub/match/checkpoint.h"
+#include "sub/match/metrics.h"
 #include "sub/sub_serde.h"
 #include "sub/sub_verifier.h"
 #include "sub/subscription.h"
@@ -89,6 +91,16 @@ class ServiceBackend final : public IServiceBackend {
               b->engine_, b->store_.get(), opts.config.block_cache_blocks);
     }
     b->sub_next_height_ = b->builder_->NumBlocks();
+    if (b->store_ != nullptr && opts.sub_checkpoints) {
+      store::Env* env = opts.store_options.env != nullptr
+                            ? opts.store_options.env
+                            : store::Env::Default();
+      b->ckpt_ = std::make_unique<sub::CheckpointSlots>(env, opts.store_dir);
+      VCHAIN_RETURN_IF_ERROR(b->ckpt_->Open());
+      if (b->ckpt_->HasCheckpoint()) {
+        VCHAIN_RETURN_IF_ERROR(b->RestoreCheckpoint());
+      }
+    }
     return std::unique_ptr<IServiceBackend>(std::move(b));
   }
 
@@ -124,7 +136,10 @@ class ServiceBackend final : public IServiceBackend {
     // before the fault can only help.
     Status st = store_->Sync();
     if (!st.ok() && !degraded_) EnterDegradedLocked(st);
-    return st;
+    if (!st.ok()) return st;
+    // Sync is the hard commit point, so a checkpoint failure surfaces here
+    // (unlike the best-effort periodic writes).
+    return WriteCheckpointLocked();
   }
 
   Status Health() const override {
@@ -231,6 +246,10 @@ class ServiceBackend final : public IServiceBackend {
     // Events cover blocks appended from here on; with no prior subscribers
     // the drain cursor may lag (drains are skipped while nobody listens).
     sub_next_height_ = builder_->NumBlocks();
+    sub::SubMetrics::Get().registered->Set(
+        static_cast<double>(subs_.NumActive()));
+    // Best-effort durability; Sync() is the hard commit point.
+    (void)WriteCheckpointLocked();
     return id;
   }
 
@@ -240,6 +259,9 @@ class ServiceBackend final : public IServiceBackend {
       return Status::NotFound("unknown subscription id");
     }
     subs_.Unsubscribe(id);
+    sub::SubMetrics::Get().registered->Set(
+        static_cast<double>(subs_.NumActive()));
+    (void)WriteCheckpointLocked();
     return Status::OK();
   }
 
@@ -260,8 +282,10 @@ class ServiceBackend final : public IServiceBackend {
     s.degraded = degraded_;
     s.num_blocks = builder_->NumBlocks();
     s.queries_served = queries_served_.load(std::memory_order_relaxed);
-    s.subscriptions_active = active_subscriptions_.size();
+    s.subscriptions_active = subs_.NumActive();
     s.subscription_events_pending = pending_events_.size();
+    s.sub_matcher = subs_.matcher();
+    if (ckpt_ != nullptr) s.sub_checkpoint_seq = ckpt_->latest_seq();
     s.proof_cache = proof_cache_.stats();
     if (disk_source_ != nullptr) s.block_cache = disk_source_->cache_stats();
     return s;
@@ -285,7 +309,57 @@ class ServiceBackend final : public IServiceBackend {
   typename sub::SubscriptionManager<Engine>::Options SubOptions() const {
     typename sub::SubscriptionManager<Engine>::Options o;
     o.use_ip_tree = options_.subscriptions_share_proofs;
+    o.matcher = options_.sub_matcher;
     return o;
+  }
+
+  /// Rebuild subscription state from the latest valid checkpoint slot, then
+  /// catch up on blocks mined while the SP was down (their notifications are
+  /// buffered — blocks drained after the persisted cursor but before the
+  /// crash are re-delivered: at-least-once). Runs at Create, pre-threading.
+  Status RestoreCheckpoint() {
+    const Bytes& payload = ckpt_->LatestPayload();
+    ByteReader r(ByteSpan(payload.data(), payload.size()));
+    uint64_t next_height = 0;
+    sub::SubscriptionSnapshot<Engine> snap;
+    VCHAIN_RETURN_IF_ERROR(
+        sub::DeserializeSubCheckpoint(engine_, &r, &next_height, &snap));
+    VCHAIN_RETURN_IF_ERROR(subs_.Restore(snap));
+    for (const auto& entry : snap.queries) {
+      active_subscriptions_.insert(entry.id);
+    }
+    // A crash can lose unsynced blocks the checkpoint already covered;
+    // clamp and let the re-mined chain re-deliver.
+    sub_next_height_ = std::min(next_height, builder_->NumBlocks());
+    sub::SubMetrics::Get().registered->Set(
+        static_cast<double>(subs_.NumActive()));
+    sub::SubMetrics::Get().checkpoint_recoveries->Inc();
+    logging::Info("sub_checkpoint_restored")
+        .Kv("seq", ckpt_->latest_seq())
+        .Kv("subscriptions", subs_.NumActive())
+        .Kv("next_height", sub_next_height_);
+    DrainSubscriptionsLocked();
+    return WriteCheckpointLocked();
+  }
+
+  /// Persist the current subscription state. Skipped while there is nothing
+  /// to record (no subscriber ever registered and no prior checkpoint).
+  /// Caller holds the exclusive lock (or runs pre-threading in Create).
+  Status WriteCheckpointLocked() {
+    if (ckpt_ == nullptr) return Status::OK();
+    if (subs_.NumActive() == 0 && !ckpt_->HasCheckpoint()) return Status::OK();
+    ByteWriter w;
+    sub::SerializeSubCheckpoint(engine_, sub_next_height_, subs_.Snapshot(),
+                                &w);
+    Status st = ckpt_->WriteNext(ByteSpan(w.bytes().data(), w.bytes().size()));
+    if (!st.ok()) {
+      logging::Error("sub_checkpoint_write_failed")
+          .Kv("reason", st.ToString());
+      return st;
+    }
+    sub::SubMetrics::Get().checkpoint_writes->Inc();
+    ckpt_height_ = sub_next_height_;
+    return Status::OK();
   }
 
   /// Serialize a successful response into the erased QueryResult
@@ -352,6 +426,14 @@ class ServiceBackend final : public IServiceBackend {
       store::VectorBlockSource<Engine> source(&builder_->blocks());
       drain(source);
     }
+    // Periodic checkpoint: bound the at-least-once replay window to the
+    // configured number of drained blocks. Best-effort (Sync is the hard
+    // commit point; a failure already logged inside).
+    if (ckpt_ != nullptr && options_.sub_checkpoint_interval_blocks != 0 &&
+        sub_next_height_ - ckpt_height_ >=
+            options_.sub_checkpoint_interval_blocks) {
+      (void)WriteCheckpointLocked();
+    }
   }
 
   ServiceOptions options_;
@@ -366,6 +448,8 @@ class ServiceBackend final : public IServiceBackend {
   std::set<uint32_t> active_subscriptions_;
   uint64_t sub_next_height_ = 0;
   std::vector<SubscriptionEvent> pending_events_;
+  std::unique_ptr<sub::CheckpointSlots> ckpt_;  // null unless durable + on
+  uint64_t ckpt_height_ = 0;  ///< drain cursor at the last checkpoint write
 
   bool degraded_ = false;  ///< storage write fault -> read-only
   std::string degraded_reason_;

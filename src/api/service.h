@@ -59,6 +59,7 @@
 #include "core/query.h"
 #include "core/query_trace.h"
 #include "store/block_store.h"
+#include "sub/match/matcher.h"
 
 namespace vchain::api {
 
@@ -111,6 +112,26 @@ struct ServiceOptions {
 
   /// Subscription proof sharing across standing queries (§7.1).
   bool subscriptions_share_proofs = true;
+
+  /// Subscription matching strategy (sub/match/): kLinear scans every
+  /// standing query per block; kIndexed drives matching through the
+  /// clause-inverted index and builds each notification once per group of
+  /// identical queries. Notifications are bit-identical either way — this
+  /// knob trades per-subscribe indexing work for per-block matching cost.
+  sub::MatcherMode sub_matcher = sub::MatcherMode::kIndexed;
+
+  /// Persist subscription state (registered queries + ids, drain cursor,
+  /// pending lazy runs) as CRC-framed alternating slot files in `store_dir`,
+  /// and resume from the latest valid slot on reopen — a restarted SP picks
+  /// up its standing queries without replaying the chain. Requires a
+  /// store_dir; ignored in in-memory mode. Blocks drained after the last
+  /// checkpoint are re-matched on restart, so their notifications are
+  /// re-delivered (at-least-once; subscribers dedup by (query_id, height)).
+  bool sub_checkpoints = true;
+
+  /// Also write a checkpoint every N drained blocks (0 = only at Sync and
+  /// on Subscribe/Unsubscribe), bounding the at-least-once replay window.
+  uint64_t sub_checkpoint_interval_blocks = 64;
 };
 
 /// An engine-erased query answer: the result set plus the canonical
@@ -145,6 +166,12 @@ struct ServiceStats {
   uint64_t queries_served = 0;
   uint64_t subscriptions_active = 0;
   uint64_t subscription_events_pending = 0;
+  /// Which matcher serves the standing queries (mirrors
+  /// ServiceOptions::sub_matcher; also visible as the sub-tier metrics).
+  sub::MatcherMode sub_matcher = sub::MatcherMode::kIndexed;
+  /// Sequence number of the latest durable subscription checkpoint
+  /// (0 = none written or loaded; checkpointing off or in-memory mode).
+  uint64_t sub_checkpoint_seq = 0;
   LruStats proof_cache;
   LruStats block_cache;  ///< zero in in-memory mode (no decoded-block cache)
 };

@@ -26,6 +26,51 @@ std::string Query::ToString() const {
   return os.str();
 }
 
+void SerializeQuery(const Query& q, ByteWriter* w) {
+  w->PutU64(q.time_start);
+  w->PutU64(q.time_end);
+  w->PutU32(static_cast<uint32_t>(q.ranges.size()));
+  for (const RangePredicate& r : q.ranges) {
+    w->PutU32(r.dim);
+    w->PutU64(r.lo);
+    w->PutU64(r.hi);
+  }
+  w->PutU32(static_cast<uint32_t>(q.keyword_cnf.size()));
+  for (const std::vector<std::string>& clause : q.keyword_cnf) {
+    w->PutU32(static_cast<uint32_t>(clause.size()));
+    for (const std::string& kw : clause) w->PutString(kw);
+  }
+}
+
+Status DeserializeQuery(ByteReader* r, Query* out) {
+  *out = Query{};
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->time_start));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&out->time_end));
+  uint32_t n_ranges = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_ranges));
+  if (n_ranges > 1u << 16) return Status::Corruption("too many ranges");
+  out->ranges.resize(n_ranges);
+  for (RangePredicate& rp : out->ranges) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&rp.dim));
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&rp.lo));
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&rp.hi));
+  }
+  uint32_t n_clauses = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_clauses));
+  if (n_clauses > 1u << 16) return Status::Corruption("too many clauses");
+  out->keyword_cnf.resize(n_clauses);
+  for (std::vector<std::string>& clause : out->keyword_cnf) {
+    uint32_t n_kw = 0;
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_kw));
+    if (n_kw > 1u << 16) return Status::Corruption("too many keywords");
+    clause.resize(n_kw);
+    for (std::string& kw : clause) {
+      VCHAIN_RETURN_IF_ERROR(r->GetString(&kw));
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateQuery(const Query& q, const NumericSchema& schema) {
   for (size_t i = 0; i < q.ranges.size(); ++i) {
     const RangePredicate& r = q.ranges[i];

@@ -69,6 +69,11 @@ struct TransformedQuery {
 /// correct, verifiable answer.
 Status ValidateQuery(const Query& q, const NumericSchema& schema);
 
+/// Binary serde for the raw query (subscription checkpoints persist the
+/// registered query set; the HTTP wire uses JSON instead — net/wire.h).
+void SerializeQuery(const Query& q, ByteWriter* w);
+Status DeserializeQuery(ByteReader* r, Query* out);
+
 TransformedQuery TransformQuery(const Query& q, const NumericSchema& schema);
 
 /// Ground-truth predicate evaluation on raw attribute values (no prefix

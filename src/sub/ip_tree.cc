@@ -122,15 +122,32 @@ uint32_t IpTree::Register(const Query& q) {
   QueryState state;
   state.query = q;
   queries_.emplace(id, std::move(state));
-  Rebuild();
+  InsertIntoGrid(id);
   return id;
+}
+
+Status IpTree::RegisterWithId(uint32_t id, const Query& q) {
+  auto it = queries_.find(id);
+  if (it != queries_.end() && it->second.active) {
+    return Status::InvalidArgument("subscription id already registered");
+  }
+  if (it != queries_.end()) queries_.erase(it);
+  QueryState state;
+  state.query = q;
+  queries_.emplace(id, std::move(state));
+  if (id >= next_id_) next_id_ = id + 1;
+  InsertIntoGrid(id);
+  return Status::OK();
+}
+
+void IpTree::ReserveIds(uint32_t next_id) {
+  if (next_id > next_id_) next_id_ = next_id;
 }
 
 void IpTree::Deregister(uint32_t query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   it->second.active = false;
-  Rebuild();
 }
 
 std::vector<uint32_t> IpTree::ActiveQueryIds() const {
@@ -143,62 +160,62 @@ std::vector<uint32_t> IpTree::ActiveQueryIds() const {
 
 size_t IpTree::NodeCount() const { return nodes_.size(); }
 
-void IpTree::Rebuild() {
-  nodes_.clear();
-  for (auto& [id, state] : queries_) {
-    state.cells.clear();
-    state.indexable = true;
+void IpTree::InsertIntoGrid(uint32_t id) {
+  QueryState& st = queries_.at(id);
+  st.cells.clear();
+  st.indexable = true;
+  if (nodes_.empty()) {
+    Node root;
+    root.box = CellBox::Root(schema_);
+    nodes_.push_back(std::move(root));
   }
+  InsertRec(0, id);
+}
 
-  Node root;
-  root.box = CellBox::Root(schema_);
-  for (auto& [id, state] : queries_) {
-    if (!state.active) continue;
-    CellBox::Cover cover = root.box.CoverBy(state.query, schema_);
-    if (cover == CellBox::Cover::kFull) {
-      root.full.push_back(id);
-    } else if (cover == CellBox::Cover::kPartial) {
-      root.partial.push_back(id);
-    }
-    // kNone cannot happen at the root unless the query range is empty — the
-    // root covers the whole space.
+void IpTree::InsertRec(int32_t node_idx, uint32_t id) {
+  // nodes_ may reallocate under this frame (SplitNode appends), so re-index
+  // nodes_[node_idx] after any call that can grow the vector.
+  CellBox::Cover cover =
+      nodes_[node_idx].box.CoverBy(queries_.at(id).query, schema_);
+  if (cover == CellBox::Cover::kNone) return;
+  if (cover == CellBox::Cover::kFull) {
+    nodes_[node_idx].full.push_back(id);
+    queries_.at(id).cells.push_back(nodes_[node_idx].box);
+    return;
   }
-  nodes_.push_back(std::move(root));
+  nodes_[node_idx].partial.push_back(id);
+  if (nodes_[node_idx].children.empty() && !SplitNode(node_idx)) {
+    // Capped leaf: the query stays partial here, so the grid cannot resolve
+    // it (the "switch back" rule). Leaves that refused a split never get
+    // another chance — the caps are monotone — keeping cells frozen.
+    queries_.at(id).indexable = false;
+    return;
+  }
+  std::vector<int32_t> children = nodes_[node_idx].children;
+  for (int32_t c : children) InsertRec(c, id);
+}
 
-  // Algorithm 6: BFS split while partial queries remain.
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    for (uint32_t qid : nodes_[i].full) {
-      queries_.at(qid).cells.push_back(nodes_[i].box);
-    }
-    if (nodes_[i].partial.empty()) continue;
-    size_t fanout = size_t{1} << schema_.dims;
-    if (nodes_[i].box.Depth() >= options_.max_depth ||
-        nodes_[i].box.Depth() >= schema_.bits ||
-        nodes_.size() + fanout > options_.max_nodes) {
-      for (uint32_t qid : nodes_[i].partial) {
-        queries_.at(qid).indexable = false;
-      }
-      continue;
-    }
-    std::vector<CellBox> child_boxes = nodes_[i].box.Split();
-    std::vector<int32_t> child_ids;
-    for (CellBox& cb : child_boxes) {
-      Node child;
-      child.box = std::move(cb);
-      for (uint32_t qid : nodes_[i].partial) {
-        CellBox::Cover cover = child.box.CoverBy(queries_.at(qid).query,
-                                                 schema_);
-        if (cover == CellBox::Cover::kFull) {
-          child.full.push_back(qid);
-        } else if (cover == CellBox::Cover::kPartial) {
-          child.partial.push_back(qid);
-        }
-      }
-      child_ids.push_back(static_cast<int32_t>(nodes_.size()));
-      nodes_.push_back(std::move(child));
-    }
-    nodes_[i].children = std::move(child_ids);
+bool IpTree::SplitNode(int32_t node_idx) {
+  size_t fanout = size_t{1} << schema_.dims;
+  if (nodes_[node_idx].box.Depth() >= options_.max_depth ||
+      nodes_[node_idx].box.Depth() >= schema_.bits ||
+      nodes_.size() + fanout > options_.max_nodes) {
+    return false;
   }
+  std::vector<CellBox> child_boxes = nodes_[node_idx].box.Split();
+  std::vector<int32_t> child_ids;
+  child_ids.reserve(child_boxes.size());
+  for (CellBox& cb : child_boxes) {
+    Node child;
+    child.box = std::move(cb);
+    child_ids.push_back(static_cast<int32_t>(nodes_.size()));
+    nodes_.push_back(std::move(child));
+  }
+  // No redistribution: a leaf with older partial queries is necessarily
+  // capped (split-once semantics), so a successful split only ever serves
+  // the query currently being inserted — its recursion descends next.
+  nodes_[node_idx].children = std::move(child_ids);
+  return true;
 }
 
 }  // namespace vchain::sub

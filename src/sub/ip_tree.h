@@ -10,6 +10,17 @@
 // queries still partial at a capped leaf are marked non-indexable and fall
 // back to individual processing (the paper's "switch back" rule).
 //
+// Registration is *incremental*: inserting a query walks the existing grid,
+// splitting only the leaves where the new query is partial. A split is
+// attempted at most once per leaf — the depth/bits caps are static and the
+// node budget only shrinks — so a leaf that once refused to split refuses
+// forever, which freezes every query's terminal cells and indexability the
+// moment its own insert returns. Two queries with identical range boxes
+// therefore always get identical cell lists (in identical order), no matter
+// how many registrations happened in between; the subscription matcher's
+// grouped dispatch relies on exactly that. Deregistration tombstones the
+// query (node lists are not scrubbed); nothing reads inactive entries.
+//
 // The tree itself is engine-agnostic classification machinery; the
 // subscription manager (subscription.h) attaches digests and proofs.
 
@@ -101,9 +112,19 @@ class IpTree {
 
   /// Register a subscription query; returns its id.
   uint32_t Register(const Query& q);
+  /// Register under a caller-chosen id (checkpoint restore): ids must not
+  /// collide with a live registration; `next id` advances past `id`.
+  Status RegisterWithId(uint32_t id, const Query& q);
+  /// Advance the id allocator so future Register calls never hand out an id
+  /// below `next_id` (restore path: ids of queries unsubscribed before the
+  /// checkpoint must stay retired).
+  void ReserveIds(uint32_t next_id);
   void Deregister(uint32_t query_id);
 
   const Query& QueryOf(uint32_t id) const { return queries_.at(id).query; }
+  /// The id the next Register call would hand out (checkpointed so a
+  /// restored instance never reuses a retired id).
+  uint32_t NextId() const { return next_id_; }
   bool IsActive(uint32_t id) const {
     return queries_.count(id) && queries_.at(id).active;
   }
@@ -136,10 +157,13 @@ class IpTree {
     std::vector<int32_t> children;  // empty for leaves
   };
 
-  /// (Re)build the grid from all active queries (Algorithm 6). Registration
-  /// and deregistration are infrequent relative to block arrivals, so a full
-  /// rebuild keeps the structure canonical.
-  void Rebuild();
+  /// Insert one query into the grid (Algorithm 6, incrementally): descend
+  /// from the root, split the leaves where it is partial, record the full
+  /// cover nodes as its terminal cells.
+  void InsertIntoGrid(uint32_t id);
+  void InsertRec(int32_t node_idx, uint32_t id);
+  /// Split a leaf into its 2^dims children; false when a cap forbids it.
+  bool SplitNode(int32_t node_idx);
 
   NumericSchema schema_;
   Options options_;

@@ -1,0 +1,113 @@
+#include "sub/match/checkpoint.h"
+
+#include "common/crc32c.h"
+
+namespace vchain::sub {
+
+namespace {
+
+// "VSUBCKP1" little-endian.
+constexpr uint64_t kMagic = 0x31504b4342555356ull;
+constexpr uint32_t kVersion = 1;
+// magic u64 | version u32 | seq u64 | payload_len u32 | crc u32
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 4 + 4;
+// Refuse absurd frames before allocating (a corrupt length field must not
+// drive a multi-GB read).
+constexpr uint64_t kMaxPayload = 1ull << 32;
+
+uint32_t FrameCrc(uint64_t seq, ByteSpan payload) {
+  ByteWriter w;
+  w.PutU64(seq);
+  w.PutFixed(payload);
+  return Crc32c(ByteSpan(w.bytes().data(), w.bytes().size()));
+}
+
+}  // namespace
+
+CheckpointSlots::CheckpointSlots(store::Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+std::string CheckpointSlots::SlotFileName(int slot) {
+  return slot == 0 ? "SUBCKPT-A" : "SUBCKPT-B";
+}
+
+std::string CheckpointSlots::PathOf(int slot) const {
+  return dir_ + "/" + SlotFileName(slot);
+}
+
+CheckpointSlots::Slot CheckpointSlots::ReadSlot(int slot) const {
+  Slot out;
+  auto exists = env_->FileExists(PathOf(slot));
+  if (!exists.ok() || !exists.value()) return out;
+  auto file = env_->OpenFile(PathOf(slot));
+  if (!file.ok()) return out;
+  auto size = file.value()->Size();
+  if (!size.ok() || size.value() < kHeaderSize) return out;
+  Bytes header(kHeaderSize);
+  auto n = file.value()->Read(0, header.data(), kHeaderSize);
+  if (!n.ok() || n.value() != kHeaderSize) return out;
+  ByteReader r(ByteSpan(header.data(), header.size()));
+  uint64_t magic = 0, seq = 0;
+  uint32_t version = 0, payload_len = 0, crc = 0;
+  if (!r.GetU64(&magic).ok() || magic != kMagic) return out;
+  if (!r.GetU32(&version).ok() || version != kVersion) return out;
+  if (!r.GetU64(&seq).ok()) return out;
+  if (!r.GetU32(&payload_len).ok()) return out;
+  if (!r.GetU32(&crc).ok()) return out;
+  if (payload_len > kMaxPayload ||
+      size.value() < kHeaderSize + uint64_t{payload_len}) {
+    return out;  // torn write: frame truncated mid-payload
+  }
+  Bytes payload(payload_len);
+  n = file.value()->Read(kHeaderSize, payload.data(), payload_len);
+  if (!n.ok() || n.value() != payload_len) return out;
+  if (FrameCrc(seq, ByteSpan(payload.data(), payload.size())) != crc) {
+    return out;  // bit rot or torn header/payload mix
+  }
+  out.valid = true;
+  out.seq = seq;
+  out.payload = std::move(payload);
+  return out;
+}
+
+Status CheckpointSlots::Open() {
+  have_ = false;
+  last_seq_ = 0;
+  payload_.clear();
+  for (int slot = 0; slot < 2; ++slot) {
+    Slot s = ReadSlot(slot);
+    if (s.valid && (!have_ || s.seq > last_seq_)) {
+      have_ = true;
+      last_seq_ = s.seq;
+      payload_ = std::move(s.payload);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointSlots::WriteNext(ByteSpan payload) {
+  const uint64_t seq = last_seq_ + 1;
+  const int slot = static_cast<int>(seq % 2);
+  ByteWriter w;
+  w.PutU64(kMagic);
+  w.PutU32(kVersion);
+  w.PutU64(seq);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(FrameCrc(seq, payload));
+  w.PutFixed(payload);
+  auto file = env_->OpenFile(PathOf(slot));
+  VCHAIN_RETURN_IF_ERROR(file.status());
+  VCHAIN_RETURN_IF_ERROR(
+      file.value()->Write(0, w.bytes().data(), w.bytes().size()));
+  // Drop any stale tail from a previous, larger frame in this slot.
+  VCHAIN_RETURN_IF_ERROR(file.value()->Truncate(w.bytes().size()));
+  VCHAIN_RETURN_IF_ERROR(file.value()->Sync());
+  // Make the slot's directory entry durable (first write creates the file).
+  VCHAIN_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  last_seq_ = seq;
+  have_ = true;
+  payload_.assign(payload.begin(), payload.end());
+  return Status::OK();
+}
+
+}  // namespace vchain::sub

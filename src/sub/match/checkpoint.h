@@ -1,0 +1,205 @@
+// Subscription checkpoint persistence.
+//
+// A standing subscription SP must survive restarts without replaying the
+// chain from genesis: the checkpoint records (a) the next unprocessed block
+// height, (b) the registered query set with its ids and the id allocator
+// position, and (c) pending lazy-scheme runs (clause, aggregated multiset,
+// evidence units). Together that is exactly SubscriptionManager's
+// SubscriptionSnapshot plus the drain cursor.
+//
+// Durability goes through the same Env seam as the block store, so the
+// FaultInjection crash tests drive this path too. The Env surface has no
+// atomic rename, so the classic write-tmp-rename dance is unavailable;
+// instead two *alternating slot files* (SUBCKPT-A / SUBCKPT-B) are used:
+// a write with sequence number s goes to slot s % 2, fully framed
+// (magic, version, seq, length, CRC32C over seq + payload) and fsync'd.
+// A torn or corrupt write trashes at most the slot it targeted — the other
+// slot still holds the previous complete checkpoint, and recovery picks the
+// highest-sequence slot whose frame validates. The CRC covers the sequence
+// number so a bit-flipped seq cannot reorder recovery.
+//
+// Recovery contract: the checkpoint is written *after* the notifications of
+// the blocks it covers were handed to the publisher, so a crash between
+// publishing and checkpointing re-delivers those blocks' notifications on
+// restart — at-least-once, never skipped. Subscribers dedup by
+// (query_id, height), which the notification already carries.
+
+#ifndef VCHAIN_SUB_MATCH_CHECKPOINT_H_
+#define VCHAIN_SUB_MATCH_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/env.h"
+#include "sub/subscription.h"
+
+namespace vchain::sub {
+
+/// The two-slot frame store. Engine-agnostic: payloads are opaque bytes.
+class CheckpointSlots {
+ public:
+  /// `dir` must exist (the store directory). Does not touch the disk until
+  /// Open/WriteNext.
+  CheckpointSlots(store::Env* env, std::string dir);
+
+  /// Scan both slots; after Open, HasCheckpoint/ReadLatest reflect the best
+  /// valid slot. Invalid/missing slots are not an error — only I/O is.
+  Status Open();
+
+  bool HasCheckpoint() const { return have_; }
+  uint64_t latest_seq() const { return last_seq_; }
+
+  /// Payload of the highest-sequence valid slot (requires HasCheckpoint).
+  const Bytes& LatestPayload() const { return payload_; }
+
+  /// Frame + write + fsync the next checkpoint into the alternate slot.
+  /// On failure the previous checkpoint is untouched (it lives in the other
+  /// slot) and the store stays usable.
+  Status WriteNext(ByteSpan payload);
+
+  static std::string SlotFileName(int slot);  // "SUBCKPT-A" / "SUBCKPT-B"
+
+ private:
+  struct Slot {
+    bool valid = false;
+    uint64_t seq = 0;
+    Bytes payload;
+  };
+  Slot ReadSlot(int slot) const;
+  std::string PathOf(int slot) const;
+
+  store::Env* env_;
+  std::string dir_;
+  bool have_ = false;
+  uint64_t last_seq_ = 0;
+  Bytes payload_;
+};
+
+// --- payload serde ----------------------------------------------------------
+
+template <typename Engine>
+void SerializeLazyUnit(const Engine& e,
+                       const typename LazyBatch<Engine>::Unit& u,
+                       ByteWriter* w) {
+  if (std::holds_alternative<typename LazyBatch<Engine>::BlockUnit>(u)) {
+    const auto& b = std::get<typename LazyBatch<Engine>::BlockUnit>(u);
+    w->PutU8(0);
+    w->PutU64(b.height);
+    w->PutFixed(crypto::HashSpan(b.inner_hash));
+    e.SerializeDigest(b.digest, w);
+  } else {
+    const auto& s = std::get<typename LazyBatch<Engine>::SkipUnit>(u);
+    w->PutU8(1);
+    w->PutU64(s.from_height);
+    w->PutU32(s.level);
+    w->PutU64(s.distance);
+    e.SerializeDigest(s.digest, w);
+    w->PutU32(static_cast<uint32_t>(s.other_entry_hashes.size()));
+    for (const chain::Hash32& h : s.other_entry_hashes) {
+      w->PutFixed(crypto::HashSpan(h));
+    }
+  }
+}
+
+template <typename Engine>
+Status DeserializeLazyUnit(const Engine& e, ByteReader* r,
+                           typename LazyBatch<Engine>::Unit* out) {
+  uint8_t tag = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU8(&tag));
+  Bytes buf;
+  if (tag == 0) {
+    typename LazyBatch<Engine>::BlockUnit b;
+    VCHAIN_RETURN_IF_ERROR(r->GetU64(&b.height));
+    VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+    std::copy(buf.begin(), buf.end(), b.inner_hash.begin());
+    VCHAIN_RETURN_IF_ERROR(e.DeserializeDigest(r, &b.digest));
+    *out = std::move(b);
+    return Status::OK();
+  }
+  if (tag != 1) return Status::Corruption("bad lazy unit tag");
+  typename LazyBatch<Engine>::SkipUnit s;
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&s.from_height));
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&s.level));
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(&s.distance));
+  VCHAIN_RETURN_IF_ERROR(e.DeserializeDigest(r, &s.digest));
+  uint32_t n = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n));
+  if (n > 1u << 10) return Status::Corruption("too many skip entry hashes");
+  s.other_entry_hashes.resize(n);
+  for (chain::Hash32& h : s.other_entry_hashes) {
+    VCHAIN_RETURN_IF_ERROR(r->GetFixed(32, &buf));
+    std::copy(buf.begin(), buf.end(), h.begin());
+  }
+  *out = std::move(s);
+  return Status::OK();
+}
+
+/// Payload = drain cursor + full subscription snapshot.
+template <typename Engine>
+void SerializeSubCheckpoint(const Engine& e, uint64_t next_height,
+                            const SubscriptionSnapshot<Engine>& snap,
+                            ByteWriter* w) {
+  w->PutU64(next_height);
+  w->PutU32(snap.next_query_id);
+  w->PutU32(static_cast<uint32_t>(snap.queries.size()));
+  for (const auto& entry : snap.queries) {
+    w->PutU32(entry.id);
+    core::SerializeQuery(entry.query, w);
+  }
+  w->PutU32(static_cast<uint32_t>(snap.lazy.size()));
+  for (const auto& lz : snap.lazy) {
+    w->PutU32(lz.id);
+    w->PutU32(lz.clause_idx);
+    lz.w_sum.Serialize(w);
+    w->PutU32(static_cast<uint32_t>(lz.units.size()));
+    for (const auto& u : lz.units) SerializeLazyUnit(e, u, w);
+    w->PutU32(static_cast<uint32_t>(lz.trailing_blocks.size()));
+    for (uint64_t h : lz.trailing_blocks) w->PutU64(h);
+  }
+}
+
+template <typename Engine>
+Status DeserializeSubCheckpoint(const Engine& e, ByteReader* r,
+                                uint64_t* next_height,
+                                SubscriptionSnapshot<Engine>* snap) {
+  *snap = SubscriptionSnapshot<Engine>{};
+  VCHAIN_RETURN_IF_ERROR(r->GetU64(next_height));
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&snap->next_query_id));
+  uint32_t n_queries = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_queries));
+  if (n_queries > 1u << 24) return Status::Corruption("too many queries");
+  snap->queries.resize(n_queries);
+  for (auto& entry : snap->queries) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&entry.id));
+    VCHAIN_RETURN_IF_ERROR(core::DeserializeQuery(r, &entry.query));
+  }
+  uint32_t n_lazy = 0;
+  VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_lazy));
+  if (n_lazy > 1u << 24) return Status::Corruption("too many lazy entries");
+  snap->lazy.resize(n_lazy);
+  for (auto& lz : snap->lazy) {
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&lz.id));
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&lz.clause_idx));
+    VCHAIN_RETURN_IF_ERROR(Multiset::Deserialize(r, &lz.w_sum));
+    uint32_t n_units = 0;
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_units));
+    if (n_units > 1u << 24) return Status::Corruption("too many lazy units");
+    lz.units.resize(n_units);
+    for (auto& u : lz.units) {
+      VCHAIN_RETURN_IF_ERROR(DeserializeLazyUnit(e, r, &u));
+    }
+    uint32_t n_trail = 0;
+    VCHAIN_RETURN_IF_ERROR(r->GetU32(&n_trail));
+    if (n_trail > 1u << 24) return Status::Corruption("too many trailing");
+    lz.trailing_blocks.resize(n_trail);
+    for (uint64_t& h : lz.trailing_blocks) {
+      VCHAIN_RETURN_IF_ERROR(r->GetU64(&h));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_MATCH_CHECKPOINT_H_

@@ -1,0 +1,91 @@
+#include "sub/match/clause_index.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace vchain::sub {
+
+uint64_t ClauseIndex::HashSet(const accum::Multiset& set) {
+  // FNV-1a over the canonical (element, count) sequence; collisions are
+  // resolved by a full compare in Intern, so this only needs to spread.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const accum::Multiset::Entry& e : set.entries()) {
+    mix(e.element);
+    mix(e.count);
+  }
+  return h;
+}
+
+uint32_t ClauseIndex::Intern(const accum::Multiset& set,
+                             std::vector<uint64_t> mapped, bool is_range) {
+  uint64_t h = HashSet(set);
+  auto bucket = by_content_.find(h);
+  if (bucket != by_content_.end()) {
+    for (uint32_t cid : bucket->second) {
+      if (clauses_[cid].set == set) {
+        ++clauses_[cid].refs;
+        return cid;
+      }
+    }
+  }
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(clauses_.size());
+    clauses_.emplace_back();
+  }
+  Clause& c = clauses_[id];
+  c.set = set;
+  std::sort(mapped.begin(), mapped.end());
+  mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+  c.mapped = std::move(mapped);
+  c.content_hash = h;
+  c.refs = 1;
+  c.hit_epoch = 0;
+  c.is_range = is_range;
+  for (uint64_t m : c.mapped) {
+    postings_[m].push_back(id);
+    ++num_postings_;
+  }
+  by_content_[h].push_back(id);
+  ++live_clauses_;
+  if (is_range) ++live_range_clauses_;
+  return id;
+}
+
+void ClauseIndex::Release(uint32_t clause_id) {
+  Clause& c = clauses_[clause_id];
+  if (c.refs == 0) return;  // already dead (defensive)
+  if (--c.refs > 0) return;
+  for (uint64_t m : c.mapped) {
+    auto it = postings_.find(m);
+    if (it == postings_.end()) continue;
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), clause_id), ids.end());
+    if (ids.empty()) postings_.erase(it);
+    --num_postings_;
+  }
+  auto bucket = by_content_.find(c.content_hash);
+  if (bucket != by_content_.end()) {
+    auto& ids = bucket->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), clause_id), ids.end());
+    if (ids.empty()) by_content_.erase(bucket);
+  }
+  c.set = accum::Multiset();
+  c.mapped.clear();
+  c.mapped.shrink_to_fit();
+  --live_clauses_;
+  if (c.is_range) --live_range_clauses_;
+  free_ids_.push_back(clause_id);
+}
+
+}  // namespace vchain::sub

@@ -1,0 +1,52 @@
+// Matcher selection for the subscription engine (src/sub/match/).
+//
+// Two matchers produce bit-identical notifications:
+//
+//   * kLinear  — the original per-query scan: every block is matched against
+//     every standing query independently (§7's presentation).
+//   * kIndexed — the clause-inverted index (clause_index.h): the block's
+//     attributes drive matching, full CNF evaluation runs only for queries
+//     whose clauses were all hit, and VO work items are built once per
+//     matched group instead of once per subscriber.
+//
+// The enum lives in its own header so api/service.h can expose the knob
+// without pulling in the templated subscription machinery.
+
+#ifndef VCHAIN_SUB_MATCH_MATCHER_H_
+#define VCHAIN_SUB_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace vchain::sub {
+
+enum class MatcherMode : uint8_t {
+  kLinear = 0,
+  kIndexed = 1,
+};
+
+inline const char* MatcherModeName(MatcherMode mode) {
+  switch (mode) {
+    case MatcherMode::kLinear:
+      return "linear";
+    case MatcherMode::kIndexed:
+      return "indexed";
+  }
+  return "unknown";
+}
+
+inline bool MatcherModeFromName(std::string_view name, MatcherMode* out) {
+  if (name == "linear") {
+    *out = MatcherMode::kLinear;
+    return true;
+  }
+  if (name == "indexed") {
+    *out = MatcherMode::kIndexed;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_MATCH_MATCHER_H_

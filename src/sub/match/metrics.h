@@ -1,0 +1,66 @@
+// Subscription-tier instruments (vchain_sub_*), registered once per process
+// against the default registry. The matcher is engine-templated, so the
+// instruments live behind a plain struct with a function-local static —
+// the same shape api/service.cc uses for the query-stage histograms.
+//
+// Families:
+//   vchain_sub_registered                 gauge     live standing queries
+//   vchain_sub_match_seconds              histogram per-block matching wall
+//   vchain_sub_candidates_total           counter   queries needing full CNF
+//                                                   tree evaluation
+//   vchain_sub_matched_total              counter   notifications with >= 1
+//                                                   matching object
+//   vchain_sub_notified_total             counter   notifications emitted
+//   vchain_sub_checkpoint_writes_total    counter   checkpoint slots written
+//   vchain_sub_checkpoint_recoveries_total counter  restarts resumed from a
+//                                                   checkpoint
+
+#ifndef VCHAIN_SUB_MATCH_METRICS_H_
+#define VCHAIN_SUB_MATCH_METRICS_H_
+
+#include "common/metrics.h"
+
+namespace vchain::sub {
+
+struct SubMetrics {
+  metrics::Gauge* registered;
+  metrics::Histogram* match_seconds;
+  metrics::Counter* candidates;
+  metrics::Counter* matched;
+  metrics::Counter* notified;
+  metrics::Counter* checkpoint_writes;
+  metrics::Counter* checkpoint_recoveries;
+
+  static SubMetrics& Get() {
+    static SubMetrics m = [] {
+      auto& r = metrics::Registry::Default();
+      SubMetrics out;
+      out.registered = r.GetGauge("vchain_sub_registered",
+                                  "Standing subscription queries registered");
+      out.match_seconds = r.GetLatencyHistogram(
+          "vchain_sub_match_seconds",
+          "Per-block subscription matching latency");
+      out.candidates = r.GetCounter(
+          "vchain_sub_candidates_total",
+          "Subscriptions whose clauses were all hit by a block and required "
+          "full CNF proof-tree evaluation");
+      out.matched = r.GetCounter(
+          "vchain_sub_matched_total",
+          "Subscription notifications containing at least one match");
+      out.notified = r.GetCounter("vchain_sub_notified_total",
+                                  "Subscription notifications emitted");
+      out.checkpoint_writes =
+          r.GetCounter("vchain_sub_checkpoint_writes_total",
+                       "Subscription checkpoint slots written");
+      out.checkpoint_recoveries = r.GetCounter(
+          "vchain_sub_checkpoint_recoveries_total",
+          "Service restarts that resumed subscriptions from a checkpoint");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace vchain::sub
+
+#endif  // VCHAIN_SUB_MATCH_METRICS_H_

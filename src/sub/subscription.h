@@ -14,11 +14,35 @@
 //     disjointness proof (acc2's ProofSum/Sum) covers the entire run when a
 //     match finally flushes it. Lazy requires an aggregating engine.
 //
+// Two matchers produce these notifications bit-identically (sub/match/):
+//
+//   * MatcherMode::kLinear — every block is matched against every standing
+//     query independently: per query, map the block's root multiset and scan
+//     the CNF (the paper's presentation; O(subscriptions) per block).
+//   * MatcherMode::kIndexed — the block drives matching through the
+//     clause-inverted index (sub/match/clause_index.h): the root multiset is
+//     mapped ONCE, each mapped element marks the interned clauses posting
+//     it, and per query only a hit-flag scan remains. Queries with a non-hit
+//     clause take the exclusion fast path — their notification differs only
+//     in query_id and clause_idx, so one root-mismatch template (one cached
+//     proof probe) is built per distinct exclusion clause and stamped per
+//     subscriber. Queries whose clauses were all hit are *candidates*: full
+//     CNF proof-tree evaluation runs once per group of subscriptions with
+//     identical clause content (identical content fixes the entire proof
+//     walk, terminal cells included, because equal range covers imply equal
+//     range boxes and the grid freezes cells at registration — see
+//     ip_tree.h), then the group notification is stamped per subscriber.
+//
 // Proof sharing across queries (§7.1's motivation) happens through a
 // content-keyed decision memo + proof cache: one (index node, clause/cell)
 // disjointness decision and proof serves every query that needs it. The
 // IP-Tree provides the grid cells, query classification, and fallback
 // handling for queries the grid cannot resolve.
+//
+// Subscribe/Unsubscribe are incremental in both modes: interning and
+// releasing postings, plus an incremental grid insert — no structure is
+// rebuilt. Snapshot()/Restore() expose the full registration + lazy-run
+// state for checkpoint persistence (sub/match/checkpoint.h).
 
 #ifndef VCHAIN_SUB_SUBSCRIPTION_H_
 #define VCHAIN_SUB_SUBSCRIPTION_H_
@@ -33,6 +57,9 @@
 
 #include "core/processor.h"
 #include "sub/ip_tree.h"
+#include "sub/match/clause_index.h"
+#include "sub/match/matcher.h"
+#include "sub/match/metrics.h"
 
 namespace vchain::sub {
 
@@ -103,6 +130,27 @@ struct LazyBatch {
   std::optional<SubNotification<Engine>> match;  ///< the flushing block
 };
 
+/// The full mutable subscription state, as one value: what a checkpoint
+/// persists and a restarted SP restores. Ids are preserved (subscribers
+/// hold them) and the id allocator resumes past every id ever handed out.
+template <typename Engine>
+struct SubscriptionSnapshot {
+  struct Entry {
+    uint32_t id = 0;
+    Query query;
+  };
+  struct LazyEntry {
+    uint32_t id = 0;
+    uint32_t clause_idx = 0;
+    Multiset w_sum;
+    std::vector<typename LazyBatch<Engine>::Unit> units;
+    std::vector<uint64_t> trailing_blocks;
+  };
+  uint32_t next_query_id = 0;
+  std::vector<Entry> queries;    ///< ascending id
+  std::vector<LazyEntry> lazy;   ///< ascending id, non-empty runs only
+};
+
 template <typename Engine>
 class SubscriptionManager {
  public:
@@ -114,6 +162,8 @@ class SubscriptionManager {
     /// range-cover clause. Both strategies are sound; a range clause always
     /// exists, so this is purely a proof-sharing policy.
     bool prefer_cell_exclusions = false;
+    /// Matching strategy; notifications are bit-identical either way.
+    MatcherMode matcher = MatcherMode::kIndexed;
     IpTree::Options ip;
   };
 
@@ -133,28 +183,38 @@ class SubscriptionManager {
   Result<uint32_t> TrySubscribe(const Query& q) {
     VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(q, config_.schema));
     uint32_t id = ip_tree_.Register(q);
-    QueryRuntime rt;
-    rt.tq = core::TransformQuery(q, config_.schema);
-    rt.view = std::make_unique<MappedQueryView>(engine_, rt.tq);
-    rt.first_keyword_clause = q.ranges.size();
-    runtime_.emplace(id, std::move(rt));
+    InstallRuntime(id, q);
     return id;
   }
 
+  /// Deregister; any pending lazy run is dropped (a subscriber leaving
+  /// forfeits its undelivered evidence — flush first to keep it).
   void Unsubscribe(uint32_t id) {
+    auto it = runtime_.find(id);
+    if (it == runtime_.end()) return;
+    for (uint32_t cid : it->second.clause_ids) index_.Release(cid);
+    runtime_.erase(it);
+    lazy_state_.erase(id);
     ip_tree_.Deregister(id);
-    runtime_.erase(id);
   }
 
   const IpTree& ip_tree() const { return ip_tree_; }
+  const ClauseIndex& clause_index() const { return index_; }
+  MatcherMode matcher() const { return options_.matcher; }
+  size_t NumActive() const { return runtime_.size(); }
 
   /// Realtime processing of a newly confirmed block: one notification per
-  /// active query.
+  /// active query (ascending query id), identical bytes for both matchers.
   std::vector<SubNotification<Engine>> ProcessBlock(
       const Block<Engine>& block) {
-    std::vector<SubNotification<Engine>> out;
-    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
-      out.push_back(BuildNotification(block, id));
+    SubMetrics& m = SubMetrics::Get();
+    metrics::ScopedTimer timer(m.match_seconds);
+    std::vector<SubNotification<Engine>> out =
+        options_.matcher == MatcherMode::kIndexed ? ProcessBlockIndexed(block)
+                                                  : ProcessBlockLinear(block);
+    m.notified->Inc(out.size());
+    for (const auto& n : out) {
+      if (!n.objects.empty()) m.matched->Inc();
     }
     return out;
   }
@@ -204,24 +264,10 @@ class SubscriptionManager {
   std::vector<LazyBatch<Engine>> ProcessBlockLazy(const Block<Engine>& block) {
     static_assert(Engine::kSupportsAggregation,
                   "lazy authentication requires an aggregating engine");
-    std::vector<LazyBatch<Engine>> out;
-    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
-      const QueryRuntime& rt = runtime_.at(id);
-      LazyState& state = lazy_state_[id];
-      const Multiset& root_w = RootW(block);
-      rt.view->MapForMatch(engine_, root_w, &mapped_w_);
-      int clause =
-          rt.view->FindDisjointClauseFrom(mapped_w_, rt.first_keyword_clause);
-      if (clause >= 0) {
-        AppendPending(block, id, static_cast<uint32_t>(clause), &state, &out);
-      } else {
-        // Root matches: flush pending evidence + full proof tree now.
-        LazyBatch<Engine> batch = FlushState(id, &state);
-        batch.match = BuildNotification(block, id);
-        out.push_back(std::move(batch));
-      }
-    }
-    return out;
+    metrics::ScopedTimer timer(SubMetrics::Get().match_seconds);
+    return options_.matcher == MatcherMode::kIndexed
+               ? ProcessBlockLazyIndexed(block)
+               : ProcessBlockLazyLinear(block);
   }
 
   /// Flush all pending lazy runs (subscription period end / deregistration).
@@ -235,18 +281,81 @@ class SubscriptionManager {
     return out;
   }
 
+  // --- checkpointing --------------------------------------------------------
+
+  /// The registration + lazy-run state a checkpoint persists.
+  SubscriptionSnapshot<Engine> Snapshot() const {
+    SubscriptionSnapshot<Engine> snap;
+    snap.next_query_id = ip_tree_.NextId();
+    snap.queries.reserve(runtime_.size());
+    for (const auto& [id, rt] : runtime_) {
+      (void)rt;
+      snap.queries.push_back({id, ip_tree_.QueryOf(id)});
+    }
+    for (const auto& [id, state] : lazy_state_) {
+      if (state.units.empty()) continue;
+      typename SubscriptionSnapshot<Engine>::LazyEntry e;
+      e.id = id;
+      e.clause_idx = state.clause_idx;
+      e.w_sum = state.w_sum;
+      e.units = state.units;
+      e.trailing_blocks = state.trailing_blocks;
+      snap.lazy.push_back(std::move(e));
+    }
+    return snap;
+  }
+
+  /// Restore a snapshot into a freshly constructed manager: re-registers
+  /// every query under its original id (subscribers hold those ids) and
+  /// reinstates pending lazy runs. Grid cells may differ from the pre-crash
+  /// instance (insertion order differs) — notifications stay sound and
+  /// verifiable; cross-restart byte equality is not part of the contract.
+  Status Restore(const SubscriptionSnapshot<Engine>& snap) {
+    for (const auto& e : snap.queries) {
+      VCHAIN_RETURN_IF_ERROR(core::ValidateQuery(e.query, config_.schema));
+      VCHAIN_RETURN_IF_ERROR(ip_tree_.RegisterWithId(e.id, e.query));
+      InstallRuntime(e.id, e.query);
+    }
+    ip_tree_.ReserveIds(snap.next_query_id);
+    for (const auto& e : snap.lazy) {
+      auto it = runtime_.find(e.id);
+      if (it == runtime_.end()) {
+        return Status::Corruption("lazy state for unknown subscription");
+      }
+      if (e.clause_idx >= NumClauses(it->second)) {
+        return Status::Corruption("lazy clause index out of range");
+      }
+      LazyState st;
+      st.clause_idx = e.clause_idx;
+      st.w_sum = e.w_sum;
+      st.units = e.units;
+      st.trailing_blocks = e.trailing_blocks;
+      lazy_state_[e.id] = std::move(st);
+    }
+    return Status::OK();
+  }
+
   typename ProofCache<Engine>::Stats cache_stats() const {
     return cache_.stats();
   }
 
  private:
   struct QueryRuntime {
-    TransformedQuery tq;
-    std::unique_ptr<MappedQueryView> view;
     /// Index of the first keyword clause (range covers precede keywords in
     /// TransformQuery's clause order); clause search starts here so shared
     /// keyword proofs are preferred over per-query range proofs.
     size_t first_keyword_clause = 0;
+    /// kIndexed: interned clause refs in TransformQuery order, plus the
+    /// grouped-dispatch key (clause_ids + first_keyword_clause). Identical
+    /// keys imply identical notifications up to query_id.
+    std::vector<uint32_t> clause_ids;
+    std::vector<uint32_t> group_key;
+    /// Materialized lazily under kIndexed (only group representatives and
+    /// lazy flushes need the full view); eager under kLinear. At a million
+    /// standing queries the per-query mapped views are the dominant memory,
+    /// and the indexed matcher's point is to not need them.
+    std::unique_ptr<TransformedQuery> tq;
+    std::unique_ptr<MappedQueryView> view;
   };
 
   struct LazyState {
@@ -258,11 +367,279 @@ class SubscriptionManager {
     std::vector<uint64_t> trailing_blocks;
   };
 
+  /// Orders per-block candidate groups by clause content (keys point at the
+  /// stable per-query group_key vectors; no per-block key copies).
+  struct GroupKeyLess {
+    bool operator()(const std::vector<uint32_t>* a,
+                    const std::vector<uint32_t>* b) const {
+      return *a < *b;
+    }
+  };
+
   static const Multiset& RootW(const Block<Engine>& block) {
     return block.block_w;
   }
 
-  // --- realtime ---------------------------------------------------------
+  void InstallRuntime(uint32_t id, const Query& q) {
+    QueryRuntime rt;
+    rt.first_keyword_clause = q.ranges.size();
+    if (options_.matcher == MatcherMode::kIndexed) {
+      TransformedQuery tq = core::TransformQuery(q, config_.schema);
+      rt.clause_ids.reserve(tq.clauses.size());
+      for (size_t ci = 0; ci < tq.clauses.size(); ++ci) {
+        std::vector<uint64_t> mapped;
+        mapped.reserve(tq.clauses[ci].DistinctSize());
+        for (const Multiset::Entry& e : tq.clauses[ci].entries()) {
+          mapped.push_back(engine_.MapElement(e.element));
+        }
+        rt.clause_ids.push_back(index_.Intern(tq.clauses[ci],
+                                              std::move(mapped),
+                                              ci < rt.first_keyword_clause));
+      }
+      rt.group_key = rt.clause_ids;
+      rt.group_key.push_back(static_cast<uint32_t>(rt.first_keyword_clause));
+    } else {
+      rt.tq = std::make_unique<TransformedQuery>(
+          core::TransformQuery(q, config_.schema));
+      rt.view = std::make_unique<MappedQueryView>(engine_, *rt.tq);
+    }
+    runtime_.emplace(id, std::move(rt));
+  }
+
+  /// The proof walk needs the full mapped view; build it on first use and
+  /// keep it (a group representative that matched once likely matches
+  /// again).
+  QueryRuntime& MaterializeRuntime(uint32_t id) {
+    QueryRuntime& rt = runtime_.at(id);
+    if (!rt.view) {
+      rt.tq = std::make_unique<TransformedQuery>(
+          core::TransformQuery(ip_tree_.QueryOf(id), config_.schema));
+      rt.view = std::make_unique<MappedQueryView>(engine_, *rt.tq);
+    }
+    return rt;
+  }
+
+  size_t NumClauses(const QueryRuntime& rt) const {
+    return options_.matcher == MatcherMode::kIndexed ? rt.clause_ids.size()
+                                                     : rt.tq->clauses.size();
+  }
+
+  /// The clause multiset for proofs — interned content under kIndexed, the
+  /// per-query transform under kLinear. Same bytes either way, so proof
+  /// cache keys (H(digest | clause)) coincide across queries and matchers.
+  const Multiset& ClauseSet(const QueryRuntime& rt, uint32_t clause_idx) {
+    if (options_.matcher == MatcherMode::kIndexed) {
+      return index_.SetOf(rt.clause_ids[clause_idx]);
+    }
+    return rt.tq->clauses[clause_idx];
+  }
+
+  // --- linear matcher -----------------------------------------------------
+
+  std::vector<SubNotification<Engine>> ProcessBlockLinear(
+      const Block<Engine>& block) {
+    std::vector<SubNotification<Engine>> out;
+    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
+      out.push_back(BuildNotification(block, id));
+    }
+    return out;
+  }
+
+  std::vector<LazyBatch<Engine>> ProcessBlockLazyLinear(
+      const Block<Engine>& block) {
+    std::vector<LazyBatch<Engine>> out;
+    for (uint32_t id : ip_tree_.ActiveQueryIds()) {
+      const QueryRuntime& rt = runtime_.at(id);
+      LazyState& state = lazy_state_[id];
+      const Multiset& root_w = RootW(block);
+      rt.view->MapForMatch(engine_, root_w, &mapped_w_);
+      int clause =
+          rt.view->FindDisjointClauseFrom(mapped_w_, rt.first_keyword_clause);
+      if (clause >= 0) {
+        AppendPending(block, id, static_cast<uint32_t>(clause), &state, &out,
+                      [&](size_t, const core::SkipEntry<Engine>& skip) {
+                        return !rt.view->ClauseIntersects(
+                            engine_, skip.w, static_cast<size_t>(clause));
+                      });
+      } else {
+        // Root matches: flush pending evidence + full proof tree now.
+        LazyBatch<Engine> batch = FlushState(id, &state);
+        batch.match = BuildNotification(block, id);
+        out.push_back(std::move(batch));
+      }
+    }
+    return out;
+  }
+
+  // --- indexed matcher ----------------------------------------------------
+
+  /// Map the block's root multiset once and mark every posting clause.
+  void ProbeBlock(const Block<Engine>& block) {
+    index_.BeginBlock();
+    for (const Multiset::Entry& e : RootW(block).entries()) {
+      index_.MarkElement(engine_.MapElement(e.element));
+    }
+  }
+
+  /// The linear matcher's FindDisjointClauseFrom, answered from hit flags:
+  /// first clause in wrap order from first_keyword_clause whose interned
+  /// content was not hit by the block.
+  int FirstNonHitClause(const QueryRuntime& rt) const {
+    size_t n = rt.clause_ids.size();
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = (rt.first_keyword_clause + k) % n;
+      if (!index_.IsHit(rt.clause_ids[i])) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::vector<SubNotification<Engine>> ProcessBlockIndexed(
+      const Block<Engine>& block) {
+    std::vector<SubNotification<Engine>> out;
+    if (runtime_.empty()) return out;
+    ProbeBlock(block);
+    // The root-mismatch fast path needs the real tree root; flat-mode
+    // blocks and cell-preferring policies route through the grouped full
+    // walk instead (still one walk per distinct clause content).
+    const bool fast = config_.mode != IndexMode::kNil &&
+                      block.root_index >= 0 &&
+                      !options_.prefer_cell_exclusions;
+    std::unordered_map<uint32_t, SubNotification<Engine>> mismatch_tmpl;
+    std::map<const std::vector<uint32_t>*, SubNotification<Engine>,
+             GroupKeyLess>
+        group_tmpl;
+    SubMetrics& m = SubMetrics::Get();
+    out.reserve(runtime_.size());
+    for (auto& [id, rt] : runtime_) {
+      int clause = FirstNonHitClause(rt);
+      if (clause < 0) m.candidates->Inc();
+      if (fast && clause >= 0) {
+        uint32_t cid = rt.clause_ids[clause];
+        auto it = mismatch_tmpl.find(cid);
+        if (it == mismatch_tmpl.end()) {
+          it = mismatch_tmpl.emplace(cid, BuildRootMismatch(block, cid))
+                   .first;
+        }
+        SubNotification<Engine> notif = it->second;
+        notif.query_id = id;
+        notif.nodes[0].exclusions[0].clause_idx =
+            static_cast<uint32_t>(clause);
+        out.push_back(std::move(notif));
+      } else {
+        auto it = group_tmpl.find(&rt.group_key);
+        if (it == group_tmpl.end()) {
+          MaterializeRuntime(id);
+          it = group_tmpl.emplace(&rt.group_key, BuildNotification(block, id))
+                   .first;
+        }
+        SubNotification<Engine> notif = it->second;
+        notif.query_id = id;
+        out.push_back(std::move(notif));
+      }
+    }
+    return out;
+  }
+
+  /// The shared root-mismatch notification for one exclusion clause:
+  /// everything but query_id and the per-query clause_idx, built (and its
+  /// proof probed) once per distinct clause per block. Field-for-field the
+  /// root EmitSubtree mismatch emission.
+  SubNotification<Engine> BuildRootMismatch(const Block<Engine>& block,
+                                            uint32_t interned_clause) {
+    SubNotification<Engine> notif;
+    notif.height = block.header.height;
+    const core::IndexNode<Engine>& u = block.nodes[block.root_index];
+    SubVoNode<Engine> n;
+    n.digest = u.digest;
+    n.kind = VoKind::kMismatch;
+    n.inner_hash = u.IsLeaf()
+                       ? block.objects[u.object_index].Hash()
+                       : crypto::HashPair(block.nodes[u.left].hash,
+                                          block.nodes[u.right].hash);
+    SubExclusion<Engine> ex;
+    ex.is_cell = false;
+    ex.proof = Prove(u.digest, u.w, index_.SetOf(interned_clause));
+    n.exclusions.push_back(std::move(ex));
+    notif.nodes.push_back(std::move(n));
+    notif.root = 0;
+    return notif;
+  }
+
+  std::vector<LazyBatch<Engine>> ProcessBlockLazyIndexed(
+      const Block<Engine>& block) {
+    std::vector<LazyBatch<Engine>> out;
+    if (runtime_.empty()) return out;
+    ProbeBlock(block);
+    skip_memo_.clear();
+    mapped_skips_.assign(block.skips.size(), {});
+    mapped_skips_ready_.assign(block.skips.size(), false);
+    std::map<const std::vector<uint32_t>*, SubNotification<Engine>,
+             GroupKeyLess>
+        group_tmpl;
+    SubMetrics& m = SubMetrics::Get();
+    for (auto& [id, rt] : runtime_) {
+      LazyState& state = lazy_state_[id];
+      int clause = FirstNonHitClause(rt);
+      if (clause >= 0) {
+        AppendPending(block, id, static_cast<uint32_t>(clause), &state, &out,
+                      [&](size_t li, const core::SkipEntry<Engine>& skip) {
+                        return SkipDisjointIndexed(
+                            block, li, skip,
+                            rt.clause_ids[static_cast<size_t>(clause)]);
+                      });
+      } else {
+        m.candidates->Inc();
+        LazyBatch<Engine> batch = FlushState(id, &state);
+        auto it = group_tmpl.find(&rt.group_key);
+        if (it == group_tmpl.end()) {
+          MaterializeRuntime(id);
+          it = group_tmpl.emplace(&rt.group_key, BuildNotification(block, id))
+                   .first;
+        }
+        SubNotification<Engine> notif = it->second;
+        notif.query_id = id;
+        batch.match = std::move(notif);
+        out.push_back(std::move(batch));
+      }
+    }
+    return out;
+  }
+
+  /// Is the skip entry's summed multiset disjoint from the interned clause,
+  /// in mapped space? Memoized per (level, clause content) per block — the
+  /// decision depends on nothing per-query.
+  bool SkipDisjointIndexed(const Block<Engine>& block, size_t li,
+                           const core::SkipEntry<Engine>& skip,
+                           uint32_t interned_clause) {
+    uint64_t key = (static_cast<uint64_t>(li) << 32) | interned_clause;
+    auto memo = skip_memo_.find(key);
+    if (memo != skip_memo_.end()) return memo->second;
+    if (!mapped_skips_ready_[li]) {
+      std::vector<uint64_t>& mapped = mapped_skips_[li];
+      mapped.reserve(skip.w.entries().size());
+      for (const Multiset::Entry& e : skip.w.entries()) {
+        mapped.push_back(engine_.MapElement(e.element));
+      }
+      std::sort(mapped.begin(), mapped.end());
+      mapped_skips_ready_[li] = true;
+    }
+    const std::vector<uint64_t>& mapped = mapped_skips_[li];
+    bool disjoint = true;
+    for (uint64_t v : ClauseMapped(interned_clause)) {
+      if (std::binary_search(mapped.begin(), mapped.end(), v)) {
+        disjoint = false;
+        break;
+      }
+    }
+    skip_memo_.emplace(key, disjoint);
+    return disjoint;
+  }
+
+  const std::vector<uint64_t>& ClauseMapped(uint32_t interned_clause) const {
+    return index_.MappedOf(interned_clause);
+  }
+
+  // --- realtime proof walk (shared by both matchers) ----------------------
 
   SubNotification<Engine> BuildNotification(const Block<Engine>& block,
                                             uint32_t query_id) {
@@ -384,8 +761,8 @@ class SubscriptionManager {
                           const typename Engine::ObjectDigest& digest,
                           uint32_t query_id, uint32_t clause_idx,
                           SubVoNode<Engine>* n) {
-    const QueryRuntime& rt = runtime_.at(query_id);
-    auto proof = Prove(digest, w, rt.tq.clauses[clause_idx]);
+    QueryRuntime& rt = runtime_.at(query_id);
+    auto proof = Prove(digest, w, ClauseSet(rt, clause_idx));
     SubExclusion<Engine> ex;
     ex.is_cell = false;
     ex.clause_idx = clause_idx;
@@ -423,11 +800,16 @@ class SubscriptionManager {
     return proof.TakeValue();
   }
 
-  // --- lazy --------------------------------------------------------------
+  // --- lazy (shared by both matchers) -------------------------------------
 
+  /// `skip_disjoint(level, skip)` answers "does the skip's summed multiset
+  /// avoid the chosen clause" — per-query view scan under kLinear, memoized
+  /// content probe under kIndexed; identical relation either way.
+  template <typename SkipDisjoint>
   void AppendPending(const Block<Engine>& block, uint32_t query_id,
                      uint32_t clause_idx, LazyState* state,
-                     std::vector<LazyBatch<Engine>>* out) {
+                     std::vector<LazyBatch<Engine>>* out,
+                     SkipDisjoint&& skip_disjoint) {
     if (!state->units.empty() && state->clause_idx != clause_idx) {
       out->push_back(FlushState(query_id, state));
     }
@@ -451,8 +833,7 @@ class SubscriptionManager {
         }
         if (!contiguous) continue;
         // The skip's summed multiset must still avoid the clause.
-        const QueryRuntime& rt = runtime_.at(query_id);
-        if (rt.view->ClauseIntersects(engine_, skip.w, clause_idx)) continue;
+        if (!skip_disjoint(li, skip)) continue;
         // Replace the run with one skip unit.
         for (uint64_t k = 0; k < skip.distance; ++k) {
           state->units.pop_back();
@@ -495,10 +876,10 @@ class SubscriptionManager {
       // Heights covered: derive from the unit list.
       batch.from_height = UnitLow(batch.units.front());
       batch.to_height = UnitHigh(batch.units.back());
-      const QueryRuntime& rt = runtime_.at(query_id);
+      QueryRuntime& rt = runtime_.at(query_id);
       auto digest = engine_.Digest(state->w_sum);
       auto proof = cache_.GetOrProve(engine_, digest, state->w_sum,
-                                     rt.tq.clauses[batch.clause_idx]);
+                                     ClauseSet(rt, batch.clause_idx));
       assert(proof.ok());
       batch.agg_proof = proof.TakeValue();
     }
@@ -525,10 +906,16 @@ class SubscriptionManager {
   ChainConfig config_;
   Options options_;
   IpTree ip_tree_;
+  ClauseIndex index_;
   std::map<uint32_t, QueryRuntime> runtime_;
   std::map<uint32_t, LazyState> lazy_state_;
   ProofCache<Engine> cache_;
   std::vector<uint64_t> mapped_w_;  // per-node mapping scratch
+  // Per-block lazy-mode scratch (indexed matcher): mapped skip multisets by
+  // level and the (level, clause) disjointness memo.
+  std::vector<std::vector<uint64_t>> mapped_skips_;
+  std::vector<bool> mapped_skips_ready_;
+  std::unordered_map<uint64_t, bool> skip_memo_;
 };
 
 }  // namespace vchain::sub

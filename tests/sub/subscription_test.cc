@@ -317,6 +317,10 @@ TEST(SharedProofTest, IpTreeModeSharesProofsAcrossQueries) {
   SubEnv<accum::MockAcc2Engine> env;
   typename SubscriptionManager<accum::MockAcc2Engine>::Options ip_opts;
   ip_opts.use_ip_tree = true;
+  // The linear matcher walks every query independently, so cross-query
+  // sharing shows up as proof-cache hits (the indexed matcher shares
+  // upstream of the cache — covered by the test below).
+  ip_opts.matcher = MatcherMode::kLinear;
   SubscriptionManager<accum::MockAcc2Engine> mgr(env.engine, env.config,
                                                  ip_opts);
   // Many subscriptions sharing the same clause.
@@ -330,6 +334,28 @@ TEST(SharedProofTest, IpTreeModeSharesProofsAcrossQueries) {
   const auto& stats = mgr.cache_stats();
   // 8 identical queries: all but the first hit the shared cache.
   EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(SharedProofTest, IndexedMatcherSharesWorkUpstreamOfCache) {
+  SubEnv<accum::MockAcc2Engine> env;
+  typename SubscriptionManager<accum::MockAcc2Engine>::Options opts;
+  opts.matcher = MatcherMode::kIndexed;
+  SubscriptionManager<accum::MockAcc2Engine> mgr(env.engine, env.config, opts);
+  Query q;
+  q.keyword_cnf = {{"nosuchword"}};
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(mgr.TrySubscribe(q).ok());
+  // 8 identical subscriptions intern one clause.
+  EXPECT_EQ(mgr.clause_index().NumClauses(), 1u);
+  env.Mine(3, false, 8);
+  for (const auto& block : env.builder->blocks()) {
+    auto notifs = mgr.ProcessBlock(block);
+    EXPECT_EQ(notifs.size(), 8u);
+  }
+  // Grouped dispatch proves each (digest, clause) pair exactly once — the
+  // cache never even sees the 7 duplicate probes the linear matcher makes.
+  const auto& stats = mgr.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);  // one root-mismatch proof per block
 }
 
 TEST(SubscriptionBn254Test, RealtimeAndLazyEndToEnd) {

@@ -19,7 +19,7 @@ Exit 0 = clean; 1 = violations (printed one per line).
 import re
 import sys
 
-KNOWN_TIERS = ("store", "core", "service", "http", "test")
+KNOWN_TIERS = ("store", "core", "service", "sub", "http", "test")
 
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
