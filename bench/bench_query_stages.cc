@@ -13,6 +13,11 @@
 //   serialize        : canonical response encoding
 //   msm              : informational sub-stage of aggregate
 //
+// A second, untraced service (ServiceOptions::tracing = false, the true
+// zero-instrumentation path) answers the same query; `total_untraced-<e>`
+// and `trace_overhead_pct-<e>` pin the introspection plane's cost — the
+// acceptance bound is a median overhead <= 3%.
+//
 // Emits BENCH_query_stages.json. `--quick` shrinks the workload for CI
 // smoke; absolute numbers come from full runs.
 
@@ -59,13 +64,19 @@ int main(int argc, char** argv) {
     opts.config = ConfigFor(profile, IndexMode::kBoth);
     opts.oracle = SharedOracle();
     opts.prover_mode = ProverMode::kTrustedFast;
+    api::ServiceOptions opts_untraced = opts;
+    opts_untraced.tracing = false;
     auto svc = api::Service::Open(opts).TakeValue();
+    auto svc_untraced = api::Service::Open(opts_untraced).TakeValue();
 
     DatasetGenerator gen(profile, /*seed=*/1234);
+    DatasetGenerator gen2(profile, /*seed=*/1234);
     for (size_t b = 0; b < blocks; ++b) {
       auto objs = gen.NextBlock();
+      auto objs2 = gen2.NextBlock();
       uint64_t ts = objs.front().timestamp;
       if (!svc->Append(std::move(objs), ts).ok()) std::abort();
+      if (!svc_untraced->Append(std::move(objs2), ts).ok()) std::abort();
     }
 
     auto headers = svc->Headers(0, blocks - 1).TakeValue();
@@ -95,6 +106,18 @@ int main(int argc, char** argv) {
                        static_cast<double>(t.msm_ns)};
       for (size_t s = 0; s < 8; ++s) stages[s].ns.push_back(vals[s]);
     }
+    // The untraced control: same chain, same query, tracing compiled in
+    // but disabled — wall-clocked from outside since there is no trace to
+    // read. Interleaving would hide cache asymmetry, but each service owns
+    // its caches, so a straight second loop measures the same steady state.
+    std::vector<double> untraced_ns;
+    for (size_t i = 0; i < iters; ++i) {
+      uint64_t t0 = metrics::MonotonicNanos();
+      if (!svc_untraced->Query(q).ok()) std::abort();
+      untraced_ns.push_back(
+          static_cast<double>(metrics::MonotonicNanos() - t0));
+    }
+
     double total_median = Median(&stages[0].ns);
     for (auto& stage : stages) {
       double median = Median(&stage.ns);
@@ -104,6 +127,19 @@ int main(int argc, char** argv) {
       json.Add(std::string(stage.name) + "-" + engine_name, blocks, median,
                median > 0 ? 1e9 / median : 0);
     }
+    double untraced_median = Median(&untraced_ns);
+    double overhead_pct =
+        untraced_median > 0
+            ? (total_median - untraced_median) / untraced_median * 100
+            : 0;
+    std::printf("%-16s %-18s %14.0f %8s\n", "total_untraced", engine_name,
+                untraced_median, "-");
+    std::printf("%-16s %-18s %13.1f%% %8s\n", "trace_overhead", engine_name,
+                overhead_pct, "-");
+    json.Add(std::string("total_untraced-") + engine_name, blocks,
+             untraced_median, untraced_median > 0 ? 1e9 / untraced_median : 0);
+    json.Add(std::string("trace_overhead_pct-") + engine_name, blocks,
+             overhead_pct, 0);
   }
   return 0;
 }

@@ -18,14 +18,21 @@
 //        --stats                            also print /stats JSON
 //        --timing                           print client wall time + the SP's
 //                                           per-stage trace (X-Vchain-Trace)
+//        --trace                            render the SP's span tree
+//                                           (causal, indented, with per-span
+//                                           counts) instead of the one-line
+//                                           trace JSON
 //        --retries N                        attempts per request (default 3;
 //                                           1 disables retry)
 //        --backoff-ms N                     initial retry backoff (default 100)
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/metrics.h"
+#include "net/json.h"
 #include "net/sp_client.h"
 #include "net/wire.h"
 #include "spd_common.h"
@@ -77,6 +84,72 @@ bool BuildQueryFromFlags(int argc, char** argv, vchain::core::Query* out) {
   }
   if (!any_flag) return false;
   *out = builder.Build();
+  return true;
+}
+
+/// Render the server's span tree (the "spans" array inside the
+/// X-Vchain-Trace JSON) as an indented causal tree, children under their
+/// parent in start order, with each span's notes as trailing key=value
+/// counts. Returns false when the header carries no parseable span tree
+/// (old server, or the tree was dropped) — caller falls back to raw JSON.
+bool PrintSpanTree(const std::string& trace_json) {
+  auto parsed = vchain::net::ParseJson(trace_json);
+  if (!parsed.ok() || !parsed.value().is_object()) return false;
+  const vchain::net::JsonValue* spans = parsed.value().Find("spans");
+  if (spans == nullptr || !spans->is_array() || spans->items().empty()) {
+    return false;
+  }
+  const auto& items = spans->items();
+  std::printf("server span tree:\n");
+  // Spans are emitted in Begin() order, so children always follow their
+  // parent; a single pass with a recursive print keeps start order.
+  auto num = [](const vchain::net::JsonValue* v) {
+    return v != nullptr && v->is_number() ? v->as_number() : 0;
+  };
+  std::vector<char> printed(items.size(), 0);
+  // Recursive lambda via explicit self-reference.
+  auto print_span = [&](auto&& self, size_t idx, int depth) -> void {
+    const vchain::net::JsonValue& span = items[idx];
+    printed[idx] = 1;
+    const vchain::net::JsonValue* name = span.Find("name");
+    std::printf("%*s%-*s %10.3f ms", 2 * depth, "",
+                depth < 12 ? 28 - 2 * depth : 4,
+                name != nullptr && name->is_string() ? name->as_string().c_str()
+                                                     : "?",
+                static_cast<double>(num(span.Find("duration_ns"))) * 1e-6);
+    for (const auto& [key, value] : span.members()) {
+      if (key == "id" || key == "parent" || key == "name" ||
+          key == "start_ns" || key == "duration_ns" || !value.is_number()) {
+        continue;
+      }
+      std::printf("  %s=%llu", key.c_str(),
+                  static_cast<unsigned long long>(value.as_number()));
+    }
+    std::printf("\n");
+    const uint64_t id = num(span.Find("id"));
+    for (size_t j = idx + 1; j < items.size(); ++j) {
+      if (!printed[j] && num(items[j].Find("parent")) == id) {
+        self(self, j, depth + 1);
+      }
+    }
+  };
+  for (size_t i = 0; i < items.size(); ++i) {
+    // Roots first (parent 0); orphans of dropped spans surface at top level
+    // too, so a truncated tree still prints every retained span.
+    if (!printed[i] && num(items[i].Find("parent")) == 0) {
+      print_span(print_span, i, 1);
+    }
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!printed[i]) print_span(print_span, i, 1);
+  }
+  const vchain::net::JsonValue* dropped =
+      parsed.value().Find("spans_dropped");
+  if (dropped != nullptr && dropped->is_number() &&
+      dropped->as_number() > 0) {
+    std::printf("  (+%llu spans dropped at the server's cap)\n",
+                static_cast<unsigned long long>(dropped->as_number()));
+  }
   return true;
 }
 
@@ -134,13 +207,15 @@ int main(int argc, char** argv) {
   }
   std::printf("synced %zu headers\n", light.Height());
 
-  // 2. The query, over the wire. --timing additionally opts into the SP's
-  // per-stage trace header; the response bytes are identical either way.
+  // 2. The query, over the wire. --timing/--trace additionally opt into the
+  // SP's trace header; the response bytes are identical either way.
   std::printf("query: %s\n", vchain::net::QueryToJson(q).c_str());
   const bool timing = flags.Has("--timing");
+  const bool render_trace = flags.Has("--trace");
   std::string server_trace;
   uint64_t t0 = vchain::metrics::MonotonicNanos();
-  auto result = client->Query(q, timing ? &server_trace : nullptr);
+  auto result =
+      client->Query(q, timing || render_trace ? &server_trace : nullptr);
   uint64_t wall_ns = vchain::metrics::MonotonicNanos() - t0;
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
@@ -152,6 +227,10 @@ int main(int argc, char** argv) {
                 static_cast<double>(wall_ns) * 1e-6);
     std::printf("server_trace=%s\n",
                 server_trace.empty() ? "(none)" : server_trace.c_str());
+  }
+  if (render_trace &&
+      (server_trace.empty() || !PrintSpanTree(server_trace))) {
+    std::printf("server span tree: (none)\n");
   }
   std::printf("received %zu result(s), VO = %zu bytes\n",
               result.value().objects.size(), result.value().vo_bytes);

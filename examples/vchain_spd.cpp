@@ -24,6 +24,10 @@
 //        --log-json     one JSON object per log line (for log shippers)
 //        --slow-query-ms N  warn-log queries slower than N ms, with their
 //                           stage breakdown (default 0 = off)
+//        --debug-endpoints  serve GET /debug/traces|events|config (off by
+//                           default; they 404 otherwise)
+//        --canary N     audit every Nth completed query by re-verifying it
+//                       against the header chain (default 0 = off)
 //
 // Observability: GET /metrics serves the Prometheus exposition of every
 // tier (store, service, HTTP); logs go to stderr with a request id stamped
@@ -33,6 +37,9 @@
 // requests, then a final store Sync() so everything served as durable is.
 // The handlers are installed before demo mining — an interrupt mid-mining
 // syncs what was mined and exits cleanly instead of dying mid-append.
+// SIGQUIT dumps the flight recorder (recent structured events across all
+// tiers) to stderr without stopping the daemon — the "what just happened"
+// lever for a wedged or misbehaving SP.
 
 #include <atomic>
 #include <chrono>
@@ -40,6 +47,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "net/sp_server.h"
 #include "spd_common.h"
@@ -47,6 +55,8 @@
 namespace {
 std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
+// Async-signal-safe: DumpToFd uses only stack buffers, atomics, write(2).
+void HandleQuit(int) { vchain::flight::FlightRecorder::Get().DumpToFd(2); }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,12 +71,17 @@ int main(int argc, char** argv) {
   vchain::logging::SetJsonOutput(flags.Has("--log-json"));
 
   // Before any mining or serving: a signal during startup must still reach
-  // the sync-and-exit path below, not the default handler.
+  // the sync-and-exit path below, not the default handler. The recorder
+  // singleton is forced into existence here so the SIGQUIT handler never
+  // runs its (non-signal-safe) first-use construction.
+  vchain::flight::FlightRecorder::Get();
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGQUIT, HandleQuit);
 
   vchain::ServiceOptions opts = spd::DemoOptions(engine);
   opts.store_dir = flags.Get("--store", "");
+  opts.canary_sample_every = std::stoull(flags.Get("--canary", "0"));
   auto opened = vchain::Service::Open(opts);
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -111,6 +126,7 @@ int main(int argc, char** argv) {
   sopts.http.max_connections = std::stoul(flags.Get("--max-conns", "64"));
   sopts.http.rate_limit_rps = std::stod(flags.Get("--rps", "0"));
   sopts.slow_query_ms = std::stoull(flags.Get("--slow-query-ms", "0"));
+  sopts.debug_endpoints = flags.Has("--debug-endpoints");
   auto server = vchain::net::SpServer::Start(svc.get(), sopts);
   if (!server.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",

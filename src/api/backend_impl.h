@@ -33,8 +33,10 @@
 #include <vector>
 
 #include "api/backend.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/span.h"
 #include "core/chain_builder.h"
 #include "core/processor.h"
 #include "core/proof_cache.h"
@@ -112,7 +114,13 @@ class ServiceBackend final : public IServiceBackend {
     if (degraded_) {
       return Status::Unavailable("service is read-only: " + degraded_reason_);
     }
+    // The service shell installs an ambient "append" tree when tracing;
+    // mining and the subscription drain hang their spans off it.
+    const trace::AmbientSpan amb = trace::CurrentSpan();
+    uint32_t mine_span =
+        amb.tree != nullptr ? amb.tree->Begin("mine", amb.parent) : 0;
     auto stats = builder_->AppendBlock(std::move(objects), timestamp);
+    if (amb.tree != nullptr) amb.tree->End(mine_span);
     if (!stats.ok()) {
       // AppendBlock writes through to the store *before* touching the
       // in-memory chain, so on failure memory still mirrors the durable
@@ -243,6 +251,7 @@ class ServiceBackend final : public IServiceBackend {
     auto id = subs_.TrySubscribe(q);
     if (!id.ok()) return id.status();
     active_subscriptions_.insert(id.value());
+    flight::FlightRecorder::Get().Record("sub", "subscribe", id.value());
     // Events cover blocks appended from here on; with no prior subscribers
     // the drain cursor may lag (drains are skipped while nobody listens).
     sub_next_height_ = builder_->NumBlocks();
@@ -259,6 +268,7 @@ class ServiceBackend final : public IServiceBackend {
       return Status::NotFound("unknown subscription id");
     }
     subs_.Unsubscribe(id);
+    flight::FlightRecorder::Get().Record("sub", "unsubscribe", id);
     sub::SubMetrics::Get().registered->Set(
         static_cast<double>(subs_.NumActive()));
     (void)WriteCheckpointLocked();
@@ -334,6 +344,9 @@ class ServiceBackend final : public IServiceBackend {
     sub::SubMetrics::Get().registered->Set(
         static_cast<double>(subs_.NumActive()));
     sub::SubMetrics::Get().checkpoint_recoveries->Inc();
+    flight::FlightRecorder::Get().Record("sub", "checkpoint_restore",
+                                         ckpt_->latest_seq(),
+                                         sub_next_height_);
     logging::Info("sub_checkpoint_restored")
         .Kv("seq", ckpt_->latest_seq())
         .Kv("subscriptions", subs_.NumActive())
@@ -358,6 +371,9 @@ class ServiceBackend final : public IServiceBackend {
       return st;
     }
     sub::SubMetrics::Get().checkpoint_writes->Inc();
+    flight::FlightRecorder::Get().Record("sub", "checkpoint_write",
+                                         ckpt_->latest_seq(),
+                                         sub_next_height_);
     ckpt_height_ = sub_next_height_;
     return Status::OK();
   }
@@ -368,14 +384,20 @@ class ServiceBackend final : public IServiceBackend {
                              core::QueryTrace* trace) {
     if (!resp.ok()) return resp.status();
     queries_served_.fetch_add(1, std::memory_order_relaxed);
-    uint64_t t0 = trace ? metrics::MonotonicNanos() : 0;
     QueryResult out;
-    ByteWriter w;
-    core::SerializeResponse(engine_, resp.value(), &w);
-    out.response_bytes = std::move(w.bytes());
-    out.vo_bytes = core::VoByteSize(engine_, resp.value().vo);
-    out.objects = std::move(resp.value().objects);
-    if (trace) trace->serialize_ns += metrics::MonotonicNanos() - t0;
+    {
+      trace::ScopedSpan serialize_span(
+          trace != nullptr ? trace->EnsureSpans() : nullptr, "serialize");
+      ByteWriter w;
+      core::SerializeResponse(engine_, resp.value(), &w);
+      out.response_bytes = std::move(w.bytes());
+      out.vo_bytes = core::VoByteSize(engine_, resp.value().vo);
+      out.objects = std::move(resp.value().objects);
+    }
+    // Re-project so direct backend callers see serialize_ns without going
+    // through the service shell (which projects again after ending the
+    // root — projection is idempotent).
+    if (trace != nullptr) trace->ProjectSpans();
     return out;
   }
 
@@ -387,6 +409,8 @@ class ServiceBackend final : public IServiceBackend {
         .GetGauge("vchain_service_degraded",
                   "1 while the service is read-only after a storage fault")
         ->Set(1);
+    flight::FlightRecorder::Get().Record("service", "degraded",
+                                         builder_->NumBlocks());
     logging::Error("service_degraded").Kv("reason", degraded_reason_);
   }
 
@@ -405,6 +429,12 @@ class ServiceBackend final : public IServiceBackend {
             "vchain_service_subscription_drain_seconds",
             "Per-append standing-query drain latency");
     metrics::ScopedTimer timer(drain_seconds);
+    const trace::AmbientSpan amb = trace::CurrentSpan();
+    trace::ScopedSpan dispatch_span(
+        amb.tree, "sub_dispatch",
+        amb.parent != 0 ? amb.parent : trace::kRootSpan);
+    const uint64_t drain_from = sub_next_height_;
+    const size_t events_before = pending_events_.size();
     auto drain = [&](const store::BlockSource<Engine>& source) {
       while (sub_next_height_ < tip) {
         for (auto& notif : subs_.ProcessNewBlocks(source, &sub_next_height_)) {
@@ -426,6 +456,8 @@ class ServiceBackend final : public IServiceBackend {
       store::VectorBlockSource<Engine> source(&builder_->blocks());
       drain(source);
     }
+    dispatch_span.Note("blocks", sub_next_height_ - drain_from);
+    dispatch_span.Note("events", pending_events_.size() - events_before);
     // Periodic checkpoint: bound the at-least-once replay window to the
     // configured number of drained blocks. Best-effort (Sync is the hard
     // commit point; a failure already logged inside).

@@ -46,15 +46,21 @@
 #ifndef VCHAIN_API_SERVICE_H_
 #define VCHAIN_API_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "accum/acc1.h"  // ProverMode
 #include "accum/keys.h"
 #include "chain/light_client.h"
 #include "common/lru.h"
+#include "common/span.h"
 #include "core/block.h"
 #include "core/query.h"
 #include "core/query_trace.h"
@@ -132,6 +138,32 @@ struct ServiceOptions {
   /// Also write a checkpoint every N drained blocks (0 = only at Sync and
   /// on Subscribe/Unsubscribe), bounding the at-least-once replay window.
   uint64_t sub_checkpoint_interval_blocks = 64;
+
+  // --- introspection plane (common/span.h, common/flight_recorder.h) -------
+
+  /// Build a causal span tree for every Query/QueryBatch/Append and feed the
+  /// stage histograms from its projection. Off = the processor runs with no
+  /// trace at all (the true zero-overhead baseline; only total latency is
+  /// observed). Callers that pass their own QueryTrace are always traced,
+  /// regardless of this switch. Tracing never changes response bytes.
+  bool tracing = true;
+
+  /// Finished span trees retained for GET /debug/traces: FIFO capacity of
+  /// the sampled set (the slowest handful is kept on top of this).
+  size_t trace_ring_capacity = 64;
+  /// Keep every Nth finished tree (0 = keep only the slowest set).
+  uint64_t trace_sample_every = 16;
+
+  /// Verification canary: every Nth successful query is replayed through
+  /// Verify against a fresh light client on a background thread, feeding
+  /// vchain_canary_{verified,failed,skipped}_total. 0 = canary off. A
+  /// nonzero failed counter means the SP served an answer its own auditor
+  /// could not verify — a page-worthy integrity signal.
+  uint64_t canary_sample_every = 0;
+  /// Audit-queue budget: sampled queries beyond this many pending audits
+  /// are counted as skipped instead of queued (bounded memory, bounded
+  /// audit lag).
+  size_t canary_max_pending = 32;
 };
 
 /// An engine-erased query answer: the result set plus the canonical
@@ -174,6 +206,16 @@ struct ServiceStats {
   uint64_t sub_checkpoint_seq = 0;
   LruStats proof_cache;
   LruStats block_cache;  ///< zero in in-memory mode (no decoded-block cache)
+
+  // Introspection plane (process-wide families read back from the metrics
+  // registry — one source of truth; see ServiceOptions::canary_sample_every).
+  uint64_t canary_verified = 0;
+  uint64_t canary_failed = 0;  ///< nonzero = integrity alarm
+  uint64_t canary_skipped = 0;
+  /// Span trees currently retained for /debug/traces (this service's ring).
+  uint64_t trace_ring_occupancy = 0;
+  /// Events ever recorded by the process-wide flight recorder.
+  uint64_t flight_recorder_seq = 0;
 };
 
 class IServiceBackend;
@@ -270,11 +312,49 @@ class Service {
   uint64_t NumBlocks() const;
   EngineKind engine_kind() const;
   const core::ChainConfig& config() const;
+  const ServiceOptions& options() const;
+
+  /// Block until every canary audit enqueued so far has run (tests and
+  /// graceful shutdown). No-op when the canary is off.
+  void DrainCanary();
+
+  /// The retained span trees (sampled + slowest) as one JSON document —
+  /// what GET /debug/traces serves.
+  std::string DebugTracesJson() const;
+
+  /// Effective configuration with per-field provenance ("default" | "set",
+  /// against a default-constructed ServiceOptions/ChainConfig) — what
+  /// GET /debug/config serves.
+  std::string DebugConfigJson() const;
 
  private:
   explicit Service(std::unique_ptr<IServiceBackend> backend);
 
+  struct CanaryItem {
+    core::Query query;
+    Bytes response_bytes;
+    uint64_t tip = 0;  ///< chain height when the answer was produced
+  };
+
+  Result<QueryResult> QueryInternal(const core::Query& q,
+                                    core::QueryTrace* caller_trace);
+  void MaybeEnqueueCanary(const core::Query& q, const QueryResult& result);
+  void CanaryLoop();
+  void RunCanaryItem(const CanaryItem& item);
+
   std::unique_ptr<IServiceBackend> backend_;
+
+  /// Retention ring behind /debug/traces; always present so opted-in traces
+  /// are retained even with ServiceOptions::tracing == false.
+  std::unique_ptr<trace::TraceRing> ring_;
+
+  std::atomic<uint64_t> canary_tick_{0};
+  mutable std::mutex canary_mu_;
+  std::condition_variable canary_cv_;
+  std::deque<CanaryItem> canary_queue_;
+  bool canary_stop_ = false;
+  bool canary_busy_ = false;
+  std::thread canary_thread_;  ///< joinable only when canary_sample_every > 0
 };
 
 }  // namespace vchain::api

@@ -1,0 +1,121 @@
+#include "common/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace vchain::flight {
+
+FlightRecorder& FlightRecorder::Get() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::Record(const char* tier, const char* name, uint64_t a,
+                            uint64_t b, uint64_t c) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now = metrics::MonotonicNanos();
+  Slot& slot = slots_[seq % kSlots];
+  // Seqlock write: odd version while the fields are in flux. The release
+  // fence keeps the field stores (atomic, relaxed) from reordering above the
+  // odd store; the release on the even store publishes the fields.
+  slot.version.store(2 * seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ns.store(now, std::memory_order_relaxed);
+  slot.tier.store(tier, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  slot.version.store(2 * seq + 2, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(size_t i, Event* out) const {
+  const Slot& slot = slots_[i];
+  const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 == 0 || (v1 & 1) != 0) return false;  // empty or mid-write
+  Event e;
+  e.ns = slot.ns.load(std::memory_order_relaxed);
+  e.tier = slot.tier.load(std::memory_order_relaxed);
+  e.name = slot.name.load(std::memory_order_relaxed);
+  e.a = slot.a.load(std::memory_order_relaxed);
+  e.b = slot.b.load(std::memory_order_relaxed);
+  e.c = slot.c.load(std::memory_order_relaxed);
+  // The fence keeps the relaxed field loads from sinking below the second
+  // version read (classic seqlock reader ordering).
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t v2 = slot.version.load(std::memory_order_relaxed);
+  if (v1 != v2) return false;  // a writer landed mid-read; drop the slot
+  e.seq = v1 / 2 - 1;
+  if (e.tier == nullptr || e.name == nullptr) return false;
+  *out = e;
+  return true;
+}
+
+std::vector<Event> FlightRecorder::Snapshot() const {
+  std::vector<Event> out;
+  out.reserve(kSlots);
+  for (size_t i = 0; i < kSlots; ++i) {
+    Event e;
+    if (ReadSlot(i, &e)) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::vector<Event> events = Snapshot();
+  std::string out;
+  out.reserve(64 + events.size() * 128);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "{\"next_seq\":%" PRIu64 ",\"events\":[",
+                NextSeq());
+  out.append(buf);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i != 0) out.push_back(',');
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%" PRIu64 ",\"ns\":%" PRIu64
+                  ",\"tier\":\"%s\",\"name\":\"%s\",\"a\":%" PRIu64
+                  ",\"b\":%" PRIu64 ",\"c\":%" PRIu64 "}",
+                  e.seq, e.ns, e.tier, e.name, e.a, e.b, e.c);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  // Signal-handler tolerant: stack buffers and write(2) only, no heap, no
+  // stdio locking (snprintf into a local buffer is not formally
+  // async-signal-safe but does not allocate with glibc for these formats —
+  // the pragmatic black-box trade-off).
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "=== flight recorder: %" PRIu64 " events total ===\n",
+                        NextSeq());
+  if (n > 0) (void)!write(fd, buf, static_cast<size_t>(n));
+  // Emit in ring order starting at the oldest live slot so output is
+  // seq-ordered without sorting (no heap).
+  const uint64_t next = next_.load(std::memory_order_relaxed);
+  const size_t start = next > kSlots ? next % kSlots : 0;
+  for (size_t k = 0; k < kSlots; ++k) {
+    Event e;
+    if (!ReadSlot((start + k) % kSlots, &e)) continue;
+    n = std::snprintf(buf, sizeof(buf),
+                      "[%" PRIu64 "] ns=%" PRIu64
+                      " %s/%s a=%" PRIu64 " b=%" PRIu64 " c=%" PRIu64 "\n",
+                      e.seq, e.ns, e.tier, e.name, e.a, e.b, e.c);
+    if (n > 0) (void)!write(fd, buf, static_cast<size_t>(n));
+  }
+  n = std::snprintf(buf, sizeof(buf), "=== end flight recorder ===\n");
+  if (n > 0) (void)!write(fd, buf, static_cast<size_t>(n));
+}
+
+}  // namespace vchain::flight

@@ -1,0 +1,96 @@
+// FlightRecorder — the process black box: a fixed-size, lock-free ring of
+// recent structured events from every tier (HTTP shed/429/408 decisions,
+// degraded-mode flips, store recovery and segment rolls, subscription
+// checkpoint writes, canary verdicts). Always on, bounded memory, no
+// allocation or syscall per event — cheap enough to record on error paths
+// and state transitions unconditionally.
+//
+// Readout: GET /debug/events serves ToJson(); vchain_spd dumps the ring to
+// stderr on SIGQUIT (DumpToFd is written to be safe enough for a signal
+// handler: stack buffers + write(2), no heap).
+//
+// Lock-freedom and TSan-cleanliness: every slot field is a relaxed atomic,
+// and a per-slot version counter (seqlock style) brackets each write —
+// odd while a writer is mid-slot, even when the slot is consistent.
+// Readers retry-or-skip on a version mismatch, so a dump running
+// concurrently with 8 writers returns only consistent slots and never
+// blocks a writer. Two writers landing on the *same* slot concurrently
+// (a full ring-size apart in sequence, i.e. one thread 4096 events behind)
+// can interleave field stores; the version check makes the reader drop such
+// a slot rather than emit a chimera.
+//
+// Event names and tier labels must be string literals: slots store the
+// pointers. Up to three uint64 arguments carry the event's specifics
+// (heights, byte counts, status codes); the JSON names them a/b/c — this is
+// a black box for humans mid-incident, not a stable schema.
+
+#ifndef VCHAIN_COMMON_FLIGHT_RECORDER_H_
+#define VCHAIN_COMMON_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vchain::flight {
+
+struct Event {
+  uint64_t seq = 0;  ///< global order; monotonically increasing
+  uint64_t ns = 0;   ///< metrics::MonotonicNanos at record time
+  const char* tier = "";
+  const char* name = "";
+  uint64_t a = 0, b = 0, c = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kSlots = 4096;
+
+  /// The process-wide recorder every tier records into.
+  static FlightRecorder& Get();
+
+  /// Record one event. Wait-free: one fetch_add plus relaxed stores.
+  /// `tier` and `name` must be string literals.
+  void Record(const char* tier, const char* name, uint64_t a = 0,
+              uint64_t b = 0, uint64_t c = 0);
+
+  /// Next sequence number to be assigned == events recorded so far.
+  uint64_t NextSeq() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent events currently in the ring, oldest first. Slots being
+  /// written during the snapshot are skipped.
+  std::vector<Event> Snapshot() const;
+
+  /// {"next_seq":N,"events":[...]} — single-line ASCII.
+  std::string ToJson() const;
+
+  /// Dump the ring to `fd` as text lines, oldest first. No heap use —
+  /// tolerable inside a fatal-signal handler.
+  void DumpToFd(int fd) const;
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    // Seqlock version: 0 = never written; 2*seq+1 while writing seq's
+    // event; 2*seq+2 once it is consistent.
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<const char*> tier{nullptr};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> a{0}, b{0}, c{0};
+  };
+
+  /// Read slot `i` if consistent; false when empty or mid-write.
+  bool ReadSlot(size_t i, Event* out) const;
+
+  std::atomic<uint64_t> next_{0};
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace vchain::flight
+
+#endif  // VCHAIN_COMMON_FLIGHT_RECORDER_H_

@@ -83,87 +83,90 @@ class QueryProcessor {
   Result<QueryResponse<Engine>> TimeWindowQuery(const Query& q,
                                                 QueryTrace* trace = nullptr) {
     trace_ = trace;
-    uint64_t t0 = trace ? metrics::MonotonicNanos() : 0;
-    VCHAIN_RETURN_IF_ERROR(ValidateQuery(q, config_.schema));
+    // A traced call always has a span tree: stage timing is done entirely in
+    // spans, and the flat fields are projected back at the end, so direct
+    // callers of the processor (tests, benches) see the same stage numbers
+    // the api tier does.
+    spans_ = trace != nullptr ? trace->EnsureSpans() : nullptr;
+
+    uint32_t s_setup = SpanBegin("setup");
+    if (auto st = ValidateQuery(q, config_.schema); !st.ok()) {
+      SpanEnd(s_setup);
+      return FinishTrace(std::move(st));
+    }
     TransformedQuery tq = TransformQuery(q, config_.schema);
     MappedQueryView view(engine_, tq);
-    if (trace) {
-      uint64_t t1 = metrics::MonotonicNanos();
-      trace->setup_ns += t1 - t0;
-      t0 = t1;
-    }
+    SpanEnd(s_setup);
 
     QueryResponse<Engine> resp;
+    uint32_t s_window = SpanBegin("window_lookup");
     auto range = FindHeightRange(q.time_start, q.time_end);
-    if (trace) {
-      uint64_t t1 = metrics::MonotonicNanos();
-      trace->window_lookup_ns += t1 - t0;
-      t0 = t1;
-    }
+    SpanEnd(s_window);
     if (!range) {
-      trace_ = nullptr;
-      return resp;  // empty window: nothing to prove
+      return FinishTrace(std::move(resp));  // empty window: nothing to prove
     }
 
     Aggregator agg;
-    // Inline proving during the walk (serial non-aggregating path) adds to
-    // prove_ns as it happens; remember the baseline so the walk time can be
-    // de-overlapped below even when one trace accumulates several queries.
-    uint64_t prove_before_walk = trace ? trace->prove_ns : 0;
-    uint64_t cursor = range->second;
-    // Walk newest-to-oldest (Algorithm 4's direction). One block is
-    // materialized at a time (BlockSource's reference contract), so a
-    // disk-backed source never holds more than its cache's worth of blocks.
-    for (;;) {
-      const Block<Engine>& block = source_->BlockAt(cursor);
-      resp.vo.steps.push_back(ProcessBlock(block, tq, view, &resp, &agg));
-      if (trace) ++trace->blocks_walked;
-      if (cursor == range->first) break;
-      // Try the *largest* usable mismatching skip of the current block.
-      bool jumped = false;
-      if (config_.mode == IndexMode::kBoth) {
-        for (size_t li = block.skips.size(); li-- > 0;) {
-          const SkipEntry<Engine>& skip = block.skips[li];
-          if (cursor < skip.distance ||
-              cursor - skip.distance + 1 <= range->first) {
-            continue;  // would overshoot the window start
+    walk_span_ = SpanBegin("match_walk");
+    {
+      // Layers with no trace parameter under the walk (the store's
+      // block-read miss path) attach their spans via the ambient context.
+      trace::AmbientScope ambient(
+          spans_, walk_span_ != 0 ? walk_span_ : trace::kRootSpan);
+      uint64_t cursor = range->second;
+      // Walk newest-to-oldest (Algorithm 4's direction). One block is
+      // materialized at a time (BlockSource's reference contract), so a
+      // disk-backed source never holds more than its cache's worth of
+      // blocks.
+      for (;;) {
+        const Block<Engine>& block = source_->BlockAt(cursor);
+        resp.vo.steps.push_back(ProcessBlock(block, tq, view, &resp, &agg));
+        if (trace) ++trace->blocks_walked;
+        if (cursor == range->first) break;
+        // Try the *largest* usable mismatching skip of the current block.
+        bool jumped = false;
+        if (config_.mode == IndexMode::kBoth) {
+          for (size_t li = block.skips.size(); li-- > 0;) {
+            const SkipEntry<Engine>& skip = block.skips[li];
+            if (cursor < skip.distance ||
+                cursor - skip.distance + 1 <= range->first) {
+              continue;  // would overshoot the window start
+            }
+            view.MapForMatch(engine_, skip.w, &mapped_w_);
+            int clause = view.FindDisjointClause(mapped_w_);
+            if (clause < 0) continue;
+            resp.vo.steps.push_back(MakeSkipStep(
+                block, static_cast<uint32_t>(li),
+                static_cast<uint32_t>(clause), tq, &agg));
+            cursor -= skip.distance + 1;
+            jumped = true;
+            if (trace) ++trace->skips_taken;
+            break;
           }
-          view.MapForMatch(engine_, skip.w, &mapped_w_);
-          int clause = view.FindDisjointClause(mapped_w_);
-          if (clause < 0) continue;
-          resp.vo.steps.push_back(MakeSkipStep(
-              block, static_cast<uint32_t>(li), static_cast<uint32_t>(clause),
-              tq, &agg));
-          cursor -= skip.distance + 1;
-          jumped = true;
-          if (trace) ++trace->skips_taken;
-          break;
         }
+        if (!jumped) --cursor;
+        if (cursor + 1 == range->first) break;  // walked past the start
       }
-      if (!jumped) --cursor;
-      if (cursor + 1 == range->first) break;  // walked past the start
     }
-    if (trace) {
-      // Inline proving during the walk (the serial non-aggregating path)
-      // was accumulated into prove_ns as it happened; subtract it here so
-      // match_walk_ns and prove_ns stay non-overlapping.
-      uint64_t t1 = metrics::MonotonicNanos();
-      uint64_t walk = t1 - t0;
-      uint64_t inline_prove = trace->prove_ns - prove_before_walk;
-      trace->match_walk_ns += walk > inline_prove ? walk - inline_prove : 0;
-      trace->results_matched = resp.objects.size();
-      t0 = t1;
+    if (spans_ != nullptr && walk_span_ != 0) {
+      spans_->Note(walk_span_, "blocks", trace->blocks_walked);
+      spans_->Note(walk_span_, "nodes", trace->nodes_visited);
+      spans_->Note(walk_span_, "skips", trace->skips_taken);
     }
-    FlushAggregates(&agg, tq, &resp.vo);
-    if (trace) {
-      uint64_t t1 = metrics::MonotonicNanos();
-      trace->aggregate_ns += t1 - t0;
-      t0 = t1;
+    SpanEnd(walk_span_);
+    if (trace) trace->results_matched = resp.objects.size();
+
+    {
+      // FlushAggregates' inline proving (the acc2 batch path) deliberately
+      // gets no span of its own: it stays inside the aggregate stage, as it
+      // always has. Its MSM sub-stage does get "msm" child spans.
+      trace::ScopedSpan s_agg(spans_, "aggregate");
+      agg_span_ = s_agg.id();
+      FlushAggregates(&agg, tq, &resp.vo);
+      agg_span_ = 0;
     }
     ResolveDeferredProofs(tq, &resp.vo);
-    if (trace) trace->prove_ns += metrics::MonotonicNanos() - t0;
-    trace_ = nullptr;
-    return resp;
+    return FinishTrace(std::move(resp));
   }
 
   typename ProofCache<Engine>::Stats cache_stats() const {
@@ -171,6 +174,26 @@ class QueryProcessor {
   }
 
  private:
+  uint32_t SpanBegin(const char* name, uint32_t parent = trace::kRootSpan) {
+    return spans_ != nullptr ? spans_->Begin(name, parent) : 0;
+  }
+  void SpanEnd(uint32_t id) {
+    if (spans_ != nullptr) spans_->End(id);
+  }
+
+  /// Project the span tree into the flat stage fields and clear the
+  /// per-call tracing state; passes its argument through so every return
+  /// path reads `return FinishTrace(...)`.
+  template <typename T>
+  T FinishTrace(T value) {
+    if (trace_ != nullptr) trace_->ProjectSpans();
+    trace_ = nullptr;
+    spans_ = nullptr;
+    walk_span_ = 0;
+    agg_span_ = 0;
+    return value;
+  }
+
   /// Pending per-clause aggregation state (acc2 batching).
   struct Aggregator {
     // clause_idx -> summed multiset of all proof-less mismatch nodes.
@@ -186,9 +209,10 @@ class QueryProcessor {
 
   /// Cache-consulting proof with trace attribution. When tracing,
   /// hit/miss/proved counters are bumped and — for inline proofs during
-  /// the walk (`in_walk`) — wall time is booked to prove_ns so the walk
-  /// stage can subtract it (FlushAggregates' proving stays inside the
-  /// aggregate stage instead).
+  /// the walk (`in_walk`) — a "prove" span nested under the walk span is
+  /// opened, which the stage projection subtracts from match_walk_ns so
+  /// walk and prove stay non-overlapping (FlushAggregates' proving stays
+  /// inside the aggregate stage instead).
   Result<typename Engine::Proof> TracedGetOrProve(
       const typename Engine::ObjectDigest& digest, const Multiset& w,
       const Multiset& clause, bool in_walk) {
@@ -196,10 +220,12 @@ class QueryProcessor {
       return cache_->GetOrProve(engine_, digest, w, clause);
     }
     bool hit = false;
-    uint64_t t0 = metrics::MonotonicNanos();
+    uint32_t sp = 0;
+    if (in_walk) {
+      sp = SpanBegin("prove", walk_span_ != 0 ? walk_span_ : trace::kRootSpan);
+    }
     auto proof = cache_->GetOrProve(engine_, digest, w, clause, &hit);
-    uint64_t dt = metrics::MonotonicNanos() - t0;
-    if (in_walk) trace_->prove_ns += dt;
+    SpanEnd(sp);
     if (hit) {
       ++trace_->proof_cache_hits;
     } else {
@@ -355,6 +381,12 @@ class QueryProcessor {
   void ResolveDeferredProofs(const TransformedQuery& tq, WindowVO<Engine>* vo) {
     if constexpr (!Engine::kSupportsAggregation) {
       if (deferred_.empty()) return;
+      // The whole resolution pass — dedup, pool proving, install-back — is
+      // the "prove" stage; each pool job adds a "prove_task" child span
+      // (from a worker thread; the tree is internally synchronized).
+      trace::ScopedSpan prove_span(spans_, "prove");
+      const uint32_t prove_id =
+          prove_span.id() != 0 ? prove_span.id() : trace::kRootSpan;
       // Deduplicate under the cache key H(digest | clause) and resolve
       // cache hits up front; only genuinely new proofs hit the pool.
       using Key = typename ProofCache<Engine>::Key;
@@ -388,6 +420,7 @@ class QueryProcessor {
       if (trace_) trace_->proofs_computed += to_compute.size();
       ThreadPool::Shared().ParallelFor(
           to_compute.size(), config_.num_prover_threads, [&](size_t k) {
+            trace::ScopedSpan task(spans_, "prove_task", prove_id);
             Job& job = jobs[to_compute[k]];
             auto proof = engine_.ProveDisjoint(
                 job.d->w, tq.clauses[job.d->clause_idx]);
@@ -461,9 +494,10 @@ class QueryProcessor {
       for (auto& [clause_idx, summed] : agg->pending) {
         // One proof over the summed multiset equals the ProofSum of the
         // individual proofs (A is linear), at a single multiexp's cost.
-        uint64_t t0 = trace_ ? metrics::MonotonicNanos() : 0;
+        uint32_t s_msm = SpanBegin(
+            "msm", agg_span_ != 0 ? agg_span_ : trace::kRootSpan);
         auto digest = engine_.Digest(summed);
-        if (trace_) trace_->msm_ns += metrics::MonotonicNanos() - t0;
+        SpanEnd(s_msm);
         auto proof = TracedGetOrProve(digest, summed, tq.clauses[clause_idx],
                                       /*in_walk=*/false);
         assert(proof.ok());
@@ -486,6 +520,9 @@ class QueryProcessor {
   std::vector<DeferredProof> deferred_;
   std::vector<uint64_t> mapped_w_;  // per-node mapping scratch
   QueryTrace* trace_ = nullptr;     // non-null only inside a traced call
+  trace::SpanTree* spans_ = nullptr;  // trace_'s tree; same lifetime
+  uint32_t walk_span_ = 0;  // open "match_walk" span during the walk
+  uint32_t agg_span_ = 0;   // open "aggregate" span during FlushAggregates
 };
 
 }  // namespace vchain::core

@@ -19,6 +19,13 @@
 //     multi-scalar exponentiation), not a sixth term of the sum.
 //
 // All times are monotonic-clock nanoseconds (metrics::MonotonicNanos).
+//
+// Since the introspection plane, the stage fields are a *projection* of the
+// causal span tree (`spans`, common/span.h): the processor and api tiers
+// open/close spans, and ProjectSpans() folds them back into the flat fields
+// above so histograms, warn logs, and the trace header all read one
+// measurement. Callers that hand the processor a bare QueryTrace without a
+// tree get one auto-created (EnsureSpans), so the flat numbers never vanish.
 
 #ifndef VCHAIN_CORE_QUERY_TRACE_H_
 #define VCHAIN_CORE_QUERY_TRACE_H_
@@ -26,7 +33,10 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+
+#include "common/span.h"
 
 namespace vchain::core {
 
@@ -64,6 +74,37 @@ struct QueryTrace {
   uint64_t proof_cache_hits = 0;
   uint64_t proof_cache_misses = 0;
 
+  /// The causal span tree this trace's stage fields are projected from.
+  /// Shared so the retention ring can outlive the QueryTrace.
+  std::shared_ptr<trace::SpanTree> spans;
+
+  /// The tree, creating it (rooted at `root`, started now) on first use.
+  trace::SpanTree* EnsureSpans(const char* root = "query") {
+    if (spans == nullptr) spans = std::make_shared<trace::SpanTree>(root);
+    return spans.get();
+  }
+
+  /// Fold the span tree back into the flat stage fields. Inline "prove"
+  /// spans nested under the walk are subtracted from match_walk_ns so the
+  /// primary stages stay non-overlapping; when the tree overflowed
+  /// (DroppedSpans > 0) un-subtracted prove time simply stays inside the
+  /// walk, preserving the sum invariant. No-op without a tree.
+  void ProjectSpans() {
+    if (spans == nullptr) return;
+    const trace::SpanTree& t = *spans;
+    setup_ns = t.SumDurationsNs("setup");
+    window_lookup_ns = t.SumDurationsNs("window_lookup");
+    const uint64_t walk = t.SumDurationsNs("match_walk");
+    const uint64_t inline_prove =
+        t.SumDurationsUnderNs("prove", "match_walk");
+    match_walk_ns = walk > inline_prove ? walk - inline_prove : 0;
+    aggregate_ns = t.SumDurationsNs("aggregate");
+    prove_ns = t.SumDurationsNs("prove");
+    serialize_ns = t.SumDurationsNs("serialize");
+    msm_ns = t.SumDurationsNs("msm");
+    if (t.RootDurationNs() > 0) total_ns = t.RootDurationNs();
+  }
+
   /// Sum of the non-overlapping stages — the number the ~10%-of-total
   /// acceptance bound is checked against.
   uint64_t StageSumNs() const {
@@ -71,10 +112,17 @@ struct QueryTrace {
            prove_ns + serialize_ns;
   }
 
+  /// Spans emitted into the ToJson header payload at most — keeps the
+  /// X-Vchain-Trace header comfortably under the client's 16 KB
+  /// response-head cap even for pathological walks.
+  static constexpr size_t kMaxJsonSpans = 64;
+
   /// Compact single-line JSON — header-safe (ASCII, no CR/LF), hand
-  /// rolled so core does not depend on the net tier's codec.
+  /// rolled so core does not depend on the net tier's codec. When a span
+  /// tree is attached it is appended as "spans" (capped at kMaxJsonSpans,
+  /// with "spans_dropped" counting tree-level drops).
   std::string ToJson() const {
-    char buf[768];
+    char buf[832];
     std::snprintf(
         buf, sizeof(buf),
         "{\"total_ns\":%" PRIu64 ",\"setup_ns\":%" PRIu64
@@ -84,12 +132,20 @@ struct QueryTrace {
         ",\"blocks_walked\":%" PRIu64 ",\"skips_taken\":%" PRIu64
         ",\"nodes_visited\":%" PRIu64 ",\"results_matched\":%" PRIu64
         ",\"proofs_computed\":%" PRIu64 ",\"proof_cache_hits\":%" PRIu64
-        ",\"proof_cache_misses\":%" PRIu64 "}",
+        ",\"proof_cache_misses\":%" PRIu64,
         total_ns, setup_ns, window_lookup_ns, match_walk_ns, aggregate_ns,
         prove_ns, serialize_ns, msm_ns, blocks_walked, skips_taken,
         nodes_visited, results_matched, proofs_computed, proof_cache_hits,
         proof_cache_misses);
-    return buf;
+    std::string out = buf;
+    if (spans != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"spans_dropped\":%" PRIu64
+                    ",\"spans\":", spans->DroppedSpans());
+      out.append(buf);
+      spans->AppendJson(&out, kMaxJsonSpans);
+    }
+    out.push_back('}');
+    return out;
   }
 };
 

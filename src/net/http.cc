@@ -19,6 +19,7 @@
 #include <random>
 #include <unordered_map>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 
 namespace vchain::net {
@@ -575,6 +576,7 @@ void HttpServer::Stop() {
     JoinAll();
     return;
   }
+  flight::FlightRecorder::Get().Record("http", "server_stop", port_);
   // Unblock the accept thread, then any in-flight recv().
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
@@ -601,6 +603,7 @@ void HttpServer::Drain(int timeout_seconds) {
     Stop();  // second caller (or raced with Stop): fall through to hard stop
     return;
   }
+  flight::FlightRecorder::Get().Record("http", "server_drain", port_);
   // 1. Refuse new connections.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   // 2. Shut idle keep-alive connections; their workers wake from recv(),
@@ -664,6 +667,8 @@ void HttpServer::AcceptLoop() {
       continue;
     }
     n_shed_->Inc();
+    flight::FlightRecorder::Get().Record(
+        "http", "shed_503", held_connections_.load(std::memory_order_relaxed));
     // Bounded-time best-effort 503 so well-behaved clients back off;
     // SO_SNDTIMEO keeps a hostile peer from wedging the accept thread.
     SetSendTimeoutMs(fd, 1000);
@@ -781,6 +786,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
       }
       if (out == RecvOutcome::kTimeout && !idle) {
         n_timed_out_->Inc();
+        flight::FlightRecorder::Get().Record("http", "timeout_408_head");
         answer(408, "timed out reading request head\n", false);
       }
       return;  // idle timeout, EOF, error, or Stop()
@@ -812,6 +818,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
       if (out == RecvOutcome::kData) continue;
       if (out == RecvOutcome::kTimeout) {
         n_timed_out_->Inc();
+        flight::FlightRecorder::Get().Record("http", "timeout_408_body");
         answer(408, "timed out reading request body\n", false);
       }
       return;
@@ -828,6 +835,7 @@ void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
     // a well-behaved client backs off and reuses the connection.
     if (limiter_ != nullptr && !limiter_->Allow(peer_ip)) {
       n_rate_limited_->Inc();
+      flight::FlightRecorder::Get().Record("http", "rate_limited_429");
       if (!SendAllFd(fd,
                      SerializeResponse(
                          RetryLaterResponse(429, "rate limit exceeded\n"),

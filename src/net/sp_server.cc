@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "net/wire.h"
 
@@ -74,6 +75,12 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
     metrics::Gauge* bc_misses =
         r.GetGauge("vchain_service_block_cache_misses",
                    "Lifetime misses of the decoded-block cache");
+    metrics::Gauge* trace_ring =
+        r.GetGauge("vchain_service_trace_ring_occupancy",
+                   "Span trees retained for GET /debug/traces");
+    metrics::Gauge* flight_seq =
+        r.GetGauge("vchain_service_flight_recorder_seq",
+                   "Events ever recorded by the process flight recorder");
     api::Service* svc = service;
     server->collector_id_ = r.AddCollector([=] {
       api::ServiceStats s = svc->Stats();
@@ -85,6 +92,8 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
       pc_misses->Set(static_cast<double>(s.proof_cache.misses));
       bc_hits->Set(static_cast<double>(s.block_cache.hits));
       bc_misses->Set(static_cast<double>(s.block_cache.misses));
+      trace_ring->Set(static_cast<double>(s.trace_ring_occupancy));
+      flight_seq->Set(static_cast<double>(s.flight_recorder_seq));
     });
     server->collector_registered_ = true;
   }
@@ -204,6 +213,28 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
     return resp;
   }
 
+  if (req.path == "/debug/traces" || req.path == "/debug/events" ||
+      req.path == "/debug/config") {
+    // Disabled = indistinguishable from an unknown route: the debug plane
+    // must not change the public surface or leak its existence.
+    if (!options_.debug_endpoints) {
+      return TextResponse(404, "unknown endpoint\n");
+    }
+    static metrics::Counter* n = RouteCounter("/debug");
+    n->Inc();
+    if (req.method != "GET") return TextResponse(405, "use GET\n");
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    if (req.path == "/debug/traces") {
+      resp.body = service_->DebugTracesJson();
+    } else if (req.path == "/debug/events") {
+      resp.body = flight::FlightRecorder::Get().ToJson();
+    } else {
+      resp.body = service_->DebugConfigJson();
+    }
+    return resp;
+  }
+
   return TextResponse(404, "unknown endpoint\n");
 }
 
@@ -225,7 +256,8 @@ HttpResponse SpServer::HandleQuery(const HttpRequest& req) const {
         .Kv("blocks_walked", trace.blocks_walked)
         .Kv("results", trace.results_matched)
         .Kv("cache_hits", trace.proof_cache_hits)
-        .Kv("cache_misses", trace.proof_cache_misses);
+        .Kv("cache_misses", trace.proof_cache_misses)
+        .Kv("spans", trace.spans != nullptr ? trace.spans->NumSpans() : 0);
   }
   if (!result.ok()) return ErrorResponse(result.status());
   HttpResponse resp;

@@ -19,6 +19,12 @@
 //                      "degraded: ..." once the service is read-only after
 //                      a storage fault — a load balancer drains writes but
 //                      queries keep serving
+//   GET  /debug/traces retained span trees (sampled + slowest) as JSON
+//   GET  /debug/events the process flight recorder's recent-event ring
+//   GET  /debug/config effective ServiceOptions/ChainConfig with per-field
+//                      provenance ("default" vs "set")
+//                      — all three only with Options.debug_endpoints; they
+//                      are the generic 404 otherwise
 //
 // Observability: send `X-Vchain-Trace: 1` on POST /query and the response
 // carries the server's per-stage breakdown (core/query_trace.h) as JSON in
@@ -59,6 +65,11 @@ class SpServer {
     /// Queries slower than this (server-side, serialization included) are
     /// logged at warn level with their stage breakdown. 0 disables.
     uint64_t slow_query_ms = 0;
+    /// Serve GET /debug/traces (retained span trees), /debug/events (the
+    /// flight-recorder ring), and /debug/config (effective configuration
+    /// with provenance). Off by default so the public surface is unchanged:
+    /// the routes answer the generic 404 when disabled.
+    bool debug_endpoints = false;
   };
 
   /// Start serving `service` (not owned; must outlive the server).

@@ -277,6 +277,13 @@ std::string StatsToJson(const api::ServiceStats& stats) {
   };
   obj.Set("proof_cache", lru(stats.proof_cache));
   obj.Set("block_cache", lru(stats.block_cache));
+  obj.Set("canary_verified", JsonValue::Number(stats.canary_verified));
+  obj.Set("canary_failed", JsonValue::Number(stats.canary_failed));
+  obj.Set("canary_skipped", JsonValue::Number(stats.canary_skipped));
+  obj.Set("trace_ring_occupancy",
+          JsonValue::Number(stats.trace_ring_occupancy));
+  obj.Set("flight_recorder_seq",
+          JsonValue::Number(stats.flight_recorder_seq));
   return obj.Dump();
 }
 
@@ -335,6 +342,16 @@ Result<api::ServiceStats> StatsFromJson(std::string_view json) {
   };
   VCHAIN_RETURN_IF_ERROR(lru("proof_cache", &stats.proof_cache));
   VCHAIN_RETURN_IF_ERROR(lru("block_cache", &stats.block_cache));
+  // Optional for wire compatibility with pre-introspection-plane servers.
+  auto opt_u64 = [&obj](const std::string& key, uint64_t* out) {
+    auto v = Member(obj, key, JsonValue::Kind::kNumber);
+    if (v.ok()) *out = v.value()->as_number();
+  };
+  opt_u64("canary_verified", &stats.canary_verified);
+  opt_u64("canary_failed", &stats.canary_failed);
+  opt_u64("canary_skipped", &stats.canary_skipped);
+  opt_u64("trace_ring_occupancy", &stats.trace_ring_occupancy);
+  opt_u64("flight_recorder_seq", &stats.flight_recorder_seq);
   return stats;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/lru.h"
+#include "common/span.h"
 #include "store/block_serde.h"
 
 namespace vchain::store {
@@ -113,6 +114,12 @@ class StoreBlockSource final : public BlockSource<Engine> {
     if (const core::Block<Engine>* hit = cache_.Get(height)) {
       return hit;
     }
+    // Cache miss = real store read + decode; attach it to the walk span of
+    // whatever query is ambiently tracing on this thread (no-op otherwise).
+    const trace::AmbientSpan amb = trace::CurrentSpan();
+    trace::ScopedSpan read_span(amb.tree, "block_read",
+                                amb.parent != 0 ? amb.parent : trace::kRootSpan);
+    read_span.Note("height", height);
     auto block = ReadBlockFromStore(engine_, *store_, height);
     if (!block.ok()) return block.status();
     return cache_.Put(height, block.TakeValue());

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/crc32c.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/serde.h"
 
@@ -173,6 +174,11 @@ Status BlockStore::OpenSegments(RecoveryStats* stats) {
                                 &seg_stats, visit, strict_below, env_);
     if (!seg.ok()) return seg.status();
     if (stats != nullptr) stats->truncated_bytes += seg_stats.truncated_bytes;
+    if (seg_stats.truncated_bytes > 0) {
+      flight::FlightRecorder::Get().Record("store", "recovery_truncated",
+                                           segment_index,
+                                           seg_stats.truncated_bytes);
+    }
     segments_.push_back(seg.TakeValue());
   }
   // An empty store starts its first segment lazily on the first Append.
@@ -240,6 +246,8 @@ Status BlockStore::CheckContinuity(const chain::BlockHeader& header) const {
 
 Status BlockStore::RollSegment() {
   StoreMetrics::Get().segment_rolls_total->Inc();
+  flight::FlightRecorder::Get().Record("store", "segment_roll",
+                                       segments_.size(), headers_.size());
   if (!segments_.empty()) {
     // Seal the outgoing segment before any record lands in the next one, so
     // a later crash can only tear the *last* segment; the watermark records
@@ -283,6 +291,8 @@ Status BlockStore::Append(const chain::BlockHeader& header, ByteSpan body) {
     // further appends rather than risk a duplicate-height record that would
     // make the store unopenable.
     broken_ = true;
+    flight::FlightRecorder::Get().Record("store", "append_refused",
+                                         header.height);
     return offset.status();
   }
   if (options_.sync_every_append) {
@@ -317,7 +327,12 @@ Status BlockStore::Sync() {
   if (segments_.empty()) return Status::OK();
   metrics::ScopedTimer timer(StoreMetrics::Get().fsync_seconds);
   VCHAIN_RETURN_IF_ERROR(segments_.back()->Sync());
-  return WriteCommitWatermark();
+  VCHAIN_RETURN_IF_ERROR(WriteCommitWatermark());
+  flight::FlightRecorder::Get().Record("store", "commit",
+                                       segments_.size() - 1,
+                                       segments_.back()->size_bytes(),
+                                       headers_.size());
+  return Status::OK();
 }
 
 }  // namespace vchain::store

@@ -115,6 +115,12 @@ class ConcurrentStoreBlockSource {
       std::lock_guard<std::mutex> lock(mu_);
       if (const BlockPtr* hit = cache_.Get(height)) return *hit;
     }
+    // Cache miss = store read + decode outside the lock; attach it to the
+    // walk span of the query ambiently tracing on this thread, if any.
+    const trace::AmbientSpan amb = trace::CurrentSpan();
+    trace::ScopedSpan read_span(amb.tree, "block_read",
+                                amb.parent != 0 ? amb.parent : trace::kRootSpan);
+    read_span.Note("height", height);
     auto block = ReadBlockFromStore(engine_, *store_, height);
     if (!block.ok()) return block.status();
     auto decoded = std::make_shared<const core::Block<Engine>>(

@@ -1,0 +1,155 @@
+// The flight recorder: ordering and payloads through the ring, wraparound,
+// the concurrent writers + concurrent dump case (the TSan CI job runs this
+// file — the seqlock must be clean, not just "usually right"), JSON shape,
+// and the signal-handler-grade DumpToFd path.
+//
+// The recorder is a process-wide singleton shared with every other test in
+// this binary, so assertions count only this file's distinctively-named
+// events and never assume the ring starts empty.
+
+#include "common/flight_recorder.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vchain::flight {
+namespace {
+
+std::vector<Event> EventsNamed(const std::string& name) {
+  std::vector<Event> out;
+  for (const Event& e : FlightRecorder::Get().Snapshot()) {
+    if (name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(FlightRecorderTest, RecordCarriesPayloadAndOrder) {
+  FlightRecorder& rec = FlightRecorder::Get();
+  uint64_t before = rec.NextSeq();
+  rec.Record("test", "fr_payload", 1, 2, 3);
+  rec.Record("test", "fr_payload", 4);
+  EXPECT_EQ(rec.NextSeq(), before + 2);
+
+  std::vector<Event> mine = EventsNamed("fr_payload");
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_STREQ(mine[0].tier, "test");
+  EXPECT_EQ(mine[0].a, 1u);
+  EXPECT_EQ(mine[0].b, 2u);
+  EXPECT_EQ(mine[0].c, 3u);
+  EXPECT_EQ(mine[1].a, 4u);
+  EXPECT_EQ(mine[1].b, 0u);
+  EXPECT_LT(mine[0].seq, mine[1].seq);
+  EXPECT_LE(mine[0].ns, mine[1].ns);
+}
+
+TEST(FlightRecorderTest, WrapAroundKeepsNewestRingful) {
+  FlightRecorder& rec = FlightRecorder::Get();
+  for (size_t i = 0; i < FlightRecorder::kSlots + 100; ++i) {
+    rec.Record("test", "fr_wrap", i);
+  }
+  std::vector<Event> snap = rec.Snapshot();
+  EXPECT_LE(snap.size(), FlightRecorder::kSlots);
+  // Oldest first, strictly increasing seq.
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].seq, snap[i].seq);
+  }
+  // We just wrote kSlots+100 events, so the whole ring is ours and the
+  // newest survivor is the last one recorded.
+  ASSERT_FALSE(snap.empty());
+  EXPECT_STREQ(snap.back().name, "fr_wrap");
+  EXPECT_EQ(snap.back().a, FlightRecorder::kSlots + 100 - 1);
+  EXPECT_EQ(snap.front().a + FlightRecorder::kSlots - 1, snap.back().a);
+}
+
+// 8 writers flood the ring while a reader snapshots, serializes, and dumps
+// concurrently. The reader must only ever see consistent slots: an event
+// either has this test's (tier, name, a<kPerWriter) shape or belongs to an
+// earlier test — never a torn mixture. TSan validates the memory ordering.
+TEST(FlightRecorderTest, ConcurrentWritersWithConcurrentDump) {
+  FlightRecorder& rec = FlightRecorder::Get();
+  constexpr int kWriters = 8;
+  constexpr uint64_t kPerWriter = 4000;  // 8 * 4000 > kSlots: wraps often
+  uint64_t before = rec.NextSeq();
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&rec, &stop, kPerWriter] {
+    int devnull = ::open("/dev/null", O_WRONLY);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<Event> snap = rec.Snapshot();
+      for (size_t i = 1; i < snap.size(); ++i) {
+        ASSERT_LT(snap[i - 1].seq, snap[i].seq);
+      }
+      for (const Event& e : snap) {
+        if (std::string(e.name) == "fr_conc") {
+          ASSERT_STREQ(e.tier, "test");
+          ASSERT_LT(e.a, kPerWriter);
+          ASSERT_EQ(e.c, e.a + e.b);  // payload written as a coherent triple
+        }
+      }
+      std::string json = rec.ToJson();
+      ASSERT_FALSE(json.empty());
+      if (devnull >= 0) rec.DumpToFd(devnull);
+    }
+    if (devnull >= 0) ::close(devnull);
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        rec.Record("test", "fr_conc", i, static_cast<uint64_t>(w),
+                   i + static_cast<uint64_t>(w));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(rec.NextSeq(), before + kWriters * kPerWriter);
+  // Post-quiescence the entire ring is consistent and readable.
+  EXPECT_EQ(rec.Snapshot().size(), FlightRecorder::kSlots);
+}
+
+TEST(FlightRecorderTest, ToJsonShape) {
+  FlightRecorder& rec = FlightRecorder::Get();
+  rec.Record("test", "fr_json", 7);
+  std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"next_seq\":"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fr_json\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single-line, header-safe
+}
+
+TEST(FlightRecorderTest, DumpToFdWritesTextLines) {
+  FlightRecorder& rec = FlightRecorder::Get();
+  rec.Record("test", "fr_dump", 42, 43, 44);
+
+  char path[] = "/tmp/flight_dump_XXXXXX";
+  int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  rec.DumpToFd(fd);
+  ::lseek(fd, 0, SEEK_SET);
+  std::string text;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) text.append(buf, n);
+  ::close(fd);
+  ::unlink(path);
+
+  EXPECT_NE(text.find("=== flight recorder:"), std::string::npos);
+  EXPECT_NE(text.find("=== end flight recorder ==="), std::string::npos);
+  EXPECT_NE(text.find("test/fr_dump"), std::string::npos);
+  EXPECT_NE(text.find("a=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vchain::flight

@@ -1,0 +1,234 @@
+// Span trees: structure, durations, notes, the ambient thread-local
+// context, the kMaxSpans drop path, JSON shape, and TraceRing retention
+// (sampled FIFO + always-keep-slowest). The TSan CI job runs the
+// concurrent-writers case — the tree is written by the query thread and
+// pool workers at once during deferred proving.
+
+#include "common/span.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vchain::trace {
+namespace {
+
+TEST(SpanTreeTest, RootAndChildren) {
+  SpanTree t("query");
+  EXPECT_EQ(t.NumSpans(), 1u);  // root exists from construction
+  EXPECT_EQ(t.RootDurationNs(), 0u);  // open until EndRoot
+
+  uint32_t walk = t.Begin("match_walk");
+  uint32_t prove = t.Begin("prove", walk);
+  t.End(prove);
+  t.End(walk);
+  t.EndRoot();
+
+  EXPECT_EQ(t.NumSpans(), 3u);
+  EXPECT_EQ(t.DroppedSpans(), 0u);
+  std::vector<Span> spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, kRootSpan);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_STREQ(spans[0].name, "query");
+  EXPECT_EQ(spans[1].parent, kRootSpan);
+  EXPECT_EQ(spans[2].parent, walk);
+  // Root covers its children: it started first and ended last.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].end_ns, spans[2].end_ns);
+  EXPECT_GT(t.RootDurationNs(), 0u);
+}
+
+TEST(SpanTreeTest, NullIdIsNoOp) {
+  SpanTree t("query");
+  t.End(0);
+  t.Note(0, "k", 1);
+  t.End(999);  // unknown id: ignored
+  EXPECT_EQ(t.NumSpans(), 1u);
+}
+
+TEST(SpanTreeTest, SumDurationsByNameAndAncestor) {
+  SpanTree t("query");
+  uint32_t walk = t.Begin("match_walk");
+  uint32_t p1 = t.Begin("prove", walk);  // inline prove, under the walk
+  t.End(p1);
+  t.End(walk);
+  uint32_t p2 = t.Begin("prove");  // deferred prove, under the root
+  t.End(p2);
+  t.EndRoot();
+
+  uint64_t all = t.SumDurationsNs("prove");
+  uint64_t inline_only = t.SumDurationsUnderNs("prove", "match_walk");
+  EXPECT_GE(all, inline_only);
+  std::vector<Span> spans = t.Snapshot();
+  uint64_t expect_inline = 0, expect_all = 0;
+  for (const Span& s : spans) {
+    if (std::string(s.name) == "prove") {
+      expect_all += s.DurationNs();
+      if (s.parent == walk) expect_inline += s.DurationNs();
+    }
+  }
+  EXPECT_EQ(all, expect_all);
+  EXPECT_EQ(inline_only, expect_inline);
+  EXPECT_EQ(t.SumDurationsNs("no_such_span"), 0u);
+  EXPECT_EQ(t.SumDurationsUnderNs("prove", "no_such_ancestor"), 0u);
+}
+
+TEST(SpanTreeTest, CapsAtMaxSpansAndCountsDrops) {
+  SpanTree t("query");
+  for (size_t i = 0; i < SpanTree::kMaxSpans + 10; ++i) {
+    uint32_t id = t.Begin("filler");
+    if (t.NumSpans() < SpanTree::kMaxSpans) EXPECT_NE(id, 0u);
+    t.End(id);
+  }
+  EXPECT_EQ(t.NumSpans(), SpanTree::kMaxSpans);
+  // Root takes one slot, so 10 + 1 Begin calls found the tree full.
+  EXPECT_EQ(t.DroppedSpans(), 11u);
+  // A dropped id is the null span: all operations on it are no-ops.
+  uint32_t dropped = t.Begin("one_more");
+  EXPECT_EQ(dropped, 0u);
+  t.Note(dropped, "k", 7);
+}
+
+TEST(SpanTreeTest, JsonShapeAndNotes) {
+  SpanTree t("query");
+  uint32_t walk = t.Begin("match_walk");
+  t.Note(walk, "blocks", 24);
+  t.End(walk);
+  t.EndRoot();
+
+  std::string json;
+  t.AppendJson(&json);
+  // Flat array of span objects; notes ride as extra numeric members.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"match_walk\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocks\":24"), std::string::npos);
+  // Start times are rebased to the root: the root starts at 0.
+  EXPECT_NE(json.find("\"start_ns\":0"), std::string::npos);
+
+  // max_spans truncates but stays well-formed.
+  std::string capped;
+  t.AppendJson(&capped, 1);
+  EXPECT_EQ(capped.front(), '[');
+  EXPECT_EQ(capped.back(), ']');
+  EXPECT_NE(capped.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_EQ(capped.find("match_walk"), std::string::npos);
+}
+
+TEST(SpanTreeTest, ScopedSpanNullTreeIsNoOp) {
+  ScopedSpan s(nullptr, "anything");
+  EXPECT_EQ(s.id(), 0u);
+  s.Note("k", 1);  // must not crash
+}
+
+TEST(SpanTreeTest, AmbientScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentSpan().tree, nullptr);
+  SpanTree t("query");
+  {
+    AmbientScope outer(&t, kRootSpan);
+    EXPECT_EQ(CurrentSpan().tree, &t);
+    EXPECT_EQ(CurrentSpan().parent, kRootSpan);
+    uint32_t walk = t.Begin("match_walk");
+    {
+      AmbientScope inner(&t, walk);
+      EXPECT_EQ(CurrentSpan().parent, walk);
+    }
+    EXPECT_EQ(CurrentSpan().parent, kRootSpan);  // restored
+  }
+  EXPECT_EQ(CurrentSpan().tree, nullptr);
+}
+
+TEST(SpanTreeTest, AmbientContextIsPerThread) {
+  SpanTree t("query");
+  AmbientScope scope(&t, kRootSpan);
+  SpanTree* seen = &t;  // sentinel: overwritten by the thread
+  std::thread other([&seen] { seen = CurrentSpan().tree; });
+  other.join();
+  EXPECT_EQ(seen, nullptr);  // the other thread saw no ambient context
+}
+
+// The deferred-prove shape: pool workers attach prove_task spans to one
+// shared tree while the query thread is also writing. TSan-checked in CI.
+TEST(SpanTreeTest, ConcurrentWritersAreSafe) {
+  SpanTree t("query");
+  uint32_t prove = t.Begin("prove");
+  constexpr int kThreads = 8;
+  constexpr int kSpansEach = 16;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&t, prove] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        ScopedSpan task(&t, "prove_task", prove);
+        task.Note("iter", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  t.End(prove);
+  t.EndRoot();
+  // 1 root + 1 prove + 128 tasks = 130 < kMaxSpans: nothing dropped.
+  EXPECT_EQ(t.NumSpans(), 2u + kThreads * kSpansEach);
+  EXPECT_EQ(t.DroppedSpans(), 0u);
+  EXPECT_EQ(t.SumDurationsNs("prove_task"),
+            t.SumDurationsUnderNs("prove_task", "prove"));
+}
+
+TEST(TraceRingTest, SamplesEveryNthAndEvictsFifo) {
+  TraceRing ring(/*capacity=*/2, /*sample_every=*/2, /*slow_slots=*/0);
+  for (int i = 0; i < 6; ++i) {
+    auto t = std::make_shared<SpanTree>("query");
+    t->EndRoot();
+    ring.Offer(std::move(t));
+  }
+  EXPECT_EQ(ring.Offered(), 6u);
+  // Offers 0, 2, 4 were sampled; capacity 2 keeps the newest two.
+  std::vector<TraceRing::Entry> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(ring.Occupancy(), 2u);
+  EXPECT_EQ(kept[0].seq, 2u);
+  EXPECT_EQ(kept[1].seq, 4u);
+  EXPECT_FALSE(kept[0].slowest);
+}
+
+TEST(TraceRingTest, KeepsSlowestRegardlessOfSampling) {
+  // sample_every=0: only the slowest rule retains anything.
+  TraceRing ring(/*capacity=*/4, /*sample_every=*/0, /*slow_slots=*/1);
+  auto fast = std::make_shared<SpanTree>("query");
+  fast->EndRoot();
+  auto slow = std::make_shared<SpanTree>("query");
+  // Make `slow` measurably slower than `fast` without a timing assumption.
+  uint32_t busy = slow->Begin("busy");
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<uint64_t>(i);
+  slow->End(busy);
+  slow->EndRoot();
+  ASSERT_GT(slow->RootDurationNs(), fast->RootDurationNs());
+
+  ring.Offer(slow);
+  ring.Offer(fast);  // faster: must not displace `slow` from the one slot
+  std::vector<TraceRing::Entry> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].tree.get(), slow.get());
+  EXPECT_TRUE(kept[0].slowest);
+}
+
+TEST(TraceRingTest, ToJsonShape) {
+  TraceRing ring(/*capacity=*/4, /*sample_every=*/1);
+  auto t = std::make_shared<SpanTree>("append");
+  t->EndRoot();
+  ring.Offer(std::move(t));
+  std::string json = ring.ToJson();
+  EXPECT_NE(json.find("\"offered\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"root\":\"append\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vchain::trace

@@ -19,7 +19,7 @@ Exit 0 = clean; 1 = violations (printed one per line).
 import re
 import sys
 
-KNOWN_TIERS = ("store", "core", "service", "sub", "http", "test")
+KNOWN_TIERS = ("store", "core", "service", "sub", "http", "canary", "test")
 
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
@@ -173,6 +173,49 @@ def check_histograms(families, samples):
     return errors
 
 
+def check_span_stage_reconciliation(samples):
+    """The per-stage histograms are *projections* of the query span tree
+    (core::QueryTrace::ProjectSpans), not an independent mechanism — so for
+    a scrape where every query fed the stages (each stage _count equals the
+    query _count; the untraced fast path feeds only the total), the summed
+    stage time must reconcile with total query time. A stage that silently
+    stopped being fed, or a span double-counted into two stages, shows up
+    here."""
+    total_sum = None
+    total_count = None
+    stage_sums = {}
+    stage_counts = {}
+    for name, labels, value in samples:
+        if name == "vchain_service_query_seconds_sum":
+            total_sum = value
+        elif name == "vchain_service_query_seconds_count":
+            total_count = value
+        elif name == "vchain_service_query_stage_seconds_sum":
+            stage_sums[labels.get("stage", "?")] = value
+        elif name == "vchain_service_query_stage_seconds_count":
+            stage_counts[labels.get("stage", "?")] = value
+    if total_sum is None or total_count is None or not stage_sums:
+        return []
+    if total_count == 0 or any(c != total_count
+                               for c in stage_counts.values()):
+        return []  # some queries bypassed tracing: stages are a subset
+    if total_sum < 0.005:
+        return []  # too little signal to reconcile against jitter
+    stage_total = sum(stage_sums.values())
+    errors = []
+    # Stages partition the root span minus small unattributed gaps, so the
+    # sum may fall short but never meaningfully exceed the total.
+    if stage_total > total_sum * 1.10:
+        errors.append(
+            f"stage sums {stage_total:.6f}s exceed total query time "
+            f"{total_sum:.6f}s (double-counted span?)")
+    if stage_total < total_sum * 0.5:
+        errors.append(
+            f"stage sums {stage_total:.6f}s cover under half of total query "
+            f"time {total_sum:.6f}s (stage not fed from the span tree?)")
+    return errors
+
+
 def monotonic_values(families, samples):
     """Counter samples and histogram bucket/count samples, keyed for
     cross-scrape comparison."""
@@ -211,6 +254,7 @@ def main(argv):
         errors += errs
         errors += check_naming(families)
         errors += check_histograms(families, samples)
+        errors += check_span_stage_reconciliation(samples)
         parsed.append((families, samples))
     if len(parsed) == 2:
         errors += check_monotonic(monotonic_values(*parsed[0]),

@@ -11,8 +11,12 @@
 #
 # Observability ride-along: GET /metrics is scraped mid-run — once before
 # and once after the client's queries — and both expositions are linted by
-# tools/check_metrics.py (structure, naming scheme, histogram math, and
-# counter monotonicity across the two scrapes).
+# tools/check_metrics.py (structure, naming scheme, histogram math, counter
+# monotonicity across the two scrapes, and span-vs-stage reconciliation).
+# The daemon runs with --debug-endpoints --canary 1, so the run also curls
+# GET /debug/traces and /debug/events mid-run (both must parse as strict
+# JSON and show live content) and requires the canary to have verified at
+# least one query with zero failures by the second scrape.
 #
 # Usage: tools/e2e_wire_test.sh <build-dir> [work-dir]
 
@@ -36,7 +40,7 @@ trap cleanup EXIT
 start_spd() {  # engine store log -> sets SPD_PID, PORT, HASH
   local engine=$1 store=$2 log=$3
   "$SPD" --engine "$engine" --store "$store" --demo "$DEMO_BLOCKS" \
-         --port 0 --threads 2 > "$log" 2>&1 &
+         --port 0 --threads 2 --debug-endpoints --canary 1 > "$log" 2>&1 &
   SPD_PID=$!
   for _ in $(seq 1 100); do
     grep -q "serving" "$log" 2>/dev/null && break
@@ -67,6 +71,59 @@ sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$port/metrics', timeou
   fi
 }
 
+fetch_url() {  # url out-file
+  local url=$1 out=$2
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "$url" -o "$out"
+  else
+    python3 -c "import sys, urllib.request; \
+sys.stdout.write(urllib.request.urlopen('$url', timeout=10).read().decode())" > "$out"
+  fi
+}
+
+check_debug_plane() {  # port work-prefix
+  local port=$1 prefix=$2
+  fetch_url "http://127.0.0.1:$port/debug/traces" "$prefix-traces.json"
+  fetch_url "http://127.0.0.1:$port/debug/events" "$prefix-events.json"
+  python3 - "$prefix-traces.json" "$prefix-events.json" <<'PYEOF'
+import json, sys
+traces = json.load(open(sys.argv[1]))
+assert traces["offered"] >= 1, f"no traces offered: {traces}"
+assert isinstance(traces["traces"], list) and traces["traces"],     "trace ring is empty mid-run"
+assert traces["traces"][0]["spans"], "retained trace has no spans"
+events = json.load(open(sys.argv[2]))
+assert events["next_seq"] >= 1, "flight recorder recorded nothing"
+assert isinstance(events["events"], list) and events["events"],     "flight recorder ring is empty"
+print(f"debug plane OK: {traces['occupancy']} trace(s), "
+      f"{len(events['events'])} event(s)")
+PYEOF
+}
+
+check_canary() {  # port (polls: the canary audits asynchronously)
+  python3 - "$1" <<'PYEOF'
+import sys, time, urllib.request
+port = sys.argv[1]
+verified = failed = None
+for _ in range(100):
+    text = urllib.request.urlopen(
+        "http://127.0.0.1:%s/metrics" % port, timeout=10).read().decode()
+    verified = failed = None
+    for line in text.splitlines():
+        if line.startswith("vchain_canary_verified_total"):
+            verified = float(line.split()[-1])
+        elif line.startswith("vchain_canary_failed_total"):
+            failed = float(line.split()[-1])
+    assert verified is not None and failed is not None, (
+        "canary families missing from /metrics")
+    if verified >= 1:
+        break
+    time.sleep(0.1)
+assert verified >= 1, "canary never verified a query"
+assert failed == 0, "canary failures on a clean chain: %s" % failed
+print("canary OK: verified=%d failed=0" % verified)
+PYEOF
+}
+
 for engine in mock-acc1 mock-acc2 acc1 acc2; do
   store="$WORK_DIR/spd-$engine"
   rm -rf "$store"
@@ -77,6 +134,9 @@ for engine in mock-acc1 mock-acc2 acc1 acc2; do
   "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
             --expect-hash "$HASH" --stats --timing
   scrape_metrics "$PORT" "$WORK_DIR/metrics-$engine-2.txt"
+  echo "=== $engine: debug plane + canary mid-run ==="
+  check_debug_plane "$PORT" "$WORK_DIR/debug-$engine"
+  check_canary "$PORT"
   echo "=== $engine: /metrics exposition lint (two scrapes) ==="
   python3 "$(dirname "$0")/check_metrics.py" \
           "$WORK_DIR/metrics-$engine-1.txt" "$WORK_DIR/metrics-$engine-2.txt"
