@@ -7,9 +7,25 @@
 //   inprocess-query  : Service::Query, no wire (the lower bound)
 //   wire-query       : JSON in, canonical VO bytes out, keep-alive socket
 //   wire-query-x16   : 16-query batch, per-query cost (one HTTP exchange)
+//   wire-query-idle  : wire-query again while `--idle N` (default 10000)
+//                      idle keep-alive connections are parked on the event
+//                      loop — the medians must not move, or idle
+//                      subscribers would tax every query (the idle_conns
+//                      column records the held count per row)
 //
 // `--quick` (CI smoke) shrinks iterations so the binary proves the wire
 // path works in seconds; absolute numbers come from full runs.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "harness.h"
 #include "net/sp_client.h"
@@ -25,17 +41,86 @@ double MedianSeconds(std::vector<double>* samples) {
   return (*samples)[samples->size() / 2];
 }
 
+/// `count` idle keep-alive connections parked on the server's event loop,
+/// held open by a forked child. The child's fd table is separate from this
+/// process's, so the server's `count` accepted fds and the holder's `count`
+/// client fds do not fight over one RLIMIT_NOFILE budget — without the
+/// fork, 2x10000 fds overflow a 20k limit and accept() starves.
+struct IdleHolder {
+  pid_t pid = -1;
+  size_t held = 0;  ///< connections the child actually established
+};
+
+IdleHolder HoldIdleConnections(uint16_t port, size_t count) {
+  int pipe_fd[2];
+  if (::pipe(pipe_fd) != 0) return {};
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fd[0]);
+    ::close(pipe_fd[1]);
+    return {};
+  }
+  if (pid == 0) {
+    // Child: connect, report the held count, then sleep until killed.
+    // Syscalls only — after fork in a threaded process the heap and any
+    // library locks are off limits.
+    ::close(pipe_fd[0]);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    uint64_t held = 0;
+    for (size_t i = 0; i < count; ++i) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) break;
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(fd);
+        break;
+      }
+      ++held;
+    }
+    [[maybe_unused]] ssize_t wn =
+        ::write(pipe_fd[1], &held, sizeof(held));
+    for (;;) ::pause();
+  }
+  ::close(pipe_fd[1]);
+  uint64_t held = 0;
+  size_t got = 0;
+  while (got < sizeof(held)) {
+    ssize_t rn = ::read(pipe_fd[0], reinterpret_cast<char*>(&held) + got,
+                        sizeof(held) - got);
+    if (rn <= 0) break;
+    got += static_cast<size_t>(rn);
+  }
+  ::close(pipe_fd[0]);
+  return {pid, static_cast<size_t>(held)};
+}
+
+void ReleaseIdleConnections(IdleHolder* holder) {
+  if (holder->pid <= 0) return;
+  ::kill(holder->pid, SIGKILL);
+  ::waitpid(holder->pid, nullptr, 0);
+  holder->pid = -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  size_t idle_target = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--idle" && i + 1 < argc) {
+      idle_target = std::strtoull(argv[i + 1], nullptr, 10);
+    }
   }
   Scale scale = GetScale();
   const size_t blocks = quick ? 8 : scale.window_blocks.back();
   const size_t iters = quick ? 3 : 25;
   const size_t batch = 16;
+  if (idle_target == 0) idle_target = quick ? 256 : 10000;
 
   DatasetProfile profile =
       workload::ProfileFor(workload::DatasetKind::k4SQ,
@@ -44,8 +129,8 @@ int main(int argc, char** argv) {
   std::printf("# net roundtrip — wire vs in-process query latency "
               "(%zu blocks, %zu iters%s)\n",
               blocks, iters, quick ? ", quick" : "");
-  std::printf("%-24s %-18s %14s %12s\n", "op", "engine", "median_ns",
-              "ops/s");
+  std::printf("%-24s %-18s %14s %12s %10s\n", "op", "engine", "median_ns",
+              "ops/s", "idle_conns");
   BenchJson json("net_roundtrip");
 
   for (api::EngineKind kind :
@@ -68,6 +153,8 @@ int main(int argc, char** argv) {
 
     net::SpServer::Options sopts;
     sopts.http.num_threads = 2;
+    sopts.http.max_connections = idle_target + 16;
+    sopts.http.recv_timeout_seconds = 300;  // the idles must outlive the run
     auto server = net::SpServer::Start(svc.get(), sopts).TakeValue();
     net::SpClient::Options copts;
     copts.port = server->port();
@@ -85,6 +172,7 @@ int main(int argc, char** argv) {
                                    headers[blocks / 2].timestamp,
                                    headers.back().timestamp);
 
+    size_t held_idle = 0;  // idle keep-alive connections parked right now
     auto measure = [&](const char* op, auto body) {
       std::vector<double> samples;
       samples.reserve(iters);
@@ -94,8 +182,8 @@ int main(int argc, char** argv) {
         samples.push_back(t.ElapsedSeconds());
       }
       double median = MedianSeconds(&samples);
-      std::printf("%-24s %-18s %14.0f %12.1f\n", op, engine_name,
-                  median * 1e9, median > 0 ? 1.0 / median : 0);
+      std::printf("%-24s %-18s %14.0f %12.1f %10zu\n", op, engine_name,
+                  median * 1e9, median > 0 ? 1.0 / median : 0, held_idle);
       json.Add(std::string(op) + "-" + engine_name, blocks, median * 1e9,
                median > 0 ? 1.0 / median : 0);
     };
@@ -115,6 +203,22 @@ int main(int argc, char** argv) {
       auto r = client->QueryBatch(qs);
       if (!r.ok()) std::abort();
     });
+
+    // The event-loop claim: thousands of idle keep-alive subscribers cost
+    // one epoll set, so query medians must not move while they are held.
+    // connect() returns at SYN-ACK, before the loop has accepted — wait for
+    // steady state so the accept burst is not what gets measured.
+    IdleHolder idle = HoldIdleConnections(server->port(), idle_target);
+    held_idle = idle.held;
+    for (int spins = 0; spins < 2000; ++spins) {
+      if (server->http_stats().active_connections > held_idle) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    measure("wire-query-idle", [&] {
+      auto r = client->Query(q);
+      if (!r.ok()) std::abort();
+    });
+    ReleaseIdleConnections(&idle);
   }
   return 0;
 }

@@ -1,0 +1,136 @@
+// Streaming subscription delivery latency vs subscriber count: N standing
+// queries registered over the wire, one block mined, and the clock runs
+// until every subscriber has long-polled, decoded, and *verified* its
+// notification — the full client-side trust path, not just transport.
+// Emits BENCH_sub_stream.json for cross-PR tracking.
+//
+//   notify-all : wall time from Append() to the last of N subscribers
+//                holding a verified notification for the new block
+//                (n = subscriber count; throughput = notifications/s)
+//
+// Growth with N separates the per-subscriber cost (matching, wire frame,
+// client verify) from the per-block cost (hub wakeup, header sync).
+//
+// `--quick` (CI smoke) shrinks counts/iterations; absolute numbers come
+// from full runs.
+
+#include "harness.h"
+#include "net/sp_client.h"
+#include "net/sp_server.h"
+
+using namespace vchain;
+using namespace vchain::bench;
+
+namespace {
+
+double MedianSeconds(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  Scale scale = GetScale();
+  // Same mined setup in both modes: quick trims iterations and counts
+  // only, so a quick row's (op, n) measures the same workload as the
+  // committed baseline row tools/bench_diff.py matches it against.
+  const size_t setup_blocks = scale.setup_blocks;
+  const size_t iters = quick ? 2 : 7;
+  std::vector<size_t> counts =
+      quick ? std::vector<size_t>{2, 4} : scale.sub_query_counts;
+
+  DatasetProfile profile =
+      workload::ProfileFor(workload::DatasetKind::k4SQ,
+                           scale.objects_per_block);
+
+  std::printf("# sub stream — wire notification latency vs subscriber count "
+              "(%zu iters%s)\n",
+              iters, quick ? ", quick" : "");
+  std::printf("%-16s %-18s %6s %14s %12s\n", "op", "engine", "subs",
+              "median_ns", "notif/s");
+  BenchJson json("sub_stream");
+
+  for (api::EngineKind kind :
+       {api::EngineKind::kMockAcc2, api::EngineKind::kAcc2}) {
+    const char* engine_name = api::EngineKindName(kind);
+
+    api::ServiceOptions opts;
+    opts.engine = kind;
+    opts.config = ConfigFor(profile, IndexMode::kBoth);
+    opts.oracle = SharedOracle();
+    opts.prover_mode = ProverMode::kTrustedFast;
+    auto svc = api::Service::Open(opts).TakeValue();
+
+    DatasetGenerator gen(profile, /*seed=*/1234);
+    for (size_t b = 0; b < setup_blocks; ++b) {
+      auto objs = gen.NextBlock();
+      uint64_t ts = objs.front().timestamp;
+      if (!svc->Append(std::move(objs), ts).ok()) std::abort();
+    }
+
+    net::SpServer::Options sopts;
+    sopts.http.num_threads = 2;
+    auto server = net::SpServer::Start(svc.get(), sopts).TakeValue();
+    net::SpClient::Options copts;
+    copts.port = server->port();
+    copts.verify = opts;  // same shared oracle: setup cost not re-paid
+    auto client = net::SpClient::Connect(copts).TakeValue();
+    chain::LightClient light = client->NewLightClient();
+    if (!client->SyncHeaders(&light).ok()) std::abort();
+
+    auto headers = svc->Headers(0, setup_blocks - 1).TakeValue();
+    DatasetGenerator qgen(profile, /*seed=*/99);
+
+    for (size_t n : counts) {
+      // N distinct standing queries over the wire. Every mined block owes
+      // each of them one notification (match or verified non-match).
+      std::vector<net::SpClient::SubscriptionHandle> handles;
+      handles.reserve(n);
+      for (size_t s = 0; s < n; ++s) {
+        core::Query q = qgen.MakeQuery(profile.default_selectivity,
+                                       profile.default_clause_size,
+                                       headers.front().timestamp,
+                                       headers.back().timestamp);
+        auto sub = client->Subscribe(q);
+        if (!sub.ok()) std::abort();
+        handles.push_back(std::move(sub.value()));
+      }
+
+      std::vector<double> samples;
+      samples.reserve(iters);
+      for (size_t i = 0; i < iters; ++i) {
+        auto objs = gen.NextBlock();
+        uint64_t ts = objs.front().timestamp;
+        Timer t;
+        if (!svc->Append(std::move(objs), ts).ok()) std::abort();
+        // Every subscriber long-polls until its verified notification for
+        // the new block arrives (Poll returns only verified events).
+        for (auto& h : handles) {
+          size_t got = 0;
+          while (got == 0) {
+            auto events = h.Poll(&light, /*wait_ms=*/2000);
+            if (!events.ok()) std::abort();
+            got = events.value().size();
+          }
+        }
+        samples.push_back(t.ElapsedSeconds());
+      }
+      double median = MedianSeconds(&samples);
+      std::printf("%-16s %-18s %6zu %14.0f %12.1f\n", "notify-all",
+                  engine_name, n, median * 1e9,
+                  median > 0 ? n / median : 0);
+      json.Add(std::string("notify-all-") + engine_name, n, median * 1e9,
+               median > 0 ? n / median : 0);
+
+      for (auto& h : handles) {
+        if (!h.Unsubscribe().ok()) std::abort();
+      }
+    }
+  }
+  return 0;
+}

@@ -25,7 +25,18 @@
 //        --retries N                        attempts per request (default 3;
 //                                           1 disables retry)
 //        --backoff-ms N                     initial retry backoff (default 100)
+//        --subscribe N                      after the query: register the same
+//                                           query as a standing subscription
+//                                           and long-poll /events until N
+//                                           notifications arrive, each decoded
+//                                           from its canonical bytes and
+//                                           verified against the header chain
+//                                           (the SP must be mining, e.g.
+//                                           vchain_spd --mine-every)
+//        --subscribe-timeout-s N            give up on the subscription leg
+//                                           after N seconds (default 60)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -252,6 +263,58 @@ int main(int argc, char** argv) {
                  "  expected %s\n  received %s\n",
                  expect.c_str(), hash.c_str());
     return 1;
+  }
+
+  // 4. Optional subscription leg: the same query as a standing
+  // subscription. Every notification is decoded from its canonical bytes
+  // and verified before it counts — a lying SP fails the leg, exactly like
+  // a tampered query response fails step 3.
+  size_t want = std::stoul(flags.Get("--subscribe", "0"));
+  if (want > 0) {
+    auto sub = client->Subscribe(q);
+    if (!sub.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   sub.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("subscribed id=%u cursor=%llu\n", sub.value().id(),
+                static_cast<unsigned long long>(sub.value().cursor()));
+    std::fflush(stdout);
+    uint64_t timeout_s =
+        std::stoull(flags.Get("--subscribe-timeout-s", "60"));
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(static_cast<int64_t>(timeout_s));
+    size_t got = 0;
+    while (got < want && std::chrono::steady_clock::now() < deadline) {
+      auto events = sub.value().Poll(&light, /*wait_ms=*/1000);
+      if (!events.ok()) {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     events.status().ToString().c_str());
+        return 1;
+      }
+      for (const vchain::api::SubscriptionEvent& ev : events.value()) {
+        std::printf("notification height=%llu results=%zu hash=%s\n",
+                    static_cast<unsigned long long>(ev.height),
+                    ev.objects.size(),
+                    spd::HexDigest(ev.notification_bytes).c_str());
+        if (++got >= want) break;
+      }
+      std::fflush(stdout);
+    }
+    if (got < want) {
+      std::fprintf(stderr,
+                   "subscription timed out: %zu/%zu notifications in %llus "
+                   "(is the SP mining? vchain_spd --mine-every)\n",
+                   got, want, static_cast<unsigned long long>(timeout_s));
+      return 1;
+    }
+    vchain::Status bye = sub.value().Unsubscribe();
+    if (!bye.ok()) {
+      std::fprintf(stderr, "unsubscribe failed: %s\n",
+                   bye.ToString().c_str());
+      return 1;
+    }
+    std::printf("subscription: verified %zu notification(s)\n", got);
   }
 
   if (flags.Has("--stats")) {

@@ -16,6 +16,10 @@
 //        --port N       0 = ephemeral             (default 8080)
 //        --threads N    HTTP workers              (default 4)
 //        --demo N       ensure N demo blocks exist
+//        --mine-every MS  keep mining one demo block every MS milliseconds
+//                         *after* serving starts — the live-chain mode the
+//                         e2e subscription leg drives (subscribers watch
+//                         blocks land over /events while queries serve)
 //        --once         exit immediately after startup (smoke mode)
 //        --max-conns N  connection cap; excess shed 503  (default 64)
 //        --rps N        per-IP rate limit, 0 = off       (default 0)
@@ -143,8 +147,26 @@ int main(int argc, char** argv) {
     server.value()->Stop();
     return 0;
   }
+  // Live-chain mode: keep extending the deterministic demo chain while
+  // serving, so wire subscribers actually see notifications arrive.
+  uint64_t mine_every_ms = std::stoull(flags.Get("--mine-every", "0"));
+  auto last_mine = std::chrono::steady_clock::now();
   while (!g_stop.load()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (mine_every_ms == 0) continue;
+    auto now = std::chrono::steady_clock::now();
+    if (now - last_mine <
+        std::chrono::milliseconds(static_cast<int64_t>(mine_every_ms))) {
+      continue;
+    }
+    last_mine = now;
+    vchain::Status mined =
+        spd::MineDemoChain(svc.get(), svc->NumBlocks() + 1, &g_stop);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "live mining failed: %s\n",
+                   mined.ToString().c_str());
+      break;
+    }
   }
   // Graceful drain: no new connections, in-flight requests finish, then a
   // final Sync() makes everything served as durable actually durable.

@@ -51,6 +51,11 @@ class IServiceBackend {
 
   virtual Result<uint32_t> Subscribe(const core::Query& q) = 0;
   virtual Status Unsubscribe(uint32_t id) = 0;
+  virtual Result<SubscriptionEventBatch> EventsSince(uint32_t id,
+                                                     uint64_t cursor,
+                                                     size_t max_events) = 0;
+  virtual Result<SubscriptionEvent> DecodeNotification(
+      const Bytes& notification_bytes) const = 0;
   virtual std::vector<SubscriptionEvent> TakeSubscriptionEvents() = 0;
 
   virtual ServiceStats Stats() const = 0;

@@ -24,11 +24,14 @@
 #ifndef VCHAIN_API_BACKEND_IMPL_H_
 #define VCHAIN_API_BACKEND_IMPL_H_
 
+#include <algorithm>
 #include <atomic>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -250,7 +253,7 @@ class ServiceBackend final : public IServiceBackend {
     std::unique_lock<std::shared_mutex> lock(state_mu_);
     auto id = subs_.TrySubscribe(q);
     if (!id.ok()) return id.status();
-    active_subscriptions_.insert(id.value());
+    active_subscriptions_.emplace(id.value(), builder_->NumBlocks());
     flight::FlightRecorder::Get().Record("sub", "subscribe", id.value());
     // Events cover blocks appended from here on; with no prior subscribers
     // the drain cursor may lag (drains are skipped while nobody listens).
@@ -275,10 +278,76 @@ class ServiceBackend final : public IServiceBackend {
     return Status::OK();
   }
 
-  std::vector<SubscriptionEvent> TakeSubscriptionEvents() override {
+  Result<SubscriptionEventBatch> EventsSince(uint32_t id, uint64_t cursor,
+                                             size_t max_events) override {
+    // Exclusive: regenerating a trimmed event re-matches a block through the
+    // subscription manager, which mutates its per-query runtime caches.
     std::unique_lock<std::shared_mutex> lock(state_mu_);
+    auto it = active_subscriptions_.find(id);
+    if (it == active_subscriptions_.end()) {
+      return Status::NotFound("unknown subscription id");
+    }
+    if (max_events == 0) max_events = 1;
+    const uint64_t end = sub_next_height_;  // heights below this are drained
+    uint64_t from = std::max(cursor, it->second);
+    SubscriptionEventBatch batch;
+    batch.next_cursor = from;
+    if (from >= end) return batch;
+    // Index the still-logged events for this subscriber, then walk heights:
+    // serve from the log when possible, regenerate when trimmed away.
+    std::unordered_map<uint64_t, const SubscriptionEvent*> logged;
+    for (const SubscriptionEvent& ev : event_log_) {
+      if (ev.query_id == id && ev.height >= from && ev.height < end) {
+        logged.emplace(ev.height, &ev);
+      }
+    }
+    for (uint64_t h = from; h < end && batch.events.size() < max_events; ++h) {
+      auto hit = logged.find(h);
+      if (hit != logged.end()) {
+        batch.events.push_back(*hit->second);
+      } else {
+        auto regen = RegenerateEventLocked(id, h);
+        if (!regen.ok()) return regen.status();
+        batch.events.push_back(regen.TakeValue());
+        batch.redelivered = true;
+        sub::SubMetrics::Get().redelivered_events->Inc();
+      }
+      batch.next_cursor = h + 1;
+    }
+    return batch;
+  }
+
+  Result<SubscriptionEvent> DecodeNotification(
+      const Bytes& notification_bytes) const override {
+    ByteReader r(
+        ByteSpan(notification_bytes.data(), notification_bytes.size()));
+    sub::SubNotification<Engine> notif;
+    VCHAIN_RETURN_IF_ERROR(
+        sub::DeserializeSubNotification(engine_, &r, &notif));
+    if (r.Remaining() != 0) {
+      return Status::Corruption("trailing bytes after notification");
+    }
+    SubscriptionEvent ev;
+    ev.query_id = notif.query_id;
+    ev.height = notif.height;
+    ev.objects = std::move(notif.objects);
+    ev.notification_bytes = notification_bytes;
+    return ev;
+  }
+
+  std::vector<SubscriptionEvent> TakeSubscriptionEvents() override {
+    // Legacy global drain, now a cursor over the shared event log: hand out
+    // every event not yet taken, but leave them in the log so EventsSince
+    // subscribers can still read their own slices.
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    const uint64_t log_end = log_start_seq_ + event_log_.size();
+    uint64_t seq = std::max(take_seq_, log_start_seq_);
     std::vector<SubscriptionEvent> out;
-    out.swap(pending_events_);
+    out.reserve(log_end - seq);
+    for (; seq < log_end; ++seq) {
+      out.push_back(event_log_[seq - log_start_seq_]);
+    }
+    take_seq_ = log_end;
     return out;
   }
 
@@ -293,7 +362,9 @@ class ServiceBackend final : public IServiceBackend {
     s.num_blocks = builder_->NumBlocks();
     s.queries_served = queries_served_.load(std::memory_order_relaxed);
     s.subscriptions_active = subs_.NumActive();
-    s.subscription_events_pending = pending_events_.size();
+    s.subscription_events_pending =
+        (log_start_seq_ + event_log_.size()) -
+        std::max(take_seq_, log_start_seq_);
     s.sub_matcher = subs_.matcher();
     if (ckpt_ != nullptr) s.sub_checkpoint_seq = ckpt_->latest_seq();
     s.proof_cache = proof_cache_.stats();
@@ -336,7 +407,9 @@ class ServiceBackend final : public IServiceBackend {
         sub::DeserializeSubCheckpoint(engine_, &r, &next_height, &snap));
     VCHAIN_RETURN_IF_ERROR(subs_.Restore(snap));
     for (const auto& entry : snap.queries) {
-      active_subscriptions_.insert(entry.id);
+      // The original start height is not checkpointed; 0 permits redelivery
+      // from genesis, and EventsSince callers clamp with their own cursor.
+      active_subscriptions_.emplace(entry.id, 0);
     }
     // A crash can lose unsynced blocks the checkpoint already covered;
     // clamp and let the re-mined chain re-deliver.
@@ -401,6 +474,35 @@ class ServiceBackend final : public IServiceBackend {
     return out;
   }
 
+  /// Rebuild one event that the bounded log no longer holds by re-matching
+  /// its block against the standing query. Pure function of (block, query):
+  /// the regenerated notification_bytes are identical to what the realtime
+  /// drain produced. Caller holds the exclusive lock; `height` must be
+  /// below the drain cursor.
+  Result<SubscriptionEvent> RegenerateEventLocked(uint32_t id,
+                                                  uint64_t height) {
+    auto build = [&](const core::Block<Engine>& block)
+        -> Result<SubscriptionEvent> {
+      auto notif = subs_.RebuildNotification(block, id);
+      if (!notif.ok()) return notif.status();
+      SubscriptionEvent ev;
+      ev.query_id = notif.value().query_id;
+      ev.height = notif.value().height;
+      ByteWriter w;
+      sub::SerializeSubNotification(engine_, notif.value(), &w);
+      ev.notification_bytes = std::move(w.bytes());
+      ev.objects = std::move(notif.value().objects);
+      return ev;
+    };
+    if (disk_source_ != nullptr) {
+      auto handle = disk_source_->MakeHandle(store_->NumBlocks());
+      return build(handle.BlockAt(height));
+    }
+    // In-memory mode never prunes (retain_window requires a store), so the
+    // builder's vector is indexed by absolute height.
+    return build(builder_->blocks()[height]);
+  }
+
   /// Caller holds the exclusive lock. Keeps the first fault's message.
   void EnterDegradedLocked(const Status& cause) {
     degraded_ = true;
@@ -434,7 +536,7 @@ class ServiceBackend final : public IServiceBackend {
         amb.tree, "sub_dispatch",
         amb.parent != 0 ? amb.parent : trace::kRootSpan);
     const uint64_t drain_from = sub_next_height_;
-    const size_t events_before = pending_events_.size();
+    const uint64_t events_before = log_start_seq_ + event_log_.size();
     auto drain = [&](const store::BlockSource<Engine>& source) {
       while (sub_next_height_ < tip) {
         for (auto& notif : subs_.ProcessNewBlocks(source, &sub_next_height_)) {
@@ -445,7 +547,15 @@ class ServiceBackend final : public IServiceBackend {
           ByteWriter w;
           sub::SerializeSubNotification(engine_, notif, &w);
           ev.notification_bytes = std::move(w.bytes());
-          pending_events_.push_back(std::move(ev));
+          event_log_.push_back(std::move(ev));
+        }
+        // Bound the redelivery log; trimmed events are regenerated on
+        // demand by EventsSince (memory stays O(capacity) no matter how
+        // far a slow consumer falls behind).
+        while (options_.sub_event_log_capacity != 0 &&
+               event_log_.size() > options_.sub_event_log_capacity) {
+          event_log_.pop_front();
+          ++log_start_seq_;
         }
       }
     };
@@ -457,7 +567,8 @@ class ServiceBackend final : public IServiceBackend {
       drain(source);
     }
     dispatch_span.Note("blocks", sub_next_height_ - drain_from);
-    dispatch_span.Note("events", pending_events_.size() - events_before);
+    dispatch_span.Note("events",
+                       (log_start_seq_ + event_log_.size()) - events_before);
     // Periodic checkpoint: bound the at-least-once replay window to the
     // configured number of drained blocks. Best-effort (Sync is the hard
     // commit point; a failure already logged inside).
@@ -477,9 +588,21 @@ class ServiceBackend final : public IServiceBackend {
 
   core::ProofCache<Engine> proof_cache_;
   sub::SubscriptionManager<Engine> subs_;
-  std::set<uint32_t> active_subscriptions_;
+  /// id -> first block height the subscription covers (cursors below it are
+  /// clamped up; 0 after a checkpoint restore, where the original start is
+  /// unknown and redelivery from genesis is permitted).
+  std::map<uint32_t, uint64_t> active_subscriptions_;
   uint64_t sub_next_height_ = 0;
-  std::vector<SubscriptionEvent> pending_events_;
+  /// Bounded redelivery log: every drained event, oldest first. Events are
+  /// assigned monotonically increasing sequence numbers; the front of the
+  /// deque holds seq `log_start_seq_`. Capacity-trimmed at append
+  /// (ServiceOptions::sub_event_log_capacity); EventsSince regenerates
+  /// anything trimmed away by re-matching the block.
+  std::deque<SubscriptionEvent> event_log_;
+  uint64_t log_start_seq_ = 0;
+  /// High-water mark of the legacy global drain (TakeSubscriptionEvents):
+  /// events with seq below it were already handed out by Take.
+  uint64_t take_seq_ = 0;
   std::unique_ptr<sub::CheckpointSlots> ckpt_;  // null unless durable + on
   uint64_t ckpt_height_ = 0;  ///< drain cursor at the last checkpoint write
 

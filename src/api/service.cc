@@ -221,7 +221,9 @@ Status Service::Append(std::vector<chain::Object> objects,
           "Mine-and-write-through latency per appended block");
   metrics::ScopedTimer timer(append_seconds);
   if (!backend_->options().tracing) {
-    return backend_->Append(std::move(objects), timestamp);
+    Status st = backend_->Append(std::move(objects), timestamp);
+    if (st.ok()) NotifySubscriptionListener();
+    return st;
   }
   // The append path has no trace parameter (miners don't opt in), so the
   // tree is ambient: the backend attaches "mine" and "sub_dispatch" spans
@@ -234,6 +236,7 @@ Status Service::Append(std::vector<chain::Object> objects,
   }
   tree->EndRoot();
   ring_->Offer(std::move(tree));
+  if (st.ok()) NotifySubscriptionListener();
   return st;
 }
 
@@ -417,6 +420,32 @@ Result<uint32_t> Service::Subscribe(const core::Query& q) {
 
 Status Service::Unsubscribe(uint32_t id) { return backend_->Unsubscribe(id); }
 
+Result<SubscriptionEventBatch> Service::EventsSince(uint32_t id,
+                                                    uint64_t cursor,
+                                                    size_t max_events) {
+  return backend_->EventsSince(id, cursor, max_events);
+}
+
+Result<SubscriptionEvent> Service::DecodeNotification(
+    const Bytes& notification_bytes) const {
+  return backend_->DecodeNotification(notification_bytes);
+}
+
+void Service::SetSubscriptionListener(
+    std::function<void(uint64_t tip)> listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  sub_listener_ = std::move(listener);
+}
+
+void Service::NotifySubscriptionListener() {
+  std::function<void(uint64_t)> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = sub_listener_;
+  }
+  if (listener) listener(backend_->NumBlocks());
+}
+
 std::vector<SubscriptionEvent> Service::TakeSubscriptionEvents() {
   return backend_->TakeSubscriptionEvents();
 }
@@ -530,6 +559,8 @@ std::string Service::DebugConfigJson() const {
   AppendField(&out, "sub_checkpoint_interval_blocks",
               o.sub_checkpoint_interval_blocks,
               defaults.sub_checkpoint_interval_blocks, &first);
+  AppendField(&out, "sub_event_log_capacity", o.sub_event_log_capacity,
+              defaults.sub_event_log_capacity, &first);
   AppendBoolField(&out, "tracing", o.tracing, defaults.tracing, &first);
   AppendField(&out, "trace_ring_capacity", o.trace_ring_capacity,
               defaults.trace_ring_capacity, &first);

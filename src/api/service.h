@@ -49,6 +49,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -139,6 +140,13 @@ struct ServiceOptions {
   /// on Subscribe/Unsubscribe), bounding the at-least-once replay window.
   uint64_t sub_checkpoint_interval_blocks = 64;
 
+  /// Bound on buffered subscription events retained for redelivery
+  /// (EventsSince). A subscriber whose cursor falls behind this window gets
+  /// its events regenerated by re-matching the mined blocks — same bytes,
+  /// higher cost — so memory stays bounded no matter how slow a consumer
+  /// is. 0 = unbounded log.
+  size_t sub_event_log_capacity = 4096;
+
   // --- introspection plane (common/span.h, common/flight_recorder.h) -------
 
   /// Build a causal span tree for every Query/QueryBatch/Append and feed the
@@ -185,6 +193,19 @@ struct SubscriptionEvent {
   uint64_t height = 0;
   std::vector<chain::Object> objects;  ///< matches (often empty)
   Bytes notification_bytes;
+};
+
+/// One page of a subscriber's event stream (EventsSince): the events for
+/// heights [cursor, next_cursor) in appended order, plus where to resume.
+struct SubscriptionEventBatch {
+  std::vector<SubscriptionEvent> events;
+  /// Pass this as `cursor` on the next call; equals the cursor argument
+  /// (clamped to the subscription's start) when nothing new is available.
+  uint64_t next_cursor = 0;
+  /// True when at least one event was regenerated by re-matching a block —
+  /// the caller's cursor had fallen behind the bounded in-memory log. The
+  /// bytes are identical to the originals; this is a diagnostics signal.
+  bool redelivered = false;
 };
 
 /// A consistent snapshot of the service's observable state.
@@ -303,7 +324,39 @@ class Service {
   Result<uint32_t> Subscribe(const core::Query& q);
   Status Unsubscribe(uint32_t id);
 
+  /// Per-subscriber event cursor — the wire-facing read path. Returns up to
+  /// `max_events` events for subscription `id` covering block heights
+  /// [cursor, next_cursor), oldest first. Cursors are block heights: a new
+  /// subscriber starts at the height returned by the transport at subscribe
+  /// time; after each batch it resumes from `next_cursor`. Events still in
+  /// the bounded in-memory log are served as-is; older ones are regenerated
+  /// by re-matching the mined block (bit-identical bytes, `redelivered`
+  /// set). NotFound for an unknown id. Delivery is at-least-once; consumers
+  /// dedup by (query_id, height).
+  Result<SubscriptionEventBatch> EventsSince(uint32_t id, uint64_t cursor,
+                                             size_t max_events = 64);
+
+  /// Decode canonical notification bytes (the on-the-wire form) back into a
+  /// SubscriptionEvent — query_id, height and matched objects re-derived
+  /// from the bytes. Corruption when they don't decode exactly. A remote
+  /// subscriber pairs this with VerifyNotification, exactly like
+  /// DecodeResult pairs with Verify.
+  Result<SubscriptionEvent> DecodeNotification(
+      const Bytes& notification_bytes) const;
+
+  /// Register one process-wide listener called after every successful
+  /// Append with the new chain tip. The transport uses this to wake parked
+  /// long-poll/SSE subscribers the moment events exist, instead of polling.
+  /// Called on the appending thread with no Service locks held; keep it
+  /// cheap (flag + notify). Pass nullptr to clear.
+  void SetSubscriptionListener(std::function<void(uint64_t tip)> listener);
+
   /// Drain all buffered subscription events (appended order).
+  ///
+  /// DEPRECATED: this is the pre-cursor global drain — one caller consumes
+  /// everything, which cannot serve multiple wire subscribers. It now runs
+  /// as a thin wrapper over the cursor machinery behind EventsSince and
+  /// will be removed next PR; migrate to EventsSince(id, cursor).
   std::vector<SubscriptionEvent> TakeSubscriptionEvents();
 
   // --- introspection -------------------------------------------------------
@@ -341,6 +394,7 @@ class Service {
   void MaybeEnqueueCanary(const core::Query& q, const QueryResult& result);
   void CanaryLoop();
   void RunCanaryItem(const CanaryItem& item);
+  void NotifySubscriptionListener();
 
   std::unique_ptr<IServiceBackend> backend_;
 
@@ -355,6 +409,9 @@ class Service {
   bool canary_stop_ = false;
   bool canary_busy_ = false;
   std::thread canary_thread_;  ///< joinable only when canary_sample_every > 0
+
+  mutable std::mutex listener_mu_;
+  std::function<void(uint64_t)> sub_listener_;  ///< SetSubscriptionListener
 };
 
 }  // namespace vchain::api
@@ -369,6 +426,7 @@ using api::Service;
 using api::ServiceOptions;
 using api::ServiceStats;
 using api::SubscriptionEvent;
+using api::SubscriptionEventBatch;
 }  // namespace vchain
 
 #endif  // VCHAIN_API_SERVICE_H_

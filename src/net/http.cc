@@ -6,6 +6,8 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -27,6 +29,13 @@ namespace vchain::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
 
 /// 16 hex chars, unique within the process and unlikely to collide across
 /// processes: a random per-process prefix XOR-mixed with a sequence
@@ -75,14 +84,6 @@ void SetRecvTimeoutMs(int fd, int64_t ms) {
   tv.tv_sec = static_cast<time_t>(ms / 1000);
   tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-void SetSendTimeoutMs(int fd, int64_t ms) {
-  if (ms <= 0) return;
-  struct timeval tv;
-  tv.tv_sec = static_cast<time_t>(ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 enum class RecvOutcome { kData, kEof, kTimeout, kError };
@@ -284,6 +285,29 @@ std::string SerializeResponse(const HttpResponse& resp, bool keep_alive) {
   return out;
 }
 
+/// Response head for a close-delimited stream: no Content-Length — bytes
+/// flow until the server ends the stream and closes the connection.
+std::string SerializeStreamHead(
+    int status, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra,
+    const std::string& request_id) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpReasonPhrase(status);
+  out += kCrlf;
+  out += "Content-Type: " + content_type;
+  out += kCrlf;
+  out += "Connection: close";
+  out += kCrlf;
+  for (const auto& [name, value] : extra) {
+    out += name + ": " + value;
+    out += kCrlf;
+  }
+  out += "X-Request-Id: " + request_id;
+  out += kCrlf;
+  out += kCrlf;
+  return out;
+}
+
 bool SendAllFd(int fd, std::string_view data) {
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
@@ -375,6 +399,39 @@ Result<int> OpenClientSocket(const std::string& host, uint16_t port,
   return fd;
 }
 
+/// One connection's state machine. Owned (and only ever touched) by the
+/// event-loop thread; workers reach it exclusively through the completion
+/// queue keyed by `id`.
+struct Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  uint32_t ip = 0;
+
+  enum State { kReadHead, kReadBody, kHandling, kWrite, kStream };
+  State state = kReadHead;
+
+  std::string in;      ///< unparsed request bytes (may hold pipelined reqs)
+  std::string out;     ///< response/stream bytes not yet on the wire
+  size_t out_off = 0;  ///< how much of `out` has been sent
+  bool close_after_write = false;
+  bool want_write = false;  ///< EPOLLOUT currently armed
+  bool peer_eof = false;    ///< peer half-closed; finish then close
+
+  ParsedHead head;      ///< parse result while reading the body
+  size_t head_len = 0;  ///< bytes of `in` covered by the head
+  bool request_keep_alive = true;
+
+  uint64_t deadline_ns = 0;  ///< 0 = no deadline armed
+  enum Expiry { kSilentClose, k408Head, k408Body };
+  Expiry expiry = kSilentClose;
+  uint64_t head_start_ns = 0;  ///< first head byte (slow-loris budget anchor)
+  uint64_t body_start_ns = 0;
+
+  std::weak_ptr<ResponderCore> responder;  ///< in-flight request, if any
+  bool stream_ended = false;
+  bool closed = false;
+};
+
 }  // namespace
 
 bool ParseDecimalU64(std::string_view s, uint64_t* out) {
@@ -459,15 +516,799 @@ class IpRateLimiter {
   std::unordered_map<uint32_t, Bucket> buckets_;
 };
 
-// --- server ------------------------------------------------------------------
+// --- worker <-> loop plumbing ------------------------------------------------
 
-HttpServer::HttpServer(Options options, Handler handler)
+/// State shared by the event loop, the worker pool, and every Responder a
+/// handler may have copied out. Lives in a shared_ptr so a parked
+/// Responder can outlive the server: once the loop exits it flips
+/// `accepting` off and all further posts become no-ops.
+struct HttpServer::Shared {
+  struct Completion {
+    enum Kind { kResponse, kStreamBegin, kStreamChunk, kStreamEnd };
+    Kind kind = kResponse;
+    uint64_t conn_id = 0;
+    std::string request_id;
+    uint64_t dispatch_ns = 0;
+    HttpResponse resp;  ///< kResponse payload / kStreamBegin head fields
+    std::string chunk;  ///< kStreamChunk payload
+  };
+  struct Job {
+    HttpRequest request;
+    std::shared_ptr<ResponderCore> core;
+  };
+
+  // Completion queue: any thread -> loop thread, eventfd-signalled.
+  std::mutex mu;
+  std::vector<Completion> completions;
+  int event_fd = -1;
+  bool accepting = true;  ///< false once the loop has exited
+
+  // Job queue: loop thread -> workers.
+  std::mutex job_mu;
+  std::condition_variable job_cv;
+  std::deque<Job> jobs;
+  bool job_stop = false;
+
+  void Post(Completion c) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!accepting) return;
+    completions.push_back(std::move(c));
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+  }
+};
+
+/// The thread-safe core behind every Responder copy for one request.
+/// Completion is a single atomic race (`completed`); all effects funnel
+/// through Shared::Post so only the loop thread touches the socket.
+struct ResponderCore {
+  std::shared_ptr<HttpServer::Shared> shared;
+  uint64_t conn_id = 0;
+  std::string request_id;
+  uint64_t dispatch_ns = 0;
+  size_t buffer_cap = 0;
+
+  std::atomic<bool> completed{false};
+  std::atomic<bool> streaming{false};
+  std::atomic<bool> ended{false};
+  std::atomic<bool> alive{true};
+  /// Producer-side view of unflushed stream bytes (loop refreshes it on
+  /// every flush); approximate, used only to answer Write() backpressure.
+  std::atomic<size_t> buffered{0};
+
+  void SendResponse(HttpResponse resp) {
+    if (completed.exchange(true)) return;
+    HttpServer::Shared::Completion c;
+    c.kind = HttpServer::Shared::Completion::kResponse;
+    c.conn_id = conn_id;
+    c.request_id = request_id;
+    c.dispatch_ns = dispatch_ns;
+    c.resp = std::move(resp);
+    shared->Post(std::move(c));
+  }
+
+  bool StartStream(int status, const std::string& content_type,
+                   std::vector<std::pair<std::string, std::string>> headers) {
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    if (completed.exchange(true)) return false;
+    streaming.store(true, std::memory_order_release);
+    HttpServer::Shared::Completion c;
+    c.kind = HttpServer::Shared::Completion::kStreamBegin;
+    c.conn_id = conn_id;
+    c.request_id = request_id;
+    c.dispatch_ns = dispatch_ns;
+    c.resp.status = status;
+    c.resp.content_type = content_type;
+    c.resp.headers = std::move(headers);
+    shared->Post(std::move(c));
+    return true;
+  }
+
+  bool WriteChunk(std::string_view chunk) {
+    if (!streaming.load(std::memory_order_acquire) ||
+        ended.load(std::memory_order_relaxed) ||
+        !alive.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    size_t now_buffered =
+        buffered.fetch_add(chunk.size(), std::memory_order_relaxed) +
+        chunk.size();
+    if (now_buffered > buffer_cap) {
+      buffered.fetch_sub(chunk.size(), std::memory_order_relaxed);
+      return false;  // slow consumer: stop producing, let it resume from cursor
+    }
+    HttpServer::Shared::Completion c;
+    c.kind = HttpServer::Shared::Completion::kStreamChunk;
+    c.conn_id = conn_id;
+    c.chunk = std::string(chunk);
+    shared->Post(std::move(c));
+    return true;
+  }
+
+  void EndStream() {
+    if (!streaming.load(std::memory_order_acquire)) return;
+    if (ended.exchange(true)) return;
+    HttpServer::Shared::Completion c;
+    c.kind = HttpServer::Shared::Completion::kStreamEnd;
+    c.conn_id = conn_id;
+    shared->Post(std::move(c));
+  }
+
+  ~ResponderCore() {
+    // Dropped without completing: a buggy route must never leak the
+    // connection, so the request answers 500. A stream dropped without
+    // End() is ended for it.
+    if (!completed.load(std::memory_order_relaxed)) {
+      completed.store(true, std::memory_order_relaxed);
+      HttpServer::Shared::Completion c;
+      c.kind = HttpServer::Shared::Completion::kResponse;
+      c.conn_id = conn_id;
+      c.request_id = request_id;
+      c.dispatch_ns = dispatch_ns;
+      c.resp = {.status = 500,
+                .content_type = "text/plain",
+                .body = "internal error\n"};
+      shared->Post(std::move(c));
+    } else if (streaming.load(std::memory_order_relaxed) &&
+               !ended.load(std::memory_order_relaxed)) {
+      HttpServer::Shared::Completion c;
+      c.kind = HttpServer::Shared::Completion::kStreamEnd;
+      c.conn_id = conn_id;
+      shared->Post(std::move(c));
+    }
+  }
+};
+
+void Responder::Send(HttpResponse resp) const {
+  if (core_) core_->SendResponse(std::move(resp));
+}
+
+bool Responder::BeginStream(
+    int status, const std::string& content_type,
+    std::vector<std::pair<std::string, std::string>> headers) const {
+  return core_ != nullptr &&
+         core_->StartStream(status, content_type, std::move(headers));
+}
+
+bool Responder::Write(std::string_view chunk) const {
+  return core_ != nullptr && core_->WriteChunk(chunk);
+}
+
+void Responder::End() const {
+  if (core_) core_->EndStream();
+}
+
+bool Responder::alive() const {
+  return core_ != nullptr && core_->alive.load(std::memory_order_relaxed);
+}
+
+const std::string& Responder::request_id() const {
+  static const std::string kEmpty;
+  return core_ != nullptr ? core_->request_id : kEmpty;
+}
+
+// --- event loop --------------------------------------------------------------
+
+/// The loop thread's world: the epoll set and the connection table. Tags
+/// 0 (listener) and 1 (eventfd) are reserved; connections start at 2.
+struct HttpServer::Loop {
+  HttpServer* s = nullptr;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+  std::vector<uint64_t> dead;  ///< ids to reap at the end of the iteration
+  uint64_t next_id = 2;
+  uint64_t last_sweep_ns = 0;
+  bool listener_registered = true;
+  uint64_t accept_retry_ns = 0;  ///< 0 = listener not parked on EMFILE
+
+  static constexpr uint64_t kSweepEveryNs = 50'000'000ULL;    // 50ms
+  static constexpr uint64_t kAcceptRetryNs = 20'000'000ULL;  // 20ms
+
+  void Run() {
+    std::vector<struct epoll_event> events(128);
+    while (!s->stopping_.load(std::memory_order_relaxed)) {
+      int n = ::epoll_wait(epoll_fd, events.data(),
+                           static_cast<int>(events.size()), 50);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        uint64_t tag = events[i].data.u64;
+        uint32_t ev = events[i].events;
+        if (tag == 0) {
+          AcceptReady();
+          continue;
+        }
+        if (tag == 1) {
+          uint64_t v;
+          while (::read(event_fd, &v, sizeof(v)) > 0) {
+          }
+          continue;
+        }
+        auto it = conns.find(tag);
+        if (it == conns.end() || it->second->closed) continue;
+        Conn* c = it->second.get();
+        if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) OnReadable(c);
+        if (!c->closed && (ev & EPOLLOUT)) Advance(c);
+      }
+      ProcessCompletions();
+      if (s->draining_.load(std::memory_order_relaxed)) {
+        if (listener_registered) {
+          listener_registered = false;
+          ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, s->listen_fd_, nullptr);
+        }
+        DrainSweep();
+      }
+      uint64_t now = NowNs();
+      if (now - last_sweep_ns >= kSweepEveryNs) {
+        last_sweep_ns = now;
+        SweepDeadlines(now);
+      }
+      if (accept_retry_ns != 0 && now >= accept_retry_ns &&
+          !s->draining_.load(std::memory_order_relaxed)) {
+        // The EMFILE backoff elapsed: re-arm the parked listener and let
+        // AcceptReady either drain the backlog or park it again.
+        accept_retry_ns = 0;
+        if (!listener_registered) {
+          struct epoll_event lev;
+          std::memset(&lev, 0, sizeof(lev));
+          lev.events = EPOLLIN;
+          lev.data.u64 = 0;
+          if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, s->listen_fd_, &lev) ==
+              0) {
+            listener_registered = true;
+          } else {
+            accept_retry_ns = now + kAcceptRetryNs;
+          }
+        }
+      }
+      Reap();
+    }
+    // Hard stop: abort every connection. Parked Responders see alive()
+    // turn false; their eventual posts land in a queue nobody reads and
+    // are dropped once `accepting` flips below.
+    for (auto& [id, c] : conns) {
+      if (c->closed) continue;
+      if (auto r = c->responder.lock()) {
+        r->alive.store(false, std::memory_order_relaxed);
+      }
+      ::close(c->fd);
+      s->held_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    conns.clear();
+    s->active_connections_->Set(
+        static_cast<double>(s->held_connections_.load()));
+    std::lock_guard<std::mutex> lock(s->shared_->mu);
+    s->shared_->accepting = false;
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      struct sockaddr_in peer;
+      socklen_t peer_len = sizeof(peer);
+      int fd = ::accept(s->listen_fd_,
+                        reinterpret_cast<struct sockaddr*>(&peer), &peer_len);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of fds with a level-triggered listener: the pending backlog
+          // would wake epoll_wait every iteration and hot-spin the loop.
+          // Park the listener and retry once the backoff window passes —
+          // a closing connection frees the slot the backlog is waiting on.
+          if (listener_registered) {
+            listener_registered = false;
+            ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, s->listen_fd_, nullptr);
+            flight::FlightRecorder::Get().Record(
+                "http", "accept_emfile_parked",
+                s->held_connections_.load(std::memory_order_relaxed));
+          }
+          accept_retry_ns = NowNs() + kAcceptRetryNs;
+          return;
+        }
+        return;  // EAGAIN, or the listener is gone
+      }
+      if (s->stopping_.load(std::memory_order_relaxed) ||
+          s->draining_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        continue;
+      }
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      uint32_t ip =
+          peer.sin_family == AF_INET ? ntohl(peer.sin_addr.s_addr) : 0;
+
+      // Admission control: shed beyond the cap with an immediate 503 so a
+      // connection flood can never grow server memory. The send is a
+      // best-effort nonblocking write — a peer with a full socket buffer
+      // just loses the courtesy body.
+      if (s->held_connections_.load(std::memory_order_acquire) >=
+          s->options_.max_connections) {
+        s->n_shed_->Inc();
+        flight::FlightRecorder::Get().Record(
+            "http", "shed_503",
+            s->held_connections_.load(std::memory_order_relaxed));
+        std::string resp = SerializeResponse(
+            RetryLaterResponse(503, "server overloaded\n"),
+            /*keep_alive=*/false);
+        [[maybe_unused]] ssize_t sn =
+            ::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+
+      auto c = std::make_unique<Conn>();
+      c->fd = fd;
+      c->id = next_id++;
+      c->ip = ip;
+      RearmDeadline(c.get());
+      struct epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.u64 = c->id;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      size_t held =
+          s->held_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      s->active_connections_->Set(static_cast<double>(held));
+      s->n_accepted_->Inc();
+      conns.emplace(c->id, std::move(c));
+    }
+  }
+
+  void OnReadable(Conn* c) {
+    if (c->peer_eof) return;
+    char chunk[16384];
+    for (;;) {
+      ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        if (c->state == Conn::kStream) continue;  // streams ignore input
+        bool was_empty = c->in.empty();
+        c->in.append(chunk, static_cast<size_t>(n));
+        if (c->in.size() >
+            HttpServer::kMaxHeadBytes + s->options_.max_body_bytes) {
+          CloseConn(c);  // peer is flooding faster than we parse
+          return;
+        }
+        if (c->state == Conn::kReadHead) {
+          if (was_empty) c->head_start_ns = NowNs();
+          RearmDeadline(c);
+        } else if (c->state == Conn::kReadBody) {
+          RearmDeadline(c);
+        }
+        continue;
+      }
+      if (n == 0) {
+        if (c->state == Conn::kStream) {
+          CloseConn(c);  // stream consumer went away
+          return;
+        }
+        c->peer_eof = true;
+        UpdateEvents(c);  // stop polling EPOLLIN on an EOF'd socket
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return;
+    }
+    Advance(c);
+  }
+
+  /// Drive the state machine as far as readiness allows. Never recursive:
+  /// every step either makes progress and loops, or returns.
+  void Advance(Conn* c) {
+    while (!c->closed) {
+      switch (c->state) {
+        case Conn::kReadHead:
+          if (!StepHead(c)) return;
+          break;
+        case Conn::kReadBody:
+          if (!StepBody(c)) return;
+          break;
+        case Conn::kHandling:
+          return;  // a completion will move us on
+        case Conn::kWrite: {
+          if (!FlushOut(c)) return;
+          if (!c->out.empty()) return;  // kernel buffer full; wait EPOLLOUT
+          if (c->close_after_write) {
+            CloseConn(c);
+            return;
+          }
+          if (c->peer_eof && c->in.empty()) {
+            CloseConn(c);
+            return;
+          }
+          c->state = Conn::kReadHead;
+          c->head_start_ns = c->in.empty() ? 0 : NowNs();
+          RearmDeadline(c);
+          break;  // maybe a pipelined request is already buffered
+        }
+        case Conn::kStream: {
+          if (!FlushOut(c)) return;
+          if (c->out.empty() && c->stream_ended) {
+            CloseConn(c);
+          }
+          return;
+        }
+      }
+    }
+  }
+
+  /// Returns false when the loop should stop (need more bytes / closed).
+  bool StepHead(Conn* c) {
+    size_t head_end = c->in.find(kHeadEnd);
+    if (head_end == std::string::npos) {
+      if (c->in.size() > HttpServer::kMaxHeadBytes) {
+        QueueError(c, 400, "request head too large\n");
+        return true;
+      }
+      if (c->peer_eof) {
+        CloseConn(c);  // idle keep-alive close, or truncated request
+        return false;
+      }
+      return false;
+    }
+    auto parsed = ParseRequestHead(
+        std::string_view(c->in).substr(0, head_end + kHeadEnd.size()));
+    if (!parsed) {
+      QueueError(c, 400, "malformed request\n");
+      return true;
+    }
+    if (parsed->has_transfer_encoding) {
+      QueueError(c, 501, "transfer-encoding not supported\n");
+      return true;
+    }
+    if (parsed->content_length > s->options_.max_body_bytes) {
+      QueueError(c, 413, "body too large\n");
+      return true;
+    }
+    c->head = std::move(*parsed);
+    c->head_len = head_end + kHeadEnd.size();
+    c->state = Conn::kReadBody;
+    c->body_start_ns = NowNs();
+    RearmDeadline(c);
+    return true;
+  }
+
+  bool StepBody(Conn* c) {
+    size_t total = c->head_len + c->head.content_length;
+    if (c->in.size() < total) {
+      if (c->peer_eof) CloseConn(c);  // truncated body
+      return false;
+    }
+    c->head.request.body = c->in.substr(c->head_len, c->head.content_length);
+    c->in.erase(0, total);
+    c->request_keep_alive = c->head.keep_alive;
+    Dispatch(c);
+    return true;
+  }
+
+  void Dispatch(Conn* c) {
+    const bool ka = c->request_keep_alive &&
+                    !s->draining_.load(std::memory_order_relaxed);
+    // Per-IP rate limit — answered before the handler runs, so a flooding
+    // client costs parsing, not proving. Keep-alive is preserved: a
+    // well-behaved client backs off and reuses the connection.
+    if (s->limiter_ != nullptr && !s->limiter_->Allow(c->ip)) {
+      s->n_rate_limited_->Inc();
+      flight::FlightRecorder::Get().Record("http", "rate_limited_429");
+      c->out = SerializeResponse(
+          RetryLaterResponse(429, "rate limit exceeded\n"), ka);
+      c->out_off = 0;
+      c->close_after_write = !ka;
+      c->state = Conn::kWrite;
+      RearmDeadline(c);
+      return;
+    }
+    s->n_requests_->Inc();
+    HttpRequest request = std::move(c->head.request);
+    c->head.request = HttpRequest{};
+    // Correlation id: honor the client's X-Request-Id, else mint one.
+    auto rid_it = request.headers.find("x-request-id");
+    request.request_id =
+        rid_it != request.headers.end() && !rid_it->second.empty()
+            ? SanitizeRequestId(rid_it->second)
+            : GenerateRequestId();
+    auto core = std::make_shared<ResponderCore>();
+    core->shared = s->shared_;
+    core->conn_id = c->id;
+    core->request_id = request.request_id;
+    core->dispatch_ns = NowNs();
+    core->buffer_cap = s->options_.max_stream_buffer_bytes;
+    c->responder = core;
+    c->state = Conn::kHandling;
+    c->deadline_ns = 0;  // the handler owns the clock now
+    {
+      std::lock_guard<std::mutex> lock(s->shared_->job_mu);
+      s->shared_->jobs.push_back(
+          Shared::Job{std::move(request), std::move(core)});
+    }
+    s->shared_->job_cv.notify_one();
+  }
+
+  /// Protocol-violation responses close the connection and (matching the
+  /// worker-pool transport) do not count toward the status-class counters
+  /// — those meter dispatched handler responses.
+  void QueueError(Conn* c, int status, std::string body) {
+    c->out = SerializeResponse({.status = status,
+                                .content_type = "text/plain",
+                                .body = std::move(body)},
+                               /*keep_alive=*/false);
+    c->out_off = 0;
+    c->close_after_write = true;
+    c->state = Conn::kWrite;
+    RearmDeadline(c);
+  }
+
+  /// Push buffered out-bytes to the kernel. False = connection closed.
+  bool FlushOut(Conn* c) {
+    while (c->out_off < c->out.size()) {
+      ssize_t n = ::send(c->fd, c->out.data() + c->out_off,
+                         c->out.size() - c->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      CloseConn(c);
+      return false;
+    }
+    size_t pending = c->out.size() - c->out_off;
+    if (pending == 0) {
+      if (c->out_off > 0) {
+        c->out.clear();
+        c->out_off = 0;
+      }
+      if (c->want_write) {
+        c->want_write = false;
+        UpdateEvents(c);
+      }
+    } else {
+      if (!c->want_write) {
+        c->want_write = true;
+        UpdateEvents(c);
+      }
+      RearmDeadline(c);  // stalled-write deadline
+    }
+    if (c->state == Conn::kStream) {
+      if (auto r = c->responder.lock()) {
+        r->buffered.store(pending, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }
+
+  void UpdateEvents(Conn* c) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (c->peer_eof ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                (c->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.u64 = c->id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void RearmDeadline(Conn* c) {
+    const uint64_t now = NowNs();
+    const uint64_t recv_ns =
+        s->options_.recv_timeout_seconds > 0
+            ? static_cast<uint64_t>(s->options_.recv_timeout_seconds) *
+                  1'000'000'000ULL
+            : 0;
+    const uint64_t head_ns =
+        s->options_.header_timeout_seconds > 0
+            ? static_cast<uint64_t>(s->options_.header_timeout_seconds) *
+                  1'000'000'000ULL
+            : 0;
+    const uint64_t body_ns =
+        s->options_.body_timeout_seconds > 0
+            ? static_cast<uint64_t>(s->options_.body_timeout_seconds) *
+                  1'000'000'000ULL
+            : 0;
+    switch (c->state) {
+      case Conn::kReadHead:
+        if (c->in.empty()) {
+          // Idle keep-alive wait: plain inactivity timeout, closed silently.
+          c->deadline_ns = recv_ns ? now + recv_ns : 0;
+          c->expiry = Conn::kSilentClose;
+        } else {
+          // Mid-head: idle timer resets on progress, but the total head
+          // budget is anchored at the first byte — a slow-loris peer
+          // trickling one byte per interval still gets 408.
+          uint64_t d = recv_ns ? now + recv_ns : 0;
+          if (head_ns) {
+            uint64_t hd = c->head_start_ns + head_ns;
+            d = d ? std::min(d, hd) : hd;
+          }
+          c->deadline_ns = d;
+          c->expiry = Conn::k408Head;
+        }
+        break;
+      case Conn::kReadBody: {
+        uint64_t d = recv_ns ? now + recv_ns : 0;
+        if (body_ns) {
+          uint64_t bd = c->body_start_ns + body_ns;
+          d = d ? std::min(d, bd) : bd;
+        }
+        c->deadline_ns = d;
+        c->expiry = Conn::k408Body;
+        break;
+      }
+      case Conn::kHandling:
+        c->deadline_ns = 0;
+        break;
+      case Conn::kWrite:
+        c->deadline_ns = recv_ns ? now + recv_ns : 0;
+        c->expiry = Conn::kSilentClose;
+        break;
+      case Conn::kStream:
+        // Only a stalled flush is a deadline; an idle stream waits for
+        // events indefinitely.
+        c->deadline_ns =
+            !c->out.empty() && recv_ns ? now + recv_ns : 0;
+        c->expiry = Conn::kSilentClose;
+        break;
+    }
+  }
+
+  void SweepDeadlines(uint64_t now) {
+    for (auto& [id, cptr] : conns) {
+      Conn* c = cptr.get();
+      if (c->closed || c->deadline_ns == 0 || now < c->deadline_ns) continue;
+      switch (c->expiry) {
+        case Conn::kSilentClose:
+          CloseConn(c);
+          break;
+        case Conn::k408Head:
+          s->n_timed_out_->Inc();
+          flight::FlightRecorder::Get().Record("http", "timeout_408_head");
+          QueueError(c, 408, "timed out reading request head\n");
+          Advance(c);
+          break;
+        case Conn::k408Body:
+          s->n_timed_out_->Inc();
+          flight::FlightRecorder::Get().Record("http", "timeout_408_body");
+          QueueError(c, 408, "timed out reading request body\n");
+          Advance(c);
+          break;
+      }
+    }
+  }
+
+  void ProcessCompletions() {
+    std::vector<Shared::Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(s->shared_->mu);
+      batch.swap(s->shared_->completions);
+    }
+    for (auto& comp : batch) {
+      auto it = conns.find(comp.conn_id);
+      if (it == conns.end() || it->second->closed) continue;
+      Conn* c = it->second.get();
+      switch (comp.kind) {
+        case Shared::Completion::kResponse: {
+          if (c->state != Conn::kHandling) break;
+          comp.resp.headers.emplace_back("X-Request-Id", comp.request_id);
+          s->CountResponseClass(comp.resp.status);
+          s->request_seconds_->Observe(
+              static_cast<double>(NowNs() - comp.dispatch_ns) * 1e-9);
+          // Keep-alive decided at completion time so in-flight requests
+          // finished during a drain answer with Connection: close.
+          const bool ka = c->request_keep_alive &&
+                          !s->draining_.load(std::memory_order_relaxed);
+          c->out = SerializeResponse(comp.resp, ka);
+          c->out_off = 0;
+          c->close_after_write = !ka;
+          c->state = Conn::kWrite;
+          RearmDeadline(c);
+          Advance(c);
+          break;
+        }
+        case Shared::Completion::kStreamBegin: {
+          if (c->state != Conn::kHandling) break;
+          s->CountResponseClass(comp.resp.status);
+          s->request_seconds_->Observe(
+              static_cast<double>(NowNs() - comp.dispatch_ns) * 1e-9);
+          c->out += SerializeStreamHead(comp.resp.status,
+                                        comp.resp.content_type,
+                                        comp.resp.headers, comp.request_id);
+          c->state = Conn::kStream;
+          c->stream_ended = false;
+          if (s->draining_.load(std::memory_order_relaxed)) {
+            c->stream_ended = true;  // flush the head, then close
+            if (auto r = c->responder.lock()) {
+              r->alive.store(false, std::memory_order_relaxed);
+            }
+          }
+          RearmDeadline(c);
+          Advance(c);
+          break;
+        }
+        case Shared::Completion::kStreamChunk: {
+          if (c->state != Conn::kStream || c->stream_ended) break;
+          size_t pending = c->out.size() - c->out_off;
+          if (pending + comp.chunk.size() >
+              s->options_.max_stream_buffer_bytes) {
+            // Authoritative backpressure: the consumer is slower than the
+            // producer and the bounded buffer is full — disconnect; the
+            // subscriber re-attaches and resumes from its cursor.
+            flight::FlightRecorder::Get().Record("http", "stream_overflow");
+            CloseConn(c);
+            break;
+          }
+          c->out += comp.chunk;
+          Advance(c);
+          break;
+        }
+        case Shared::Completion::kStreamEnd: {
+          if (c->state != Conn::kStream) break;
+          c->stream_ended = true;
+          if (auto r = c->responder.lock()) {
+            r->alive.store(false, std::memory_order_relaxed);
+          }
+          Advance(c);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Graceful-drain pass, run every loop iteration while draining: idle
+  /// keep-alive connections close now, live streams end (flushing what is
+  /// buffered), in-flight requests are left to finish on their own.
+  void DrainSweep() {
+    for (auto& [id, cptr] : conns) {
+      Conn* c = cptr.get();
+      if (c->closed) continue;
+      if (c->state == Conn::kReadHead && c->in.empty() && c->out.empty()) {
+        CloseConn(c);
+      } else if (c->state == Conn::kStream && !c->stream_ended) {
+        c->stream_ended = true;
+        if (auto r = c->responder.lock()) {
+          r->alive.store(false, std::memory_order_relaxed);
+        }
+        Advance(c);
+      }
+    }
+  }
+
+  void CloseConn(Conn* c) {
+    if (c->closed) return;
+    c->closed = true;
+    if (auto r = c->responder.lock()) {
+      r->alive.store(false, std::memory_order_relaxed);
+    }
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    dead.push_back(c->id);
+    size_t held =
+        s->held_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    s->active_connections_->Set(static_cast<double>(held));
+  }
+
+  /// Deferred erase: CloseConn may run mid-iteration over `conns`, so the
+  /// table only shrinks here, between iterations.
+  void Reap() {
+    for (uint64_t id : dead) conns.erase(id);
+    dead.clear();
+  }
+};
+
+// --- server lifecycle --------------------------------------------------------
+
+HttpServer::HttpServer(Options options, AsyncHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {
   metrics::Registry& reg = options_.registry != nullptr
                                ? *options_.registry
                                : metrics::Registry::Default();
   n_accepted_ = reg.GetCounter("vchain_http_accepted_total",
-                               "Connections admitted to a worker");
+                               "Connections admitted to the event loop");
   n_requests_ = reg.GetCounter("vchain_http_requests_total",
                                "Requests dispatched to the handler");
   n_shed_ = reg.GetCounter("vchain_http_shed_total",
@@ -486,14 +1327,26 @@ HttpServer::HttpServer(Options options, Handler handler)
   n_status_5xx_ = reg.GetCounter(status_name, status_help, {{"class", "5xx"}});
   active_connections_ =
       reg.GetGauge("vchain_http_active_connections",
-                   "Connections held right now (queued + in service)");
+                   "Connections held right now (idle + in service)");
   request_seconds_ = reg.GetLatencyHistogram(
       "vchain_http_request_seconds",
       "Handler wall time per dispatched request");
 }
 
+void HttpServer::CountResponseClass(int status) {
+  if (status >= 500) {
+    n_status_5xx_->Inc();
+  } else if (status >= 400) {
+    n_status_4xx_->Inc();
+  } else if (status >= 300) {
+    n_status_3xx_->Inc();
+  } else {
+    n_status_2xx_->Inc();
+  }
+}
+
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
-                                                      Handler handler) {
+                                                      AsyncHandler handler) {
   if (options.num_threads == 0) options.num_threads = 1;
   if (options.max_connections == 0) options.max_connections = 1;
   if (options.accept_queue == 0) options.accept_queue = 1;
@@ -520,7 +1373,7 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
     ::close(fd);
     return Status::Internal(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(fd, 128) != 0) {
+  if (::listen(fd, 512) != 0) {
     ::close(fd);
     return Status::Internal(std::string("listen: ") + std::strerror(errno));
   }
@@ -531,21 +1384,55 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
     return Status::Internal(std::string("getsockname: ") +
                             std::strerror(errno));
   }
+  int lflags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, lflags | O_NONBLOCK);
   server->listen_fd_ = fd;
   server->port_ = ntohs(addr.sin_port);
   if (server->options_.rate_limit_rps > 0) {
     server->limiter_ = std::make_unique<IpRateLimiter>(
         server->options_.rate_limit_rps, server->options_.rate_limit_burst);
   }
-  server->slots_.assign(server->options_.num_threads, WorkerSlot{});
-  for (size_t i = 0; i < server->options_.num_threads; ++i) {
-    server->workers_.emplace_back(
-        [srv = server.get(), i] { srv->WorkerLoop(i); });
+
+  int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd < 0) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
   }
-  server->accept_thread_ = std::thread([srv = server.get()] {
-    srv->AcceptLoop();
-  });
+  int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    ::close(efd);
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  server->shared_ = std::make_shared<Shared>();
+  server->shared_->event_fd = efd;
+  server->loop_ = std::make_unique<Loop>();
+  server->loop_->s = server.get();
+  server->loop_->epoll_fd = epfd;
+  server->loop_->event_fd = efd;
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listener tag
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, server->listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // eventfd tag
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, efd, &ev);
+
+  for (size_t i = 0; i < server->options_.num_threads; ++i) {
+    server->workers_.emplace_back([srv = server.get()] { srv->WorkerMain(); });
+  }
+  server->loop_thread_ = std::thread([srv = server.get()] { srv->LoopMain(); });
   return server;
+}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(Options options,
+                                                      Handler handler) {
+  // The one-line sync adapter: buffered routes run unchanged on the loop.
+  return Start(std::move(options),
+               AsyncHandler([h = std::move(handler)](const HttpRequest& req,
+                                                     Responder responder) {
+                 responder.Send(h(req));
+               }));
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -564,33 +1451,81 @@ HttpServerStats HttpServer::stats() const {
   return s;
 }
 
-void HttpServer::JoinAll() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
+void HttpServer::LoopMain() { loop_->Run(); }
+
+void HttpServer::WorkerMain() {
+  for (;;) {
+    Shared::Job job;
+    {
+      std::unique_lock<std::mutex> lock(shared_->job_mu);
+      shared_->job_cv.wait(lock, [this] {
+        return shared_->job_stop || !shared_->jobs.empty();
+      });
+      if (shared_->job_stop) return;  // Stop() aborts queued work
+      job = std::move(shared_->jobs.front());
+      shared_->jobs.pop_front();
+    }
+    // The id is made ambient for every log line the handler emits
+    // (thread-local; one job per worker at a time).
+    logging::ScopedRequestId rid_scope(job.request.request_id);
+    try {
+      handler_(job.request, Responder(job.core));
+    } catch (...) {
+      // A throwing handler is a programming error upstream, but answering
+      // 500 beats tearing down the whole server. No-op if the handler
+      // already completed before throwing.
+      Responder(job.core).Send({.status = 500,
+                                .content_type = "text/plain",
+                                .body = "internal error\n"});
+    }
   }
 }
 
 void HttpServer::Stop() {
   if (stopping_.exchange(true)) {
-    JoinAll();
+    // Sequential second call (Drain then destructor): finish the joins.
+    if (loop_thread_.joinable()) loop_thread_.join();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
     return;
   }
   flight::FlightRecorder::Get().Record("http", "server_stop", port_);
-  // Unblock the accept thread, then any in-flight recv().
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    for (const WorkerSlot& slot : slots_) {
-      if (slot.fd >= 0) ::shutdown(slot.fd, SHUT_RDWR);
+    // Kick the loop out of epoll_wait. Post-free write: the eventfd only
+    // closes after the join below, and `accepting` guards the late case.
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->accepting && shared_->event_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(shared_->event_fd, &one, sizeof(one));
     }
   }
-  queue_cv_.notify_all();
-  JoinAll();
+  if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    for (const PendingConn& conn : queue_) ::close(conn.fd);
-    queue_.clear();
+    std::lock_guard<std::mutex> lock(shared_->job_mu);
+    shared_->job_stop = true;
+  }
+  shared_->job_cv.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    // Queued-but-never-run jobs die here; their cores post into a queue
+    // nobody reads (accepting == false), which is a no-op.
+    std::lock_guard<std::mutex> lock(shared_->job_mu);
+    shared_->jobs.clear();
+  }
+  if (loop_ != nullptr && loop_->epoll_fd >= 0) {
+    ::close(loop_->epoll_fd);
+    loop_->epoll_fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->event_fd >= 0) {
+      ::close(shared_->event_fd);
+      shared_->event_fd = -1;
+    }
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -604,19 +1539,18 @@ void HttpServer::Drain(int timeout_seconds) {
     return;
   }
   flight::FlightRecorder::Get().Record("http", "server_drain", port_);
-  // 1. Refuse new connections.
+  // Refuse new connections; the loop deregisters the listener and starts
+  // its drain sweeps (idle connections close, streams end, in-flight
+  // requests finish with Connection: close) on its next iteration.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  // 2. Shut idle keep-alive connections; their workers wake from recv(),
-  //    see draining_, and exit. Workers mid-request finish and answer with
-  //    Connection: close on their own.
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    for (const WorkerSlot& slot : slots_) {
-      if (slot.fd >= 0 && !slot.in_request) ::shutdown(slot.fd, SHUT_RD);
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->accepting && shared_->event_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(shared_->event_fd, &one, sizeof(one));
     }
   }
-  queue_cv_.notify_all();
-  // 3. Wait for in-flight work to complete, then hard-stop to join.
   const Clock::time_point deadline =
       Clock::now() + std::chrono::seconds(timeout_seconds);
   while (held_connections_.load(std::memory_order_acquire) > 0 &&
@@ -624,264 +1558,6 @@ void HttpServer::Drain(int timeout_seconds) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   Stop();
-}
-
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed) &&
-         !draining_.load(std::memory_order_relaxed)) {
-    struct sockaddr_in peer;
-    socklen_t peer_len = sizeof(peer);
-    int fd = ::accept(listen_fd_, reinterpret_cast<struct sockaddr*>(&peer),
-                      &peer_len);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed) ||
-          draining_.load(std::memory_order_relaxed)) {
-        break;
-      }
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener is gone
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    uint32_t ip =
-        peer.sin_family == AF_INET ? ntohl(peer.sin_addr.s_addr) : 0;
-
-    // Admission control: the server never holds more than max_connections
-    // sockets (in service + queued) and the queue itself is bounded, so
-    // a connection flood is shed at the door instead of growing memory.
-    bool admitted = false;
-    if (held_connections_.load(std::memory_order_acquire) <
-        options_.max_connections) {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.size() < options_.accept_queue) {
-        queue_.push_back(PendingConn{fd, ip});
-        size_t held =
-            held_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
-        active_connections_->Set(static_cast<double>(held));
-        n_accepted_->Inc();
-        admitted = true;
-      }
-    }
-    if (admitted) {
-      queue_cv_.notify_one();
-      continue;
-    }
-    n_shed_->Inc();
-    flight::FlightRecorder::Get().Record(
-        "http", "shed_503", held_connections_.load(std::memory_order_relaxed));
-    // Bounded-time best-effort 503 so well-behaved clients back off;
-    // SO_SNDTIMEO keeps a hostile peer from wedging the accept thread.
-    SetSendTimeoutMs(fd, 1000);
-    SendAllFd(fd, SerializeResponse(
-                      RetryLaterResponse(503, "server overloaded\n"),
-                      /*keep_alive=*/false));
-    ::close(fd);
-  }
-}
-
-void HttpServer::WorkerLoop(size_t worker_index) {
-  for (;;) {
-    PendingConn conn;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_relaxed) ||
-               draining_.load(std::memory_order_relaxed) || !queue_.empty();
-      });
-      if (queue_.empty()) return;  // stopping or drained dry
-      conn = queue_.front();
-      queue_.pop_front();
-    }
-    if (stopping_.load(std::memory_order_relaxed)) {
-      ::close(conn.fd);
-      size_t held =
-          held_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-      active_connections_->Set(static_cast<double>(held));
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(active_mu_);
-      slots_[worker_index] = WorkerSlot{conn.fd, false};
-    }
-    // Stop() sets stopping_ *before* sweeping the slots. If its sweep ran
-    // between our pop and the registration above, it missed this fd — but
-    // then this load observes stopping_ == true and we shut the connection
-    // down ourselves instead of blocking in recv().
-    if (stopping_.load(std::memory_order_seq_cst)) {
-      ::shutdown(conn.fd, SHUT_RDWR);
-    }
-    ServeConnection(conn.fd, conn.peer_ip, worker_index);
-    {
-      std::lock_guard<std::mutex> lock(active_mu_);
-      slots_[worker_index] = WorkerSlot{};
-    }
-    ::close(conn.fd);
-    size_t held =
-        held_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    active_connections_->Set(static_cast<double>(held));
-  }
-}
-
-void HttpServer::ServeConnection(int fd, uint32_t peer_ip,
-                                 size_t worker_index) {
-  auto mark_in_request = [this, fd, worker_index](bool in_request) {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    slots_[worker_index] = WorkerSlot{fd, in_request};
-  };
-  // Receive into `buf` under a phase deadline; no deadline (nullopt) means
-  // the plain keep-alive idle timeout.
-  auto recv_phase =
-      [this, fd](std::string* buf,
-                 const std::optional<Clock::time_point>& deadline)
-      -> RecvOutcome {
-    int64_t ms = static_cast<int64_t>(options_.recv_timeout_seconds) * 1000;
-    if (deadline.has_value()) {
-      int64_t remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-                              *deadline - Clock::now())
-                              .count();
-      if (remaining <= 0) return RecvOutcome::kTimeout;
-      ms = ms > 0 ? std::min(ms, remaining) : remaining;
-    }
-    SetRecvTimeoutMs(fd, ms);
-    return RecvMore(fd, buf);
-  };
-  auto answer = [fd](int status, std::string body, bool keep_alive) {
-    return SendAllFd(
-        fd, SerializeResponse({.status = status,
-                               .content_type = "text/plain",
-                               .body = std::move(body)},
-                              keep_alive));
-  };
-
-  std::string buf;
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    mark_in_request(!buf.empty());
-
-    // 1. Read the request head. The idle wait for the first byte runs on
-    // the keep-alive timeout; once anything arrives the header progress
-    // deadline starts — a slow-loris peer trickling header bytes gets 408
-    // instead of holding the worker for recv_timeout per byte.
-    std::optional<Clock::time_point> head_deadline;
-    if (!buf.empty() && options_.header_timeout_seconds > 0) {
-      head_deadline =
-          Clock::now() + std::chrono::seconds(options_.header_timeout_seconds);
-    }
-    size_t head_end;
-    while ((head_end = buf.find(kHeadEnd)) == std::string::npos) {
-      if (buf.size() > kMaxHeadBytes) {
-        answer(400, "request head too large\n", false);
-        return;
-      }
-      bool idle = buf.empty();
-      RecvOutcome out = recv_phase(&buf, head_deadline);
-      if (out == RecvOutcome::kData) {
-        if (idle) {
-          mark_in_request(true);
-          if (options_.header_timeout_seconds > 0) {
-            head_deadline = Clock::now() + std::chrono::seconds(
-                                               options_.header_timeout_seconds);
-          }
-        }
-        continue;
-      }
-      if (out == RecvOutcome::kTimeout && !idle) {
-        n_timed_out_->Inc();
-        flight::FlightRecorder::Get().Record("http", "timeout_408_head");
-        answer(408, "timed out reading request head\n", false);
-      }
-      return;  // idle timeout, EOF, error, or Stop()
-    }
-    auto parsed = ParseRequestHead(std::string_view(buf).substr(
-        0, head_end + kHeadEnd.size()));
-    if (!parsed) {
-      answer(400, "malformed request\n", false);
-      return;
-    }
-    if (parsed->has_transfer_encoding) {
-      answer(501, "transfer-encoding not supported\n", false);
-      return;
-    }
-    if (parsed->content_length > options_.max_body_bytes) {
-      answer(413, "body too large\n", false);
-      return;
-    }
-
-    // 2. Read the body under its own progress deadline.
-    std::optional<Clock::time_point> body_deadline;
-    if (options_.body_timeout_seconds > 0) {
-      body_deadline =
-          Clock::now() + std::chrono::seconds(options_.body_timeout_seconds);
-    }
-    size_t total = head_end + kHeadEnd.size() + parsed->content_length;
-    while (buf.size() < total) {
-      RecvOutcome out = recv_phase(&buf, body_deadline);
-      if (out == RecvOutcome::kData) continue;
-      if (out == RecvOutcome::kTimeout) {
-        n_timed_out_->Inc();
-        flight::FlightRecorder::Get().Record("http", "timeout_408_body");
-        answer(408, "timed out reading request body\n", false);
-      }
-      return;
-    }
-    parsed->request.body =
-        buf.substr(head_end + kHeadEnd.size(), parsed->content_length);
-    buf.erase(0, total);  // keep any pipelined next request
-
-    const bool keep_alive =
-        parsed->keep_alive && !draining_.load(std::memory_order_relaxed);
-
-    // 3. Per-IP rate limit — answered before the handler runs, so a
-    // flooding client costs parsing, not proving. Keep-alive is preserved:
-    // a well-behaved client backs off and reuses the connection.
-    if (limiter_ != nullptr && !limiter_->Allow(peer_ip)) {
-      n_rate_limited_->Inc();
-      flight::FlightRecorder::Get().Record("http", "rate_limited_429");
-      if (!SendAllFd(fd,
-                     SerializeResponse(
-                         RetryLaterResponse(429, "rate limit exceeded\n"),
-                         keep_alive))) {
-        return;
-      }
-      if (!keep_alive) return;
-      continue;
-    }
-
-    // 4. Dispatch; a throwing handler is a programming error upstream, but
-    // answering 500 beats tearing down the whole server.
-    n_requests_->Inc();
-    // Correlation id: honor the client's X-Request-Id, else mint one. The
-    // id is echoed on the response and made ambient for every log line the
-    // handler emits (thread-local; one request per worker at a time).
-    auto rid_it = parsed->request.headers.find("x-request-id");
-    parsed->request.request_id =
-        rid_it != parsed->request.headers.end() && !rid_it->second.empty()
-            ? SanitizeRequestId(rid_it->second)
-            : GenerateRequestId();
-    HttpResponse resp;
-    {
-      logging::ScopedRequestId rid_scope(parsed->request.request_id);
-      metrics::ScopedTimer timer(request_seconds_);
-      try {
-        resp = handler_(parsed->request);
-      } catch (...) {
-        resp = {.status = 500,
-                .content_type = "text/plain",
-                .body = "internal error\n"};
-      }
-    }
-    resp.headers.emplace_back("X-Request-Id", parsed->request.request_id);
-    if (resp.status >= 500) {
-      n_status_5xx_->Inc();
-    } else if (resp.status >= 400) {
-      n_status_4xx_->Inc();
-    } else if (resp.status >= 300) {
-      n_status_3xx_->Inc();
-    } else {
-      n_status_2xx_->Inc();
-    }
-    if (!SendAllFd(fd, SerializeResponse(resp, keep_alive))) return;
-    if (!keep_alive) return;
-  }
 }
 
 // --- client ------------------------------------------------------------------

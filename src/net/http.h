@@ -11,24 +11,38 @@
 //     chunked parsing is attack surface the protocol doesn't need);
 //   * slow-loris protection: separate progress deadlines for the request
 //     head and body (a peer that trickles one byte per poll interval gets
-//     408 and dropped), plus the per-recv keep-alive idle timeout;
-//   * overload protection: a global connection cap with a bounded accept
-//     queue — excess connections are shed with an immediate 503 +
-//     Retry-After and never buffered, so a flood cannot grow server
-//     memory — and an optional per-IP token-bucket rate limiter that
-//     answers 429 + Retry-After without running the handler;
+//     408 and dropped), plus the keep-alive idle timeout;
+//   * overload protection: a global connection cap — excess connections
+//     are shed with an immediate 503 + Retry-After and never buffered, so
+//     a flood cannot grow server memory — and an optional per-IP
+//     token-bucket rate limiter that answers 429 + Retry-After without
+//     running the handler;
 //   * a malformed request gets a 400 and the connection is closed — the
 //     server never crashes on hostile bytes (tests/net/http_server_test.cc
-//     throws garbage at a live socket).
+//     and tests/net/event_loop_test.cc throw garbage at a live socket).
 //
-// Server shape: one accept thread feeding a bounded queue drained by
-// `num_threads` workers, each serving one connection at a time to
-// completion. The SP's work per request is proving, not I/O — a handful of
-// workers saturates the CPU, and there is no event-loop state machine to
-// audit. Stop() aborts in-flight connections; Drain() is the graceful
-// variant: stop accepting, let in-flight requests finish (their response
-// carries Connection: close), shut idle keep-alive connections, and only
-// hard-stop when the drain deadline expires.
+// Server shape: a single readiness-driven epoll event loop owns every
+// socket (non-blocking accept, per-connection read-head → read-body →
+// handle → write → keep-alive/close state machines, deadline sweeps), and
+// a small worker pool runs only the CPU-bound handler work. Workers hand
+// results back to the loop through an eventfd-signalled completion queue
+// — the loop thread is the only thread that ever touches a connection's
+// socket, so ten thousand idle keep-alive connections cost one epoll set,
+// not ten thousand blocked threads.
+//
+// Handlers complete through a `Responder`: either one buffered
+// `Send(response)`, or `BeginStream()`/`Write()`/`End()` for long-lived
+// streaming responses (SSE). A Responder may be copied out of the handler
+// and completed later from any thread — that is how long-poll endpoints
+// park a request until an event arrives. Streamed bytes are buffered per
+// connection up to `max_stream_buffer_bytes`; a consumer slower than its
+// producer overflows the buffer and is disconnected (it re-attaches and
+// resumes from its cursor — bounded memory, at-least-once delivery).
+//
+// Stop() aborts in-flight connections; Drain() is the graceful variant:
+// stop accepting, let in-flight requests finish (their response carries
+// Connection: close), shut idle keep-alive connections and live streams,
+// and only hard-stop when the drain deadline expires.
 //
 // The client (`HttpConnection`) keeps one connection alive across
 // round-trips and transparently reconnects once when a kept-alive socket
@@ -90,34 +104,80 @@ bool ParseDecimalU64(std::string_view s, uint64_t* out);
 /// metrics::Registry counters `GET /metrics` exposes, so the two can never
 /// drift. Servers sharing one registry (the Default()) share counters.
 struct HttpServerStats {
-  uint64_t accepted = 0;       ///< connections handed to a worker
+  uint64_t accepted = 0;       ///< connections admitted to the event loop
   uint64_t requests = 0;       ///< requests dispatched to the handler
   uint64_t shed_overload = 0;  ///< connections answered 503 at accept
   uint64_t rate_limited = 0;   ///< requests answered 429
   uint64_t timed_out = 0;      ///< connections dropped for slow progress (408)
-  uint64_t active_connections = 0;  ///< queued + in service right now
+  uint64_t active_connections = 0;  ///< open connections right now
 };
 
 class IpRateLimiter;
+struct ResponderCore;
+
+/// Completion handle for one request. Exactly one of Send() or
+/// BeginStream() wins (later calls are ignored); a Responder dropped
+/// without completing answers 500 so a buggy route can never leak a
+/// connection. Copyable and thread-safe: any copy may complete the
+/// request from any thread, which is how long-poll routes park a request
+/// past handler return. All operations are no-ops after the peer
+/// disconnects or the server stops — poll alive() to stop producing.
+class Responder {
+ public:
+  Responder() = default;  ///< inert; Send/Write are no-ops
+
+  /// Complete with one buffered response. First completion wins.
+  void Send(HttpResponse resp) const;
+
+  /// Switch the connection to streaming: writes the response head
+  /// (Connection: close, no Content-Length — the stream is close-
+  /// delimited) and leaves the connection open for Write(). Returns false
+  /// when another completion already won or the connection is gone.
+  bool BeginStream(
+      int status, const std::string& content_type,
+      std::vector<std::pair<std::string, std::string>> headers = {}) const;
+
+  /// Queue stream bytes. False when the connection is gone or the
+  /// per-connection stream buffer is full (slow consumer) — stop writing.
+  bool Write(std::string_view chunk) const;
+
+  /// Finish the stream; the connection closes once buffered bytes flush.
+  void End() const;
+
+  /// True while the connection is open and the server is running.
+  bool alive() const;
+
+  /// The request's correlation id (also in HttpRequest::request_id).
+  const std::string& request_id() const;
+
+ private:
+  friend class HttpServer;
+  explicit Responder(std::shared_ptr<ResponderCore> core)
+      : core_(std::move(core)) {}
+  std::shared_ptr<ResponderCore> core_;
+};
 
 class HttpServer {
  public:
   struct Options {
     std::string bind_address = "127.0.0.1";
     uint16_t port = 0;  ///< 0 = ephemeral; read the chosen one from port()
+    /// Handler worker pool size. Only `Service::Query`-style CPU work runs
+    /// here; all socket I/O stays on the event loop.
     size_t num_threads = 4;
     size_t max_body_bytes = 8u << 20;
-    /// Per-recv inactivity timeout between requests on a keep-alive
-    /// connection; a peer silent this long is dropped.
+    /// Inactivity timeout: a connection idle this long between requests
+    /// (or stalled mid-write) is dropped. <= 0 disables.
     int recv_timeout_seconds = 10;
 
     // --- overload protection -------------------------------------------------
-    /// Hard cap on connections the server holds at once (in service +
-    /// queued). Connections beyond it are shed with 503 + Retry-After at
-    /// accept time, so a flood can never grow server memory.
+    /// Hard cap on connections the event loop holds at once. Connections
+    /// beyond it are shed with 503 + Retry-After at accept time, so a
+    /// flood can never grow server memory.
     size_t max_connections = 64;
-    /// Bound of the accepted-but-unserved queue between the accept thread
-    /// and the workers (also counted against max_connections).
+    /// Kept for compatibility with the worker-pool transport: the event
+    /// loop has no accept queue (requests queue per-connection), so this
+    /// no longer gates admission — max_connections is the only cap.
     size_t accept_queue = 16;
     /// Per-IP sustained requests/second; 0 disables rate limiting.
     double rate_limit_rps = 0;
@@ -132,16 +192,30 @@ class HttpServer {
     /// disables.
     int body_timeout_seconds = 10;
 
+    // --- streaming -----------------------------------------------------------
+    /// Per-connection cap on stream bytes buffered ahead of a slow
+    /// consumer; overflow disconnects the stream (the subscriber resumes
+    /// from its cursor — backpressure by redelivery, never by memory).
+    size_t max_stream_buffer_bytes = 256u << 10;
+
     /// Registry the server's counters/histograms live in; null = the
     /// process-wide metrics::Registry::Default(). Tests inject their own
     /// for isolated assertions.
     metrics::Registry* registry = nullptr;
   };
 
+  /// Synchronous route: return one buffered response.
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Asynchronous route: complete (now or later, from any thread) through
+  /// the Responder.
+  using AsyncHandler = std::function<void(const HttpRequest&, Responder)>;
 
-  /// Bind, listen, and spin up the accept + worker threads. InvalidArgument
+  /// Bind, listen, and spin up the event loop + worker pool. InvalidArgument
   /// for a bad bind address, Internal for socket errors (port in use, ...).
+  static Result<std::unique_ptr<HttpServer>> Start(Options options,
+                                                   AsyncHandler handler);
+  /// Sync adapter: wraps `handler` so existing buffered routes run
+  /// unchanged on the event loop.
   static Result<std::unique_ptr<HttpServer>> Start(Options options,
                                                    Handler handler);
 
@@ -153,10 +227,10 @@ class HttpServer {
   void Stop();
 
   /// Graceful stop: close the listener, finish in-flight requests (their
-  /// responses carry Connection: close), shut idle keep-alive connections,
-  /// and join. Falls back to Stop() when workers are still busy after
-  /// `timeout_seconds`. Idempotent with Stop(); safe to call once from any
-  /// thread.
+  /// responses carry Connection: close), shut idle keep-alive connections
+  /// and live streams, and join. Falls back to Stop() when work is still
+  /// in flight after `timeout_seconds`. Idempotent with Stop(); safe to
+  /// call once from any thread.
   void Drain(int timeout_seconds = 10);
 
   uint16_t port() const { return port_; }
@@ -167,39 +241,26 @@ class HttpServer {
   static constexpr size_t kMaxTargetBytes = 2048;
 
  private:
-  struct PendingConn {
-    int fd = -1;
-    uint32_t peer_ip = 0;  ///< IPv4 host order; 0 when unavailable
-  };
-  /// Per-worker slot, guarded by active_mu_.
-  struct WorkerSlot {
-    int fd = -1;            ///< connection being served; -1 = idle
-    bool in_request = false;  ///< past the first head byte, pre-response
-  };
+  friend struct ResponderCore;
+  struct Loop;    ///< event-loop state: epoll set, connection table
+  struct Shared;  ///< completion + job queues shared with workers/Responders
 
-  HttpServer(Options options, Handler handler);
-  void AcceptLoop();
-  void WorkerLoop(size_t worker_index);
-  void ServeConnection(int fd, uint32_t peer_ip, size_t worker_index);
-  /// Wake everything and join all threads (accept + workers).
-  void JoinAll();
+  HttpServer(Options options, AsyncHandler handler);
+  void LoopMain();
+  void WorkerMain();
+  void CountResponseClass(int status);
 
   Options options_;
-  Handler handler_;
+  AsyncHandler handler_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::unique_ptr<IpRateLimiter> limiter_;
+  std::unique_ptr<Loop> loop_;
+  std::shared_ptr<Shared> shared_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingConn> queue_;
-
-  std::vector<WorkerSlot> slots_;
-  std::mutex active_mu_;
-
-  std::atomic<size_t> held_connections_{0};  ///< queued + in service
+  std::atomic<size_t> held_connections_{0};  ///< open connections
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
 

@@ -224,6 +224,108 @@ Status SpClient::Verify(const core::Query& q, const api::QueryResult& result,
   return verifier_->Verify(q, result, light);
 }
 
+Result<SpClient::SubscriptionHandle> SpClient::Subscribe(const core::Query& q) {
+  // Not idempotent: a retry of a request that reached the wire could
+  // register the query twice (two ids, double billing). Transport errors
+  // after send therefore surface instead of re-sending; 429/503 answers
+  // mean the SP rejected it, so retrying those stays safe.
+  auto resp = Exchange("POST", "/subscribe", SubscribeRequestToJson(q),
+                       "application/json", /*idempotent=*/false);
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  auto sub = SubscribeResponseFromJson(resp.value().body);
+  if (!sub.ok()) return sub.status();
+  SubscriptionHandle handle;
+  handle.client_ = this;
+  handle.id_ = sub.value().id;
+  handle.cursor_ = sub.value().cursor;
+  handle.query_ = q;
+  return handle;
+}
+
+Result<std::vector<api::SubscriptionEvent>>
+SpClient::SubscriptionHandle::Poll(chain::LightClient* light, int wait_ms,
+                                   size_t max_events) {
+  return client_->PollSubscription(this, light, wait_ms, max_events);
+}
+
+Status SpClient::SubscriptionHandle::Stream(
+    chain::LightClient* light,
+    const std::function<bool(const api::SubscriptionEvent&)>& callback,
+    int wait_ms) {
+  for (;;) {
+    auto events = Poll(light, wait_ms);
+    if (!events.ok()) return events.status();
+    for (const api::SubscriptionEvent& ev : events.value()) {
+      if (!callback(ev)) return Status::OK();
+    }
+  }
+}
+
+Status SpClient::SubscriptionHandle::Unsubscribe() {
+  auto resp = client_->Exchange("POST", "/unsubscribe",
+                                UnsubscribeRequestToJson(id_),
+                                "application/json");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status == 200) return Status::OK();
+  Status st = StatusFromHttp(resp.value());
+  // Already gone — the goal state. Covers a retry whose first attempt
+  // landed, and an SP that dropped the id across a restart.
+  if (st.IsNotFound()) return Status::OK();
+  return st;
+}
+
+Result<std::vector<api::SubscriptionEvent>> SpClient::PollSubscription(
+    SubscriptionHandle* handle, chain::LightClient* light, int wait_ms,
+    size_t max_events) {
+  max_events = std::max<size_t>(1, std::min(max_events, kMaxWireEventsPerFrame));
+  std::string target = "/events?id=" + std::to_string(handle->id_) +
+                       "&cursor=" + std::to_string(handle->cursor_) +
+                       "&max=" + std::to_string(max_events) +
+                       "&wait_ms=" + std::to_string(std::max(0, wait_ms));
+  // Idempotent: the cursor only advances after a frame fully verifies, so
+  // a retried poll re-reads the same window (the server redelivers).
+  auto resp = Exchange("GET", target, "", "text/plain");
+  if (!resp.ok()) return resp.status();
+  if (resp.value().status != 200) return StatusFromHttp(resp.value());
+  auto frame = DecodeEventFrame(
+      ByteSpan(reinterpret_cast<const uint8_t*>(resp.value().body.data()),
+               resp.value().body.size()));
+  if (!frame.ok()) return frame.status();
+  std::vector<api::SubscriptionEvent> out;
+  out.reserve(frame.value().events.size());
+  // Dedup floor: at-least-once wire delivery means a height can arrive
+  // twice (reconnect, checkpoint replay); anything below the floor has
+  // already been surfaced.
+  uint64_t floor = handle->cursor_;
+  for (const api::SubscriptionEvent& wire_ev : frame.value().events) {
+    // Everything is re-derived from the canonical bytes — the frame's
+    // metadata is advisory, the bytes are what gets verified.
+    auto ev = verifier_->DecodeNotification(wire_ev.notification_bytes);
+    if (!ev.ok()) return ev.status();
+    if (ev.value().query_id != handle->id_) {
+      return Status::VerifyFailed(
+          "sp delivered a notification for a different subscription");
+    }
+    if (ev.value().height < floor) continue;
+    if (light->Height() <= ev.value().height) {
+      // The event claims a block the client hasn't validated yet; sync
+      // forward (validated, as always) before judging the proof.
+      VCHAIN_RETURN_IF_ERROR(SyncHeaders(light));
+      if (light->Height() <= ev.value().height) {
+        return Status::VerifyFailed(
+            "sp notified for a height beyond its own header tip");
+      }
+    }
+    VCHAIN_RETURN_IF_ERROR(
+        verifier_->VerifyNotification(handle->query_, ev.value(), *light));
+    floor = ev.value().height + 1;
+    out.push_back(ev.TakeValue());
+  }
+  handle->cursor_ = std::max(frame.value().next_cursor, floor);
+  return out;
+}
+
 Result<api::ServiceStats> SpClient::Stats() {
   auto resp = Exchange("GET", "/stats", "", "text/plain");
   if (!resp.ok()) return resp.status();

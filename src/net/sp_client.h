@@ -34,8 +34,10 @@
 #ifndef VCHAIN_NET_SP_CLIENT_H_
 #define VCHAIN_NET_SP_CLIENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/service.h"
@@ -106,6 +108,53 @@ class SpClient {
   Status Verify(const core::Query& q, const api::QueryResult& result,
                 const chain::LightClient& light) const;
 
+  /// A standing query registered on the SP, returned by Subscribe(). The
+  /// handle owns the wire cursor and the verification state: Poll/Stream
+  /// verify every notification against light-client headers before
+  /// surfacing it and dedup by (query_id, height), so at-least-once wire
+  /// delivery (redelivery after a reconnect or a checkpoint replay) is
+  /// exactly-once at the callback. Borrows the SpClient — must not outlive
+  /// it; calls on one handle are not thread-safe against each other.
+  class SubscriptionHandle {
+   public:
+    uint32_t id() const { return id_; }
+    /// Next block height Poll will ask for.
+    uint64_t cursor() const { return cursor_; }
+    const core::Query& query() const { return query_; }
+
+    /// One GET /events exchange: long-poll up to `wait_ms` (0 = return
+    /// immediately), decode each notification from its canonical bytes,
+    /// sync headers forward as needed, and verify. A notification that
+    /// fails verification aborts with that status — a lying SP is an
+    /// error, not an event. Returns the verified, deduplicated events
+    /// (empty = nothing new) and advances the cursor.
+    Result<std::vector<api::SubscriptionEvent>> Poll(
+        chain::LightClient* light, int wait_ms = 0, size_t max_events = 64);
+
+    /// Poll in a loop, invoking `callback` per verified event, until the
+    /// callback returns false (clean stop, OK) or a wire/verify error.
+    Status Stream(
+        chain::LightClient* light,
+        const std::function<bool(const api::SubscriptionEvent&)>& callback,
+        int wait_ms = 1000);
+
+    /// POST /unsubscribe. NotFound (already gone — e.g. a retried call
+    /// that succeeded first time) counts as success.
+    Status Unsubscribe();
+
+   private:
+    friend class SpClient;
+    SpClient* client_ = nullptr;
+    uint32_t id_ = 0;
+    uint64_t cursor_ = 0;
+    core::Query query_;  ///< what VerifyNotification checks against
+  };
+
+  /// POST /subscribe: register `q` as a standing query on the SP. The
+  /// returned handle starts at the server-assigned cursor; poll it for
+  /// verified notifications.
+  Result<SubscriptionHandle> Subscribe(const core::Query& q);
+
   /// GET /stats, parsed.
   Result<api::ServiceStats> Stats();
 
@@ -144,6 +193,11 @@ class SpClient {
       bool idempotent = true, bool retry_busy = true,
       const std::vector<std::pair<std::string, std::string>>& extra_headers =
           {});
+
+  /// SubscriptionHandle::Poll body (the handle only carries state).
+  Result<std::vector<api::SubscriptionEvent>> PollSubscription(
+      SubscriptionHandle* handle, chain::LightClient* light, int wait_ms,
+      size_t max_events);
 
   Options options_;
   std::unique_ptr<HttpConnection> http_;

@@ -1,6 +1,13 @@
 #include "net/sp_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/flight_recorder.h"
 #include "common/log.h"
@@ -20,6 +27,25 @@ HttpResponse ErrorResponse(const Status& st) {
   return TextResponse(HttpStatusFor(st), st.ToString() + "\n");
 }
 
+HttpResponse EventFrameResponse(const api::SubscriptionEventBatch& batch) {
+  HttpResponse resp;
+  Bytes frame = EncodeEventFrame(batch);
+  resp.body.assign(frame.begin(), frame.end());
+  return resp;
+}
+
+/// One SSE record per notification: the event's height as the record id (a
+/// reconnecting client resumes with cursor = last id + 1), the canonical
+/// bytes base64-inside `data:` — text framing never touches the proof
+/// encoding.
+std::string SseRecord(const api::SubscriptionEvent& ev) {
+  std::string out = "id: " + std::to_string(ev.height) + "\ndata: ";
+  out += Base64Encode(
+      ByteSpan(ev.notification_bytes.data(), ev.notification_bytes.size()));
+  out += "\n\n";
+  return out;
+}
+
 /// Per-route request counters, one labeled child per endpoint. Registered
 /// once per process against the default registry (route names are fixed, so
 /// a single static table is enough even with several servers).
@@ -35,6 +61,146 @@ bool TraceRequested(const HttpRequest& req) {
 }
 
 }  // namespace
+
+/// The subscriber parking lot. A GET /events request with nothing to send
+/// does not hold a worker thread: its Responder is parked here and one hub
+/// thread completes it when Service::Append bumps the tip (listener →
+/// OnAppend), its long-poll wait expires, or the server shuts down. SSE
+/// waiters stay parked across deliveries until the client disconnects.
+struct SpServer::EventHub {
+  struct Waiter {
+    Responder responder;
+    uint32_t id = 0;
+    uint64_t cursor = 0;
+    size_t max_events = 64;
+    bool sse = false;
+    uint64_t deadline_ns = 0;  ///< long-poll completion deadline (0 for SSE)
+  };
+
+  explicit EventHub(api::Service* service) : service(service) {
+    thread = std::thread([this] { Run(); });
+  }
+  ~EventHub() { Shutdown(); }
+
+  /// Append listener: cheap flag + wake, called on the mining thread.
+  void OnAppend() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      dirty = true;
+    }
+    cv.notify_all();
+  }
+
+  void Park(Waiter w) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!stop) {
+        waiters.push_back(std::move(w));
+        cv.notify_all();
+        return;
+      }
+    }
+    // Shut down between dispatch and park: complete inline.
+    Step(&w, metrics::MonotonicNanos(), /*tip_advanced=*/true, /*final=*/true);
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    if (thread.joinable()) thread.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stop) {
+      // 50ms tick bounds deadline latency; dirty/stop wake immediately.
+      cv.wait_for(lock, std::chrono::milliseconds(50),
+                  [this] { return stop || dirty; });
+      if (stop) break;
+      const bool tip_advanced = dirty;
+      dirty = false;
+      if (waiters.empty()) continue;
+      std::vector<Waiter> work(std::make_move_iterator(waiters.begin()),
+                               std::make_move_iterator(waiters.end()));
+      waiters.clear();
+      lock.unlock();
+      const uint64_t now = metrics::MonotonicNanos();
+      std::vector<Waiter> keep;
+      for (Waiter& w : work) {
+        if (!Step(&w, now, tip_advanced, /*final=*/false)) {
+          keep.push_back(std::move(w));
+        }
+      }
+      lock.lock();
+      for (Waiter& w : keep) waiters.push_back(std::move(w));
+    }
+    std::vector<Waiter> work(std::make_move_iterator(waiters.begin()),
+                             std::make_move_iterator(waiters.end()));
+    waiters.clear();
+    lock.unlock();
+    const uint64_t now = metrics::MonotonicNanos();
+    for (Waiter& w : work) {
+      Step(&w, now, /*tip_advanced=*/true, /*final=*/true);
+    }
+  }
+
+  /// Advance one waiter; true = complete (responded, stream ended, or the
+  /// client went away). `final` forces completion (shutdown/drain).
+  bool Step(Waiter* w, uint64_t now, bool tip_advanced, bool final) {
+    if (!w->responder.alive()) return true;
+    const bool expired =
+        !w->sse && w->deadline_ns != 0 && now >= w->deadline_ns;
+    if (!tip_advanced && !expired && !final) return false;
+    if (w->sse) {
+      // Pump everything available; the per-connection stream buffer cap is
+      // the backpressure valve (overflow drops the connection, the client
+      // reconnects with its last id and the service redelivers).
+      for (;;) {
+        auto batch = service->EventsSince(w->id, w->cursor, w->max_events);
+        if (!batch.ok()) {  // unsubscribed (or service gone): end the stream
+          w->responder.End();
+          return true;
+        }
+        if (batch.value().events.empty()) break;
+        std::string out;
+        for (const api::SubscriptionEvent& ev : batch.value().events) {
+          out += SseRecord(ev);
+        }
+        if (!w->responder.Write(out)) return true;  // overflow or closed
+        w->cursor = batch.value().next_cursor;
+      }
+      if (final) {
+        w->responder.End();
+        return true;
+      }
+      return false;
+    }
+    auto batch = service->EventsSince(w->id, w->cursor, w->max_events);
+    if (!batch.ok()) {
+      w->responder.Send(ErrorResponse(batch.status()));
+      return true;
+    }
+    if (!batch.value().events.empty() || expired || final) {
+      w->responder.Send(EventFrameResponse(batch.value()));
+      return true;
+    }
+    return false;
+  }
+
+  api::Service* service;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Waiter> waiters;
+  bool dirty = false;
+  bool stop = false;
+  std::thread thread;
+};
+
+SpServer::SpServer() = default;
 
 Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
                                                   Options options) {
@@ -97,10 +263,18 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
     });
     server->collector_registered_ = true;
   }
+  // Hub before transport: the first request may park on it. The listener
+  // holds a raw hub pointer, so ShutdownHub always detaches it first.
+  server->hub_ = std::make_unique<EventHub>(service);
+  service->SetSubscriptionListener(
+      [hub = server->hub_.get()](uint64_t) { hub->OnAppend(); });
   auto http = HttpServer::Start(
-      options.http,
-      [srv = server.get()](const HttpRequest& req) { return srv->Handle(req); });
+      options.http, [srv = server.get()](const HttpRequest& req,
+                                         Responder responder) {
+        srv->Handle(req, std::move(responder));
+      });
   if (!http.ok()) {
+    server->ShutdownHub();
     server->RemoveCollector();
     return http.status();
   }
@@ -108,7 +282,31 @@ Result<std::unique_ptr<SpServer>> SpServer::Start(api::Service* service,
   return server;
 }
 
-SpServer::~SpServer() { RemoveCollector(); }
+SpServer::~SpServer() {
+  ShutdownHub();
+  RemoveCollector();
+}
+
+void SpServer::Stop() {
+  ShutdownHub();
+  http_->Stop();
+  RemoveCollector();
+}
+
+Status SpServer::Drain(int timeout_seconds) {
+  // Complete parked subscribers first — they hold live connections the
+  // transport's drain would otherwise wait out.
+  ShutdownHub();
+  http_->Drain(timeout_seconds);
+  RemoveCollector();
+  return service_->Sync();
+}
+
+void SpServer::ShutdownHub() {
+  if (hub_ == nullptr) return;
+  service_->SetSubscriptionListener(nullptr);
+  hub_->Shutdown();
+}
 
 void SpServer::RemoveCollector() {
   if (collector_registered_) {
@@ -117,7 +315,82 @@ void SpServer::RemoveCollector() {
   }
 }
 
-HttpResponse SpServer::Handle(const HttpRequest& req) const {
+void SpServer::Handle(const HttpRequest& req, Responder responder) {
+  if (req.path == "/events") {
+    HandleEvents(req, std::move(responder));
+    return;
+  }
+  responder.Send(HandleSync(req));
+}
+
+void SpServer::HandleEvents(const HttpRequest& req, Responder responder) {
+  static metrics::Counter* n = RouteCounter("/events");
+  n->Inc();
+  if (req.method != "GET") {
+    responder.Send(TextResponse(405, "use GET\n"));
+    return;
+  }
+  uint64_t id64 = 0;
+  uint64_t cursor = 0;
+  uint64_t max64 = 64;
+  uint64_t wait_ms = 0;
+  auto id_it = req.query.find("id");
+  if (id_it == req.query.end() || !ParseDecimalU64(id_it->second, &id64) ||
+      id64 > UINT32_MAX) {
+    responder.Send(TextResponse(400, "id must be an unsigned integer\n"));
+    return;
+  }
+  auto param = [&req](const char* key, uint64_t* out) {
+    auto it = req.query.find(key);
+    if (it == req.query.end()) return true;  // optional
+    return ParseDecimalU64(it->second, out);
+  };
+  if (!param("cursor", &cursor) || !param("max", &max64) ||
+      !param("wait_ms", &wait_ms)) {
+    responder.Send(
+        TextResponse(400, "cursor/max/wait_ms must be unsigned integers\n"));
+    return;
+  }
+  const uint32_t id = static_cast<uint32_t>(id64);
+  const size_t max_events = static_cast<size_t>(
+      std::clamp<uint64_t>(max64, 1, kMaxWireEventsPerFrame));
+  wait_ms = std::min(wait_ms, options_.max_events_wait_ms);
+  auto accept = req.headers.find("accept");
+  const bool sse = accept != req.headers.end() &&
+                   accept->second.find("text/event-stream") != std::string::npos;
+
+  // First look is inline: unknown ids 404 immediately and a ready batch
+  // answers without ever touching the hub.
+  auto batch = service_->EventsSince(id, cursor, max_events);
+  if (!batch.ok()) {
+    responder.Send(ErrorResponse(batch.status()));
+    return;
+  }
+  if (sse) {
+    if (!responder.BeginStream(200, "text/event-stream",
+                               {{"Cache-Control", "no-cache"}})) {
+      return;
+    }
+    responder.Write("retry: 1000\n\n");
+    std::string out;
+    for (const api::SubscriptionEvent& ev : batch.value().events) {
+      out += SseRecord(ev);
+    }
+    if (!out.empty() && !responder.Write(out)) return;
+    hub_->Park({std::move(responder), id, batch.value().next_cursor,
+                max_events, /*sse=*/true, /*deadline_ns=*/0});
+    return;
+  }
+  if (!batch.value().events.empty() || wait_ms == 0) {
+    responder.Send(EventFrameResponse(batch.value()));
+    return;
+  }
+  hub_->Park({std::move(responder), id, batch.value().next_cursor, max_events,
+              /*sse=*/false,
+              metrics::MonotonicNanos() + wait_ms * 1000000ull});
+}
+
+HttpResponse SpServer::HandleSync(const HttpRequest& req) const {
   if (req.path == "/healthz") {
     static metrics::Counter* n = RouteCounter("/healthz");
     n->Inc();
@@ -210,6 +483,38 @@ HttpResponse SpServer::Handle(const HttpRequest& req) const {
     HttpResponse resp;
     Bytes frame = EncodeBatchResponse(items);
     resp.body.assign(frame.begin(), frame.end());
+    return resp;
+  }
+
+  if (req.path == "/subscribe") {
+    static metrics::Counter* n = RouteCounter("/subscribe");
+    n->Inc();
+    if (req.method != "POST") return TextResponse(405, "use POST\n");
+    auto query = SubscribeRequestFromJson(req.body);
+    if (!query.ok()) return ErrorResponse(query.status());
+    // Cursor read before Subscribe so it can only err low — the first
+    // /events poll may see a block the subscription doesn't cover yet, and
+    // EventsSince clamps to the true start.
+    const uint64_t cursor = service_->NumBlocks();
+    auto id = service_->Subscribe(query.value());
+    if (!id.ok()) return ErrorResponse(id.status());
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = SubscribeResponseToJson({id.value(), cursor});
+    return resp;
+  }
+
+  if (req.path == "/unsubscribe") {
+    static metrics::Counter* n = RouteCounter("/unsubscribe");
+    n->Inc();
+    if (req.method != "POST") return TextResponse(405, "use POST\n");
+    auto id = UnsubscribeRequestFromJson(req.body);
+    if (!id.ok()) return ErrorResponse(id.status());
+    Status st = service_->Unsubscribe(id.value());
+    if (!st.ok()) return ErrorResponse(st);
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = "{\"ok\":true}";
     return resp;
   }
 

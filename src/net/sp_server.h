@@ -25,6 +25,22 @@
 //                      provenance ("default" vs "set")
 //                      — all three only with Options.debug_endpoints; they
 //                      are the generic 404 otherwise
+//   POST /subscribe    {"query": <query>} -> {"id": N, "cursor": H}; register
+//                      a standing query, H is where to start polling /events
+//   POST /unsubscribe  {"id": N} -> {"ok": true}
+//   GET  /events?id=&cursor=&max=&wait_ms=
+//                      the subscriber's events for heights >= cursor as a
+//                      binary event frame (net/wire.h). With wait_ms and no
+//                      events ready, the request parks on the event hub (no
+//                      thread held) until an append produces events or the
+//                      wait expires — long-poll. With `Accept:
+//                      text/event-stream` the response is an SSE stream
+//                      instead: one `id: <height>` + base64 `data:` record
+//                      per notification, delivered as blocks are mined. A
+//                      slow SSE consumer trips the per-connection stream
+//                      buffer cap and is dropped; it reconnects with its
+//                      last cursor and the service redelivers (bounded
+//                      memory, at-least-once).
 //
 // Observability: send `X-Vchain-Trace: 1` on POST /query and the response
 // carries the server's per-stage breakdown (core/query_trace.h) as JSON in
@@ -70,6 +86,9 @@ class SpServer {
     /// with provenance). Off by default so the public surface is unchanged:
     /// the routes answer the generic 404 when disabled.
     bool debug_endpoints = false;
+    /// Cap on a GET /events long-poll park (`wait_ms` is clamped to this);
+    /// bounds how long a drained server waits on idle subscribers.
+    uint64_t max_events_wait_ms = 30000;
   };
 
   /// Start serving `service` (not owned; must outlive the server).
@@ -78,35 +97,38 @@ class SpServer {
 
   ~SpServer();
 
-  /// Hard stop: abort in-flight requests.
-  void Stop() {
-    http_->Stop();
-    RemoveCollector();
-  }
+  /// Hard stop: abort in-flight requests (parked /events waiters are
+  /// completed with whatever their cursor can see first).
+  void Stop();
 
-  /// Graceful stop: stop accepting, finish in-flight requests, then fsync
-  /// the service's store so everything served as durable actually is.
-  /// Returns the final Sync status.
-  Status Drain(int timeout_seconds = 10) {
-    http_->Drain(timeout_seconds);
-    RemoveCollector();
-    return service_->Sync();
-  }
+  /// Graceful stop: finish parked /events waiters, stop accepting, finish
+  /// in-flight requests, then fsync the service's store so everything
+  /// served as durable actually is. Returns the final Sync status.
+  Status Drain(int timeout_seconds = 10);
 
   uint16_t port() const { return http_->port(); }
   HttpServerStats http_stats() const { return http_->stats(); }
 
  private:
-  SpServer() = default;
-  HttpResponse Handle(const HttpRequest& req) const;
+  /// Parks long-poll and SSE /events waiters off-thread and completes them
+  /// when Service::Append reports a new tip (or their wait expires).
+  struct EventHub;
+
+  SpServer();
+  void Handle(const HttpRequest& req, Responder responder);
+  HttpResponse HandleSync(const HttpRequest& req) const;
   HttpResponse HandleQuery(const HttpRequest& req) const;
+  void HandleEvents(const HttpRequest& req, Responder responder);
   /// Deregister the ServiceStats collector from the registry (idempotent).
   /// Must happen before the Service can die — the collector reads it.
   void RemoveCollector();
+  /// Detach the append listener and finish every parked waiter (idempotent).
+  void ShutdownHub();
 
   api::Service* service_ = nullptr;
   Options options_;
   std::unique_ptr<HttpServer> http_;
+  std::unique_ptr<EventHub> hub_;
   metrics::Registry* registry_ = nullptr;
   size_t collector_id_ = 0;
   bool collector_registered_ = false;

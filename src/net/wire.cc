@@ -255,6 +255,187 @@ Result<std::vector<chain::BlockHeader>> DecodeHeaderPage(ByteSpan frame) {
   return out;
 }
 
+std::string SubscribeRequestToJson(const core::Query& q) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("query", QueryToJsonValue(q));
+  return obj.Dump();
+}
+
+Result<core::Query> SubscribeRequestFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::InvalidArgument("wire: subscribe must be a JSON object");
+  }
+  auto query = Member(parsed.value(), "query", JsonValue::Kind::kObject);
+  if (!query.ok()) return query.status();
+  return QueryFromJsonValue(*query.value());
+}
+
+std::string SubscribeResponseToJson(const WireSubscription& sub) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue::Number(sub.id));
+  obj.Set("cursor", JsonValue::Number(sub.cursor));
+  return obj.Dump();
+}
+
+Result<WireSubscription> SubscribeResponseFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::InvalidArgument(
+        "wire: subscribe response must be a JSON object");
+  }
+  auto id = Member(parsed.value(), "id", JsonValue::Kind::kNumber);
+  if (!id.ok()) return id.status();
+  if (id.value()->as_number() > UINT32_MAX) {
+    return Status::InvalidArgument("wire: subscription id overflows u32");
+  }
+  auto cursor = Member(parsed.value(), "cursor", JsonValue::Kind::kNumber);
+  if (!cursor.ok()) return cursor.status();
+  WireSubscription out;
+  out.id = static_cast<uint32_t>(id.value()->as_number());
+  out.cursor = cursor.value()->as_number();
+  return out;
+}
+
+std::string UnsubscribeRequestToJson(uint32_t id) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue::Number(id));
+  return obj.Dump();
+}
+
+Result<uint32_t> UnsubscribeRequestFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().is_object()) {
+    return Status::InvalidArgument("wire: unsubscribe must be a JSON object");
+  }
+  auto id = Member(parsed.value(), "id", JsonValue::Kind::kNumber);
+  if (!id.ok()) return id.status();
+  if (id.value()->as_number() > UINT32_MAX) {
+    return Status::InvalidArgument("wire: subscription id overflows u32");
+  }
+  return static_cast<uint32_t>(id.value()->as_number());
+}
+
+Bytes EncodeEventFrame(const api::SubscriptionEventBatch& batch) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(batch.events.size()));
+  w.PutU64(batch.next_cursor);
+  w.PutU8(batch.redelivered ? 1 : 0);
+  for (const api::SubscriptionEvent& ev : batch.events) {
+    w.PutBytes(ByteSpan(ev.notification_bytes.data(),
+                        ev.notification_bytes.size()));
+  }
+  return w.TakeBytes();
+}
+
+Result<api::SubscriptionEventBatch> DecodeEventFrame(ByteSpan frame) {
+  ByteReader r(frame);
+  uint32_t count = 0;
+  VCHAIN_RETURN_IF_ERROR(r.GetU32(&count));
+  api::SubscriptionEventBatch batch;
+  VCHAIN_RETURN_IF_ERROR(r.GetU64(&batch.next_cursor));
+  uint8_t redelivered = 0;
+  VCHAIN_RETURN_IF_ERROR(r.GetU8(&redelivered));
+  if (redelivered > 1) {
+    return Status::Corruption("event frame: bad redelivered flag");
+  }
+  batch.redelivered = redelivered != 0;
+  // Each event is at least a u32 length prefix.
+  if (count > kMaxWireEventsPerFrame || count * 4ull > r.Remaining()) {
+    return Status::Corruption("event frame: count exceeds payload");
+  }
+  batch.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    api::SubscriptionEvent ev;
+    VCHAIN_RETURN_IF_ERROR(r.GetBytes(&ev.notification_bytes));
+    // query_id / height / objects are re-derived from the canonical bytes
+    // by Service::DecodeNotification — never trusted from framing.
+    batch.events.push_back(std::move(ev));
+  }
+  if (r.Remaining() != 0) {
+    return Status::Corruption("event frame: trailing bytes");
+  }
+  return batch;
+}
+
+namespace {
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string Base64Encode(ByteSpan bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    uint32_t v = (static_cast<uint32_t>(bytes[i]) << 16) |
+                 (static_cast<uint32_t>(bytes[i + 1]) << 8) |
+                 static_cast<uint32_t>(bytes[i + 2]);
+    out.push_back(kB64Alphabet[(v >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 6) & 0x3f]);
+    out.push_back(kB64Alphabet[v & 0x3f]);
+  }
+  const size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint32_t>(bytes[i]) << 16;
+    out.push_back(kB64Alphabet[(v >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 12) & 0x3f]);
+    out.append("==");
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<uint32_t>(bytes[i]) << 16) |
+                 (static_cast<uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(v >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Status::Corruption("base64: length not a multiple of 4");
+  }
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal as the final one or two characters.
+        if (!last || j < 2 || (j == 2 && text[i + 3] != '=')) {
+          return Status::Corruption("base64: misplaced padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      const int d = value_of(c);
+      if (d < 0) return Status::Corruption("base64: invalid character");
+      v = (v << 6) | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(v & 0xff));
+  }
+  return out;
+}
+
 std::string StatsToJson(const api::ServiceStats& stats) {
   JsonValue obj = JsonValue::Object();
   obj.Set("engine", JsonValue::Str(api::EngineKindName(stats.engine)));

@@ -71,6 +71,49 @@ inline constexpr size_t kMaxWireHeadersPerPage = 4096;
 Bytes EncodeHeaderPage(const std::vector<chain::BlockHeader>& headers);
 Result<std::vector<chain::BlockHeader>> DecodeHeaderPage(ByteSpan frame);
 
+// --- subscriptions (JSON control, binary event frames) -------------------------
+//
+// Control-plane messages are JSON (small, human-authored, query inside);
+// notifications cross the wire as their canonical binary bytes inside a
+// length-prefixed frame — the client verifies exactly the bytes it
+// received, same as query responses.
+//
+//   subscribe JSON:    {"query": <query>}        ->  {"id": N, "cursor": H}
+//   unsubscribe JSON:  {"id": N}                 ->  {"ok": true}
+//   event frame:       count:u32 | next_cursor:u64 | redelivered:u8 |
+//                      count × (len:u32 | notification bytes)
+
+/// What POST /subscribe answers: the subscription id plus the cursor (block
+/// height) to start polling GET /events from.
+struct WireSubscription {
+  uint32_t id = 0;
+  uint64_t cursor = 0;
+};
+
+std::string SubscribeRequestToJson(const core::Query& q);
+Result<core::Query> SubscribeRequestFromJson(std::string_view json);
+std::string SubscribeResponseToJson(const WireSubscription& sub);
+Result<WireSubscription> SubscribeResponseFromJson(std::string_view json);
+
+std::string UnsubscribeRequestToJson(uint32_t id);
+Result<uint32_t> UnsubscribeRequestFromJson(std::string_view json);
+
+/// Cap on events per GET /events frame (the server also honors a smaller
+/// `max` query parameter).
+inline constexpr size_t kMaxWireEventsPerFrame = 1024;
+
+/// Encode one EventsSince batch. Only `notification_bytes` crosses the
+/// wire; the decoded events carry empty query_id/height/objects and the
+/// client re-derives them with Service::DecodeNotification — the bytes
+/// stay canonical end to end.
+Bytes EncodeEventFrame(const api::SubscriptionEventBatch& batch);
+Result<api::SubscriptionEventBatch> DecodeEventFrame(ByteSpan frame);
+
+/// Standard base64 (RFC 4648, '+'/'/' alphabet, '=' padding) — how binary
+/// notification bytes ride inside text/event-stream SSE `data:` lines.
+std::string Base64Encode(ByteSpan bytes);
+Result<Bytes> Base64Decode(std::string_view text);
+
 // --- stats (JSON) --------------------------------------------------------------
 
 std::string StatsToJson(const api::ServiceStats& stats);

@@ -14,6 +14,9 @@
 //   vchain_sub_checkpoint_writes_total    counter   checkpoint slots written
 //   vchain_sub_checkpoint_recoveries_total counter  restarts resumed from a
 //                                                   checkpoint
+//   vchain_sub_redelivered_total          counter   events regenerated for a
+//                                                   cursor behind the bounded
+//                                                   event log
 
 #ifndef VCHAIN_SUB_MATCH_METRICS_H_
 #define VCHAIN_SUB_MATCH_METRICS_H_
@@ -30,6 +33,7 @@ struct SubMetrics {
   metrics::Counter* notified;
   metrics::Counter* checkpoint_writes;
   metrics::Counter* checkpoint_recoveries;
+  metrics::Counter* redelivered_events;
 
   static SubMetrics& Get() {
     static SubMetrics m = [] {
@@ -55,6 +59,10 @@ struct SubMetrics {
       out.checkpoint_recoveries = r.GetCounter(
           "vchain_sub_checkpoint_recoveries_total",
           "Service restarts that resumed subscriptions from a checkpoint");
+      out.redelivered_events = r.GetCounter(
+          "vchain_sub_redelivered_total",
+          "Subscription events regenerated for a cursor that fell behind "
+          "the bounded event log");
       return out;
     }();
     return m;

@@ -270,6 +270,22 @@ class SubscriptionManager {
                : ProcessBlockLazyLinear(block);
   }
 
+  /// Re-match one already-mined block against a single standing query —
+  /// the redelivery path for a subscriber whose cursor fell behind the
+  /// bounded event log (api::Service::EventsSince). A pure function of
+  /// (block, query): the notification's bytes are identical to what the
+  /// realtime drain produced for the same block, so redelivered events
+  /// verify exactly like originals. NotFound for an id that is not
+  /// currently registered.
+  Result<SubNotification<Engine>> RebuildNotification(
+      const Block<Engine>& block, uint32_t query_id) {
+    if (runtime_.find(query_id) == runtime_.end()) {
+      return Status::NotFound("unknown subscription id");
+    }
+    MaterializeRuntime(query_id);
+    return BuildNotification(block, query_id);
+  }
+
   /// Flush all pending lazy runs (subscription period end / deregistration).
   std::vector<LazyBatch<Engine>> FlushAll() {
     std::vector<LazyBatch<Engine>> out;

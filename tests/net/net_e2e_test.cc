@@ -7,9 +7,17 @@
 // invariant — the bytes that cross the wire are bit-identical to what an
 // in-process Service::Query returns for the same query.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "common/rand.h"
 #include "core/vchain.h"
@@ -44,6 +52,68 @@ struct KindOf<accum::Acc1Engine> {
 template <>
 struct KindOf<accum::Acc2Engine> {
   static constexpr EngineKind value = EngineKind::kAcc2;
+};
+
+/// SSE responses are close-delimited (no Content-Length), which
+/// HttpConnection rejects by design — the stream test speaks raw TCP.
+class RawSseSocket {
+ public:
+  explicit RawSseSocket(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawSseSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawSseSocket(const RawSseSocket&) = delete;
+  RawSseSocket& operator=(const RawSseSocket&) = delete;
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& data) {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  /// Read (appending to an internal carry) until `token` has been seen
+  /// past the previous call's consumption point, EOF, or timeout; returns
+  /// everything up to and including the token's line context.
+  std::string ReadUntil(const std::string& token, int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    char buf[4096];
+    while (carry_.find(token) == std::string::npos) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) break;
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) break;
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      carry_.append(buf, static_cast<size_t>(n));
+    }
+    size_t pos = carry_.find(token);
+    if (pos == std::string::npos) {
+      std::string all;
+      all.swap(carry_);
+      return all;
+    }
+    std::string out = carry_.substr(0, pos + token.size());
+    carry_.erase(0, pos + token.size());
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string carry_;
 };
 
 constexpr uint64_t kBaseTime = 1000;
@@ -289,7 +359,90 @@ TYPED_TEST(NetE2eTest, QueriesKeepWorkingWhileTheChainGrows) {
   EXPECT_TRUE(this->client_->Verify(q, result.value(), light).ok());
 }
 
-// The /headers page cap must hold even for the full-u64 range request
+// The reproduction invariant, extended to the streaming path: a
+// notification delivered over the wire is byte-identical to what the
+// in-process cursor read returns for the same subscription, and both verify
+// against the client's own validated headers.
+TYPED_TEST(NetE2eTest, WireNotificationVerifiesBitIdenticallyToInProcess) {
+  auto sub = this->client_->Subscribe(MatchyQuery());
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  uint64_t start_cursor = sub.value().cursor();
+  EXPECT_EQ(start_cursor, 8u);  // subscribed at tip; events start here
+
+  // Mine a block that matches the standing query.
+  std::vector<Object> objs(1);
+  objs[0].id = 999;
+  objs[0].timestamp = kBaseTime + 8 * kTimeStep;
+  objs[0].numeric = {50, 60};
+  objs[0].keywords = {"Sedan", "Benz"};
+  ASSERT_TRUE(
+      this->service_->Append(std::move(objs), kBaseTime + 8 * kTimeStep).ok());
+
+  // In-process read of the same subscription stream.
+  auto local = this->service_->EventsSince(sub.value().id(), start_cursor, 64);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  ASSERT_EQ(local.value().events.size(), 1u);
+  EXPECT_EQ(local.value().events[0].height, 8u);
+
+  // Wire read: Poll decodes, header-syncs, and verifies before returning.
+  chain::LightClient light = this->client_->NewLightClient();
+  auto events = sub.value().Poll(&light, /*wait_ms=*/0);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events.value().size(), 1u);
+  const auto& ev = events.value()[0];
+  EXPECT_EQ(ev.height, 8u);
+  ASSERT_EQ(ev.objects.size(), 1u);
+  EXPECT_EQ(ev.objects[0].id, 999u);
+
+  // Bit identity: the bytes that crossed the socket are the bytes the
+  // service holds, and both verify against an independently synced client.
+  EXPECT_EQ(ev.notification_bytes, local.value().events[0].notification_bytes);
+  chain::LightClient direct;
+  ASSERT_TRUE(this->service_->SyncLightClient(&direct).ok());
+  EXPECT_TRUE(this->service_
+                  ->VerifyNotification(sub.value().query(),
+                                       local.value().events[0], direct)
+                  .ok());
+  EXPECT_TRUE(
+      this->service_->VerifyNotification(sub.value().query(), ev, light).ok());
+
+  // The cursor advanced: a second poll is empty, not a redelivery.
+  auto again = sub.value().Poll(&light, /*wait_ms=*/0);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again.value().empty());
+
+  EXPECT_TRUE(sub.value().Unsubscribe().ok());
+  // After unsubscribe the stream is gone, not silently empty.
+  auto dead = sub.value().Poll(&light, /*wait_ms=*/0);
+  EXPECT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsNotFound()) << dead.status().ToString();
+}
+
+// Several mined blocks arrive as one ordered, verified batch over the wire.
+TYPED_TEST(NetE2eTest, PollDeliversMultipleBlocksInOrder) {
+  auto sub = this->client_->Subscribe(MatchyQuery());
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  for (int b = 0; b < 3; ++b) {
+    uint64_t ts = kBaseTime + (8 + b) * kTimeStep;
+    std::vector<Object> objs(1);
+    objs[0].id = 2000 + b;
+    objs[0].timestamp = ts;
+    objs[0].numeric = {50, 60};
+    objs[0].keywords = {"Van", "Audi"};
+    ASSERT_TRUE(this->service_->Append(std::move(objs), ts).ok());
+  }
+
+  chain::LightClient light = this->client_->NewLightClient();
+  auto events = sub.value().Poll(&light, /*wait_ms=*/0);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events.value().size(), 3u);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(events.value()[b].height, 8u + b);
+    ASSERT_EQ(events.value()[b].objects.size(), 1u);
+    EXPECT_EQ(events.value()[b].objects[0].id, 2000u + b);
+  }
+}
 // (to - from + 1 overflows to 0; the clamp must not be skipped).
 TEST(NetE2eRawTest, HeaderPageCapSurvivesFullRangeRequest) {
   auto svc = MakeServedService(EngineKind::kMockAcc2);
@@ -367,6 +520,107 @@ TEST(NetE2eRawTest, MalformedQueryBodyIs400) {
   auto wrong_method = conn.RoundTrip("GET", "/query", "", "text/plain");
   ASSERT_TRUE(wrong_method.ok());
   EXPECT_EQ(wrong_method.value().status, 405);
+}
+
+// A long-poll /events request with nothing to deliver parks on the event
+// hub and completes the moment a block is mined — no polling loop, no
+// worker thread held while parked.
+TEST(NetE2eRawTest, LongPollParksUntilAppendDeliversEvents) {
+  auto svc = MakeServedService(EngineKind::kMockAcc2);
+  SpServer::Options sopts;
+  sopts.http.num_threads = 1;  // one worker: a parked request must not hold it
+  auto server = SpServer::Start(svc.get(), sopts).TakeValue();
+  HttpConnection conn({.host = "127.0.0.1", .port = server->port()});
+
+  auto sub_resp = conn.RoundTrip("POST", "/subscribe",
+                                 SubscribeRequestToJson(MatchyQuery()),
+                                 "application/json");
+  ASSERT_TRUE(sub_resp.ok()) << sub_resp.status().ToString();
+  ASSERT_EQ(sub_resp.value().status, 200);
+  auto sub = SubscribeResponseFromJson(sub_resp.value().body);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub.value().cursor, 8u);
+
+  std::thread miner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::vector<Object> objs(1);
+    objs[0].id = 7777;
+    objs[0].timestamp = kBaseTime + 8 * kTimeStep;
+    objs[0].numeric = {50, 60};
+    objs[0].keywords = {"Van", "BMW"};
+    ASSERT_TRUE(svc->Append(std::move(objs), kBaseTime + 8 * kTimeStep).ok());
+  });
+  auto t0 = std::chrono::steady_clock::now();
+  auto poll = conn.RoundTrip(
+      "GET",
+      "/events?id=" + std::to_string(sub.value().id) + "&cursor=8&wait_ms=5000",
+      "", "text/plain");
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  miner.join();
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  ASSERT_EQ(poll.value().status, 200);
+  EXPECT_GE(waited.count(), 50) << "request did not park";
+  EXPECT_LT(waited.count(), 5000) << "append did not wake the parked request";
+
+  auto frame = DecodeEventFrame(
+      ByteSpan(reinterpret_cast<const uint8_t*>(poll.value().body.data()),
+               poll.value().body.size()));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame.value().events.size(), 1u);
+  EXPECT_EQ(frame.value().next_cursor, 9u);
+  auto local = svc->EventsSince(sub.value().id, 8, 64);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(frame.value().events[0].notification_bytes,
+            local.value().events[0].notification_bytes);
+}
+
+// The SSE flavor of /events: records arrive as blocks are mined, with the
+// block height as the record id and the canonical notification bytes
+// base64'd in `data:` — decoded, they are the service's bytes verbatim.
+TEST(NetE2eRawTest, SseStreamDeliversMinedBlocks) {
+  auto svc = MakeServedService(EngineKind::kMockAcc2);
+  SpServer::Options sopts;
+  sopts.http.num_threads = 1;
+  auto server = SpServer::Start(svc.get(), sopts).TakeValue();
+  HttpConnection conn({.host = "127.0.0.1", .port = server->port()});
+  auto sub_resp = conn.RoundTrip("POST", "/subscribe",
+                                 SubscribeRequestToJson(MatchyQuery()),
+                                 "application/json");
+  ASSERT_TRUE(sub_resp.ok()) << sub_resp.status().ToString();
+  auto sub = SubscribeResponseFromJson(sub_resp.value().body);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  // SSE is close-delimited, so it needs a raw socket (HttpConnection
+  // requires Content-Length).
+  RawSseSocket sock(server->port());
+  ASSERT_TRUE(sock.connected());
+  sock.Send("GET /events?id=" + std::to_string(sub.value().id) +
+            "&cursor=8 HTTP/1.1\r\nAccept: text/event-stream\r\n\r\n");
+  std::string head = sock.ReadUntil("retry: 1000\n\n", 5000);
+  ASSERT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos) << head;
+  ASSERT_NE(head.find("text/event-stream"), std::string::npos) << head;
+
+  std::vector<Object> objs(1);
+  objs[0].id = 8888;
+  objs[0].timestamp = kBaseTime + 8 * kTimeStep;
+  objs[0].numeric = {50, 60};
+  objs[0].keywords = {"Sedan", "Audi"};
+  ASSERT_TRUE(svc->Append(std::move(objs), kBaseTime + 8 * kTimeStep).ok());
+
+  std::string record = sock.ReadUntil("\n\n", 5000);
+  size_t id_pos = record.find("id: 8");
+  ASSERT_NE(id_pos, std::string::npos) << record;
+  size_t data_pos = record.find("data: ", id_pos);
+  ASSERT_NE(data_pos, std::string::npos) << record;
+  size_t data_end = record.find('\n', data_pos);
+  std::string b64 = record.substr(data_pos + 6, data_end - data_pos - 6);
+  auto bytes = Base64Decode(b64);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto local = svc->EventsSince(sub.value().id, 8, 64);
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(local.value().events.size(), 1u);
+  EXPECT_EQ(bytes.value(), local.value().events[0].notification_bytes);
 }
 
 }  // namespace

@@ -37,10 +37,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
-start_spd() {  # engine store log -> sets SPD_PID, PORT, HASH
+start_spd() {  # engine store log [extra-flags...] -> sets SPD_PID, PORT, HASH
   local engine=$1 store=$2 log=$3
+  shift 3
   "$SPD" --engine "$engine" --store "$store" --demo "$DEMO_BLOCKS" \
-         --port 0 --threads 2 --debug-endpoints --canary 1 > "$log" 2>&1 &
+         --port 0 --threads 2 --debug-endpoints --canary 1 "$@" > "$log" 2>&1 &
   SPD_PID=$!
   for _ in $(seq 1 100); do
     grep -q "serving" "$log" 2>/dev/null && break
@@ -156,6 +157,18 @@ for engine in mock-acc1 mock-acc2 acc1 acc2; do
   fi
   "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
             --expect-hash "$HASH"
+  stop_spd
+
+  echo "=== $engine: live subscription (subscribe -> mine -> notify -> verify) ==="
+  # In-memory chain that keeps mining while serving: the client registers
+  # the demo query as a standing subscription over the wire, then every
+  # notification must decode from its canonical bytes and verify against
+  # the client's own header chain before it counts. No --expect-hash here:
+  # the chain grows underneath the query, so the startup hash is stale by
+  # design.
+  start_spd "$engine" "" "$WORK_DIR/spd-$engine-sub.log" --mine-every 150
+  "$CLIENT" --engine "$engine" --port "$PORT" --demo-query \
+            --subscribe 2 --subscribe-timeout-s 30
   stop_spd
 done
 
